@@ -1,0 +1,416 @@
+package nmsl
+
+// Benchmark harness for the experiments in EXPERIMENTS.md. The paper has
+// no measured evaluation; its quantitative claims are the scale goals of
+// section 1 (10,000 domains, 100k-1M hosts) and the "easy to evaluate"
+// requirement of section 3.1. Each benchmark regenerates one experiment
+// row; cmd/nmslsim prints the corresponding tables.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"nmsl/internal/consistency"
+	"nmsl/internal/lexer"
+	"nmsl/internal/logic"
+	"nmsl/internal/mib"
+	"nmsl/internal/netsim"
+	"nmsl/internal/paperspec"
+	"nmsl/internal/parser"
+	"nmsl/internal/simrun"
+	"nmsl/internal/snmp"
+
+	cfggen "nmsl/internal/configgen"
+)
+
+// ---- T-SCALE-1: consistency-check time vs number of domains ----
+
+func benchCheckDomains(b *testing.B, domains int) {
+	m, err := netsim.Model(netsim.Params{Domains: domains, SystemsPerDomain: 2, NestingDepth: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(m.Refs)), "refs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := consistency.Check(m)
+		if !rep.Consistent() {
+			b.Fatal("unexpected inconsistency")
+		}
+	}
+}
+
+func BenchmarkCheckDomains10(b *testing.B)    { benchCheckDomains(b, 10) }
+func BenchmarkCheckDomains100(b *testing.B)   { benchCheckDomains(b, 100) }
+func BenchmarkCheckDomains1000(b *testing.B)  { benchCheckDomains(b, 1000) }
+func BenchmarkCheckDomains10000(b *testing.B) { benchCheckDomains(b, 10000) }
+
+// ---- T-SCALE-2: compile+check vs number of network elements ----
+
+func benchCheckSystems(b *testing.B, systemsPerDomain int) {
+	m, err := netsim.Model(netsim.Params{Domains: 100, SystemsPerDomain: systemsPerDomain, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(m.Instances)), "instances")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := consistency.Check(m)
+		if !rep.Consistent() {
+			b.Fatal("unexpected inconsistency")
+		}
+	}
+}
+
+func BenchmarkCheckSystems100(b *testing.B)   { benchCheckSystems(b, 1) }
+func BenchmarkCheckSystems1000(b *testing.B)  { benchCheckSystems(b, 10) }
+func BenchmarkCheckSystems10000(b *testing.B) { benchCheckSystems(b, 100) }
+
+// ---- T-SCALE-3: compiler throughput (lexer, parser, full front end) ----
+
+func BenchmarkLexer(b *testing.B) {
+	src := netsim.Source(netsim.Params{Domains: 100, SystemsPerDomain: 2, Seed: 1})
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lx := lexer.New(src)
+		for {
+			if tok := lx.Next(); tok.Kind == 1 { // token.EOF
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkParser(b *testing.B) {
+	src := netsim.Source(netsim.Params{Domains: 100, SystemsPerDomain: 2, Seed: 1})
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parser.Parse("bench", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchCompile(b *testing.B, domains int) {
+	src := netsim.Source(netsim.Params{Domains: domains, SystemsPerDomain: 2, Seed: 1})
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewCompiler()
+		if err := c.CompileSource("bench", src); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileDomains10(b *testing.B)   { benchCompile(b, 10) }
+func BenchmarkCompileDomains100(b *testing.B)  { benchCompile(b, 100) }
+func BenchmarkCompileDomains1000(b *testing.B) { benchCompile(b, 1000) }
+
+// BenchmarkCompilePaperSpec compiles the paper's own figures, the
+// smallest realistic unit of work.
+func BenchmarkCompilePaperSpec(b *testing.B) {
+	b.SetBytes(int64(len(paperspec.Combined)))
+	for i := 0; i < b.N; i++ {
+		c := NewCompiler()
+		if err := c.CompileSource("paper", paperspec.Combined); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablation: permission indexing vs full scans (DESIGN.md) ----
+
+func benchIndexAblation(b *testing.B, disable bool) {
+	m, err := netsim.Model(netsim.Params{Domains: 500, SystemsPerDomain: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := consistency.NewChecker(m)
+		c.DisableIndex = disable
+		if rep := c.Check(); !rep.Consistent() {
+			b.Fatal("unexpected inconsistency")
+		}
+	}
+}
+
+func BenchmarkCheckIndexed(b *testing.B) { benchIndexAblation(b, false) }
+func BenchmarkCheckScan(b *testing.B)    { benchIndexAblation(b, true) }
+
+// ---- Ablation: logic-engine checker vs indexed Go checker ----
+
+func benchCheckerKind(b *testing.B, useLogic bool) {
+	m, err := netsim.Model(netsim.Params{Domains: 50, SystemsPerDomain: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var rep *consistency.Report
+		if useLogic {
+			rep = consistency.CheckLogic(m)
+		} else {
+			rep = consistency.Check(m)
+		}
+		if !rep.Consistent() {
+			b.Fatal("unexpected inconsistency")
+		}
+	}
+}
+
+func BenchmarkCheckerIndexedGo(b *testing.B)   { benchCheckerKind(b, false) }
+func BenchmarkCheckerLogicEngine(b *testing.B) { benchCheckerKind(b, true) }
+
+// ---- Logic engine micro-benchmarks ----
+
+func BenchmarkLogicResolution(b *testing.B) {
+	db := logic.NewDB()
+	for i := 0; i < 200; i++ {
+		db.Assert(logic.Comp("edge", logic.Atom(fmt.Sprintf("n%d", i)), logic.Atom(fmt.Sprintf("n%d", i+1))))
+	}
+	X, Y := logic.NewVar("X"), logic.NewVar("Y")
+	db.Assert(logic.Comp("path", X, Y), logic.Call(logic.Comp("edge", X, Y)))
+	X2, Y2, Z2 := logic.NewVar("X"), logic.NewVar("Y"), logic.NewVar("Z")
+	db.Assert(logic.Comp("path", X2, Z2),
+		logic.Call(logic.Comp("edge", X2, Y2)), logic.Call(logic.Comp("path", Y2, Z2)))
+	s := logic.NewSolver(db)
+	s.MaxDepth = 1 << 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Prove(logic.Call(logic.Comp("path", logic.Atom("n0"), logic.Atom("n200")))) {
+			b.Fatal("path not found")
+		}
+	}
+}
+
+func BenchmarkLogicConstraints(b *testing.B) {
+	s := logic.NewSolver(logic.NewDB())
+	for i := 0; i < b.N; i++ {
+		X, Y := logic.NewVar("X"), logic.NewVar("Y")
+		ok := s.Prove(
+			logic.Con(X, ">=", logic.Int(5)),
+			logic.Con(Y, "<=", logic.Int(100)),
+			logic.Con(X, "<", Y),
+		)
+		if !ok {
+			b.Fatal("satisfiable system rejected")
+		}
+	}
+}
+
+// ---- E-SPEC-R: reverse solving ----
+
+func BenchmarkReverseSolve(b *testing.B) {
+	c := NewCompiler()
+	if err := c.CompileSource("paper", paperspec.Combined); err != nil {
+		b.Fatal(err)
+	}
+	spec, err := c.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ivs, err := spec.AdmissiblePeriods(
+			"snmpaddr@wisc-cs#0", "snmpdReadOnly@romano.cs.wisc.edu#0",
+			"mgmt.mib.ip.ipAddrTable.IpAddrEntry", AccessReadOnly)
+		if err != nil || len(ivs) != 1 {
+			b.Fatalf("ivs=%v err=%v", ivs, err)
+		}
+	}
+}
+
+// ---- T-GEN: configuration generation ----
+
+func BenchmarkConfigGen(b *testing.B) {
+	m, err := netsim.Model(netsim.Params{Domains: 200, SystemsPerDomain: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		configs := cfggen.Generate(m)
+		if len(configs) == 0 {
+			b.Fatal("no configs")
+		}
+	}
+	b.ReportMetric(float64(len(cfggen.Generate(m))), "agents")
+}
+
+func BenchmarkConfigWriteSnmpdConf(b *testing.B) {
+	m, err := netsim.Model(netsim.Params{Domains: 10, SystemsPerDomain: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	configs := cfggen.Generate(m)
+	var one *snmp.Config
+	for _, c := range configs {
+		one = c
+		break
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cfggen.WriteSnmpdConf(io.Discard, one); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E-PRESC: management protocol substrate ----
+
+func BenchmarkBERMessageRoundTrip(b *testing.B) {
+	msg := &snmp.Message{
+		Version:   snmp.Version0,
+		Community: "public",
+		PDU: snmp.PDU{
+			Type:      snmp.TagGetRequest,
+			RequestID: 7,
+			Bindings: []snmp.Binding{
+				{OID: mib.OID{1, 3, 6, 1, 2, 1, 1, 1}, Value: snmp.Null()},
+			},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := msg.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := snmp.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAgentHandle(b *testing.B) {
+	store := snmp.NewStore()
+	tree := mib.NewStandard()
+	snmp.PopulateFromMIB(store, tree, "mgmt.mib")
+	agent := snmp.NewAgent(store, &snmp.Config{
+		Communities: map[string]*snmp.CommunityConfig{
+			"public": {Access: mib.AccessReadOnly, View: []mib.OID{tree.Lookup("mgmt.mib").OID()}},
+		},
+	})
+	req := &snmp.Message{
+		Version:   snmp.Version0,
+		Community: "public",
+		PDU: snmp.PDU{
+			Type:      snmp.TagGetRequest,
+			RequestID: 1,
+			Bindings: []snmp.Binding{
+				{OID: tree.Lookup("mgmt.mib.system.sysDescr").OID(), Value: snmp.Null()},
+			},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := agent.Handle(req)
+		if resp == nil || resp.PDU.ErrorStatus != snmp.NoError {
+			b.Fatalf("resp %+v", resp)
+		}
+	}
+}
+
+// ---- model building (the reduction to Figure 4.9 relations) ----
+
+func BenchmarkBuildModel(b *testing.B) {
+	spec, err := netsim.Build(netsim.Params{Domains: 200, SystemsPerDomain: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := consistency.BuildModel(spec)
+		if len(m.Refs) == 0 {
+			b.Fatal("no refs")
+		}
+	}
+}
+
+// ---- star targets: the quadratic worst case, kept small ----
+
+func BenchmarkCheckStarTargets(b *testing.B) {
+	m, err := netsim.Model(netsim.Params{Domains: 50, SystemsPerDomain: 2, StarTargets: true, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(m.Refs)), "refs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := consistency.Check(m); !rep.Consistent() {
+			b.Fatal("unexpected inconsistency")
+		}
+	}
+}
+
+// ---- T-GEN-DIST: central vs distributed installation (section 5) ----
+
+func benchDistribute(b *testing.B, workers int) {
+	m, err := netsim.Model(netsim.Params{Domains: 16, SystemsPerDomain: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var targets []cfggen.Target
+	for id := range cfggen.Generate(m) {
+		store := snmp.NewStore()
+		snmp.PopulateFromMIB(store, m.Spec.MIB, "mgmt.mib")
+		agent := snmp.NewAgent(store, &snmp.Config{
+			Communities:    map[string]*snmp.CommunityConfig{},
+			AdminCommunity: "adm",
+		})
+		addr, err := agent.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer agent.Close()
+		targets = append(targets, cfggen.Target{InstanceID: id, Addr: addr.String(), AdminCommunity: "adm"})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := cfggen.Distribute(m, targets, cfggen.DistributeOptions{Workers: workers})
+		if len(cfggen.Failed(results)) != 0 {
+			b.Fatal("install failures")
+		}
+	}
+}
+
+func BenchmarkDistributeSerial(b *testing.B)    { benchDistribute(b, 1) }
+func BenchmarkDistributeParallel8(b *testing.B) { benchDistribute(b, 8) }
+
+// ---- E-SIM: virtual-time simulation throughput ----
+
+func BenchmarkSimulate24h(b *testing.B) {
+	m, err := netsim.Model(netsim.Params{Domains: 20, SystemsPerDomain: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var issued int64
+	for i := 0; i < b.N; i++ {
+		res, err := simrun.Run(m, simrun.Options{Duration: 24 * time.Hour, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Violations != 0 {
+			b.Fatalf("violations:\n%s", res)
+		}
+		issued = res.Issued
+	}
+	b.ReportMetric(float64(issued), "queries/day")
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nmsl"
+	"nmsl/internal/mib"
+	"nmsl/internal/paperspec"
+	"nmsl/internal/snmp"
+)
+
+const instID = "snmpdReadOnly@romano.cs.wisc.edu#0"
+
+func specFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.nmsl")
+	if err := os.WriteFile(path, []byte(paperspec.Combined), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// startAgent runs an agent configured per the specification (adherent)
+// or with a weakened config (divergent).
+func startAgent(t *testing.T, adherent bool) string {
+	t.Helper()
+	c := nmsl.NewCompiler()
+	if err := c.CompileSource("paper", paperspec.Combined); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := c.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := spec.AgentConfigs()[instID]
+	if !adherent {
+		for _, cc := range cfg.Communities {
+			cc.MinInterval = 0
+			cc.Access = mib.AccessAny
+		}
+	}
+	store := snmp.NewStore()
+	snmp.PopulateFromMIB(store, spec.AST().MIB, "mgmt.mib")
+	agent := snmp.NewAgent(store, cfg)
+	addr, err := agent.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { agent.Close() })
+	return addr.String()
+}
+
+func TestAdherentAgentExitsZero(t *testing.T) {
+	addr := startAgent(t, true)
+	var out, errb strings.Builder
+	code := run([]string{"-instance", instID, "-addr", addr, specFile(t)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "adheres") {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+func TestDivergentAgentExitsOne(t *testing.T) {
+	addr := startAgent(t, false)
+	var out, errb strings.Builder
+	code := run([]string{"-instance", instID, "-addr", addr, "-writes", specFile(t)}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "rate-leak") {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no args: exit %d", code)
+	}
+	if code := run([]string{"-instance", "x", "-addr", "y", "/missing.nmsl"}, &out, &errb); code != 2 {
+		t.Errorf("missing file: exit %d", code)
+	}
+	if code := run([]string{"-instance", "ghost", "-addr", "127.0.0.1:1", specFile(t)}, &out, &errb); code != 2 {
+		t.Errorf("unknown instance: exit %d", code)
+	}
+}

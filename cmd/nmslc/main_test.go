@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nmsl/internal/paperspec"
+)
+
+func specFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.nmsl")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompileClean(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{specFile(t, paperspec.Combined)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "compiled cleanly") {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+func TestConsistencyOutput(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-output", "consistency", specFile(t, paperspec.Combined)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "proc_export(snmpdReadOnly,") {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+func TestOutputToFile(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "facts.pl")
+	var out, errb strings.Builder
+	code := run([]string{"-output", "consistency", "-o", outPath, specFile(t, paperspec.Combined)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "system_spec") {
+		t.Fatalf("file: %q", data)
+	}
+}
+
+func TestExtensionFlag(t *testing.T) {
+	extPath := filepath.Join(t.TempDir(), "p.nmslext")
+	ext := `extension p ::= clause proxies; decltype process; semantics namelist; end extension p.`
+	if err := os.WriteFile(extPath, []byte(ext), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := specFile(t, `process x ::= supports mgmt.mib; proxies b; end process x.`)
+	var out, errb strings.Builder
+	if code := run([]string{"-ext", extPath, spec}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no files: exit %d", code)
+	}
+	if code := run([]string{"/does/not/exist.nmsl"}, &out, &errb); code != 1 {
+		t.Errorf("missing file: exit %d", code)
+	}
+	bad := specFile(t, "domain d ::= system ghost; end domain d.")
+	if code := run([]string{bad}, &out, &errb); code != 1 {
+		t.Errorf("semantic error: exit %d", code)
+	}
+}

@@ -1,0 +1,142 @@
+// nmslcheck is the NMSL Consistency Checker (paper section 4.2).
+//
+// It compiles the specifications, proves consistency (every reference has
+// a corresponding permission, with access and frequency constraints), and
+// lists the immediate causes of any inconsistency. It also exposes the
+// checker's speculative roles: -load estimates the management traffic a
+// specification implies, and -solve runs the check in reverse to find the
+// admissible query periods of a prospective reference.
+//
+// Usage:
+//
+//	nmslcheck [-ext f ...] [-logic] [-load] [-program] spec.nmsl ...
+//	nmslcheck -solve src,tgt,var,access spec.nmsl ...
+//
+// Exit status: 0 consistent, 1 inconsistent, 2 usage or compile error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"nmsl"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nmslcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var exts multiFlag
+	fs.Var(&exts, "ext", "extension language file (repeatable)")
+	useLogic := fs.Bool("logic", false, "use the CLP(R)-style logic engine instead of the indexed checker")
+	load := fs.Bool("load", false, "also print the estimated management load")
+	program := fs.Bool("program", false, "also print the logic program (facts + rules)")
+	solve := fs.String("solve", "", "reverse-solve admissible periods: src,tgt,var,access")
+	simulate := fs.Duration("simulate", 0, "also simulate this much virtual operation (e.g. 24h)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "nmslcheck: no specification files")
+		return 2
+	}
+
+	c := nmsl.NewCompiler()
+	for _, path := range exts {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "nmslcheck: %v\n", err)
+			return 2
+		}
+		if err := c.AddExtensionSource(path, string(data)); err != nil {
+			fmt.Fprintf(stderr, "nmslcheck: %v\n", err)
+			return 2
+		}
+	}
+	for _, path := range fs.Args() {
+		if err := c.CompileFile(path); err != nil {
+			fmt.Fprintf(stderr, "nmslcheck: %v\n", err)
+			return 2
+		}
+	}
+	spec, err := c.Finish()
+	if err != nil {
+		fmt.Fprintf(stderr, "nmslcheck: %v\n", err)
+		return 2
+	}
+
+	if *solve != "" {
+		parts := strings.Split(*solve, ",")
+		if len(parts) != 4 {
+			fmt.Fprintln(stderr, "nmslcheck: -solve wants src,tgt,var,access")
+			return 2
+		}
+		access := nmsl.AccessReadOnly
+		switch parts[3] {
+		case "ReadOnly":
+		case "WriteOnly":
+			access = nmsl.AccessWriteOnly
+		case "Any":
+			access = nmsl.AccessAny
+		default:
+			fmt.Fprintf(stderr, "nmslcheck: bad access %q\n", parts[3])
+			return 2
+		}
+		ivs, err := spec.AdmissiblePeriods(parts[0], parts[1], parts[2], access)
+		if err != nil {
+			fmt.Fprintf(stderr, "nmslcheck: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "admissible periods (seconds): %s\n", nmsl.FormatIntervals(ivs))
+		if len(ivs) == 0 {
+			return 1
+		}
+		return 0
+	}
+
+	var rep *nmsl.Report
+	if *useLogic {
+		rep = spec.CheckLogic()
+	} else {
+		rep = spec.Check()
+	}
+	fmt.Fprint(stdout, rep.String())
+	if *load {
+		fmt.Fprint(stdout, spec.EstimateLoad(nmsl.LoadOptions{}).String())
+	}
+	if *program {
+		if err := spec.WriteConsistencyProgram(stdout); err != nil {
+			fmt.Fprintf(stderr, "nmslcheck: %v\n", err)
+			return 2
+		}
+	}
+	if *simulate > 0 {
+		res, err := spec.Simulate(nmsl.SimOptions{Duration: *simulate})
+		if err != nil {
+			fmt.Fprintf(stderr, "nmslcheck: %v\n", err)
+			return 2
+		}
+		fmt.Fprint(stdout, res.String())
+		if !res.Clean() {
+			return 1
+		}
+	}
+	if !rep.Consistent() {
+		return 1
+	}
+	return 0
+}

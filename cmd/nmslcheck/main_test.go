@@ -1,0 +1,140 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nmsl/internal/paperspec"
+)
+
+func specFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.nmsl")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestConsistentExitsZero(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{specFile(t, paperspec.Combined)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "consistent:") {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+func TestInconsistentExitsOne(t *testing.T) {
+	src := `
+process agent ::= supports mgmt.mib; end process agent.
+process poller ::= queries agent requests mgmt.mib.system frequency infrequent; end process poller.
+system "h" ::=
+    cpu sparc; interface ie0 net l type e speed 10 bps;
+    supports mgmt.mib; process agent; process poller;
+end system "h".
+domain d ::= system h; end domain d.
+`
+	var out, errb strings.Builder
+	code := run([]string{specFile(t, src)}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "no-permission") {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+func TestLogicFlagAgrees(t *testing.T) {
+	path := specFile(t, paperspec.Combined)
+	var a, b, errb strings.Builder
+	if code := run([]string{path}, &a, &errb); code != 0 {
+		t.Fatal(errb.String())
+	}
+	if code := run([]string{"-logic", path}, &b, &errb); code != 0 {
+		t.Fatal(errb.String())
+	}
+	if a.String() != b.String() {
+		t.Fatalf("checkers disagree:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestLoadFlag(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-load", specFile(t, paperspec.Combined)}, &out, &errb)
+	if code != 0 {
+		t.Fatal(errb.String())
+	}
+	if !strings.Contains(out.String(), "estimated management load") {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+func TestProgramFlag(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-program", specFile(t, paperspec.Combined)}, &out, &errb)
+	if code != 0 {
+		t.Fatal(errb.String())
+	}
+	if !strings.Contains(out.String(), "inconsistent(") {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+func TestSolveFlag(t *testing.T) {
+	path := specFile(t, paperspec.Combined)
+	var out, errb strings.Builder
+	code := run([]string{
+		"-solve", "snmpaddr@wisc-cs#0,snmpdReadOnly@romano.cs.wisc.edu#0,mgmt.mib.ip.ipAddrTable.IpAddrEntry,ReadOnly",
+		path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "[300, +inf)") {
+		t.Fatalf("output: %q", out.String())
+	}
+	// write access -> empty set -> exit 1
+	out.Reset()
+	code = run([]string{
+		"-solve", "snmpaddr@wisc-cs#0,snmpdReadOnly@romano.cs.wisc.edu#0,mgmt.mib.ip.ipAddrTable.IpAddrEntry,WriteOnly",
+		path}, &out, &errb)
+	if code != 1 || !strings.Contains(out.String(), "∅") {
+		t.Fatalf("exit %d output %q", code, out.String())
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	path := specFile(t, paperspec.Combined)
+	var out, errb strings.Builder
+	if code := run([]string{"-solve", "too,few", path}, &out, &errb); code != 2 {
+		t.Errorf("bad solve args: exit %d", code)
+	}
+	if code := run([]string{"-solve", "a,b,c,Sometimes", path}, &out, &errb); code != 2 {
+		t.Errorf("bad access: exit %d", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no files: exit %d", code)
+	}
+	if code := run([]string{"/missing.nmsl"}, &out, &errb); code != 2 {
+		t.Errorf("missing file: exit %d", code)
+	}
+}
+
+func TestSimulateFlag(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-simulate", "12h", specFile(t, paperspec.Combined)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "simulated 12h0m0s") {
+		t.Fatalf("output: %q", out.String())
+	}
+}

@@ -1,0 +1,71 @@
+// nmslfmt formats NMSL specifications into canonical form: declarations
+// sorted by kind then name, one clause per line, normalized spacing.
+//
+// Usage:
+//
+//	nmslfmt spec.nmsl ...         # print formatted source to stdout
+//	nmslfmt -w spec.nmsl ...      # rewrite files in place
+//
+// Formatting requires the input to compile (the canonical form is
+// printed from the typed model), so nmslfmt doubles as a syntax and
+// semantics checker.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nmsl/internal/parser"
+	"nmsl/internal/printer"
+	"nmsl/internal/sema"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nmslfmt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	write := fs.Bool("w", false, "write result back to the source files")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "nmslfmt: no files")
+		return 2
+	}
+	status := 0
+	for _, path := range fs.Args() {
+		if err := formatFile(path, *write, stdout); err != nil {
+			fmt.Fprintf(stderr, "nmslfmt: %v\n", err)
+			status = 1
+		}
+	}
+	return status
+}
+
+func formatFile(path string, write bool, stdout io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	f, err := parser.Parse(path, string(data))
+	if err != nil {
+		return err
+	}
+	a := sema.NewAnalyzer()
+	a.AnalyzeFile(f)
+	spec, err := a.Finish()
+	if err != nil {
+		return err
+	}
+	out := printer.String(spec)
+	if write {
+		return os.WriteFile(path, []byte(out), 0o644)
+	}
+	_, err = io.WriteString(stdout, out)
+	return err
+}

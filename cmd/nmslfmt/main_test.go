@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nmsl/internal/paperspec"
+)
+
+func TestFormatToStdout(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.nmsl")
+	if err := os.WriteFile(path, []byte(paperspec.Combined), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := run([]string{path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), `system "romano.cs.wisc.edu" ::=`) {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+func TestFormatInPlaceIsIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.nmsl")
+	if err := os.WriteFile(path, []byte(paperspec.Combined), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"-w", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-w", path}, &out, &errb); code != 0 {
+		t.Fatalf("second pass exit: %s", errb.String())
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatal("formatting is not idempotent")
+	}
+}
+
+func TestFormatErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no files: exit %d", code)
+	}
+	if code := run([]string{"/missing.nmsl"}, &out, &errb); code != 1 {
+		t.Errorf("missing file: exit %d", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.nmsl")
+	if err := os.WriteFile(bad, []byte("domain d ::="), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{bad}, &out, &errb); code != 1 {
+		t.Errorf("syntax error: exit %d", code)
+	}
+}

@@ -1,0 +1,128 @@
+// nmslgen is an NMSL Configuration Generator (paper section 5).
+//
+// It compiles the specifications, refuses to proceed if they are
+// inconsistent (only a consistent specification may be executed), derives
+// per-agent configurations, and installs them: as files (-dir) or live
+// over the management protocol (-install).
+//
+// Usage:
+//
+//	nmslgen [-target BartsSnmpd|nvp] [-dir outdir] spec.nmsl ...
+//	nmslgen -install host:port -admin community -instance id spec.nmsl ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nmsl"
+	"nmsl/internal/configgen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nmslgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	target := fs.String("target", configgen.TagBartsSnmpd, "configuration format: BartsSnmpd or nvp")
+	dir := fs.String("dir", "", "write one config file per agent instance into this directory")
+	install := fs.String("install", "", "install live into the agent at host:port")
+	admin := fs.String("admin", "nmsl-admin", "admin community for live install")
+	instance := fs.String("instance", "", "agent instance ID whose config to install or print")
+	force := fs.Bool("force", false, "generate even if the specification is inconsistent")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "nmslgen: no specification files")
+		return 2
+	}
+
+	c := nmsl.NewCompiler()
+	for _, path := range fs.Args() {
+		if err := c.CompileFile(path); err != nil {
+			fmt.Fprintf(stderr, "nmslgen: %v\n", err)
+			return 2
+		}
+	}
+	spec, err := c.Finish()
+	if err != nil {
+		fmt.Fprintf(stderr, "nmslgen: %v\n", err)
+		return 2
+	}
+	if rep := spec.Check(); !rep.Consistent() {
+		fmt.Fprintf(stderr, "nmslgen: specification is inconsistent; configuration only executes from a consistent specification:\n%s", rep)
+		if !*force {
+			return 1
+		}
+		fmt.Fprintln(stderr, "nmslgen: -force given, continuing")
+	}
+
+	configs := spec.AgentConfigs()
+	if len(configs) == 0 {
+		fmt.Fprintln(stderr, "nmslgen: no agent instances to configure")
+		return 1
+	}
+
+	if *install != "" {
+		if *instance == "" {
+			fmt.Fprintln(stderr, "nmslgen: -install requires -instance")
+			return 2
+		}
+		cfg := configs[*instance]
+		if cfg == nil {
+			fmt.Fprintf(stderr, "nmslgen: no configuration for instance %q; have:\n", *instance)
+			for id := range configs {
+				fmt.Fprintf(stderr, "  %s\n", id)
+			}
+			return 1
+		}
+		cfg.AdminCommunity = *admin
+		if err := configgen.InstallLive(*install, *admin, cfg); err != nil {
+			fmt.Fprintf(stderr, "nmslgen: install: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "installed configuration for %s into %s\n", *instance, *install)
+		return 0
+	}
+
+	if *dir != "" {
+		paths, err := configgen.InstallFiles(*dir, *target, configs)
+		if err != nil {
+			fmt.Fprintf(stderr, "nmslgen: %v\n", err)
+			return 1
+		}
+		for _, p := range paths {
+			fmt.Fprintln(stdout, p)
+		}
+		return 0
+	}
+
+	// Print to stdout: one section per instance (or just the selected
+	// one).
+	for id, cfg := range configs {
+		if *instance != "" && id != *instance {
+			continue
+		}
+		fmt.Fprintf(stdout, "# instance %s\n", id)
+		var werr error
+		switch *target {
+		case configgen.TagBartsSnmpd:
+			werr = configgen.WriteSnmpdConf(stdout, cfg)
+		case configgen.TagNVP:
+			werr = configgen.WriteNVP(stdout, cfg)
+		default:
+			fmt.Fprintf(stderr, "nmslgen: unknown target %q\n", *target)
+			return 2
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "nmslgen: %v\n", werr)
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nmsl/internal/mib"
+	"nmsl/internal/paperspec"
+	"nmsl/internal/snmp"
+)
+
+func specFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.nmsl")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPrintConfigs(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{specFile(t, paperspec.Combined)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "community public ReadOnly 300") {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+func TestWriteDir(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb strings.Builder
+	code := run([]string{"-dir", dir, specFile(t, paperspec.Combined)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("files: %v", entries)
+	}
+}
+
+func TestNVPTarget(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-target", "nvp", "-instance", "snmpdReadOnly@romano.cs.wisc.edu#0",
+		specFile(t, paperspec.Combined)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), `"communities"`) {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+func TestRefusesInconsistentSpec(t *testing.T) {
+	src := `
+process agent ::= supports mgmt.mib; end process agent.
+process poller ::= queries agent requests mgmt.mib.system frequency infrequent; end process poller.
+system "h" ::=
+    cpu sparc; interface ie0 net l type e speed 10 bps;
+    supports mgmt.mib; process agent; process poller;
+end system "h".
+domain d ::= system h; end domain d.
+`
+	var out, errb strings.Builder
+	if code := run([]string{specFile(t, src)}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errb.String(), "inconsistent") {
+		t.Fatalf("stderr: %q", errb.String())
+	}
+}
+
+func TestLiveInstall(t *testing.T) {
+	store := snmp.NewStore()
+	snmp.PopulateFromMIB(store, mib.NewStandard(), "mgmt.mib")
+	agent := snmp.NewAgent(store, &snmp.Config{
+		Communities:    map[string]*snmp.CommunityConfig{},
+		AdminCommunity: "adm",
+	})
+	addr, err := agent.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	var out, errb strings.Builder
+	code := run([]string{
+		"-install", addr.String(), "-admin", "adm",
+		"-instance", "snmpdReadOnly@romano.cs.wisc.edu#0",
+		specFile(t, paperspec.Combined)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if agent.ConfigSnapshot().Communities["public"] == nil {
+		t.Fatal("config not installed")
+	}
+}
+
+func TestInstallErrors(t *testing.T) {
+	path := specFile(t, paperspec.Combined)
+	var out, errb strings.Builder
+	if code := run([]string{"-install", "127.0.0.1:1", path}, &out, &errb); code != 2 {
+		t.Errorf("missing -instance: exit %d", code)
+	}
+	if code := run([]string{"-install", "127.0.0.1:1", "-instance", "ghost", path}, &out, &errb); code != 1 {
+		t.Errorf("unknown instance: exit %d", code)
+	}
+	if code := run([]string{"-target", "weird", path}, &out, &errb); code != 2 {
+		t.Errorf("unknown target: exit %d", code)
+	}
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no files: exit %d", code)
+	}
+}

@@ -1,0 +1,150 @@
+// nmslsim drives the scale experiments (EXPERIMENTS.md T-SCALE-1/2/3).
+//
+// The paper sets goals of 10,000 administrative domains and up to a
+// million hosts (section 1) with no measured evaluation; nmslsim
+// generates synthetic internets of the requested size, runs the compiler
+// and the consistency checker, and prints one result row per
+// configuration:
+//
+//	nmslsim -table domains          # sweep domains  (T-SCALE-1)
+//	nmslsim -table systems          # sweep elements (T-SCALE-2)
+//	nmslsim -domains 1000 -systems 10 -rate 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"nmsl/internal/consistency"
+	"nmsl/internal/netsim"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nmslsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	domains := fs.Int("domains", 100, "number of administrative domains")
+	systems := fs.Int("systems", 2, "network elements per domain")
+	depth := fs.Int("depth", 1, "domain nesting depth")
+	rate := fs.Float64("rate", 0, "injected inconsistency rate")
+	star := fs.Bool("star", false, "use late-bound (*) query targets")
+	recursive := fs.Bool("recursive", false, "agents also query their peer agents (server-to-server)")
+	seed := fs.Int64("seed", 1, "generation seed")
+	table := fs.String("table", "", "run a sweep: domains | systems")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch *table {
+	case "":
+		p := netsim.Params{
+			Domains: *domains, SystemsPerDomain: *systems,
+			NestingDepth: *depth, InconsistencyRate: *rate,
+			StarTargets: *star, RecursiveChains: *recursive, Seed: *seed,
+		}
+		row, err := measure(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "nmslsim: %v\n", err)
+			return 1
+		}
+		printHeader(stdout)
+		printRow(stdout, row)
+	case "domains":
+		printHeader(stdout)
+		for _, d := range []int{10, 100, 1000, 10000} {
+			row, err := measure(netsim.Params{
+				Domains: d, SystemsPerDomain: *systems,
+				NestingDepth: *depth, InconsistencyRate: *rate, Seed: *seed,
+			})
+			if err != nil {
+				fmt.Fprintf(stderr, "nmslsim: %v\n", err)
+				return 1
+			}
+			printRow(stdout, row)
+		}
+	case "systems":
+		printHeader(stdout)
+		for _, s := range []int{1, 10, 100, 1000} {
+			row, err := measure(netsim.Params{
+				Domains: *domains, SystemsPerDomain: s,
+				NestingDepth: *depth, InconsistencyRate: *rate, Seed: *seed,
+			})
+			if err != nil {
+				fmt.Fprintf(stderr, "nmslsim: %v\n", err)
+				return 1
+			}
+			printRow(stdout, row)
+		}
+	default:
+		fmt.Fprintf(stderr, "nmslsim: unknown table %q\n", *table)
+		return 2
+	}
+	return 0
+}
+
+type row struct {
+	domains, systems    int
+	specLines           int
+	instances, refs     int
+	compile, build, chk time.Duration
+	violations          int
+	heapMB              float64
+}
+
+func measure(p netsim.Params) (row, error) {
+	src := netsim.Source(p)
+	lines := 0
+	for _, ch := range src {
+		if ch == '\n' {
+			lines++
+		}
+	}
+	t0 := time.Now()
+	spec, err := netsim.Build(p)
+	if err != nil {
+		return row{}, err
+	}
+	compile := time.Since(t0)
+
+	t1 := time.Now()
+	m := consistency.BuildModel(spec)
+	build := time.Since(t1)
+
+	t2 := time.Now()
+	rep := consistency.Check(m)
+	chk := time.Since(t2)
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return row{
+		domains:    p.Domains,
+		systems:    p.Domains * p.SystemsPerDomain,
+		specLines:  lines,
+		instances:  len(m.Instances),
+		refs:       len(m.Refs),
+		compile:    compile,
+		build:      build,
+		chk:        chk,
+		violations: len(rep.Violations),
+		heapMB:     float64(ms.HeapAlloc) / (1 << 20),
+	}, nil
+}
+
+func printHeader(w io.Writer) {
+	fmt.Fprintf(w, "%8s %8s %9s %9s %8s %12s %12s %12s %6s %8s\n",
+		"domains", "systems", "lines", "instances", "refs", "compile", "model", "check", "viol", "heapMB")
+}
+
+func printRow(w io.Writer, r row) {
+	fmt.Fprintf(w, "%8d %8d %9d %9d %8d %12s %12s %12s %6d %8.1f\n",
+		r.domains, r.systems, r.specLines, r.instances, r.refs,
+		r.compile.Round(time.Microsecond), r.build.Round(time.Microsecond),
+		r.chk.Round(time.Microsecond), r.violations, r.heapMB)
+}

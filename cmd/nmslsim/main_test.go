@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSingleRow(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-domains", "5", "-systems", "2"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	if !strings.Contains(lines[0], "domains") || !strings.Contains(lines[1], "10") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestInjectedViolationsCounted(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-domains", "20", "-systems", "1", "-rate", "1.0"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	// all pollers bad -> 20 violations in the row
+	if !strings.Contains(out.String(), "  20 ") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestStarFlag(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-domains", "3", "-systems", "2", "-star"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+}
+
+func TestUnknownTable(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-table", "bogus"}, &out, &errb); code != 2 {
+		t.Errorf("exit %d", code)
+	}
+}

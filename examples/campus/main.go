@@ -1,0 +1,142 @@
+// Campus: a multi-department campus network whose departments were
+// configured independently — the autonomy problem the paper opens with.
+// The physics department's poller queries the CS department's agents
+// every minute, but CS only exports its data at five-minute intervals,
+// and the engineering domain restricts access to its members entirely.
+//
+// The example runs the Consistency Checker, shows the immediate causes it
+// reports (a frequency violation and a domain restriction), applies the
+// fixes a campus administrator would make, and re-checks.
+//
+// Run with:
+//
+//	go run ./examples/campus
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"nmsl"
+)
+
+// campusSpec is the broken campus specification.
+const campusSpec = `
+-- The CS department: agents export campus-wide, but only at >= 5 minutes.
+process csAgent ::=
+    supports mgmt.mib;
+    exports mgmt.mib to "campus"
+        access ReadOnly
+        frequency >= 5 minutes;
+end process csAgent.
+
+-- The physics department polls CS hosts every minute: too fast.
+process physicsPoller ::=
+    queries csAgent
+        requests mgmt.mib.system, mgmt.mib.interfaces
+        frequency >= 1 minutes;
+end process physicsPoller.
+
+-- Engineering runs its own agent and exports only inside engineering.
+process engAgent ::=
+    supports mgmt.mib;
+    exports mgmt.mib to "engineering"
+        access ReadOnly
+        frequency >= 1 minutes;
+end process engAgent.
+
+-- Physics also wants engineering data.
+process physicsEngPoller ::=
+    queries engAgent
+        requests mgmt.mib.ip
+        frequency infrequent;
+end process physicsEngPoller.
+
+system "cs-gw.campus.edu" ::=
+    cpu sparc;
+    interface ie0 net cs-backbone type ethernet-csmacd speed 10000000 bps;
+    supports mgmt.mib;
+    process csAgent;
+end system "cs-gw.campus.edu".
+
+system "eng-gw.campus.edu" ::=
+    cpu mips;
+    interface ie0 net eng-net type ethernet-csmacd speed 10000000 bps;
+    supports mgmt.mib;
+    process engAgent;
+end system "eng-gw.campus.edu".
+
+system "phys-ws.campus.edu" ::=
+    cpu sparc;
+    interface ie0 net phys-net type ethernet-csmacd speed 10000000 bps;
+    supports mgmt.mib;
+    process physicsPoller;
+    process physicsEngPoller;
+end system "phys-ws.campus.edu".
+
+domain cs ::=
+    system cs-gw.campus.edu;
+end domain cs.
+
+domain engineering ::=
+    system eng-gw.campus.edu;
+    exports mgmt.mib to "engineering" access ReadOnly;
+end domain engineering.
+
+domain physics ::=
+    system phys-ws.campus.edu;
+end domain physics.
+
+domain campus ::=
+    domain cs;
+    domain engineering;
+    domain physics;
+end domain campus.
+`
+
+func check(label, src string) *nmsl.Report {
+	rep, err := nmsl.CheckSource(label, src)
+	if err != nil {
+		log.Fatalf("%s: %v", label, err)
+	}
+	fmt.Printf("--- %s ---\n%s\n", label, rep)
+	return rep
+}
+
+func main() {
+	log.SetFlags(0)
+
+	// The independently-configured campus is inconsistent.
+	rep := check("campus as configured", campusSpec)
+	if rep.Consistent() {
+		log.Fatal("expected inconsistencies")
+	}
+	fmt.Printf("frequency violations: %d, domain restrictions: %d, no permission: %d\n\n",
+		len(rep.ByKind(nmsl.KindFrequencyViolation)),
+		len(rep.ByKind(nmsl.KindDomainRestriction)),
+		len(rep.ByKind(nmsl.KindNoPermission)))
+
+	// Fix 1: physics slows its CS poller to the permitted rate.
+	fixed := strings.Replace(campusSpec,
+		"requests mgmt.mib.system, mgmt.mib.interfaces\n        frequency >= 1 minutes",
+		"requests mgmt.mib.system, mgmt.mib.interfaces\n        frequency >= 5 minutes", 1)
+	// Fix 2: engineering opens read-only access to the whole campus.
+	fixed = strings.Replace(fixed,
+		`exports mgmt.mib to "engineering"
+        access ReadOnly
+        frequency >= 1 minutes;`,
+		`exports mgmt.mib to "campus"
+        access ReadOnly
+        frequency >= 1 minutes;`, 1)
+	fixed = strings.Replace(fixed,
+		`exports mgmt.mib to "engineering" access ReadOnly;`,
+		`exports mgmt.mib to "campus" access ReadOnly;`, 1)
+
+	rep = check("campus after coordination", fixed)
+	if !rep.Consistent() {
+		log.Fatal("fixes did not converge")
+	}
+	fmt.Println("the campus specification is now globally consistent; " +
+		"nmslgen would configure all three agents from it")
+}

@@ -1,0 +1,135 @@
+// Speculative: the Consistency Checker's what-if roles (paper section
+// 4.2). A new organization ("newcorp") is about to connect to an existing
+// consistent internet. Before plugging in, the administrator:
+//
+//  1. checks the combined specification for consistency (forward role);
+//  2. estimates the management traffic the newcomer would generate, per
+//     agent and per physical network;
+//  3. runs the check in reverse — assuming the combined specification
+//     must be consistent, solve for the query periods at which newcorp's
+//     pollers may run ("ask CLP(R) to solve for the parameters to the
+//     references and permissions of the new specification").
+//
+// Run with:
+//
+//	go run ./examples/speculative
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nmsl"
+)
+
+// existing is the already-deployed internet: a backbone provider whose
+// agents are exported to the whole world at >= 2 minutes.
+const existing = `
+process backboneAgent ::=
+    supports mgmt.mib;
+    exports mgmt.mib.system, mgmt.mib.interfaces, mgmt.mib.ip to "world"
+        access ReadOnly
+        frequency >= 2 minutes;
+end process backboneAgent.
+
+system "core1.backbone.net" ::=
+    cpu c68020;
+    interface ie0 net backbone-fddi type fddi speed 100000000 bps;
+    supports mgmt.mib;
+    process backboneAgent;
+end system "core1.backbone.net".
+
+system "core2.backbone.net" ::=
+    cpu c68020;
+    interface ie0 net backbone-fddi type fddi speed 100000000 bps;
+    supports mgmt.mib;
+    process backboneAgent;
+end system "core2.backbone.net".
+
+domain backbone ::=
+    system core1.backbone.net;
+    system core2.backbone.net;
+    exports mgmt.mib.system, mgmt.mib.interfaces to "world"
+        access ReadOnly
+        frequency >= 5 minutes;
+end domain backbone.
+`
+
+// newcomer is the organization about to connect: a monitoring station
+// that wants to poll both backbone cores.
+const newcomer = `
+process newcorpMonitor ::=
+    queries backboneAgent
+        requests mgmt.mib.system, mgmt.mib.interfaces
+        frequency >= 5 minutes;
+end process newcorpMonitor.
+
+system "mon.newcorp.com" ::=
+    cpu vax;
+    interface ie0 net newcorp-lan type ethernet-csmacd speed 10000000 bps;
+    supports mgmt.mib;
+    process newcorpMonitor;
+end system "mon.newcorp.com".
+
+domain newcorp ::=
+    system mon.newcorp.com;
+end domain newcorp.
+
+domain world ::=
+    domain backbone;
+    domain newcorp;
+end domain world.
+`
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Forward speculative check of the combined specification.
+	c := nmsl.NewCompiler()
+	if err := c.CompileSource("existing.nmsl", existing); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.CompileSource("newcorp.nmsl", newcomer); err != nil {
+		log.Fatal(err)
+	}
+	spec, err := c.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := spec.Check()
+	fmt.Print("combined check: ", rep.String())
+	if !rep.Consistent() {
+		log.Fatal("the newcomer's specification conflicts; it must be revised before connecting")
+	}
+
+	// 2. Traffic estimate: what load will the newcomer place on the
+	// backbone? (Section 4.2: "approximate values can be used to
+	// determine the amount of traffic generated".)
+	fmt.Println()
+	fmt.Print(spec.EstimateLoad(nmsl.LoadOptions{}).String())
+
+	// 3. Reverse solving: what polling periods would be admissible for a
+	// newcorp reference to each core's system group? Both the agent's
+	// own export (>= 2 minutes) and the backbone domain's restriction
+	// (>= 5 minutes) apply; the answer is their intersection.
+	fmt.Println()
+	ivs, err := spec.AdmissiblePeriods(
+		"newcorpMonitor@mon.newcorp.com#0",
+		"backboneAgent@core1.backbone.net#0",
+		"mgmt.mib.system", nmsl.AccessReadOnly)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admissible periods for newcorp -> core1 (read mgmt.mib.system): %s seconds\n",
+		nmsl.FormatIntervals(ivs))
+
+	// Write access is not exported at all: the admissible set is empty.
+	ivs, err = spec.AdmissiblePeriods(
+		"newcorpMonitor@mon.newcorp.com#0",
+		"backboneAgent@core1.backbone.net#0",
+		"mgmt.mib.system", nmsl.AccessWriteOnly)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admissible periods for write access: %s\n", nmsl.FormatIntervals(ivs))
+}

@@ -1,0 +1,3 @@
+module nmsl
+
+go 1.22

@@ -1,0 +1,243 @@
+// Package asn1 models the subset of ISO Abstract Syntax Notation One used
+// by NMSL type specifications (paper section 4.1.2).
+//
+// NMSL bases its type specifications on ASN.1 because it is "general,
+// machine architecture independent, and well known" and is used by both
+// the IETF MIB and the OSI MIB. The subset implemented here covers the
+// constructs those MIBs need: the universal primitives, the RFC 1065
+// application-wide types (IpAddress, Counter, Gauge, TimeTicks, Opaque),
+// SEQUENCE and SEQUENCE OF composition, and references to named types.
+// ASN.1 macro descriptions are deliberately not supported: the NMSL
+// extension mechanism fulfills that role (section 4.1.2).
+package asn1
+
+import (
+	"fmt"
+	"strings"
+
+	"nmsl/internal/parser"
+	"nmsl/internal/token"
+)
+
+// Kind discriminates the Type variants.
+type Kind int
+
+const (
+	// KindPrimitive is a built-in ASN.1 or RFC 1065 application type.
+	KindPrimitive Kind = iota
+	// KindRef is a reference to a named type defined elsewhere.
+	KindRef
+	// KindSequence is SEQUENCE { field Type, ... }.
+	KindSequence
+	// KindSequenceOf is SEQUENCE OF Type.
+	KindSequenceOf
+)
+
+// Type is a parsed ASN.1 type body.
+type Type struct {
+	Kind Kind
+	// Name is the primitive name (KindPrimitive) or referenced type name
+	// (KindRef).
+	Name string
+	// Elem is the element type for KindSequenceOf.
+	Elem *Type
+	// Fields are the members for KindSequence.
+	Fields []Field
+	Pos    token.Pos
+}
+
+// Field is one member of a SEQUENCE.
+type Field struct {
+	Name string
+	Type *Type
+	Pos  token.Pos
+}
+
+// String renders the type in ASN.1-like notation.
+func (t *Type) String() string {
+	switch t.Kind {
+	case KindPrimitive, KindRef:
+		return t.Name
+	case KindSequenceOf:
+		return "SEQUENCE OF " + t.Elem.String()
+	case KindSequence:
+		parts := make([]string, len(t.Fields))
+		for i, f := range t.Fields {
+			parts[i] = f.Name + " " + f.Type.String()
+		}
+		return "SEQUENCE { " + strings.Join(parts, ", ") + " }"
+	}
+	return fmt.Sprintf("Type(kind=%d)", int(t.Kind))
+}
+
+// Refs appends the names of all type references reachable from t to dst
+// and returns it. It is used by semantic checking to verify that every
+// referenced type is declared.
+func (t *Type) Refs(dst []string) []string {
+	switch t.Kind {
+	case KindRef:
+		dst = append(dst, t.Name)
+	case KindSequenceOf:
+		dst = t.Elem.Refs(dst)
+	case KindSequence:
+		for _, f := range t.Fields {
+			dst = f.Type.Refs(dst)
+		}
+	}
+	return dst
+}
+
+// FieldNamed returns the sequence field with the given name, or nil.
+func (t *Type) FieldNamed(name string) *Field {
+	if t.Kind != KindSequence {
+		return nil
+	}
+	for i := range t.Fields {
+		if t.Fields[i].Name == name {
+			return &t.Fields[i]
+		}
+	}
+	return nil
+}
+
+// primitives is the supported built-in type set: ASN.1 universal types
+// plus the application-wide types of RFC 1065 used throughout the IETF
+// MIB.
+var primitives = map[string]bool{
+	"INTEGER":          true,
+	"NULL":             true,
+	"BOOLEAN":          true,
+	"OCTET":            false, // part of "OCTET STRING"
+	"OCTETSTRING":      true,  // canonical spelling after joining
+	"OBJECTIDENTIFIER": true,
+	"IpAddress":        true,
+	"NetworkAddress":   true,
+	"Counter":          true,
+	"Gauge":            true,
+	"TimeTicks":        true,
+	"Opaque":           true,
+	"DisplayString":    true,
+	"PhysAddress":      true,
+}
+
+// IsPrimitive reports whether name is a supported built-in type
+// (canonical spellings: OCTETSTRING, OBJECTIDENTIFIER for the two-word
+// universal types).
+func IsPrimitive(name string) bool { return primitives[name] }
+
+// Error is an ASN.1 parse error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ParseItems parses a type body from the generic clause items produced by
+// the pass-1 parser. The items are the full first clause of a type
+// specification, e.g.
+//
+//	[Word(SEQUENCE) Word(of) Word(IpAddrEntry)]
+//	[Word(SEQUENCE) Group{Word(ipAdEntAddr) Word(IpAddress) Op(,) ...}]
+//	[Word(INTEGER)]
+func ParseItems(items []parser.Item) (*Type, error) {
+	p := &itemParser{items: items}
+	t, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.items) {
+		return nil, &Error{Pos: p.items[p.pos].Pos, Msg: fmt.Sprintf("unexpected %s after type body", p.items[p.pos].String())}
+	}
+	return t, nil
+}
+
+type itemParser struct {
+	items []parser.Item
+	pos   int
+}
+
+func (p *itemParser) cur() (parser.Item, bool) {
+	if p.pos >= len(p.items) {
+		return parser.Item{}, false
+	}
+	return p.items[p.pos], true
+}
+
+func (p *itemParser) parseType() (*Type, error) {
+	it, ok := p.cur()
+	if !ok {
+		return nil, &Error{Msg: "empty type body"}
+	}
+	if it.Kind != parser.Word {
+		return nil, &Error{Pos: it.Pos, Msg: fmt.Sprintf("expected type name, found %s", it.String())}
+	}
+	p.pos++
+	switch it.Text {
+	case "SEQUENCE":
+		return p.parseSequence(it.Pos)
+	case "OCTET":
+		return p.parseTwoWord(it.Pos, "STRING", "OCTETSTRING")
+	case "OBJECT":
+		return p.parseTwoWord(it.Pos, "IDENTIFIER", "OBJECTIDENTIFIER")
+	}
+	if IsPrimitive(it.Text) {
+		return &Type{Kind: KindPrimitive, Name: it.Text, Pos: it.Pos}, nil
+	}
+	return &Type{Kind: KindRef, Name: it.Text, Pos: it.Pos}, nil
+}
+
+func (p *itemParser) parseTwoWord(pos token.Pos, second, canonical string) (*Type, error) {
+	it, ok := p.cur()
+	if !ok || !it.IsWord(second) {
+		return nil, &Error{Pos: pos, Msg: fmt.Sprintf("expected %q after first word of two-word type", second)}
+	}
+	p.pos++
+	return &Type{Kind: KindPrimitive, Name: canonical, Pos: pos}, nil
+}
+
+func (p *itemParser) parseSequence(pos token.Pos) (*Type, error) {
+	it, ok := p.cur()
+	if !ok {
+		return nil, &Error{Pos: pos, Msg: "SEQUENCE must be followed by \"of\" or a member list"}
+	}
+	// SEQUENCE of X  (the paper writes lower-case "of" in Figure 4.2;
+	// standard ASN.1 upper-case OF is accepted too)
+	if it.IsWord("of") || it.IsWord("OF") {
+		p.pos++
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		return &Type{Kind: KindSequenceOf, Elem: elem, Pos: pos}, nil
+	}
+	if it.Kind != parser.Group {
+		return nil, &Error{Pos: it.Pos, Msg: fmt.Sprintf("expected \"of\" or member group after SEQUENCE, found %s", it.String())}
+	}
+	p.pos++
+	seq := &Type{Kind: KindSequence, Pos: pos}
+	sub := &itemParser{items: it.Items}
+	for {
+		nameIt, ok := sub.cur()
+		if !ok {
+			break
+		}
+		if nameIt.Kind == parser.Op && nameIt.Text == "," {
+			sub.pos++
+			continue
+		}
+		if nameIt.Kind != parser.Word {
+			return nil, &Error{Pos: nameIt.Pos, Msg: fmt.Sprintf("expected member name, found %s", nameIt.String())}
+		}
+		sub.pos++
+		ft, err := sub.parseType()
+		if err != nil {
+			return nil, err
+		}
+		seq.Fields = append(seq.Fields, Field{Name: nameIt.Text, Type: ft, Pos: nameIt.Pos})
+	}
+	if len(seq.Fields) == 0 {
+		return nil, &Error{Pos: pos, Msg: "SEQUENCE has no members"}
+	}
+	return seq, nil
+}

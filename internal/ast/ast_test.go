@@ -1,0 +1,184 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"nmsl/internal/mib"
+	"nmsl/internal/parser"
+	"nmsl/internal/token"
+)
+
+func item(kind parser.ItemKind, text string, intVal int64) parser.Item {
+	return parser.Item{Kind: kind, Text: text, IntVal: intVal, Pos: token.Pos{Line: 1, Column: 1}}
+}
+
+func TestParseFreqForms(t *testing.T) {
+	cases := []struct {
+		items   []parser.Item
+		op      string
+		seconds float64
+		infreq  bool
+	}{
+		{[]parser.Item{item(parser.Word, "infrequent", 0)}, "", 0, true},
+		{[]parser.Item{item(parser.Op, ">=", 0), item(parser.Int, "5", 5), item(parser.Word, "minutes", 0)}, ">=", 300, false},
+		{[]parser.Item{item(parser.Op, ">", 0), item(parser.Int, "2", 2), item(parser.Word, "hours", 0)}, ">", 7200, false},
+		{[]parser.Item{item(parser.Op, "<=", 0), item(parser.Int, "30", 30), item(parser.Word, "seconds", 0)}, "<=", 30, false},
+		{[]parser.Item{item(parser.Int, "10", 10), item(parser.Word, "seconds", 0)}, "", 10, false},
+		{[]parser.Item{{Kind: parser.Float, Text: "2.5", FloatVal: 2.5}, item(parser.Word, "minutes", 0)}, "", 150, false},
+	}
+	for i, c := range cases {
+		f, err := ParseFreq(c.items)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if f.Op != c.op || f.Seconds != c.seconds || f.Infrequent != c.infreq {
+			t.Errorf("case %d: got %+v", i, f)
+		}
+	}
+}
+
+func TestParseFreqErrors(t *testing.T) {
+	bad := [][]parser.Item{
+		nil,
+		{item(parser.Op, ">=", 0)},
+		{item(parser.Op, "!=", 0), item(parser.Int, "5", 5), item(parser.Word, "seconds", 0)},
+		{item(parser.Op, ">=", 0), item(parser.Int, "5", 5)},
+		{item(parser.Op, ">=", 0), item(parser.Int, "5", 5), item(parser.Word, "weeks", 0)},
+		{item(parser.Op, ">=", 0), item(parser.Word, "five", 0), item(parser.Word, "seconds", 0)},
+		{item(parser.Word, "infrequent", 0), item(parser.Int, "5", 5)},
+		{item(parser.Int, "5", 5), item(parser.Word, "seconds", 0), item(parser.Int, "9", 9)},
+		{{Kind: parser.Float, Text: "x.y"}, item(parser.Word, "seconds", 0)},
+	}
+	for i, items := range bad {
+		if _, err := ParseFreq(items); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFreqUnspecified(t *testing.T) {
+	var f Freq
+	if !f.Unspecified() {
+		t.Error("zero Freq should be unspecified")
+	}
+	if (Freq{Infrequent: true}).Unspecified() {
+		t.Error("infrequent is specified")
+	}
+	if (Freq{Seconds: 5}).Unspecified() {
+		t.Error("period is specified")
+	}
+}
+
+func TestArgString(t *testing.T) {
+	cases := []struct {
+		a    Arg
+		want string
+	}{
+		{Arg{Kind: ArgStar}, "*"},
+		{Arg{Kind: ArgString, Text: "host-a"}, `"host-a"`},
+		{Arg{Kind: ArgWord, Text: "agent"}, "agent"},
+		{Arg{Kind: ArgNumber, Text: "42", Num: 42}, "42"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("Arg %v: %q want %q", c.a.Kind, got, c.want)
+		}
+	}
+}
+
+func TestProcInstanceString(t *testing.T) {
+	pi := ProcInstance{Name: "p"}
+	if pi.String() != "p" {
+		t.Errorf("bare: %q", pi.String())
+	}
+	pi.Args = []Arg{{Kind: ArgStar}, {Kind: ArgString, Text: "x"}}
+	if pi.String() != `p(*, "x")` {
+		t.Errorf("with args: %q", pi.String())
+	}
+}
+
+func TestProcessSpecHelpers(t *testing.T) {
+	ps := &ProcessSpec{
+		Name:   "p",
+		Params: []ProcParam{{Name: "A", Type: "Process"}, {Name: "B", Type: "IpAddress"}},
+	}
+	if ps.IsAgent() {
+		t.Error("no supports -> not an agent")
+	}
+	ps.Supports = []string{"mgmt.mib"}
+	if !ps.IsAgent() {
+		t.Error("supports -> agent")
+	}
+	if p := ps.Param("B"); p == nil || p.Type != "IpAddress" {
+		t.Errorf("Param(B) = %+v", p)
+	}
+	if ps.Param("C") != nil {
+		t.Error("Param(C) should be nil")
+	}
+}
+
+func TestNewSpecAndNames(t *testing.T) {
+	s := NewSpec()
+	if s.MIB == nil || s.MIB.Lookup("mgmt.mib") == nil {
+		t.Fatal("spec MIB not standard")
+	}
+	s.Types["b"] = &TypeSpec{Name: "b"}
+	s.Types["a"] = &TypeSpec{Name: "a"}
+	s.Processes["p"] = &ProcessSpec{Name: "p"}
+	s.Systems["s"] = &SystemSpec{Name: "s"}
+	s.Domains["d"] = &DomainSpec{Name: "d"}
+	if got := s.TypeNames(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("TypeNames %v", got)
+	}
+	if len(s.ProcessNames()) != 1 || len(s.SystemNames()) != 1 || len(s.DomainNames()) != 1 {
+		t.Error("name listings wrong")
+	}
+}
+
+func TestExtKey(t *testing.T) {
+	if ExtKey("process", "p") != "process p" {
+		t.Errorf("ExtKey = %q", ExtKey("process", "p"))
+	}
+}
+
+func TestDomainsContainingNested(t *testing.T) {
+	s := NewSpec()
+	s.Domains["leaf"] = &DomainSpec{Name: "leaf", Systems: []string{"host"}}
+	s.Domains["mid"] = &DomainSpec{Name: "mid", Subdomains: []string{"leaf"}}
+	s.Domains["top"] = &DomainSpec{Name: "top", Subdomains: []string{"mid"}}
+	s.Domains["other"] = &DomainSpec{Name: "other"}
+	got := s.DomainsContaining("host")
+	want := "leaf mid top"
+	if strings.Join(got, " ") != want {
+		t.Errorf("DomainsContaining = %v, want %s", got, want)
+	}
+	if len(s.DomainsContaining("ghost")) != 0 {
+		t.Error("unknown system contained somewhere")
+	}
+}
+
+func TestFreqStringUnits(t *testing.T) {
+	cases := map[string]Freq{
+		">= 5 minutes": {Op: ">=", Seconds: 300},
+		"> 2 hours":    {Op: ">", Seconds: 7200},
+		"90 seconds":   {Seconds: 90},
+		"2 minutes":    {Seconds: 120},
+		"unspecified":  {},
+		"infrequent":   {Infrequent: true},
+	}
+	for want, f := range cases {
+		if got := f.String(); got != want {
+			t.Errorf("%+v -> %q want %q", f, got, want)
+		}
+	}
+}
+
+func TestAccessReExports(t *testing.T) {
+	// the ast package re-uses mib.Access; check the spec-level default
+	// export semantics stay observable
+	ex := Export{Access: mib.AccessReadOnly}
+	if !ex.Access.Allows(mib.AccessReadOnly) || ex.Access.Allows(mib.AccessWriteOnly) {
+		t.Error("access semantics broken")
+	}
+}

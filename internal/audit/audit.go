@@ -1,0 +1,302 @@
+// Package audit verifies that running network managers actually adhere
+// to their NMSL specification.
+//
+// The paper promises two verification methods (abstract, section 1):
+// consistency verification of the specifications against each other —
+// internal/consistency — and "a method for verifying that these
+// specifications are actually being adhered to in the network". This
+// package implements the second: it derives the behaviour a consistent
+// specification prescribes for an agent instance (its expected
+// communities, views, access modes and rate limits) and probes the live
+// agent over the management protocol, reporting every observable
+// divergence.
+//
+// Divergences are asymmetric by nature: a remote agent that refuses more
+// than the specification requires is over-restrictive (availability
+// findings), one that answers what the specification forbids leaks
+// (policy findings). Both directions are reported.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"nmsl/internal/configgen"
+	"nmsl/internal/consistency"
+	"nmsl/internal/mib"
+	"nmsl/internal/snmp"
+)
+
+// Kind classifies an adherence finding.
+type Kind string
+
+// Finding kinds.
+const (
+	// KindUnreachable: the agent did not answer a query the
+	// specification permits.
+	KindUnreachable Kind = "unreachable"
+	// KindUnserved: an in-view variable the instance is specified to
+	// support is not served.
+	KindUnserved Kind = "unserved"
+	// KindViewLeak: data outside every exported view was readable.
+	KindViewLeak Kind = "view-leak"
+	// KindWriteLeak: a write succeeded although the specification grants
+	// no write access.
+	KindWriteLeak Kind = "write-leak"
+	// KindRateLeak: queries faster than the specified minimum interval
+	// were accepted.
+	KindRateLeak Kind = "rate-leak"
+	// KindOverRestrictive: an in-spec query was refused for access
+	// reasons.
+	KindOverRestrictive Kind = "over-restrictive"
+	// KindUnknownCommunityLeak: a community the specification never
+	// grants got an answer.
+	KindUnknownCommunityLeak Kind = "unknown-community-leak"
+)
+
+// Finding is one observed divergence between specification and agent.
+type Finding struct {
+	Kind      Kind
+	Community string
+	OID       mib.OID
+	Message   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("[%s] community %q: %s", f.Kind, f.Community, f.Message)
+}
+
+// Report is the result of auditing one agent instance.
+type Report struct {
+	Instance string
+	Addr     string
+	Findings []Finding
+	// Probes counts the protocol operations performed.
+	Probes int
+}
+
+// Adheres reports whether no divergence was observed.
+func (r *Report) Adheres() bool { return len(r.Findings) == 0 }
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	if r.Adheres() {
+		fmt.Fprintf(&b, "agent %s at %s adheres to its specification (%d probes)\n", r.Instance, r.Addr, r.Probes)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "agent %s at %s DIVERGES from its specification (%d findings, %d probes):\n",
+		r.Instance, r.Addr, len(r.Findings), r.Probes)
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	return b.String()
+}
+
+// Options tune the audit.
+type Options struct {
+	// Timeout is the per-probe response timeout. Zero selects 300ms.
+	Timeout time.Duration
+	// ProbeWrites enables write-leak probing. The probe writes back the
+	// value it just read, so a leaking agent's database is left
+	// unchanged; set false for strictly passive audits.
+	ProbeWrites bool
+	// OutsideOID is a variable assumed to exist on the agent but outside
+	// every exported view, used to detect view leaks. Leave nil to probe
+	// with an experimental-arc OID (leaks are then only detected if the
+	// agent serves it).
+	OutsideOID mib.OID
+}
+
+func (o *Options) fill() {
+	if o.Timeout == 0 {
+		o.Timeout = 300 * time.Millisecond
+	}
+}
+
+// Agent audits the running agent at addr against what the specification
+// prescribes for instance instID.
+func Agent(m *consistency.Model, instID, addr string, opts Options) (*Report, error) {
+	opts.fill()
+	inst := m.InstanceByID(instID)
+	if inst == nil {
+		return nil, fmt.Errorf("audit: unknown instance %q", instID)
+	}
+	expected := configgen.Generate(m)[instID]
+	if expected == nil {
+		return nil, fmt.Errorf("audit: instance %q is not an agent", instID)
+	}
+	rep := &Report{Instance: instID, Addr: addr}
+
+	communities := make([]string, 0, len(expected.Communities))
+	for name := range expected.Communities {
+		communities = append(communities, name)
+	}
+	sort.Strings(communities)
+	for _, name := range communities {
+		if err := auditCommunity(m, rep, addr, name, expected.Communities[name], opts); err != nil {
+			return nil, err
+		}
+	}
+	if err := auditUnknownCommunity(rep, addr, expected, opts); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// inViewOID picks a leaf variable inside the community's view that the
+// instance supports, preferring the system group (always present).
+func inViewOID(m *consistency.Model, cc *snmp.CommunityConfig) mib.OID {
+	for _, prefix := range cc.View {
+		node := m.Spec.MIB.LookupOID(prefix)
+		if node == nil {
+			continue
+		}
+		var leaf mib.OID
+		m.Spec.MIB.Walk(node.Path(), func(n *mib.Node) {
+			if leaf == nil && len(n.Children()) == 0 {
+				leaf = n.OID()
+			}
+		})
+		if leaf != nil {
+			return leaf
+		}
+	}
+	return nil
+}
+
+func auditCommunity(m *consistency.Model, rep *Report, addr, name string, cc *snmp.CommunityConfig, opts Options) error {
+	client, err := snmp.Dial(addr, name)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	client.SetTimeout(opts.Timeout)
+
+	oid := inViewOID(m, cc)
+	if oid == nil {
+		return nil // nothing observable for this community
+	}
+
+	// Probe 1: an in-spec read must succeed (when the mode allows reads).
+	canRead := cc.Access.Allows(mib.AccessReadOnly)
+	rep.Probes++
+	binds, err := client.Get(oid)
+	switch {
+	case err == nil && !canRead:
+		rep.Findings = append(rep.Findings, Finding{
+			Kind: KindViewLeak, Community: name, OID: oid,
+			Message: fmt.Sprintf("read of %s succeeded but the specification grants %s", oid, cc.Access),
+		})
+	case err != nil && canRead:
+		if re, ok := err.(*snmp.RequestError); ok {
+			rep.Findings = append(rep.Findings, Finding{
+				Kind: KindOverRestrictive, Community: name, OID: oid,
+				Message: fmt.Sprintf("in-spec read of %s refused with %s", oid, re.Status),
+			})
+		} else {
+			rep.Findings = append(rep.Findings, Finding{
+				Kind: KindUnreachable, Community: name, OID: oid,
+				Message: fmt.Sprintf("in-spec read of %s got no answer: %v", oid, err),
+			})
+		}
+	}
+
+	// Probe 2: an immediate second query must be refused when the
+	// specification bounds the frequency.
+	if canRead && err == nil {
+		rep.Probes++
+		_, err2 := client.Get(oid)
+		if cc.MinInterval > 0 && err2 == nil {
+			rep.Findings = append(rep.Findings, Finding{
+				Kind: KindRateLeak, Community: name, OID: oid,
+				Message: fmt.Sprintf("two immediate queries accepted; specification requires >= %s between queries", cc.MinInterval),
+			})
+		}
+		if cc.MinInterval == 0 && err2 != nil {
+			if re, ok := err2.(*snmp.RequestError); ok && re.Status == snmp.GenErr {
+				rep.Findings = append(rep.Findings, Finding{
+					Kind: KindOverRestrictive, Community: name, OID: oid,
+					Message: "agent rate-limits although the specification sets no frequency bound",
+				})
+			}
+		}
+	}
+
+	// Probe 3: data outside every exported view must not be readable.
+	// Rate-limited refusals mask the probe (and also prove nothing
+	// leaks), so only definite answers count.
+	outside := opts.OutsideOID
+	if outside == nil {
+		outside = mib.OID{1, 3, 6, 1, 3, 9, 9} // experimental arc
+	}
+	if !inAnyView(cc, outside) {
+		rep.Probes++
+		if _, err := client.Get(outside); err == nil {
+			rep.Findings = append(rep.Findings, Finding{
+				Kind: KindViewLeak, Community: name, OID: outside,
+				Message: fmt.Sprintf("read of %s succeeded outside the exported view", outside),
+			})
+		}
+	}
+
+	// Probe 4: writes must be refused unless the specification grants
+	// write access. The probe writes back the value read in probe 1.
+	if opts.ProbeWrites && len(binds) == 1 && !cc.Access.Allows(mib.AccessWriteOnly) {
+		rep.Probes++
+		if err := client.Set(snmp.Binding{OID: oid, Value: binds[0].Value}); err == nil {
+			rep.Findings = append(rep.Findings, Finding{
+				Kind: KindWriteLeak, Community: name, OID: oid,
+				Message: fmt.Sprintf("write to %s accepted but the specification grants %s", oid, cc.Access),
+			})
+		}
+	}
+
+	// Probe 5: in-view variables of supported data should be served
+	// (availability side). Detected through probe 1's NoSuchName.
+	if canRead && err != nil {
+		if re, ok := err.(*snmp.RequestError); ok && re.Status == snmp.NoSuchName {
+			rep.Findings = append(rep.Findings, Finding{
+				Kind: KindUnserved, Community: name, OID: oid,
+				Message: fmt.Sprintf("%s is inside the exported view but not served", oid),
+			})
+		}
+	}
+	return nil
+}
+
+func inAnyView(cc *snmp.CommunityConfig, oid mib.OID) bool {
+	for _, p := range cc.View {
+		if oid.HasPrefix(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func auditUnknownCommunity(rep *Report, addr string, expected *snmp.Config, opts Options) error {
+	name := "nmsl-audit-unknown"
+	for expected.Communities[name] != nil || expected.AdminCommunity == name {
+		name += "-x"
+	}
+	client, err := snmp.Dial(addr, name)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	client.SetTimeout(opts.Timeout)
+	rep.Probes++
+	// Unknown communities must be silently dropped (SNMPv1 practice and
+	// the only behaviour consistent with "no permission"): any response,
+	// even an error status, reveals the agent processed the request.
+	_, err = client.Get(mib.OID{1, 3, 6, 1, 2, 1, 1, 1})
+	if _, answered := err.(*snmp.RequestError); err == nil || answered {
+		rep.Findings = append(rep.Findings, Finding{
+			Kind: KindUnknownCommunityLeak, Community: name,
+			Message: "a community the specification never grants received an answer",
+		})
+	}
+	return nil
+}

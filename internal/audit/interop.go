@@ -1,0 +1,141 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nmsl/internal/consistency"
+	"nmsl/internal/snmp"
+)
+
+// Interoperation checking closes the loop the paper opens with:
+// "Integrating increasing numbers of autonomous subnetworks … makes it
+// more difficult to determine if the network managers of the subnetworks
+// will interoperate correctly." Where Agent audits one manager against
+// its own policy, Interop drives every *reference* of the consistency
+// model — each specified interaction, from each source to each target —
+// against the live fleet and verifies the query actually succeeds. A
+// consistent specification installed by the configuration generators
+// must yield a fully interoperating fleet; any failure pinpoints the
+// manager that diverged.
+
+// InteropFinding is one reference that could not be exercised as
+// specified.
+type InteropFinding struct {
+	Ref    consistency.Ref
+	Reason string
+}
+
+func (f InteropFinding) String() string {
+	return fmt.Sprintf("%s: %s", f.Ref.String(), f.Reason)
+}
+
+// InteropReport summarizes an interoperation run.
+type InteropReport struct {
+	// Exercised counts references actually driven (targets with a known
+	// address).
+	Exercised int
+	// Skipped counts references whose target had no address.
+	Skipped  int
+	Findings []InteropFinding
+}
+
+// Interoperates reports whether every exercised reference succeeded.
+func (r *InteropReport) Interoperates() bool { return len(r.Findings) == 0 }
+
+// String renders the report.
+func (r *InteropReport) String() string {
+	var b strings.Builder
+	if r.Interoperates() {
+		fmt.Fprintf(&b, "all %d specified references interoperate (%d skipped: no address)\n", r.Exercised, r.Skipped)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%d of %d specified references FAIL to interoperate:\n", len(r.Findings), r.Exercised)
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	return b.String()
+}
+
+// communityFor picks the community a reference's source should present
+// (delegated to the consistency model).
+func communityFor(m *consistency.Model, ref *consistency.Ref) string {
+	return m.GrantedCommunity(ref)
+}
+
+// Interop exercises every reference of the model whose target instance
+// has an address in addrs (instance ID -> host:port). Each reference is
+// driven once: one in-view query for its variable, presented with the
+// source's granted community. Rate-limit refusals are not failures —
+// they mean another exercised reference already consumed the window, so
+// the probe retries are pointless; the frequency side is Agent's job.
+func Interop(m *consistency.Model, addrs map[string]string, opts Options) (*InteropReport, error) {
+	opts.fill()
+	rep := &InteropReport{}
+	// Exercise in a stable order.
+	refIdx := make([]int, len(m.Refs))
+	for i := range refIdx {
+		refIdx[i] = i
+	}
+	sort.Slice(refIdx, func(a, b int) bool {
+		return m.Refs[refIdx[a]].String() < m.Refs[refIdx[b]].String()
+	})
+	for _, i := range refIdx {
+		ref := &m.Refs[i]
+		addr, ok := addrs[ref.Target.ID]
+		if !ok {
+			rep.Skipped++
+			continue
+		}
+		rep.Exercised++
+		community := communityFor(m, ref)
+		if community == "" {
+			rep.Findings = append(rep.Findings, InteropFinding{
+				Ref: *ref, Reason: "no permission grants any community for this reference (specification inconsistent?)",
+			})
+			continue
+		}
+		if reason := driveRef(ref, addr, community, opts); reason != "" {
+			rep.Findings = append(rep.Findings, InteropFinding{Ref: *ref, Reason: reason})
+		}
+	}
+	return rep, nil
+}
+
+// driveRef performs one specified query and classifies the outcome.
+func driveRef(ref *consistency.Ref, addr, community string, opts Options) string {
+	client, err := snmp.Dial(addr, community)
+	if err != nil {
+		return fmt.Sprintf("dial %s: %v", addr, err)
+	}
+	defer client.Close()
+	client.SetTimeout(opts.Timeout)
+
+	// References usually name tables or groups while agents serve
+	// leaves: for an interior node, the GetNext successor inside the
+	// subtree proves the data is reachable; a leaf is fetched directly.
+	oid := ref.Var.OID()
+	var binds []snmp.Binding
+	if len(ref.Var.Children()) == 0 {
+		binds, err = client.Get(oid)
+	} else {
+		binds, err = client.GetNext(oid)
+	}
+	if err != nil {
+		if re, ok := err.(*snmp.RequestError); ok {
+			if re.Status == snmp.GenErr {
+				return "" // rate-limited: the window was consumed by an earlier reference
+			}
+			return fmt.Sprintf("query refused with %s (community %q)", re.Status, community)
+		}
+		return fmt.Sprintf("no answer from %s (community %q): %v", addr, community, err)
+	}
+	if len(binds) != 1 {
+		return fmt.Sprintf("malformed response (%d bindings)", len(binds))
+	}
+	if !binds[0].OID.HasPrefix(oid) {
+		return fmt.Sprintf("agent answered outside %s: %s (data not served)", oid, binds[0].OID)
+	}
+	return ""
+}

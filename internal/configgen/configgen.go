@@ -1,0 +1,310 @@
+// Package configgen implements NMSL Configuration Generators (paper
+// section 5, the prescriptive aspect).
+//
+// "Once a specification is determined to be consistent, the specification
+// can be executed to configure the network management processes." The
+// compiler emits configuration output; a Configuration Generator
+// "interprets the configuration output of the compiler and performs the
+// implementation-specific actions necessary to install the configuration
+// in a network management process."
+//
+// Two output formats demonstrate the multiple-output-action machinery of
+// section 6.2 (the paper names a hypothetical "Bart's SNMP daemon"):
+//
+//   - BartsSnmpd: an snmpd.conf-style text format;
+//   - nvp: a JSON name/value format that the snmp.Agent loads directly.
+//
+// Two transports implement section 5's installation paths: writing files
+// ("the data might be copied, in the form of a file, to the affected
+// network element") and the live path over the management protocol
+// itself (snmp.Client.InstallConfig).
+package configgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"nmsl/internal/ast"
+	"nmsl/internal/consistency"
+	"nmsl/internal/mib"
+	"nmsl/internal/sema"
+	"nmsl/internal/snmp"
+)
+
+// Tags for the compiler's output-specific actions.
+const (
+	// TagBartsSnmpd selects snmpd.conf-style output.
+	TagBartsSnmpd = "BartsSnmpd"
+	// TagNVP selects JSON name/value output.
+	TagNVP = "nvp"
+)
+
+// Generate derives per-agent-instance configurations from the model. The
+// mapping realizes NMSL exports as agent policy:
+//
+//   - the community string is the grantee domain's name (the importing
+//     domain identifies itself by it);
+//   - the view is the exported MIB subtree, clipped to what the instance
+//     actually supports;
+//   - the minimum interval is the export's frequency bound.
+//
+// Domain-level exports of domains containing the instance further
+// restrict matching communities (larger minimum interval, narrower
+// access), mirroring the checker's restriction rule.
+func Generate(m *consistency.Model) map[string]*snmp.Config {
+	out := map[string]*snmp.Config{}
+	for _, in := range m.Instances {
+		if !in.Proc.IsAgent() {
+			continue
+		}
+		cfg := &snmp.Config{Communities: map[string]*snmp.CommunityConfig{}}
+		for i := range m.Perms {
+			p := &m.Perms[i]
+			if p.GrantorInst != in.ID {
+				continue
+			}
+			cc := cfg.Communities[p.Grantee]
+			if cc == nil {
+				cc = &snmp.CommunityConfig{Access: p.Access}
+				cfg.Communities[p.Grantee] = cc
+			}
+			cc.View = append(cc.View, p.Var.OID())
+			iv := time.Duration(p.MinPeriod * float64(time.Second))
+			if iv > cc.MinInterval {
+				cc.MinInterval = iv
+			}
+			if !cc.Access.Allows(p.Access) && p.Access.Allows(cc.Access) {
+				// keep the narrower of the two modes
+			} else if cc.Access == mib.AccessAny && p.Access != mib.AccessAny {
+				cc.Access = p.Access
+			}
+		}
+		applyDomainRestrictions(m, in, cfg)
+		for _, cc := range cfg.Communities {
+			sortViews(cc)
+		}
+		out[in.ID] = cfg
+	}
+	return out
+}
+
+// applyDomainRestrictions tightens an agent's communities to honor the
+// domain-level exports of every restricting domain containing it: a
+// community survives only if each such domain exports to a domain
+// covering it, and inherits the strictest interval and the intersected
+// view.
+func applyDomainRestrictions(m *consistency.Model, in *consistency.Instance, cfg *snmp.Config) {
+	for _, dom := range m.PartyDomains(in.ID) {
+		if !m.Restricts(dom) {
+			continue
+		}
+		ds := m.Spec.Domains[dom]
+		for name, cc := range cfg.Communities {
+			if m.DomainContains(dom, name) {
+				continue // requests from inside the domain are not restricted
+			}
+			var granted bool
+			for _, ex := range ds.Exports {
+				if !m.DomainContains(ex.To, name) {
+					continue
+				}
+				granted = true
+				// narrow access to what the domain grants
+				if !ex.Access.Allows(cc.Access) {
+					cc.Access = ex.Access
+				}
+				// raise the minimum interval to the stricter bound
+				iv := time.Duration(ex.Freq.MinPeriodSeconds() * float64(time.Second))
+				if iv > cc.MinInterval {
+					cc.MinInterval = iv
+				}
+				// clip views to the exported subtrees
+				var clipped []mib.OID
+				for _, v := range cc.View {
+					for _, ev := range ex.Vars {
+						if n := m.Spec.MIB.LookupSuffix(ev); n != nil {
+							eo := n.OID()
+							switch {
+							case v.HasPrefix(eo):
+								clipped = append(clipped, v)
+							case eo.HasPrefix(v):
+								clipped = append(clipped, eo)
+							}
+						}
+					}
+				}
+				cc.View = clipped
+			}
+			if !granted {
+				delete(cfg.Communities, name)
+			}
+		}
+	}
+}
+
+func sortViews(cc *snmp.CommunityConfig) {
+	sort.Slice(cc.View, func(i, j int) bool { return cc.View[i].Compare(cc.View[j]) < 0 })
+	// drop views covered by an earlier prefix
+	var dedup []mib.OID
+	for _, v := range cc.View {
+		covered := false
+		for _, d := range dedup {
+			if v.HasPrefix(d) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			dedup = append(dedup, v)
+		}
+	}
+	cc.View = dedup
+}
+
+// WriteSnmpdConf renders a configuration in the BartsSnmpd text format:
+//
+//	# comment
+//	community <name> <access> <min-interval-seconds> <view-oid>[,<view-oid>...]
+//	admin <community>
+func WriteSnmpdConf(w io.Writer, cfg *snmp.Config) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# generated by nmslgen (BartsSnmpd format)")
+	if cfg.AdminCommunity != "" {
+		fmt.Fprintf(bw, "admin %s\n", cfg.AdminCommunity)
+	}
+	names := make([]string, 0, len(cfg.Communities))
+	for name := range cfg.Communities {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cc := cfg.Communities[name]
+		views := make([]string, len(cc.View))
+		for i, v := range cc.View {
+			views[i] = v.String()
+		}
+		fmt.Fprintf(bw, "community %s %s %g %s\n",
+			name, cc.Access, cc.MinInterval.Seconds(), strings.Join(views, ","))
+	}
+	return bw.Flush()
+}
+
+// ParseSnmpdConf parses the BartsSnmpd text format back into a Config,
+// so agents whose native format it is can load it.
+func ParseSnmpdConf(r io.Reader) (*snmp.Config, error) {
+	cfg := &snmp.Config{Communities: map[string]*snmp.CommunityConfig{}}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "admin":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: admin takes one community", lineNo)
+			}
+			cfg.AdminCommunity = fields[1]
+		case "community":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("line %d: community takes name, access, interval and views", lineNo)
+			}
+			acc, err := mib.ParseAccess(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %s", lineNo, err)
+			}
+			secs, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad interval %q", lineNo, fields[3])
+			}
+			cc := &snmp.CommunityConfig{
+				Access:      acc,
+				MinInterval: time.Duration(secs * float64(time.Second)),
+			}
+			for _, vs := range strings.Split(fields[4], ",") {
+				oid, err := parseOID(vs)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %s", lineNo, err)
+				}
+				cc.View = append(cc.View, oid)
+			}
+			cfg.Communities[fields[1]] = cc
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+func parseOID(s string) (mib.OID, error) {
+	parts := strings.Split(s, ".")
+	oid := make(mib.OID, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad OID %q", s)
+		}
+		oid = append(oid, n)
+	}
+	return oid, nil
+}
+
+// WriteNVP renders the JSON name/value format (the snmp.Config wire
+// form).
+func WriteNVP(w io.Writer, cfg *snmp.Config) error {
+	blob, err := snmp.MarshalConfig(cfg)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(blob, '\n'))
+	return err
+}
+
+// RegisterOutput registers the compiler-level configuration output
+// actions (section 6.2: "an action tagged BartsSnmpd would be executed
+// only if configuration output for Bart's SNMP daemon were being
+// generated"). The actions attach to the basic "exports" clause of
+// process specifications, so an extension that prepends the same clause
+// keyword with the same tag overrides exactly this output (section 6.3).
+// The compiler-level output lists each process type's exports; the
+// Generator expands them per instance via Generate.
+func RegisterOutput(t *sema.Tables) {
+	emit := func(render func(e *sema.Emitter, proc string, ex ast.Export, v string)) func(*sema.ClauseContext, *sema.Emitter) error {
+		return func(ctx *sema.ClauseContext, e *sema.Emitter) error {
+			ex, ok := sema.ParseExport(ctx)
+			if !ok {
+				return nil
+			}
+			for _, v := range ex.Vars {
+				render(e, ctx.Decl.Name, ex, v)
+			}
+			return nil
+		}
+	}
+	t.AppendClause(&sema.ClauseEntry{
+		DeclType:    "process",
+		Keyword:     "exports",
+		SubKeywords: []string{"to", "access", "frequency"},
+		Outputs: map[string]func(*sema.ClauseContext, *sema.Emitter) error{
+			TagBartsSnmpd: emit(func(e *sema.Emitter, proc string, ex ast.Export, v string) {
+				e.Printf("# process %s\ncommunity %s %s %g %s\n",
+					proc, ex.To, ex.Access, ex.Freq.MinPeriodSeconds(), v)
+			}),
+			TagNVP: emit(func(e *sema.Emitter, proc string, ex ast.Export, v string) {
+				e.Printf("{\"process\":%q,\"community\":%q,\"access\":%q,\"min_interval_s\":%g,\"view\":%q}\n",
+					proc, ex.To, ex.Access.String(), ex.Freq.MinPeriodSeconds(), v)
+			}),
+		},
+	})
+}

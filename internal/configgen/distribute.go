@@ -1,0 +1,98 @@
+package configgen
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"nmsl/internal/consistency"
+)
+
+// Section 5 of the paper observes that "it may be too time consuming to
+// generate the configuration output from one central location … It may be
+// possible to perform the configuration phase in a distributed manner. If
+// a process's configuration depends only on its own specification, the
+// configuration information for that process can be generated from its
+// specification alone." Our per-instance derivation has exactly that
+// property — each agent's configuration depends only on its own exports
+// and the exports of domains containing it — so generation and
+// installation parallelize per network element. Distributor implements
+// the fan-out.
+
+// Target tells the Distributor where one agent instance lives.
+type Target struct {
+	// InstanceID is the consistency-model instance, e.g.
+	// "snmpdReadOnly@romano.cs.wisc.edu#0".
+	InstanceID string
+	// Addr is the agent's UDP address.
+	Addr string
+	// AdminCommunity authenticates the generator to the agent.
+	AdminCommunity string
+}
+
+// InstallResult reports one installation attempt.
+type InstallResult struct {
+	Target   Target
+	Err      error
+	Duration time.Duration
+}
+
+// DistributeOptions tune the fan-out.
+type DistributeOptions struct {
+	// Workers bounds concurrent installations; zero selects 8.
+	Workers int
+}
+
+// Distribute derives every agent's configuration from the model and
+// installs each one concurrently at its target. Instances without a
+// target are skipped; targets without a generated configuration are
+// reported as errors. Results are sorted by instance ID.
+func Distribute(m *consistency.Model, targets []Target, opts DistributeOptions) []InstallResult {
+	if opts.Workers <= 0 {
+		opts.Workers = 8
+	}
+	configs := Generate(m)
+
+	results := make([]InstallResult, len(targets))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Workers)
+	for i, tgt := range targets {
+		wg.Add(1)
+		go func(i int, tgt Target) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			res := InstallResult{Target: tgt}
+			cfg := configs[tgt.InstanceID]
+			if cfg == nil {
+				res.Err = fmt.Errorf("configgen: no configuration for instance %q", tgt.InstanceID)
+			} else {
+				// each goroutine ships an independent copy so the shared
+				// map stays untouched
+				cp := *cfg
+				cp.AdminCommunity = tgt.AdminCommunity
+				res.Err = InstallLive(tgt.Addr, tgt.AdminCommunity, &cp)
+			}
+			res.Duration = time.Since(start)
+			results[i] = res
+		}(i, tgt)
+	}
+	wg.Wait()
+	sort.Slice(results, func(i, j int) bool {
+		return results[i].Target.InstanceID < results[j].Target.InstanceID
+	})
+	return results
+}
+
+// Failed filters the results with errors.
+func Failed(results []InstallResult) []InstallResult {
+	var out []InstallResult
+	for _, r := range results {
+		if r.Err != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+package consistency
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a consistency violation.
+type Kind string
+
+// Violation kinds. The checker reports "the immediate causes for
+// inconsistency" (section 4.2), so each failed reference is classified by
+// the nearest-miss condition.
+const (
+	// KindNoPermission: no permission's grantee/grantor/data covers the
+	// reference at all.
+	KindNoPermission Kind = "no-permission"
+	// KindAccessViolation: a permission covers the parties and data but
+	// its access mode does not allow the reference's mode.
+	KindAccessViolation Kind = "access-violation"
+	// KindFrequencyViolation: a permission covers parties, data and
+	// access, but the reference may query more often than permitted.
+	KindFrequencyViolation Kind = "frequency-violation"
+	// KindDomainRestriction: a domain containing the target (but not the
+	// source) declares exports and none of them covers the reference.
+	KindDomainRestriction Kind = "domain-restriction"
+	// KindNoSupport: the target instance does not support the referenced
+	// data (process view or hosting element's view).
+	KindNoSupport Kind = "no-support"
+	// KindUnresolvedTarget: a query target resolved to no instance.
+	KindUnresolvedTarget Kind = "unresolved-target"
+)
+
+// Violation is one immediate cause of inconsistency.
+type Violation struct {
+	Kind Kind
+	// Ref is the failing reference (nil for unresolved targets).
+	Ref *Ref
+	// Unresolved is set for KindUnresolvedTarget.
+	Unresolved *UnresolvedTarget
+	// NearMiss is the closest permission considered, when one exists.
+	NearMiss *Perm
+	// Message is the human-readable cause.
+	Message string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s", v.Kind, v.Message)
+}
+
+// Report is the checker's result.
+type Report struct {
+	Model      *Model
+	Violations []Violation
+	// RefsChecked counts the references examined.
+	RefsChecked int
+}
+
+// Consistent reports whether the specification passed.
+func (r *Report) Consistent() bool { return len(r.Violations) == 0 }
+
+// String renders the report the way the paper describes: either a clean
+// bill or the list of immediate causes.
+func (r *Report) String() string {
+	var b strings.Builder
+	if r.Consistent() {
+		fmt.Fprintf(&b, "consistent: %d references, %d permissions, %d instances\n",
+			r.RefsChecked, len(r.Model.Perms), len(r.Model.Instances))
+		return b.String()
+	}
+	fmt.Fprintf(&b, "INCONSISTENT: %d violations (%d references checked)\n",
+		len(r.Violations), r.RefsChecked)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	return b.String()
+}
+
+// ByKind returns the violations of one kind.
+func (r *Report) ByKind(k Kind) []Violation {
+	var out []Violation
+	for _, v := range r.Violations {
+		if v.Kind == k {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Checker evaluates consistency over a Model with Go-side indexes.
+type Checker struct {
+	m *Model
+	// byGrantorInst/byGrantorDomain index permissions by grantor, the key
+	// lookup on the reference's target side.
+	byGrantorInst   map[string][]int
+	byGrantorDomain map[string][]int
+	// restricters are domains that declare exports, with their
+	// domain-level permission indexes.
+	restricters map[string][]int
+	// DisableIndex forces full permission scans (the DESIGN.md ablation).
+	DisableIndex bool
+}
+
+// NewChecker builds a Checker (and its indexes) for the model.
+func NewChecker(m *Model) *Checker {
+	c := &Checker{
+		m:               m,
+		byGrantorInst:   map[string][]int{},
+		byGrantorDomain: map[string][]int{},
+		restricters:     map[string][]int{},
+	}
+	for i := range m.Perms {
+		p := &m.Perms[i]
+		if p.GrantorInst != "" {
+			c.byGrantorInst[p.GrantorInst] = append(c.byGrantorInst[p.GrantorInst], i)
+		}
+		if p.GrantorDomain != "" {
+			c.byGrantorDomain[p.GrantorDomain] = append(c.byGrantorDomain[p.GrantorDomain], i)
+			c.restricters[p.GrantorDomain] = append(c.restricters[p.GrantorDomain], i)
+		}
+	}
+	return c
+}
+
+// permCovers checks the non-frequency conditions of the permission rule.
+// It returns how far the permission got: 0 = wrong parties/data,
+// 1 = parties+data ok but access denied, 2 = access ok but frequency
+// fails, 3 = full cover.
+func (c *Checker) permCovers(p *Perm, ref *Ref) int {
+	// grantee must contain the source party
+	if !c.m.partyInDomain(ref.Source.ID, p.Grantee) {
+		return 0
+	}
+	// data subtree
+	if !p.Var.Contains(ref.Var) {
+		return 0
+	}
+	if !p.Access.Allows(ref.Access) {
+		return 1
+	}
+	t, strict, infreq := ref.guarantee()
+	if !freqImplies(t, strict, infreq, p.MinPeriod, p.Strict) {
+		return 2
+	}
+	return 3
+}
+
+// candidatePerms returns the permission indexes whose grantor covers the
+// reference's target.
+func (c *Checker) candidatePerms(ref *Ref) []int {
+	if c.DisableIndex {
+		var out []int
+		for i := range c.m.Perms {
+			p := &c.m.Perms[i]
+			if p.GrantorInst == ref.Target.ID ||
+				(p.GrantorDomain != "" && c.m.partyInDomain(ref.Target.ID, p.GrantorDomain)) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	out := append([]int(nil), c.byGrantorInst[ref.Target.ID]...)
+	for dom := range c.m.partyDomains[ref.Target.ID] {
+		out = append(out, c.byGrantorDomain[dom]...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// checkRef evaluates one reference and appends violations.
+func (c *Checker) checkRef(ref *Ref, out *[]Violation) {
+	// Rule 3: support.
+	if !c.m.effectiveSupports(ref.Target, ref.Var) {
+		*out = append(*out, Violation{
+			Kind: KindNoSupport,
+			Ref:  ref,
+			Message: fmt.Sprintf("%s: target %s (%s) does not support %s",
+				ref, ref.Target.ID, ref.Target.Hosted(), ref.Var.Path()),
+		})
+	}
+	// Rule 1: permission.
+	best := 0
+	var bestPerm *Perm
+	for _, pi := range c.candidatePerms(ref) {
+		p := &c.m.Perms[pi]
+		level := c.permCovers(p, ref)
+		if level > best {
+			best = level
+			bestPerm = p
+		}
+		if best == 3 {
+			break
+		}
+	}
+	switch best {
+	case 3:
+		// permitted
+	case 2:
+		*out = append(*out, Violation{
+			Kind: KindFrequencyViolation, Ref: ref, NearMiss: bestPerm,
+			Message: fmt.Sprintf("%s: permitted at most every %gs by %s, but the reference only guarantees %s",
+				ref, bestPerm.MinPeriod, bestPerm.DeclaredBy, ref.Freq),
+		})
+	case 1:
+		*out = append(*out, Violation{
+			Kind: KindAccessViolation, Ref: ref, NearMiss: bestPerm,
+			Message: fmt.Sprintf("%s: %s grants only %s access",
+				ref, bestPerm.DeclaredBy, bestPerm.Access),
+		})
+	default:
+		*out = append(*out, Violation{
+			Kind: KindNoPermission, Ref: ref,
+			Message: fmt.Sprintf("%s: no permission covers this reference", ref),
+		})
+	}
+	// Rule 2: domain restrictions.
+	for dom := range c.m.partyDomains[ref.Target.ID] {
+		permIdxs, declares := c.restricters[dom]
+		if !declares {
+			continue
+		}
+		if c.m.partyInDomain(ref.Source.ID, dom) {
+			continue // source inside the restricting domain
+		}
+		ok := false
+		var near *Perm
+		for _, pi := range permIdxs {
+			p := &c.m.Perms[pi]
+			level := c.permCovers(p, ref)
+			if level == 3 {
+				ok = true
+				break
+			}
+			if level > 0 {
+				near = p
+			}
+		}
+		if !ok {
+			*out = append(*out, Violation{
+				Kind: KindDomainRestriction, Ref: ref, NearMiss: near,
+				Message: fmt.Sprintf("%s: domain %s restricts access to its members and grants no covering export",
+					ref, dom),
+			})
+		}
+	}
+}
+
+// Check runs the full consistency check.
+func (c *Checker) Check() *Report {
+	rep := &Report{Model: c.m}
+	for i := range c.m.Refs {
+		c.checkRef(&c.m.Refs[i], &rep.Violations)
+	}
+	rep.RefsChecked = len(c.m.Refs)
+	c.checkProxies(&rep.Violations)
+	for i := range c.m.Unresolved {
+		u := &c.m.Unresolved[i]
+		rep.Violations = append(rep.Violations, Violation{
+			Kind:       KindUnresolvedTarget,
+			Unresolved: u,
+			Message: fmt.Sprintf("%s query of %q cannot be resolved: %s",
+				u.Source.ID, u.Query.Target, u.Reason),
+		})
+	}
+	return rep
+}
+
+// Check is the convenience entry point: build the model and run the
+// indexed checker.
+func Check(m *Model) *Report { return NewChecker(m).Check() }

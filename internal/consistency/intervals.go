@@ -1,0 +1,158 @@
+package consistency
+
+import (
+	"sort"
+	"strings"
+
+	"nmsl/internal/logic"
+)
+
+// Interval-set algebra used by the speculative reverse check: unions of
+// admissible-period intervals from alternative permissions, intersected
+// across restricting domains.
+
+// cmpLo orders intervals by lower bound (nil = -inf first; at equal
+// bounds, closed before open).
+func cmpLo(a, b logic.Interval) int {
+	switch {
+	case a.Lo == nil && b.Lo == nil:
+		return 0
+	case a.Lo == nil:
+		return -1
+	case b.Lo == nil:
+		return 1
+	}
+	if c := a.Lo.Cmp(b.Lo); c != 0 {
+		return c
+	}
+	switch {
+	case a.LoStrict == b.LoStrict:
+		return 0
+	case a.LoStrict:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// overlapsOrTouches reports whether a and b can merge into one interval,
+// assuming cmpLo(a,b) <= 0.
+func overlapsOrTouches(a, b logic.Interval) bool {
+	if a.Hi == nil || b.Lo == nil {
+		return true
+	}
+	c := b.Lo.Cmp(a.Hi)
+	if c < 0 {
+		return true
+	}
+	if c > 0 {
+		return false
+	}
+	// touching at a point: mergeable unless both ends are open
+	return !(a.HiStrict && b.LoStrict)
+}
+
+// unionIntervals normalizes a set of intervals into a minimal sorted,
+// disjoint list.
+func unionIntervals(ivs []logic.Interval) []logic.Interval {
+	var in []logic.Interval
+	for _, iv := range ivs {
+		if !iv.Empty {
+			in = append(in, iv)
+		}
+	}
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Slice(in, func(i, j int) bool { return cmpLo(in[i], in[j]) < 0 })
+	out := []logic.Interval{in[0]}
+	for _, iv := range in[1:] {
+		last := &out[len(out)-1]
+		if overlapsOrTouches(*last, iv) {
+			// extend the upper end if iv reaches further
+			if last.Hi != nil {
+				if iv.Hi == nil {
+					last.Hi, last.HiStrict = nil, false
+				} else if c := iv.Hi.Cmp(last.Hi); c > 0 {
+					last.Hi, last.HiStrict = iv.Hi, iv.HiStrict
+				} else if c == 0 && !iv.HiStrict {
+					last.HiStrict = false
+				}
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// intersect2 intersects two intervals.
+func intersect2(a, b logic.Interval) logic.Interval {
+	if a.Empty || b.Empty {
+		return logic.Interval{Empty: true}
+	}
+	out := logic.Interval{}
+	// lower bound: take the larger
+	switch {
+	case a.Lo == nil:
+		out.Lo, out.LoStrict = b.Lo, b.LoStrict
+	case b.Lo == nil:
+		out.Lo, out.LoStrict = a.Lo, a.LoStrict
+	default:
+		if c := a.Lo.Cmp(b.Lo); c > 0 {
+			out.Lo, out.LoStrict = a.Lo, a.LoStrict
+		} else if c < 0 {
+			out.Lo, out.LoStrict = b.Lo, b.LoStrict
+		} else {
+			out.Lo, out.LoStrict = a.Lo, a.LoStrict || b.LoStrict
+		}
+	}
+	// upper bound: take the smaller
+	switch {
+	case a.Hi == nil:
+		out.Hi, out.HiStrict = b.Hi, b.HiStrict
+	case b.Hi == nil:
+		out.Hi, out.HiStrict = a.Hi, a.HiStrict
+	default:
+		if c := a.Hi.Cmp(b.Hi); c < 0 {
+			out.Hi, out.HiStrict = a.Hi, a.HiStrict
+		} else if c > 0 {
+			out.Hi, out.HiStrict = b.Hi, b.HiStrict
+		} else {
+			out.Hi, out.HiStrict = a.Hi, a.HiStrict || b.HiStrict
+		}
+	}
+	if out.Lo != nil && out.Hi != nil {
+		c := out.Lo.Cmp(out.Hi)
+		if c > 0 || (c == 0 && (out.LoStrict || out.HiStrict)) {
+			return logic.Interval{Empty: true}
+		}
+	}
+	return out
+}
+
+// intersectSets intersects two normalized interval sets.
+func intersectSets(a, b []logic.Interval) []logic.Interval {
+	var out []logic.Interval
+	for _, x := range a {
+		for _, y := range b {
+			if iv := intersect2(x, y); !iv.Empty {
+				out = append(out, iv)
+			}
+		}
+	}
+	return unionIntervals(out)
+}
+
+// FormatIntervals renders an interval set for reports, e.g.
+// "[300, +inf)". An empty set renders as "∅".
+func FormatIntervals(ivs []logic.Interval) string {
+	if len(ivs) == 0 {
+		return "∅"
+	}
+	parts := make([]string, len(ivs))
+	for i, iv := range ivs {
+		parts[i] = iv.String()
+	}
+	return strings.Join(parts, " ∪ ")
+}

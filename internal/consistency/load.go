@@ -1,0 +1,170 @@
+package consistency
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Load estimation supports the Consistency Checker's speculative role
+// (paper section 4.2): before connecting a new organization, "the
+// administrator can make a specification of the new organization's
+// expected interactions ... approximate values can be used to determine
+// the amount of traffic generated". It also covers the section 4.1.4
+// remark that interface speed matters for "determining if the processes
+// on this network element will be able to respond to queries in a timely
+// manner, or if this network element will be swamped with management
+// requests".
+
+// LoadOptions tune the estimate.
+type LoadOptions struct {
+	// AvgQueryBits is the assumed size of one query/response exchange on
+	// the wire, in bits. Zero selects 2048 (a 256-byte SNMP exchange).
+	AvgQueryBits float64
+	// InfrequentPeriod is the period assumed for "infrequent" references.
+	// Zero selects 3600 seconds.
+	InfrequentPeriod float64
+	// DefaultPeriod is assumed for references with no frequency clause.
+	// Zero selects 60 seconds.
+	DefaultPeriod float64
+	// UtilizationWarn is the fraction of an interface's nominal speed
+	// above which management traffic triggers a warning. Zero selects
+	// 0.05 (5%).
+	UtilizationWarn float64
+	// AgentRateWarn is the per-agent query arrival rate (queries/second)
+	// above which a warning is issued. Zero selects 10.
+	AgentRateWarn float64
+}
+
+func (o *LoadOptions) fill() {
+	if o.AvgQueryBits == 0 {
+		o.AvgQueryBits = 2048
+	}
+	if o.InfrequentPeriod == 0 {
+		o.InfrequentPeriod = 3600
+	}
+	if o.DefaultPeriod == 0 {
+		o.DefaultPeriod = 60
+	}
+	if o.UtilizationWarn == 0 {
+		o.UtilizationWarn = 0.05
+	}
+	if o.AgentRateWarn == 0 {
+		o.AgentRateWarn = 10
+	}
+}
+
+// LoadReport is the estimated steady-state management load.
+type LoadReport struct {
+	// InstanceRate is queries/second arriving at each agent instance.
+	InstanceRate map[string]float64
+	// SystemRate is queries/second arriving at each network element.
+	SystemRate map[string]float64
+	// NetworkBits is management traffic in bits/second per physical
+	// network.
+	NetworkBits map[string]float64
+	// Warnings flag elements or networks at risk of being swamped.
+	Warnings []string
+}
+
+// String renders the report, sorted for stable output.
+func (r *LoadReport) String() string {
+	var b strings.Builder
+	b.WriteString("estimated management load:\n")
+	for _, id := range sortedFloatKeys(r.InstanceRate) {
+		fmt.Fprintf(&b, "  agent %-48s %8.4f queries/s\n", id, r.InstanceRate[id])
+	}
+	for _, id := range sortedFloatKeys(r.NetworkBits) {
+		fmt.Fprintf(&b, "  net   %-48s %8.1f bits/s\n", id, r.NetworkBits[id])
+	}
+	for _, w := range r.Warnings {
+		fmt.Fprintf(&b, "  WARNING: %s\n", w)
+	}
+	return b.String()
+}
+
+func sortedFloatKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// refRate estimates the query rate (1/period) a reference contributes.
+func refRate(r *Ref, opts *LoadOptions) float64 {
+	t, _, infreq := r.guarantee()
+	switch {
+	case infreq:
+		return 1 / opts.InfrequentPeriod
+	case t <= 0:
+		return 1 / opts.DefaultPeriod
+	default:
+		return 1 / t
+	}
+}
+
+// EstimateLoad computes the steady-state load implied by the model's
+// references, assuming every possible reference happens at its maximum
+// declared rate (the conservative reading of ref_eq: "it is possible that
+// X references Y ... every T seconds").
+func EstimateLoad(m *Model, opts LoadOptions) *LoadReport {
+	opts.fill()
+	rep := &LoadReport{
+		InstanceRate: map[string]float64{},
+		SystemRate:   map[string]float64{},
+		NetworkBits:  map[string]float64{},
+	}
+	for i := range m.Refs {
+		r := &m.Refs[i]
+		rate := refRate(r, &opts)
+		rep.InstanceRate[r.Target.ID] += rate
+		if r.Target.System != "" {
+			rep.SystemRate[r.Target.System] += rate
+			if ss := m.Spec.Systems[r.Target.System]; ss != nil && len(ss.Interfaces) > 0 {
+				// management traffic arrives over the element's first
+				// interface (a simplification documented in DESIGN.md)
+				rep.NetworkBits[ss.Interfaces[0].Net] += rate * opts.AvgQueryBits
+			}
+		}
+	}
+	// Proxy polling (section 3.1): the proxy's queries to the managed
+	// element travel the element's network like any management traffic.
+	for _, p := range m.Proxies {
+		var rate float64
+		switch {
+		case p.Freq.Infrequent:
+			rate = 1 / opts.InfrequentPeriod
+		case p.Freq.MinPeriodSeconds() > 0:
+			rate = 1 / p.Freq.MinPeriodSeconds()
+		default:
+			rate = 1 / opts.DefaultPeriod
+		}
+		rep.SystemRate[p.Element] += rate
+		if ss := m.Spec.Systems[p.Element]; ss != nil && len(ss.Interfaces) > 0 {
+			rep.NetworkBits[ss.Interfaces[0].Net] += rate * opts.AvgQueryBits
+		}
+	}
+	for id, rate := range rep.InstanceRate {
+		if rate > opts.AgentRateWarn {
+			rep.Warnings = append(rep.Warnings,
+				fmt.Sprintf("agent %s may be swamped: %.2f queries/s (threshold %.2f)", id, rate, opts.AgentRateWarn))
+		}
+	}
+	for _, sysName := range sortedFloatKeys(rep.SystemRate) {
+		ss := m.Spec.Systems[sysName]
+		if ss == nil || len(ss.Interfaces) == 0 {
+			continue
+		}
+		ifc := ss.Interfaces[0]
+		bits := rep.SystemRate[sysName] * opts.AvgQueryBits
+		if ifc.SpeedBPS > 0 && bits > opts.UtilizationWarn*float64(ifc.SpeedBPS) {
+			rep.Warnings = append(rep.Warnings,
+				fmt.Sprintf("system %s interface %s (%d bps) would carry %.0f bits/s of management traffic (> %.0f%% of capacity)",
+					sysName, ifc.Name, ifc.SpeedBPS, bits, opts.UtilizationWarn*100))
+		}
+	}
+	sort.Strings(rep.Warnings)
+	return rep
+}

@@ -1,0 +1,591 @@
+// Package consistency implements the NMSL Consistency Checker (paper
+// section 4.2).
+//
+// The checker decides whether a specification is consistent: "for every
+// data reference in the specification, there is a corresponding
+// permission. Resource and timing requirements are included in the
+// specification of references and permissions." It works over the six
+// relationships of Figure 4.9 — containment, instantiation, two reference
+// relations and two permission relations — reduced by transitivity,
+// distribution and reduction rules.
+//
+// Two equivalent evaluators are provided:
+//
+//   - CheckLogic proves each reference through the CLP(R)-style engine
+//     (internal/logic) against a fact/rule base compiled from the
+//     specification, exactly as the paper's front-end-to-CLP(R) design
+//     describes;
+//   - Check evaluates the same relations with Go-side indexes (permissions
+//     indexed by grantor), which is what lets the checker scale to the
+//     paper's 10,000-domain goal.
+//
+// Tests cross-validate the two on generated specifications.
+//
+// Consistency semantics (documented in DESIGN.md):
+//
+//  1. Permission: a reference is permitted iff some permission's grantee
+//     contains (or is) the referencing party, its grantor contains (or
+//     is) the target, its data subtree contains the referenced data, its
+//     access mode allows the reference's mode, and the reference's
+//     guaranteed period implies the permission's required period.
+//  2. Restriction: the paper notes domain exports "can also further
+//     restrict how other domains may access the members" — every domain
+//     that contains the target but not the source and declares exports
+//     must itself grant a covering permission.
+//  3. Support: the target instance must actually support the referenced
+//     data (the intersection of its process view and, when instantiated
+//     on a network element, that element's view).
+package consistency
+
+import (
+	"fmt"
+	"sort"
+
+	"nmsl/internal/ast"
+	"nmsl/internal/mib"
+)
+
+// Instance is one instantiation of a process type on a network element or
+// in a domain (the paper's instan relation, Figure 4.9: "X instantiates Y
+// with unique ID Z").
+type Instance struct {
+	// ID is the unique instance identifier, e.g.
+	// "snmpdReadOnly@romano.cs.wisc.edu#0".
+	ID string
+	// Proc is the instantiated process type.
+	Proc *ast.ProcessSpec
+	// System is the hosting network element, or "" when the instance is
+	// declared directly in a domain.
+	System string
+	// Domain is the hosting domain for domain-declared instances.
+	Domain string
+	// Args are the instantiation arguments ("*" entries are late-bound).
+	Args []ast.Arg
+}
+
+// Hosted returns where the instance runs, for diagnostics.
+func (in *Instance) Hosted() string {
+	if in.System != "" {
+		return "system " + in.System
+	}
+	return "domain " + in.Domain
+}
+
+// Perm is one permission (perm_eq/perm_gt of Figure 4.9): the grantee
+// party may reference the grantor's data.
+type Perm struct {
+	// Grantee is the domain the permission is granted to.
+	Grantee string
+	// GrantorInst is the granting instance's ID (process-level exports),
+	// or "".
+	GrantorInst string
+	// GrantorDomain is the granting domain (domain-level exports), or "".
+	GrantorDomain string
+	// DeclaredBy describes the declaration for diagnostics.
+	DeclaredBy string
+	// Var is the exported MIB subtree.
+	Var *mib.Node
+	// Access is the granted access mode.
+	Access mib.Access
+	// MinPeriod is the required minimum seconds between queries; Strict
+	// marks a ">" (rather than ">=") bound. Zero means unconstrained.
+	MinPeriod float64
+	Strict    bool
+}
+
+// String renders the permission for diagnostics.
+func (p Perm) String() string {
+	grantor := p.GrantorDomain
+	if grantor == "" {
+		grantor = p.GrantorInst
+	}
+	op := ">="
+	if p.Strict {
+		op = ">"
+	}
+	return fmt.Sprintf("perm(%s -> %s, %s, %s, period %s %gs)",
+		p.Grantee, grantor, p.Var.Path(), p.Access, op, p.MinPeriod)
+}
+
+// TargetResolution records how a reference's target was found.
+type TargetResolution string
+
+// Target resolution modes.
+const (
+	// TargetNamed means the query names a process type directly.
+	TargetNamed TargetResolution = "named"
+	// TargetArg means a Process parameter was bound at instantiation.
+	TargetArg TargetResolution = "argument"
+	// TargetStar means the parameter is late-bound ("*"): the reference
+	// is possible against any capable agent, so every candidate is
+	// checked (the paper's ref_eq: "it is possible that X references Y").
+	TargetStar TargetResolution = "late-bound"
+)
+
+// Ref is one reference (ref_eq/ref_gt of Figure 4.9): a possible
+// interaction from a source instance to data on a target instance.
+type Ref struct {
+	Source *Instance
+	Target *Instance
+	// Var is the referenced MIB node.
+	Var *mib.Node
+	// Access is the access mode the reference needs.
+	Access mib.Access
+	// Freq is the reference's declared frequency.
+	Freq ast.Freq
+	// Resolution records how Target was chosen.
+	Resolution TargetResolution
+}
+
+// String renders the reference for diagnostics.
+func (r Ref) String() string {
+	return fmt.Sprintf("ref(%s -> %s, %s, %s, frequency %s)",
+		r.Source.ID, r.Target.ID, r.Var.Path(), r.Access, r.Freq)
+}
+
+// guarantee returns the reference's guaranteed minimum period and
+// strictness; infrequent references guarantee "rare" and satisfy any
+// permission period.
+func (r Ref) guarantee() (minPeriod float64, strict, infrequent bool) {
+	if r.Freq.Infrequent {
+		return 0, false, true
+	}
+	return r.Freq.MinPeriodSeconds(), r.Freq.Op == ">", false
+}
+
+// freqImplies reports whether a reference guarantee (period ⊵ t) implies
+// a permission requirement (period ⊵ pt).
+func freqImplies(t float64, strict bool, infrequent bool, pt float64, pstrict bool) bool {
+	if infrequent {
+		return true
+	}
+	if t > pt {
+		return true
+	}
+	if t == pt {
+		return strict || !pstrict
+	}
+	return false
+}
+
+// Model is the checkable view of a specification: every instance,
+// reference and permission, plus containment closures.
+type Model struct {
+	Spec      *ast.Spec
+	Instances []*Instance
+	Perms     []Perm
+	Refs      []Ref
+	// Unresolved records query targets that could not be resolved to any
+	// instance (e.g. an argument naming nothing, or a late-bound target
+	// with no capable agent).
+	Unresolved []UnresolvedTarget
+	// Proxies are the proxy relationships declared through the proxies
+	// extension clause (section 3.1).
+	Proxies []Proxy
+
+	// domainUp maps a domain to every domain containing it (transitive,
+	// exclusive).
+	domainUp map[string][]string
+	// systemDomains maps a system name to the domains that list it
+	// directly as a member.
+	systemDomains map[string][]string
+	// partyDomains maps an instance ID (and each system name) to the set
+	// of domains containing it, transitively.
+	partyDomains map[string]map[string]bool
+	byProc       map[string][]*Instance
+	bySystem     map[string][]*Instance
+	byID         map[string]*Instance
+}
+
+// UnresolvedTarget describes a query whose target resolved to nothing.
+type UnresolvedTarget struct {
+	Source *Instance
+	Query  *ast.Query
+	Reason string
+}
+
+// BuildModel extracts the consistency model from a linked specification.
+func BuildModel(spec *ast.Spec) *Model {
+	m := &Model{
+		Spec:          spec,
+		domainUp:      map[string][]string{},
+		systemDomains: map[string][]string{},
+		partyDomains:  map[string]map[string]bool{},
+		byProc:        map[string][]*Instance{},
+		bySystem:      map[string][]*Instance{},
+		byID:          map[string]*Instance{},
+	}
+	m.buildDomainClosure()
+	m.buildInstances()
+	m.buildPerms()
+	m.buildRefs()
+	m.buildProxies()
+	return m
+}
+
+// buildDomainClosure computes, for every domain, the set of domains that
+// contain it (the contains transitive closure of Figure 4.9, restricted
+// to domains).
+func (m *Model) buildDomainClosure() {
+	parents := map[string][]string{}
+	for _, name := range m.Spec.DomainNames() {
+		for _, sub := range m.Spec.Domains[name].Subdomains {
+			parents[sub] = append(parents[sub], name)
+		}
+	}
+	var up func(name string, seen map[string]bool)
+	up = func(name string, seen map[string]bool) {
+		for _, p := range parents[name] {
+			if !seen[p] {
+				seen[p] = true
+				up(p, seen)
+			}
+		}
+	}
+	for _, name := range m.Spec.DomainNames() {
+		seen := map[string]bool{}
+		up(name, seen)
+		var list []string
+		for d := range seen {
+			list = append(list, d)
+		}
+		sort.Strings(list)
+		m.domainUp[name] = list
+		for _, sys := range m.Spec.Domains[name].Systems {
+			m.systemDomains[sys] = append(m.systemDomains[sys], name)
+		}
+	}
+}
+
+// domainsOfParty returns the up-closed set of domains containing a party
+// (an instance hosted on a system or in a domain).
+func (m *Model) domainsOfParty(hostSystem, hostDomain string) map[string]bool {
+	set := map[string]bool{}
+	addDomain := func(d string) {
+		if set[d] {
+			return
+		}
+		set[d] = true
+		for _, upd := range m.domainUp[d] {
+			set[upd] = true
+		}
+	}
+	if hostDomain != "" {
+		addDomain(hostDomain)
+	}
+	if hostSystem != "" {
+		for _, name := range m.systemDomains[hostSystem] {
+			addDomain(name)
+		}
+	}
+	return set
+}
+
+func (m *Model) addInstance(in *Instance) {
+	m.Instances = append(m.Instances, in)
+	m.byProc[in.Proc.Name] = append(m.byProc[in.Proc.Name], in)
+	if in.System != "" {
+		m.bySystem[in.System] = append(m.bySystem[in.System], in)
+	}
+	m.byID[in.ID] = in
+	m.partyDomains[in.ID] = m.domainsOfParty(in.System, in.Domain)
+}
+
+func (m *Model) buildInstances() {
+	for _, sysName := range m.Spec.SystemNames() {
+		ss := m.Spec.Systems[sysName]
+		for i, pi := range ss.Processes {
+			proc := m.Spec.Processes[pi.Name]
+			if proc == nil {
+				continue // linker already reported
+			}
+			m.addInstance(&Instance{
+				ID:     fmt.Sprintf("%s@%s#%d", pi.Name, sysName, i),
+				Proc:   proc,
+				System: sysName,
+				Args:   pi.Args,
+			})
+		}
+	}
+	for _, domName := range m.Spec.DomainNames() {
+		ds := m.Spec.Domains[domName]
+		for i, pi := range ds.Processes {
+			proc := m.Spec.Processes[pi.Name]
+			if proc == nil {
+				continue
+			}
+			m.addInstance(&Instance{
+				ID:     fmt.Sprintf("%s@%s#%d", pi.Name, domName, i),
+				Proc:   proc,
+				Domain: domName,
+				Args:   pi.Args,
+			})
+		}
+	}
+}
+
+// resolveVar resolves a dotted MIB name, which linking already validated.
+func (m *Model) resolveVar(path string) *mib.Node {
+	return m.Spec.MIB.LookupSuffix(path)
+}
+
+func permFromExport(ex ast.Export, node *mib.Node) (minPeriod float64, strict bool) {
+	return ex.Freq.MinPeriodSeconds(), ex.Freq.Op == ">"
+}
+
+func (m *Model) buildPerms() {
+	// Process-level exports: every instance of the type grants them.
+	for _, procName := range m.Spec.ProcessNames() {
+		ps := m.Spec.Processes[procName]
+		for _, ex := range ps.Exports {
+			for _, v := range ex.Vars {
+				node := m.resolveVar(v)
+				if node == nil {
+					continue
+				}
+				minP, strict := permFromExport(ex, node)
+				for _, in := range m.byProc[procName] {
+					m.Perms = append(m.Perms, Perm{
+						Grantee:     ex.To,
+						GrantorInst: in.ID,
+						DeclaredBy:  "process " + procName,
+						Var:         node,
+						Access:      ex.Access,
+						MinPeriod:   minP,
+						Strict:      strict,
+					})
+				}
+			}
+		}
+	}
+	// Domain-level exports.
+	for _, domName := range m.Spec.DomainNames() {
+		ds := m.Spec.Domains[domName]
+		for _, ex := range ds.Exports {
+			for _, v := range ex.Vars {
+				node := m.resolveVar(v)
+				if node == nil {
+					continue
+				}
+				minP, strict := permFromExport(ex, node)
+				m.Perms = append(m.Perms, Perm{
+					Grantee:       ex.To,
+					GrantorDomain: domName,
+					DeclaredBy:    "domain " + domName,
+					Var:           node,
+					Access:        ex.Access,
+					MinPeriod:     minP,
+					Strict:        strict,
+				})
+			}
+		}
+	}
+}
+
+// effectiveSupports reports whether instance in supports data at node:
+// the process view must cover it, and for system-hosted instances the
+// element's view must cover it too (section 4.1.4: the element lists the
+// MIB portion its hardware and OS support).
+func (m *Model) effectiveSupports(in *Instance, node *mib.Node) bool {
+	if !m.viewCovers(in.Proc.Supports, node) {
+		return false
+	}
+	if in.System != "" {
+		ss := m.Spec.Systems[in.System]
+		if ss != nil && !m.viewCovers(ss.Supports, node) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Model) viewCovers(view []string, node *mib.Node) bool {
+	for _, v := range view {
+		if vn := m.resolveVar(v); vn != nil && vn.Contains(node) {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveTargets returns the candidate target instances of a query made
+// by instance in.
+func (m *Model) resolveTargets(in *Instance, q *ast.Query) ([]*Instance, TargetResolution, string) {
+	// Direct process-type name.
+	if _, ok := m.Spec.Processes[q.Target]; ok {
+		if insts := m.byProc[q.Target]; len(insts) > 0 {
+			return insts, TargetNamed, ""
+		}
+		return nil, TargetNamed, fmt.Sprintf("process %s is never instantiated", q.Target)
+	}
+	// Formal parameter.
+	pidx := -1
+	for i := range in.Proc.Params {
+		if in.Proc.Params[i].Name == q.Target {
+			pidx = i
+		}
+	}
+	if pidx < 0 {
+		return nil, TargetNamed, fmt.Sprintf("query target %q is neither a process nor a parameter", q.Target)
+	}
+	var arg ast.Arg
+	if pidx < len(in.Args) {
+		arg = in.Args[pidx]
+	} else {
+		arg = ast.Arg{Kind: ast.ArgStar}
+	}
+	switch arg.Kind {
+	case ast.ArgStar:
+		// Late-bound: any agent able to serve every requested variable.
+		var cands []*Instance
+		for _, cand := range m.Instances {
+			if cand == in || !cand.Proc.IsAgent() {
+				continue
+			}
+			all := true
+			for _, rv := range q.Requests {
+				node := m.resolveVar(rv)
+				if node == nil || !m.effectiveSupports(cand, node) {
+					all = false
+					break
+				}
+			}
+			if all {
+				cands = append(cands, cand)
+			}
+		}
+		if len(cands) == 0 {
+			return nil, TargetStar, "no agent instance supports the requested data"
+		}
+		return cands, TargetStar, ""
+	case ast.ArgString, ast.ArgWord:
+		// A system name: agents on that system. A process name: its
+		// instances.
+		if insts := m.bySystem[arg.Text]; len(insts) > 0 {
+			var agents []*Instance
+			for _, cand := range insts {
+				if cand.Proc.IsAgent() {
+					agents = append(agents, cand)
+				}
+			}
+			if len(agents) > 0 {
+				return agents, TargetArg, ""
+			}
+			return nil, TargetArg, fmt.Sprintf("system %s runs no agent process", arg.Text)
+		}
+		if insts := m.byProc[arg.Text]; len(insts) > 0 {
+			return insts, TargetArg, ""
+		}
+		return nil, TargetArg, fmt.Sprintf("argument %q names no system or process", arg.Text)
+	default:
+		return nil, TargetArg, fmt.Sprintf("argument %s cannot identify a query target", arg)
+	}
+}
+
+func (m *Model) buildRefs() {
+	for _, in := range m.Instances {
+		for qi := range in.Proc.Queries {
+			q := &in.Proc.Queries[qi]
+			targets, res, failure := m.resolveTargets(in, q)
+			if failure != "" {
+				m.Unresolved = append(m.Unresolved, UnresolvedTarget{Source: in, Query: q, Reason: failure})
+				continue
+			}
+			for _, tgt := range targets {
+				for _, rv := range q.Requests {
+					node := m.resolveVar(rv)
+					if node == nil {
+						continue
+					}
+					m.Refs = append(m.Refs, Ref{
+						Source:     in,
+						Target:     tgt,
+						Var:        node,
+						Access:     q.Access,
+						Freq:       q.Freq,
+						Resolution: res,
+					})
+				}
+			}
+		}
+	}
+}
+
+// InstanceByID returns the instance with the given ID, or nil.
+func (m *Model) InstanceByID(id string) *Instance { return m.byID[id] }
+
+// PartyDomains returns the sorted set of domains containing the party
+// (instance ID), transitively.
+func (m *Model) PartyDomains(instID string) []string {
+	set := m.partyDomains[instID]
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PartyInDomain reports whether the party (instance ID) is contained in
+// the domain, transitively.
+func (m *Model) PartyInDomain(instID, domain string) bool {
+	return m.partyInDomain(instID, domain)
+}
+
+// GrantedCommunity returns the identity (grantee domain) a reference's
+// source should present to its target: a domain containing the source
+// whose permission covers the target, data and access mode. It returns ""
+// when no permission applies — which the consistency check rules out for
+// consistent specifications. When several grantees qualify the
+// lexicographically first is returned, so callers are deterministic.
+func (m *Model) GrantedCommunity(ref *Ref) string {
+	best := ""
+	for i := range m.Perms {
+		p := &m.Perms[i]
+		if p.GrantorInst != "" && p.GrantorInst != ref.Target.ID {
+			continue
+		}
+		if p.GrantorDomain != "" && !m.partyInDomain(ref.Target.ID, p.GrantorDomain) {
+			continue
+		}
+		if !m.partyInDomain(ref.Source.ID, p.Grantee) {
+			continue
+		}
+		if !p.Var.Contains(ref.Var) || !p.Access.Allows(ref.Access) {
+			continue
+		}
+		if best == "" || p.Grantee < best {
+			best = p.Grantee
+		}
+	}
+	return best
+}
+
+// DomainContains reports whether outer contains inner (or equals it).
+func (m *Model) DomainContains(outer, inner string) bool {
+	return m.domainContainsDomain(outer, inner)
+}
+
+// Restricts reports whether the domain declares exports (and therefore
+// restricts outside access to its members).
+func (m *Model) Restricts(dom string) bool { return m.restrictingDomain(dom) }
+
+// partyInDomain reports whether the party (instance ID) is contained in
+// the domain, transitively.
+func (m *Model) partyInDomain(instID, domain string) bool {
+	return m.partyDomains[instID][domain]
+}
+
+// domainContainsDomain reports whether outer contains inner (strictly or
+// equal).
+func (m *Model) domainContainsDomain(outer, inner string) bool {
+	if outer == inner {
+		return true
+	}
+	for _, d := range m.domainUp[inner] {
+		if d == outer {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,134 @@
+package consistency
+
+import (
+	"strings"
+	"testing"
+
+	"nmsl/internal/paperspec"
+	"nmsl/internal/parser"
+	"nmsl/internal/sema"
+)
+
+func TestConsistencyOutput(t *testing.T) {
+	f, err := parser.Parse("paper", paperspec.Combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sema.NewAnalyzer()
+	RegisterOutput(a.Tables())
+	a.AnalyzeFile(f)
+	if _, err := a.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := a.Generate(OutputTag, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := []string{
+		"type_spec(ipAddrTable).",
+		"type_access(ipAddrTable,readonly).",
+		"type_ref(ipAddrTable,'IpAddrEntry').",
+		"proc_supports(snmpdReadOnly,'mgmt.mib').",
+		"proc_export(snmpdReadOnly,public,'mgmt.mib',readonly,300,ge).",
+		"proc_query(snmpaddr,'SysAddr','mgmt.mib.ip.ipAddrTable.IpAddrEntry',readonly,infrequent,ge).",
+		"system_spec('romano.cs.wisc.edu',sparc).",
+		"sys_interface('romano.cs.wisc.edu',ie0,'wisc-research','ethernet-csmacd',10000000).",
+		"sys_runs('romano.cs.wisc.edu',snmpdReadOnly,0).",
+		"domain_spec('wisc-cs').",
+		"dom_member_system('wisc-cs','romano.cs.wisc.edu').",
+		"dom_instance('wisc-cs',snmpaddr,0).",
+		"dom_export('wisc-cs',public,'mgmt.mib',readonly,300,ge).",
+		"dom_member_domain(public,'wisc-cs').",
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Errorf("missing fact %q in output:\n%s", w, out)
+		}
+	}
+}
+
+func TestWriteRulesAndFacts(t *testing.T) {
+	var rules strings.Builder
+	if err := WriteRules(&rules); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"contains_tr", "data_covers", "freq_ok", "permitted", "inconsistent", "violates_restriction"} {
+		if !strings.Contains(rules.String(), w) {
+			t.Errorf("rules missing %q", w)
+		}
+	}
+
+	m := buildModel(t, paperspec.Combined)
+	var facts strings.Builder
+	if err := WriteFacts(&facts, m); err != nil {
+		t.Fatal(err)
+	}
+	out := facts.String()
+	for _, w := range []string{
+		"instan('romano.cs.wisc.edu',snmpdReadOnly,'snmpdReadOnly@romano.cs.wisc.edu#0').",
+		"contains('wisc-cs','romano.cs.wisc.edu').",
+		"perm(public,'snmpdReadOnly@romano.cs.wisc.edu#0','mgmt.mib',readonly,300,ge).",
+		"ref('snmpaddr@wisc-cs#0','snmpdReadOnly@romano.cs.wisc.edu#0','mgmt.mib.ip.ipAddrTable.IpAddrEntry',readonly,infrequent,ge).",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("missing derived fact %q in:\n%s", w, out)
+		}
+	}
+}
+
+func TestEstimateLoad(t *testing.T) {
+	m := buildModel(t, freqSpec)
+	rep := EstimateLoad(m, LoadOptions{})
+	// poller queries agent every 60s -> 1/60 q/s at the agent
+	rate := rep.InstanceRate["agent@host-a#0"]
+	if rate < 0.016 || rate > 0.017 {
+		t.Fatalf("rate %v", rate)
+	}
+	if got := rep.SystemRate["host-a"]; got != rate {
+		t.Errorf("system rate %v", got)
+	}
+	if bits := rep.NetworkBits["lab"]; bits != rate*2048 {
+		t.Errorf("network bits %v", bits)
+	}
+	if len(rep.Warnings) != 0 {
+		t.Errorf("warnings: %v", rep.Warnings)
+	}
+	if !strings.Contains(rep.String(), "agent") {
+		t.Error("report rendering")
+	}
+}
+
+func TestEstimateLoadWarnings(t *testing.T) {
+	// A 9600 bps serial line saturates immediately at one query per
+	// second of 2048 bits.
+	src := strings.Replace(freqSpec, "speed 10000000 bps", "speed 9600 bps", -1)
+	src = strings.Replace(src, "frequency >= 1 minutes", "frequency >= 1 seconds", 1)
+	src = strings.Replace(src, "frequency >= 5 minutes", "frequency >= 1 seconds", 1)
+	m := buildModel(t, src)
+	rep := EstimateLoad(m, LoadOptions{})
+	found := false
+	for _, w := range rep.Warnings {
+		if strings.Contains(w, "management traffic") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected utilization warning, got %v", rep.Warnings)
+	}
+}
+
+func TestEstimateLoadInfrequentAndDefault(t *testing.T) {
+	src := strings.Replace(freqSpec, "frequency >= 1 minutes", "frequency infrequent", 1)
+	m := buildModel(t, src)
+	rep := EstimateLoad(m, LoadOptions{InfrequentPeriod: 100})
+	if got := rep.InstanceRate["agent@host-a#0"]; got != 0.01 {
+		t.Fatalf("infrequent rate %v", got)
+	}
+	src2 := strings.Replace(freqSpec, "\n        frequency >= 1 minutes", "", 1)
+	m2 := buildModel(t, src2)
+	rep2 := EstimateLoad(m2, LoadOptions{DefaultPeriod: 10})
+	if got := rep2.InstanceRate["agent@host-a#0"]; got != 0.1 {
+		t.Fatalf("default rate %v", got)
+	}
+}

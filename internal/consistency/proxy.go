@@ -1,0 +1,137 @@
+package consistency
+
+import (
+	"fmt"
+
+	"nmsl/internal/ast"
+)
+
+// Proxy network management (paper section 3.1): "some network elements
+// cannot respond to management queries directly", e.g. LAN bridges
+// without high-level protocol support, so a proxy process answers on
+// their behalf. "Specifying proxies requires NMSL to model the
+// interactions between the proxy and the managed network element, as
+// well as any data transformations made between the proxy protocol and
+// the normal protocol. Once again, the specification of interactions
+// must include the frequency of interaction."
+//
+// The basic language carries no proxies clause; it arrives through the
+// extension mechanism (the canonical NMSL/EXT example in this
+// repository). The model reads the captured extension clauses — keyword
+// "proxies", one proxied element name, an optional protocol ("via") and
+// a polling frequency — and folds them into checking and load
+// estimation.
+
+// Proxy is one proxy relationship: an instance that answers management
+// queries on behalf of a network element, polling it over a proxy
+// protocol.
+type Proxy struct {
+	// Inst is the proxy process instance.
+	Inst *Instance
+	// Element names the managed network element.
+	Element string
+	// Protocol is the proxy-side protocol ("via" subclause), if given.
+	Protocol string
+	// Freq bounds how often the proxy polls the element.
+	Freq ast.Freq
+}
+
+// String renders the relationship.
+func (p Proxy) String() string {
+	s := fmt.Sprintf("proxy(%s for %s", p.Inst.ID, p.Element)
+	if p.Protocol != "" {
+		s += " via " + p.Protocol
+	}
+	return s + ", polling " + p.Freq.String() + ")"
+}
+
+// proxyClauses returns the proxies extension clauses of a process type.
+func proxyClauses(spec *ast.Spec, procName string) []ast.ExtClause {
+	var out []ast.ExtClause
+	for _, ec := range spec.Ext[ast.ExtKey("process", procName)] {
+		if ec.Keyword == "proxies" {
+			out = append(out, ec)
+		}
+	}
+	return out
+}
+
+// buildProxies expands proxy declarations over instances.
+func (m *Model) buildProxies() {
+	for _, in := range m.Instances {
+		for _, ec := range proxyClauses(m.Spec, in.Proc.Name) {
+			if len(ec.Names) == 0 {
+				continue
+			}
+			p := Proxy{Inst: in, Element: ec.Names[0], Freq: ec.Freq}
+			if len(ec.Raw) > 0 {
+				p.Protocol = ec.Raw[0].Text
+			}
+			m.Proxies = append(m.Proxies, p)
+		}
+	}
+}
+
+// Proxy violation kinds.
+const (
+	// KindProxyUnknownElement: the proxied element is not a declared
+	// system, so its capabilities cannot be verified.
+	KindProxyUnknownElement Kind = "proxy-unknown-element"
+	// KindProxyView: the proxy supports (relays) data the proxied
+	// element does not itself support — there is nothing to transform it
+	// from.
+	KindProxyView Kind = "proxy-view"
+	// KindProxyFrequency: the proxy answers clients more often than it
+	// is allowed to poll the element, so it would serve stale data or
+	// overload the element.
+	KindProxyFrequency Kind = "proxy-frequency"
+)
+
+// checkProxies validates every proxy relationship.
+func (c *Checker) checkProxies(out *[]Violation) {
+	for _, p := range c.m.Proxies {
+		elem := c.m.Spec.Systems[p.Element]
+		if elem == nil {
+			*out = append(*out, Violation{
+				Kind: KindProxyUnknownElement,
+				Message: fmt.Sprintf("%s: proxied element %q is not a declared system",
+					p, p.Element),
+			})
+			continue
+		}
+		// The proxy's supported view must be transformable from the
+		// element's: every subtree the proxy relays must lie under data
+		// the element supports.
+		for _, v := range p.Inst.Proc.Supports {
+			node := c.m.resolveVar(v)
+			if node == nil {
+				continue
+			}
+			if !c.m.viewCovers(elem.Supports, node) {
+				*out = append(*out, Violation{
+					Kind: KindProxyView,
+					Message: fmt.Sprintf("%s: proxy relays %s which element %s does not support",
+						p, node.Path(), p.Element),
+				})
+			}
+		}
+		// Exports answered from proxied data must not promise clients a
+		// faster rate than the proxy may poll: an export permitting
+		// queries every Te seconds with a poll every Tp > Te seconds
+		// would answer from stale data.
+		pollPeriod := p.Freq.MinPeriodSeconds()
+		if p.Freq.Infrequent || pollPeriod == 0 {
+			continue
+		}
+		for _, ex := range p.Inst.Proc.Exports {
+			expPeriod := ex.Freq.MinPeriodSeconds()
+			if !ex.Freq.Infrequent && expPeriod < pollPeriod {
+				*out = append(*out, Violation{
+					Kind: KindProxyFrequency,
+					Message: fmt.Sprintf("%s: exports to %q permit queries every %gs but the element is polled only every %gs",
+						p, ex.To, expPeriod, pollPeriod),
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package extension implements the NMSL extension language (paper
+// section 6.3, NMSL/EXT in Figure 3.1).
+//
+// "The extension input to the NMSL Compiler is a simple list of typed
+// keywords and actions. ... The compiler creates an internal, extended
+// keyword table and an extended action table from the extension language
+// input when it begins execution." Extension entries are prepended to the
+// basic tables, so:
+//
+//   - a new keyword extends the language;
+//   - an existing keyword overrides it — but "only the actions specified
+//     in the extension override the basic actions": an extension that
+//     provides just an output action tagged DavesSnmpd for the basic
+//     "queries" clause replaces only that output action, never the basic
+//     generic processing.
+//
+// Extension files are themselves parsed with the generalized grammar
+// (they have the same header/clauses/trailer shape as any NMSL
+// specification), which is what preserves "the look and feel of the basic
+// language". An extension declaration looks like:
+//
+//	extension proxies ::=
+//	    clause proxies;                 -- the keyword being defined
+//	    decltype process;               -- where it may appear
+//	    subkeywords via;                -- nested subclause keywords
+//	    semantics namelist;             -- generic action vocabulary
+//	    output consistency "proxy_for(@decl@, @name0@).";
+//	end extension proxies.
+//
+// The semantics vocabulary covers the clause shapes the basic language
+// uses: "namelist" (a comma-separated name list), "frequency" (a Freq),
+// and "raw" (items preserved verbatim). Captured data lands in the
+// specification's extension side store (ast.Spec.Ext). Output actions are
+// line templates with @decl@, @declname@, @keyword@, @nameN@ and @names@
+// placeholders.
+package extension
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nmsl/internal/ast"
+	"nmsl/internal/parser"
+	"nmsl/internal/sema"
+)
+
+// Semantics names the generic-action vocabulary for extension clauses.
+type Semantics string
+
+// Supported semantics kinds.
+const (
+	// SemNameList validates a comma-separated list of names.
+	SemNameList Semantics = "namelist"
+	// SemFrequency validates a frequency clause body.
+	SemFrequency Semantics = "frequency"
+	// SemRaw accepts anything and preserves the items.
+	SemRaw Semantics = "raw"
+	// SemNone installs no generic action: the basic language's generic
+	// action (if any) keeps running. Used to override only outputs.
+	SemNone Semantics = "none"
+)
+
+// Extension is one parsed extension declaration: a keyword with its
+// placement, semantics and output templates.
+type Extension struct {
+	// Name is the extension declaration's name.
+	Name string
+	// Keyword is the clause keyword being defined or overridden.
+	Keyword string
+	// DeclType restricts the clause to one declaration type ("" = any).
+	DeclType string
+	// SubKeywords begin nested subclauses.
+	SubKeywords []string
+	// Sem selects the generic action.
+	Sem Semantics
+	// Outputs maps output tags to line templates.
+	Outputs map[string]string
+}
+
+// ParseFile parses NMSL/EXT source into extensions. Every declaration
+// must have type "extension".
+func ParseFile(name, src string) ([]*Extension, error) {
+	f, err := parser.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Extension
+	for _, d := range f.Decls {
+		e, err := fromDecl(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func fromDecl(d *parser.Decl) (*Extension, error) {
+	if d.Type != "extension" {
+		return nil, fmt.Errorf("%s: expected an extension declaration, found %q", d.Pos, d.Type)
+	}
+	e := &Extension{Name: d.Name, Sem: SemNone, Outputs: map[string]string{}}
+	for _, c := range d.Clauses {
+		items := c.Items
+		if len(items) == 0 || items[0].Kind != parser.Word {
+			return nil, fmt.Errorf("%s: malformed extension clause", c.Pos)
+		}
+		kw, args := items[0].Text, items[1:]
+		switch kw {
+		case "clause":
+			if len(args) != 1 || args[0].Kind != parser.Word {
+				return nil, fmt.Errorf("%s: \"clause\" takes one keyword", c.Pos)
+			}
+			e.Keyword = args[0].Text
+		case "decltype":
+			if len(args) != 1 || args[0].Kind != parser.Word {
+				return nil, fmt.Errorf("%s: \"decltype\" takes one declaration type", c.Pos)
+			}
+			e.DeclType = args[0].Text
+		case "subkeywords":
+			for _, a := range args {
+				if a.Kind == parser.Op && a.Text == "," {
+					continue
+				}
+				if a.Kind != parser.Word {
+					return nil, fmt.Errorf("%s: bad subkeyword %s", c.Pos, a.String())
+				}
+				e.SubKeywords = append(e.SubKeywords, a.Text)
+			}
+		case "semantics":
+			if len(args) != 1 || args[0].Kind != parser.Word {
+				return nil, fmt.Errorf("%s: \"semantics\" takes one kind", c.Pos)
+			}
+			switch Semantics(args[0].Text) {
+			case SemNameList, SemFrequency, SemRaw, SemNone:
+				e.Sem = Semantics(args[0].Text)
+			default:
+				return nil, fmt.Errorf("%s: unknown semantics %q (want namelist, frequency, raw or none)", c.Pos, args[0].Text)
+			}
+		case "output":
+			if len(args) != 2 || args[0].Kind != parser.Word || args[1].Kind != parser.Str {
+				return nil, fmt.Errorf("%s: \"output\" takes a tag and a template string", c.Pos)
+			}
+			e.Outputs[args[0].Text] = args[1].Text
+		default:
+			return nil, fmt.Errorf("%s: unknown extension clause %q", c.Pos, kw)
+		}
+	}
+	if e.Keyword == "" {
+		return nil, fmt.Errorf("%s: extension %s missing \"clause\" keyword", d.Pos, e.Name)
+	}
+	return e, nil
+}
+
+// Install prepends the extension's keyword and action entries to the
+// compiler tables, exactly the prepend-and-override mechanism of section
+// 6.3.
+func (e *Extension) Install(t *sema.Tables) {
+	entry := &sema.ClauseEntry{
+		DeclType:    e.DeclType,
+		Keyword:     e.Keyword,
+		SubKeywords: e.SubKeywords,
+	}
+	if e.Sem != SemNone {
+		entry.Generic = e.genericAction()
+	}
+	if len(e.Outputs) > 0 {
+		entry.Outputs = map[string]func(*sema.ClauseContext, *sema.Emitter) error{}
+		for tag, tmpl := range e.Outputs {
+			entry.Outputs[tag] = e.outputAction(tmpl)
+		}
+	}
+	t.PrependClause(entry)
+}
+
+// InstallAll installs every extension in order; later files still end up
+// ahead of the basic tables, and earlier extensions ahead of later ones
+// per the paper ("prepending allows extensions to override").
+func InstallAll(t *sema.Tables, exts []*Extension) {
+	for i := len(exts) - 1; i >= 0; i-- {
+		exts[i].Install(t)
+	}
+}
+
+// capture parses clause items per the extension's semantics.
+func (e *Extension) capture(ctx *sema.ClauseContext) (ast.ExtClause, error) {
+	ec := ast.ExtClause{
+		DeclType: ctx.Decl.Type,
+		DeclName: ctx.Decl.Name,
+		Keyword:  e.Keyword,
+		Pos:      ctx.Clause.Pos,
+	}
+	lead := ctx.Subs[0].Items
+	switch e.Sem {
+	case SemNameList:
+		var names []string
+		for _, it := range lead {
+			if it.Kind == parser.Op && it.Text == "," {
+				continue
+			}
+			if it.Kind != parser.Word && it.Kind != parser.Str {
+				return ec, fmt.Errorf("%s clause: expected a name, found %s", e.Keyword, it.String())
+			}
+			names = append(names, it.Text)
+		}
+		if len(names) == 0 {
+			return ec, fmt.Errorf("%s clause: empty name list", e.Keyword)
+		}
+		ec.Names = names
+	case SemFrequency:
+		fr, err := ast.ParseFreq(lead)
+		if err != nil {
+			return ec, fmt.Errorf("%s clause: %s", e.Keyword, err)
+		}
+		ec.Freq = fr
+	case SemRaw:
+		ec.Raw = append(ec.Raw, ctx.Clause.Items[1:]...)
+	}
+	// nested subclauses are preserved raw for all semantics; frequency
+	// subclauses additionally parse into the Freq slot so extensions can
+	// carry timing characteristics like the basic language does.
+	for _, sub := range ctx.Subs[1:] {
+		if sub.Keyword == "frequency" {
+			fr, err := ast.ParseFreq(sub.Items)
+			if err != nil {
+				return ec, fmt.Errorf("%s clause frequency: %s", e.Keyword, err)
+			}
+			ec.Freq = fr
+			continue
+		}
+		ec.Raw = append(ec.Raw, sub.Items...)
+	}
+	return ec, nil
+}
+
+func (e *Extension) genericAction() func(*sema.ClauseContext) error {
+	return func(ctx *sema.ClauseContext) error {
+		ec, err := e.capture(ctx)
+		if err != nil {
+			return err
+		}
+		key := ast.ExtKey(ctx.Decl.Type, ctx.Decl.Name)
+		ctx.Spec.Ext[key] = append(ctx.Spec.Ext[key], ec)
+		return nil
+	}
+}
+
+// outputAction renders the template once per clause. Placeholders:
+// @decl@ (decl type), @declname@, @keyword@, @names@ (comma-joined
+// word/string arguments of the clause's lead subclause), @nameN@ (the
+// N-th of those).
+func (e *Extension) outputAction(tmpl string) func(*sema.ClauseContext, *sema.Emitter) error {
+	return func(ctx *sema.ClauseContext, em *sema.Emitter) error {
+		var names []string
+		for _, it := range ctx.Subs[0].Items {
+			if it.Kind == parser.Word || it.Kind == parser.Str {
+				names = append(names, it.Text)
+			}
+		}
+		line := tmpl
+		line = strings.ReplaceAll(line, "@decl@", ctx.Decl.Type)
+		line = strings.ReplaceAll(line, "@declname@", ctx.Decl.Name)
+		line = strings.ReplaceAll(line, "@keyword@", e.Keyword)
+		line = strings.ReplaceAll(line, "@names@", strings.Join(names, ","))
+		for i, n := range names {
+			line = strings.ReplaceAll(line, "@name"+strconv.Itoa(i)+"@", n)
+		}
+		em.Println(line)
+		return nil
+	}
+}

@@ -1,0 +1,356 @@
+// Package logic implements the CLP(R)-style deduction engine behind the
+// NMSL Consistency Checker (paper section 4.2).
+//
+// The paper's checker is a front end to CLP(R), "chosen because of its
+// speed in performing logical deduction, and its ability to check numeric
+// constraints over the real numbers. Numeric constraints are important
+// for specifying timing and other resource limitations of interactions."
+// This package provides the same capability set from scratch:
+//
+//   - Horn-clause deduction: SLD resolution with unification and
+//     backtracking over an asserted fact/rule base;
+//   - closed-world negation as failure, which is what makes "prove
+//     inconsistency" a terminating query over a finite specification;
+//   - a store of linear arithmetic constraints over exact rationals,
+//     checked for satisfiability with Fourier-Motzkin elimination, and
+//     projectable onto a single variable to "run the consistency check in
+//     reverse" and solve for admissible parameter ranges (section 4.2).
+//
+// Rationals (math/big.Rat) rather than floats keep boundary frequencies
+// exact: a permission of "every 300 seconds" and a reference of "every
+// 300 seconds" must compare equal, not within epsilon.
+package logic
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// LinExpr is a linear expression over solver variables:
+// Const + Σ Coeffs[v]·v.
+type LinExpr struct {
+	// Coeffs maps variable ids to coefficients. Zero coefficients are
+	// removed.
+	Coeffs map[int]*big.Rat
+	// Const is the constant term.
+	Const *big.Rat
+}
+
+// NewConst returns a constant expression.
+func NewConst(r *big.Rat) LinExpr {
+	return LinExpr{Coeffs: map[int]*big.Rat{}, Const: new(big.Rat).Set(r)}
+}
+
+// NewVarExpr returns the expression consisting of a single variable.
+func NewVarExpr(id int) LinExpr {
+	return LinExpr{Coeffs: map[int]*big.Rat{id: big.NewRat(1, 1)}, Const: new(big.Rat)}
+}
+
+// Clone returns a deep copy.
+func (e LinExpr) Clone() LinExpr {
+	c := LinExpr{Coeffs: make(map[int]*big.Rat, len(e.Coeffs)), Const: new(big.Rat).Set(e.Const)}
+	for id, co := range e.Coeffs {
+		c.Coeffs[id] = new(big.Rat).Set(co)
+	}
+	return c
+}
+
+// AddScaled returns e + k·other as a new expression.
+func (e LinExpr) AddScaled(other LinExpr, k *big.Rat) LinExpr {
+	out := e.Clone()
+	for id, co := range other.Coeffs {
+		cur, ok := out.Coeffs[id]
+		if !ok {
+			cur = new(big.Rat)
+			out.Coeffs[id] = cur
+		}
+		cur.Add(cur, new(big.Rat).Mul(co, k))
+		if cur.Sign() == 0 {
+			delete(out.Coeffs, id)
+		}
+	}
+	out.Const.Add(out.Const, new(big.Rat).Mul(other.Const, k))
+	return out
+}
+
+// Sub returns e - other.
+func (e LinExpr) Sub(other LinExpr) LinExpr {
+	return e.AddScaled(other, big.NewRat(-1, 1))
+}
+
+// IsConst reports whether the expression has no variables.
+func (e LinExpr) IsConst() bool { return len(e.Coeffs) == 0 }
+
+// Vars returns the variable ids in ascending order.
+func (e LinExpr) Vars() []int {
+	out := make([]int, 0, len(e.Coeffs))
+	for id := range e.Coeffs {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String renders the expression for diagnostics.
+func (e LinExpr) String() string {
+	var parts []string
+	for _, id := range e.Vars() {
+		parts = append(parts, fmt.Sprintf("%s·v%d", e.Coeffs[id].RatString(), id))
+	}
+	if e.Const.Sign() != 0 || len(parts) == 0 {
+		parts = append(parts, e.Const.RatString())
+	}
+	return strings.Join(parts, " + ")
+}
+
+// ConOp is a constraint comparison against zero.
+type ConOp uint8
+
+const (
+	// OpLE is expr ≤ 0.
+	OpLE ConOp = iota
+	// OpLT is expr < 0.
+	OpLT
+	// OpEQ is expr = 0.
+	OpEQ
+)
+
+func (op ConOp) String() string {
+	switch op {
+	case OpLE:
+		return "<= 0"
+	case OpLT:
+		return "< 0"
+	case OpEQ:
+		return "= 0"
+	}
+	return "?"
+}
+
+// Constraint is a normalized linear constraint: Expr Op 0.
+type Constraint struct {
+	Expr LinExpr
+	Op   ConOp
+}
+
+// String renders the constraint for diagnostics.
+func (c Constraint) String() string { return c.Expr.String() + " " + c.Op.String() }
+
+// NewConstraint builds lhs op rhs with op one of "<", "<=", ">", ">=",
+// "=": the result is normalized to Expr ⊴ 0 form.
+func NewConstraint(lhs LinExpr, op string, rhs LinExpr) (Constraint, error) {
+	switch op {
+	case "<":
+		return Constraint{Expr: lhs.Sub(rhs), Op: OpLT}, nil
+	case "<=":
+		return Constraint{Expr: lhs.Sub(rhs), Op: OpLE}, nil
+	case ">":
+		return Constraint{Expr: rhs.Sub(lhs), Op: OpLT}, nil
+	case ">=":
+		return Constraint{Expr: rhs.Sub(lhs), Op: OpLE}, nil
+	case "=", "=:=":
+		return Constraint{Expr: lhs.Sub(rhs), Op: OpEQ}, nil
+	}
+	return Constraint{}, fmt.Errorf("unknown constraint operator %q", op)
+}
+
+// evalConst checks a variable-free constraint.
+func (c Constraint) evalConst() bool {
+	s := c.Expr.Const.Sign()
+	switch c.Op {
+	case OpLE:
+		return s <= 0
+	case OpLT:
+		return s < 0
+	case OpEQ:
+		return s == 0
+	}
+	return false
+}
+
+// splitEQ rewrites an equality as the two inequalities e ≤ 0 and -e ≤ 0.
+func splitEQ(c Constraint) []Constraint {
+	if c.Op != OpEQ {
+		return []Constraint{c}
+	}
+	neg := NewConst(new(big.Rat)).Sub(c.Expr)
+	return []Constraint{
+		{Expr: c.Expr, Op: OpLE},
+		{Expr: neg, Op: OpLE},
+	}
+}
+
+// eliminate removes variable id from the constraint set using
+// Fourier-Motzkin: every (lower, upper) bound pair combines into a new
+// constraint, and constraints not mentioning id pass through. Input must
+// contain no equalities.
+func eliminate(cons []Constraint, id int) []Constraint {
+	var lowers, uppers, rest []Constraint
+	for _, c := range cons {
+		co, ok := c.Expr.Coeffs[id]
+		if !ok {
+			rest = append(rest, c)
+			continue
+		}
+		if co.Sign() > 0 {
+			uppers = append(uppers, c) // a·x + r ⊴ 0, a>0 → x ⊴ -r/a
+		} else {
+			lowers = append(lowers, c) // a<0 → x ⊵ -r/a
+		}
+	}
+	for _, lo := range lowers {
+		for _, up := range uppers {
+			// lo: a·x + r ⊴ 0 (a<0); up: b·x + s ⊴ 0 (b>0).
+			// Combine: b·(lo) + (-a)·(up) eliminates x.
+			a := lo.Expr.Coeffs[id]
+			b := up.Expr.Coeffs[id]
+			negA := new(big.Rat).Neg(a)
+			comb := lo.Expr.Clone()
+			// scale lo by b
+			scaled := NewConst(new(big.Rat)).AddScaled(comb, b)
+			scaled = scaled.AddScaled(up.Expr, negA)
+			op := OpLE
+			if lo.Op == OpLT || up.Op == OpLT {
+				op = OpLT
+			}
+			delete(scaled.Coeffs, id) // exact arithmetic zeroes it; be safe
+			rest = append(rest, Constraint{Expr: scaled, Op: op})
+		}
+	}
+	return rest
+}
+
+// allVars returns every variable id mentioned by the constraints.
+func allVars(cons []Constraint) []int {
+	seen := map[int]bool{}
+	for _, c := range cons {
+		for id := range c.Expr.Coeffs {
+			seen[id] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Satisfiable reports whether the constraint set has a solution over the
+// reals, by eliminating every variable and checking the resulting
+// variable-free constraints.
+func Satisfiable(cons []Constraint) bool {
+	var work []Constraint
+	for _, c := range cons {
+		work = append(work, splitEQ(c)...)
+	}
+	for _, id := range allVars(work) {
+		work = eliminate(work, id)
+	}
+	for _, c := range work {
+		if !c.evalConst() {
+			return false
+		}
+	}
+	return true
+}
+
+// Interval is a (possibly unbounded, possibly empty) rational interval.
+type Interval struct {
+	// Lo/Hi are the bounds; nil means unbounded on that side.
+	Lo, Hi *big.Rat
+	// LoStrict/HiStrict mark open ends.
+	LoStrict, HiStrict bool
+	// Empty marks an unsatisfiable projection.
+	Empty bool
+}
+
+// Contains reports whether the interval contains the rational.
+func (iv Interval) Contains(r *big.Rat) bool {
+	if iv.Empty {
+		return false
+	}
+	if iv.Lo != nil {
+		cmp := r.Cmp(iv.Lo)
+		if cmp < 0 || (cmp == 0 && iv.LoStrict) {
+			return false
+		}
+	}
+	if iv.Hi != nil {
+		cmp := r.Cmp(iv.Hi)
+		if cmp > 0 || (cmp == 0 && iv.HiStrict) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the interval in mathematical notation.
+func (iv Interval) String() string {
+	if iv.Empty {
+		return "∅"
+	}
+	lo, hi := "-inf", "+inf"
+	lb, rb := "(", ")"
+	if iv.Lo != nil {
+		lo = iv.Lo.RatString()
+		if !iv.LoStrict {
+			lb = "["
+		}
+	}
+	if iv.Hi != nil {
+		hi = iv.Hi.RatString()
+		if !iv.HiStrict {
+			rb = "]"
+		}
+	}
+	return fmt.Sprintf("%s%s, %s%s", lb, lo, hi, rb)
+}
+
+// Project eliminates every variable except id and returns the admissible
+// interval for id. This implements the paper's reverse use of the
+// consistency check: "ask CLP(R) to solve for the parameters to the
+// references and permissions of the new specification."
+func Project(cons []Constraint, id int) Interval {
+	var work []Constraint
+	for _, c := range cons {
+		work = append(work, splitEQ(c)...)
+	}
+	for _, v := range allVars(work) {
+		if v == id {
+			continue
+		}
+		work = eliminate(work, v)
+	}
+	iv := Interval{}
+	for _, c := range work {
+		co, ok := c.Expr.Coeffs[id]
+		if !ok {
+			if !c.evalConst() {
+				return Interval{Empty: true}
+			}
+			continue
+		}
+		// co·x + r ⊴ 0 → x ⊴ -r/co (co>0) or x ⊵ -r/co (co<0)
+		bound := new(big.Rat).Neg(new(big.Rat).Quo(c.Expr.Const, co))
+		strict := c.Op == OpLT
+		if co.Sign() > 0 {
+			if iv.Hi == nil || bound.Cmp(iv.Hi) < 0 || (bound.Cmp(iv.Hi) == 0 && strict) {
+				iv.Hi, iv.HiStrict = bound, strict
+			}
+		} else {
+			if iv.Lo == nil || bound.Cmp(iv.Lo) > 0 || (bound.Cmp(iv.Lo) == 0 && strict) {
+				iv.Lo, iv.LoStrict = bound, strict
+			}
+		}
+	}
+	if iv.Lo != nil && iv.Hi != nil {
+		cmp := iv.Lo.Cmp(iv.Hi)
+		if cmp > 0 || (cmp == 0 && (iv.LoStrict || iv.HiStrict)) {
+			return Interval{Empty: true}
+		}
+	}
+	return iv
+}

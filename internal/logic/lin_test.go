@@ -1,0 +1,258 @@
+package logic
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func rat(n, d int64) *big.Rat { return big.NewRat(n, d) }
+
+func con(t *testing.T, lhs LinExpr, op string, rhs LinExpr) Constraint {
+	t.Helper()
+	c, err := NewConstraint(lhs, op, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSatisfiableSimple(t *testing.T) {
+	x := NewVarExpr(1)
+	cases := []struct {
+		cons []Constraint
+		want bool
+	}{
+		{nil, true},
+		{[]Constraint{con(t, x, ">=", NewConst(rat(5, 1)))}, true},
+		{[]Constraint{
+			con(t, x, ">=", NewConst(rat(5, 1))),
+			con(t, x, "<", NewConst(rat(5, 1))),
+		}, false},
+		{[]Constraint{
+			con(t, x, ">=", NewConst(rat(5, 1))),
+			con(t, x, "<=", NewConst(rat(5, 1))),
+		}, true},
+		{[]Constraint{
+			con(t, x, ">", NewConst(rat(5, 1))),
+			con(t, x, "<=", NewConst(rat(5, 1))),
+		}, false},
+		{[]Constraint{con(t, NewConst(rat(1, 1)), "<", NewConst(rat(2, 1)))}, true},
+		{[]Constraint{con(t, NewConst(rat(3, 1)), "<", NewConst(rat(2, 1)))}, false},
+		{[]Constraint{con(t, x, "=", NewConst(rat(7, 2)))}, true},
+	}
+	for i, c := range cases {
+		if got := Satisfiable(c.cons); got != c.want {
+			t.Errorf("case %d: Satisfiable = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestSatisfiableChain(t *testing.T) {
+	// x <= y, y <= z, z <= x forces x=y=z: satisfiable; adding x < z is not.
+	x, y, z := NewVarExpr(1), NewVarExpr(2), NewVarExpr(3)
+	chain := []Constraint{
+		con(t, x, "<=", y),
+		con(t, y, "<=", z),
+		con(t, z, "<=", x),
+	}
+	if !Satisfiable(chain) {
+		t.Error("equality cycle should be satisfiable")
+	}
+	if Satisfiable(append(chain, con(t, x, "<", z))) {
+		t.Error("strict cycle should be unsatisfiable")
+	}
+}
+
+func TestSatisfiableEquality(t *testing.T) {
+	// x = y + 3, y = 2 -> x = 5; x <= 4 contradicts.
+	x, y := NewVarExpr(1), NewVarExpr(2)
+	yPlus3 := y.AddScaled(NewConst(rat(3, 1)), rat(1, 1))
+	sys := []Constraint{
+		con(t, x, "=", yPlus3),
+		con(t, y, "=", NewConst(rat(2, 1))),
+	}
+	if !Satisfiable(sys) {
+		t.Fatal("system should be satisfiable")
+	}
+	if Satisfiable(append(sys, con(t, x, "<=", NewConst(rat(4, 1))))) {
+		t.Error("x=5, x<=4 should be unsatisfiable")
+	}
+	if !Satisfiable(append(sys, con(t, x, "<=", NewConst(rat(5, 1))))) {
+		t.Error("x=5, x<=5 should be satisfiable")
+	}
+}
+
+func TestExactRationalBoundary(t *testing.T) {
+	// The float-vs-rational ablation: 0.1+0.2 != 0.3 in float64, but
+	// 1/10 + 2/10 = 3/10 exactly.
+	x := NewVarExpr(1)
+	sum := NewConst(rat(1, 10)).AddScaled(NewConst(rat(2, 10)), rat(1, 1))
+	sys := []Constraint{
+		con(t, x, "=", sum),
+		con(t, x, "=", NewConst(rat(3, 10))),
+	}
+	if !Satisfiable(sys) {
+		t.Error("exact rationals must make 1/10+2/10 = 3/10")
+	}
+}
+
+func TestProjectInterval(t *testing.T) {
+	x, y := NewVarExpr(1), NewVarExpr(2)
+	// 5 <= x, x < 10, y independent
+	sys := []Constraint{
+		con(t, x, ">=", NewConst(rat(5, 1))),
+		con(t, x, "<", NewConst(rat(10, 1))),
+		con(t, y, ">=", NewConst(rat(0, 1))),
+	}
+	iv := Project(sys, 1)
+	if iv.Empty || iv.Lo.Cmp(rat(5, 1)) != 0 || iv.LoStrict || iv.Hi.Cmp(rat(10, 1)) != 0 || !iv.HiStrict {
+		t.Fatalf("interval %v", iv)
+	}
+	if iv.String() != "[5, 10)" {
+		t.Errorf("String() = %q", iv.String())
+	}
+	if !iv.Contains(rat(5, 1)) || !iv.Contains(rat(7, 1)) || iv.Contains(rat(10, 1)) || iv.Contains(rat(4, 1)) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestProjectThroughEquality(t *testing.T) {
+	// x = y + 2, 0 <= y <= 3 -> x in [2,5]
+	x, y := NewVarExpr(1), NewVarExpr(2)
+	sys := []Constraint{
+		con(t, x, "=", y.AddScaled(NewConst(rat(2, 1)), rat(1, 1))),
+		con(t, y, ">=", NewConst(rat(0, 1))),
+		con(t, y, "<=", NewConst(rat(3, 1))),
+	}
+	iv := Project(sys, 1)
+	if iv.Empty || iv.Lo.Cmp(rat(2, 1)) != 0 || iv.Hi.Cmp(rat(5, 1)) != 0 {
+		t.Fatalf("interval %v", iv)
+	}
+}
+
+func TestProjectUnbounded(t *testing.T) {
+	x := NewVarExpr(1)
+	iv := Project([]Constraint{con(t, x, ">", NewConst(rat(3, 1)))}, 1)
+	if iv.Lo.Cmp(rat(3, 1)) != 0 || !iv.LoStrict || iv.Hi != nil {
+		t.Fatalf("interval %v", iv)
+	}
+	if iv.String() != "(3, +inf)" {
+		t.Errorf("String() = %q", iv.String())
+	}
+}
+
+func TestProjectEmpty(t *testing.T) {
+	x := NewVarExpr(1)
+	iv := Project([]Constraint{
+		con(t, x, ">", NewConst(rat(3, 1))),
+		con(t, x, "<", NewConst(rat(3, 1))),
+	}, 1)
+	if !iv.Empty {
+		t.Fatalf("interval %v", iv)
+	}
+	if iv.String() != "∅" {
+		t.Errorf("String() = %q", iv.String())
+	}
+}
+
+func TestProjectPoint(t *testing.T) {
+	x := NewVarExpr(1)
+	iv := Project([]Constraint{con(t, x, "=", NewConst(rat(300, 1)))}, 1)
+	if iv.Empty || iv.Lo.Cmp(rat(300, 1)) != 0 || iv.Hi.Cmp(rat(300, 1)) != 0 || iv.LoStrict || iv.HiStrict {
+		t.Fatalf("interval %v", iv)
+	}
+}
+
+func TestLinExprString(t *testing.T) {
+	e := NewVarExpr(3).AddScaled(NewConst(rat(7, 2)), rat(1, 1))
+	if got := e.String(); got != "1·v3 + 7/2" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := NewConst(new(big.Rat)).String(); got != "0" {
+		t.Errorf("zero String() = %q", got)
+	}
+}
+
+func TestNewConstraintBadOp(t *testing.T) {
+	if _, err := NewConstraint(NewVarExpr(1), "!!", NewVarExpr(2)); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+// Property: a random system of interval constraints over independent
+// variables is satisfiable iff every variable's interval is non-empty.
+func TestSatisfiableMatchesIntervalsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 1 + rng.Intn(4)
+		var sys []Constraint
+		ok := true
+		for v := 1; v <= nVars; v++ {
+			lo := int64(rng.Intn(21) - 10)
+			hi := int64(rng.Intn(21) - 10)
+			loStrict := rng.Intn(2) == 0
+			hiStrict := rng.Intn(2) == 0
+			x := NewVarExpr(v)
+			opLo, opHi := ">=", "<="
+			if loStrict {
+				opLo = ">"
+			}
+			if hiStrict {
+				opHi = "<"
+			}
+			cl, _ := NewConstraint(x, opLo, NewConst(rat(lo, 1)))
+			ch, _ := NewConstraint(x, opHi, NewConst(rat(hi, 1)))
+			sys = append(sys, cl, ch)
+			if lo > hi || (lo == hi && (loStrict || hiStrict)) {
+				ok = false
+			}
+		}
+		return Satisfiable(sys) == ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the midpoint of a non-empty bounded projection satisfies the
+// original system when substituted.
+func TestProjectionWitnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x, y := NewVarExpr(1), NewVarExpr(2)
+		a := int64(rng.Intn(11) - 5)
+		b := a + int64(rng.Intn(10)) + 1
+		k := int64(rng.Intn(5) + 1)
+		// y in [a,b], x = k*y  ->  x in [k*a, k*b]
+		ky := NewConst(new(big.Rat)).AddScaled(y, rat(k, 1))
+		sys := []Constraint{
+			mustCon(y, ">=", NewConst(rat(a, 1))),
+			mustCon(y, "<=", NewConst(rat(b, 1))),
+			mustCon(x, "=", ky),
+		}
+		iv := Project(sys, 1)
+		if iv.Empty || iv.Lo == nil || iv.Hi == nil {
+			return false
+		}
+		wantLo, wantHi := rat(k*a, 1), rat(k*b, 1)
+		if iv.Lo.Cmp(wantLo) != 0 || iv.Hi.Cmp(wantHi) != 0 {
+			return false
+		}
+		mid := new(big.Rat).Add(iv.Lo, iv.Hi)
+		mid.Quo(mid, rat(2, 1))
+		return iv.Contains(mid)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustCon(lhs LinExpr, op string, rhs LinExpr) Constraint {
+	c, err := NewConstraint(lhs, op, rhs)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

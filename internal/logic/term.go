@@ -1,0 +1,289 @@
+package logic
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// TermKind discriminates term variants.
+type TermKind uint8
+
+const (
+	// KAtom is a symbolic constant.
+	KAtom TermKind = iota
+	// KNum is an exact rational number.
+	KNum
+	// KVar is a logic variable.
+	KVar
+	// KComp is a compound term: functor(args...).
+	KComp
+)
+
+// Term is a logic term. Terms are immutable values; variables are
+// identified by Ref and resolved through a Bindings store.
+type Term struct {
+	Kind TermKind
+	// Str is the atom name, the compound functor, or the variable's
+	// display name.
+	Str string
+	// Ref is the variable id (KVar only). Ids are unique per NewVar call.
+	Ref int
+	// Rat is the numeric value (KNum only).
+	Rat *big.Rat
+	// Args are the compound arguments (KComp only).
+	Args []Term
+}
+
+var varCtr atomic.Int64
+
+// NewVar returns a fresh variable with the given display name.
+func NewVar(name string) Term {
+	return Term{Kind: KVar, Str: name, Ref: int(varCtr.Add(1))}
+}
+
+// Atom returns an atom term.
+func Atom(name string) Term { return Term{Kind: KAtom, Str: name} }
+
+// Int returns a numeric term with integer value.
+func Int(v int64) Term { return Term{Kind: KNum, Rat: big.NewRat(v, 1)} }
+
+// Rat returns a numeric term; the rational is copied.
+func Rat(r *big.Rat) Term { return Term{Kind: KNum, Rat: new(big.Rat).Set(r)} }
+
+// Float returns a numeric term approximating f exactly as a rational.
+func Float(f float64) Term {
+	r := new(big.Rat)
+	r.SetFloat64(f)
+	return Term{Kind: KNum, Rat: r}
+}
+
+// Comp returns a compound term functor(args...).
+func Comp(functor string, args ...Term) Term {
+	return Term{Kind: KComp, Str: functor, Args: args}
+}
+
+// Indicator returns the predicate indicator "functor/arity" used to index
+// the clause database. Atoms are functor/0.
+func (t Term) Indicator() string {
+	switch t.Kind {
+	case KAtom:
+		return t.Str + "/0"
+	case KComp:
+		return fmt.Sprintf("%s/%d", t.Str, len(t.Args))
+	}
+	return ""
+}
+
+// String renders the term in Prolog-like syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case KAtom:
+		return quoteAtom(t.Str)
+	case KNum:
+		if t.Rat.IsInt() {
+			return t.Rat.Num().String()
+		}
+		return t.Rat.RatString()
+	case KVar:
+		return fmt.Sprintf("_%s%d", t.Str, t.Ref)
+	case KComp:
+		parts := make([]string, len(t.Args))
+		for i, a := range t.Args {
+			parts[i] = a.String()
+		}
+		return quoteAtom(t.Str) + "(" + strings.Join(parts, ",") + ")"
+	}
+	return "?"
+}
+
+// quoteAtom quotes atoms that are not plain lower-case identifiers, the
+// way Prolog output does.
+func quoteAtom(s string) string {
+	if s == "" {
+		return "''"
+	}
+	plain := s[0] >= 'a' && s[0] <= 'z'
+	if plain {
+		for _, r := range s {
+			if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_') {
+				plain = false
+				break
+			}
+		}
+	}
+	if plain {
+		return s
+	}
+	return "'" + strings.ReplaceAll(s, "'", "\\'") + "'"
+}
+
+// Bindings is a backtrackable variable binding store.
+type Bindings struct {
+	m     map[int]Term
+	trail []int
+}
+
+// NewBindings returns an empty store.
+func NewBindings() *Bindings {
+	return &Bindings{m: map[int]Term{}}
+}
+
+// Mark returns the current trail position for later Undo.
+func (b *Bindings) Mark() int { return len(b.trail) }
+
+// Undo unbinds everything bound since the mark.
+func (b *Bindings) Undo(mark int) {
+	for i := len(b.trail) - 1; i >= mark; i-- {
+		delete(b.m, b.trail[i])
+	}
+	b.trail = b.trail[:mark]
+}
+
+func (b *Bindings) bind(ref int, t Term) {
+	b.m[ref] = t
+	b.trail = append(b.trail, ref)
+}
+
+// Walk dereferences t one level at a time until it reaches a non-variable
+// or an unbound variable.
+func (b *Bindings) Walk(t Term) Term {
+	for t.Kind == KVar {
+		next, ok := b.m[t.Ref]
+		if !ok {
+			return t
+		}
+		t = next
+	}
+	return t
+}
+
+// Resolve fully substitutes bindings into t, recursing into compounds.
+func (b *Bindings) Resolve(t Term) Term {
+	t = b.Walk(t)
+	if t.Kind != KComp {
+		return t
+	}
+	args := make([]Term, len(t.Args))
+	for i, a := range t.Args {
+		args[i] = b.Resolve(a)
+	}
+	return Term{Kind: KComp, Str: t.Str, Args: args}
+}
+
+// occurs reports whether variable ref occurs in t (after walking).
+func (b *Bindings) occurs(ref int, t Term) bool {
+	t = b.Walk(t)
+	switch t.Kind {
+	case KVar:
+		return t.Ref == ref
+	case KComp:
+		for _, a := range t.Args {
+			if b.occurs(ref, a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Unify attempts to unify a and b under the store, binding variables as
+// needed. On failure the store is left as it was at entry.
+func (b *Bindings) Unify(x, y Term) bool {
+	mark := b.Mark()
+	if b.unify(x, y) {
+		return true
+	}
+	b.Undo(mark)
+	return false
+}
+
+func (b *Bindings) unify(x, y Term) bool {
+	x, y = b.Walk(x), b.Walk(y)
+	if x.Kind == KVar && y.Kind == KVar && x.Ref == y.Ref {
+		return true
+	}
+	if x.Kind == KVar {
+		if b.occurs(x.Ref, y) {
+			return false
+		}
+		b.bind(x.Ref, y)
+		return true
+	}
+	if y.Kind == KVar {
+		if b.occurs(y.Ref, x) {
+			return false
+		}
+		b.bind(y.Ref, x)
+		return true
+	}
+	switch x.Kind {
+	case KAtom:
+		return y.Kind == KAtom && x.Str == y.Str
+	case KNum:
+		return y.Kind == KNum && x.Rat.Cmp(y.Rat) == 0
+	case KComp:
+		if y.Kind != KComp || x.Str != y.Str || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !b.unify(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// rename returns a copy of t with every variable replaced by a fresh one,
+// using ren to keep shared variables shared.
+func rename(t Term, ren map[int]Term) Term {
+	switch t.Kind {
+	case KVar:
+		nv, ok := ren[t.Ref]
+		if !ok {
+			nv = NewVar(t.Str)
+			ren[t.Ref] = nv
+		}
+		return nv
+	case KComp:
+		args := make([]Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = rename(a, ren)
+		}
+		return Term{Kind: KComp, Str: t.Str, Args: args}
+	default:
+		return t
+	}
+}
+
+// termVars appends the distinct variable refs in t (unresolved) to dst.
+func termVars(t Term, seen map[int]bool, dst *[]int) {
+	switch t.Kind {
+	case KVar:
+		if !seen[t.Ref] {
+			seen[t.Ref] = true
+			*dst = append(*dst, t.Ref)
+		}
+	case KComp:
+		for _, a := range t.Args {
+			termVars(a, seen, dst)
+		}
+	}
+}
+
+// Vars returns the distinct variables of t in first-occurrence order.
+func Vars(t Term) []Term {
+	var refs []int
+	collect := map[int]bool{}
+	termVars(t, collect, &refs)
+	out := make([]Term, 0, len(refs))
+	for _, r := range refs {
+		out = append(out, Term{Kind: KVar, Ref: r})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ref < out[j].Ref })
+	return out
+}

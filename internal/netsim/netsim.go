@@ -1,0 +1,205 @@
+// Package netsim generates synthetic internets as NMSL specifications.
+//
+// The paper sets explicit scale goals (section 1): "on the order of
+// 100,000 networks (and gateways), 100,000 to a million hosts, and 10,000
+// administrative domains", and requires that NMSL "be easy to evaluate,
+// to allow quick answers to questions of consistency and to scale"
+// (section 3.1). There is no quantitative evaluation in the paper, so
+// this generator provides the workloads that turn those goals into
+// measurable experiments (EXPERIMENTS.md T-SCALE-1/2/3).
+//
+// The generated topology is a ring of administrative domains under one
+// "public" super-domain (optionally nested deeper). Each domain owns a
+// per-domain agent process type instantiated on every member system, and
+// one poller application that queries the next domain's agents. This
+// keeps references and permissions linear in the topology size, which is
+// the realistic regime — every poller names its target process type, as
+// a real configuration would; late-bound "*" targets are available
+// separately because they are the quadratic worst case.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"nmsl/internal/ast"
+	"nmsl/internal/consistency"
+	"nmsl/internal/parser"
+	"nmsl/internal/sema"
+)
+
+// Params sizes a synthetic internet.
+type Params struct {
+	// Domains is the number of leaf administrative domains (>= 1).
+	Domains int
+	// SystemsPerDomain is the number of network elements per domain.
+	SystemsPerDomain int
+	// NestingDepth adds layers of super-domains in a fan-out-of-10 tree
+	// between "public" and the leaf domains (0 = leaves directly under
+	// public).
+	NestingDepth int
+	// InconsistencyRate is the fraction of pollers that query faster
+	// than permitted (frequency violations to be found by the checker).
+	InconsistencyRate float64
+	// StarTargets makes pollers use late-bound "*" targets instead of
+	// naming the peer agent type (the quadratic worst case).
+	StarTargets bool
+	// RecursiveChains makes each domain's agent itself query the next
+	// domain's agent (the paper's recursive queries, section 3.1: "one
+	// server queries another server to process the query"), forming a
+	// ring of server-to-server references.
+	RecursiveChains bool
+	// Seed drives deterministic generation.
+	Seed int64
+}
+
+func (p *Params) fill() {
+	if p.Domains <= 0 {
+		p.Domains = 1
+	}
+	if p.SystemsPerDomain <= 0 {
+		p.SystemsPerDomain = 1
+	}
+}
+
+// ExpectedViolations returns how many frequency violations the generator
+// injected for the given parameters (each bad poller produces one
+// violation per target system).
+func ExpectedViolations(p Params) int {
+	p.fill()
+	rng := rand.New(rand.NewSource(p.Seed))
+	bad := 0
+	for d := 0; d < p.Domains; d++ {
+		if rng.Float64() < p.InconsistencyRate {
+			bad++
+		}
+	}
+	return bad * p.SystemsPerDomain
+}
+
+// Source renders the synthetic internet as NMSL specification text.
+func Source(p Params) string {
+	p.fill()
+	rng := rand.New(rand.NewSource(p.Seed))
+	var b strings.Builder
+	b.Grow(p.Domains * p.SystemsPerDomain * 256)
+
+	for d := 0; d < p.Domains; d++ {
+		peer := (d + 1) % p.Domains
+		badPoller := rng.Float64() < p.InconsistencyRate
+		pollFreq := ">= 5 minutes"
+		if badPoller {
+			pollFreq = ">= 1 minutes"
+		}
+		target := fmt.Sprintf("agentT%d", peer)
+		targetDecl := ""
+		if p.StarTargets {
+			target = "Tgt"
+			targetDecl = "(Tgt: Process)"
+		}
+		recursive := ""
+		if p.RecursiveChains {
+			// the agent resolves some queries by querying its peer: a
+			// server-to-server reference with its own frequency
+			recursive = fmt.Sprintf("\n    queries agentT%d\n        requests mgmt.mib.system.sysDescr\n        frequency >= 5 minutes;", peer)
+		}
+		fmt.Fprintf(&b, `
+process agentT%d ::=
+    supports mgmt.mib.system, mgmt.mib.ip;
+    exports mgmt.mib.system to "public"
+        access ReadOnly
+        frequency >= 5 minutes;%s
+end process agentT%d.
+
+process pollerT%d%s ::=
+    queries %s
+        requests mgmt.mib.system.sysDescr
+        frequency %s;
+end process pollerT%d.
+`, d, recursive, d, d, targetDecl, target, pollFreq, d)
+
+		for s := 0; s < p.SystemsPerDomain; s++ {
+			fmt.Fprintf(&b, `
+system "sys-%d-%d" ::=
+    cpu sparc;
+    interface ie0 net lan-%d type ethernet-csmacd speed 10000000 bps;
+    supports mgmt.mib.system, mgmt.mib.ip;
+    process agentT%d;
+end system "sys-%d-%d".
+`, d, s, d, d, d, s)
+		}
+
+		fmt.Fprintf(&b, "\ndomain dom%d ::=\n", d)
+		for s := 0; s < p.SystemsPerDomain; s++ {
+			fmt.Fprintf(&b, "    system \"sys-%d-%d\";\n", d, s)
+		}
+		if p.StarTargets {
+			fmt.Fprintf(&b, "    process pollerT%d(*);\n", d)
+		} else {
+			fmt.Fprintf(&b, "    process pollerT%d;\n", d)
+		}
+		fmt.Fprintf(&b, "end domain dom%d.\n", d)
+	}
+
+	writeDomainTree(&b, p)
+	return b.String()
+}
+
+// writeDomainTree emits the super-domain layers and the public root.
+func writeDomainTree(b *strings.Builder, p Params) {
+	children := make([]string, p.Domains)
+	for d := 0; d < p.Domains; d++ {
+		children[d] = fmt.Sprintf("dom%d", d)
+	}
+	level := 0
+	for p.NestingDepth > level && len(children) > 1 {
+		var parents []string
+		for i := 0; i < len(children); i += 10 {
+			end := i + 10
+			if end > len(children) {
+				end = len(children)
+			}
+			name := fmt.Sprintf("super%d-%d", level, i/10)
+			fmt.Fprintf(b, "\ndomain %s ::=\n", name)
+			for _, c := range children[i:end] {
+				fmt.Fprintf(b, "    domain %s;\n", c)
+			}
+			fmt.Fprintf(b, "end domain %s.\n", name)
+			parents = append(parents, name)
+		}
+		children = parents
+		level++
+	}
+	fmt.Fprintf(b, "\ndomain public ::=\n")
+	for _, c := range children {
+		fmt.Fprintf(b, "    domain %s;\n", c)
+	}
+	fmt.Fprintf(b, "end domain public.\n")
+}
+
+// Build parses and analyzes the synthetic internet into a typed
+// specification.
+func Build(p Params) (*ast.Spec, error) {
+	src := Source(p)
+	f, err := parser.Parse("netsim", src)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: generated source failed to parse: %w", err)
+	}
+	a := sema.NewAnalyzer()
+	a.AnalyzeFile(f)
+	spec, err := a.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("netsim: generated source failed analysis: %w", err)
+	}
+	return spec, nil
+}
+
+// Model builds the consistency model of the synthetic internet.
+func Model(p Params) (*consistency.Model, error) {
+	spec, err := Build(p)
+	if err != nil {
+		return nil, err
+	}
+	return consistency.BuildModel(spec), nil
+}

@@ -1,0 +1,118 @@
+// Package paperspec holds the verbatim example specifications from the
+// paper's figures (4.2, 4.4, 4.6, 4.8), lightly normalized where the
+// camera-ready copy has obvious typesetting artifacts. They are shared by
+// tests across the repository so that every figure is locked down in one
+// place.
+package paperspec
+
+// Figure42 is the IP address table type specification of Figure 4.2,
+// derived from the TCP/IP MIB (RFC 1066). The access mode of IpAddrEntry
+// is deliberately unspecified: it is inherited from the containing
+// ipAddrTable (ReadOnly), as the paper explains.
+const Figure42 = `
+type ipAddrTable ::=
+    SEQUENCE of IpAddrEntry;
+    access ReadOnly;
+end type ipAddrTable.
+
+type IpAddrEntry ::=
+    SEQUENCE {
+        ipAdEntAddr       IpAddress,
+        ipAdEntIfIndex    INTEGER,
+        ipAdEntNetMask    IpAddress,
+        ipAdEntBcastAddr  INTEGER
+    };
+end type IpAddrEntry.
+`
+
+// Figure44 holds the SNMP agent and application process specifications of
+// Figure 4.4. snmpdReadOnly supports the entire IETF MIB subtree and
+// exports it read-only to the "public" domain at no more than one query
+// every 5 minutes; snmpaddr queries an agent for an IpAddrEntry selected
+// by address.
+const Figure44 = `
+process snmpdReadOnly ::=
+    supports mgmt.mib;  -- entire MIB subtree
+    exports mgmt.mib to "public"
+        access ReadOnly
+        frequency >= 5 minutes;
+end process snmpdReadOnly.
+
+process snmpaddr(
+    SysAddr: Process; Dest: IpAddress) ::=
+    queries SysAddr
+        requests
+            mgmt.mib.ip.ipAddrTable.IpAddrEntry
+        using
+            mgmt.mib.ip.ipAddrTable.IpAddrEntry.ipAdEntAddr := Dest
+        frequency infrequent;
+end process snmpaddr.
+`
+
+// Figure46 is the network element specification of Figure 4.6:
+// romano.cs.wisc.edu, a SPARC running SunOS 4.0.1 with one 10 Mbps
+// ethernet interface, supporting most of the IETF MIB (no EGP group) and
+// running the read-only SNMP agent of Figure 4.4.
+const Figure46 = `
+system "romano.cs.wisc.edu" ::=
+    cpu sparc;
+    interface ie0 net wisc-research
+        type ethernet-csmacd
+        speed 10000000 bps;
+    opsys SunOS version 4.0.1;
+    supports
+        mgmt.mib.system, mgmt.mib.at,
+        mgmt.mib.interfaces,
+        mgmt.mib.ip, mgmt.mib.icmp,
+        mgmt.mib.tcp, mgmt.mib.udp;
+    process snmpdReadOnly;
+end system "romano.cs.wisc.edu".
+`
+
+// Figure48 is the domain specification of Figure 4.8: the wisc-cs domain
+// containing two network elements and an instance of the snmpaddr
+// application with late-bound ("*") parameters, exporting the full IETF
+// MIB to "public" read-only at >= 5 minute intervals.
+const Figure48 = `
+domain wisc-cs ::=
+    system romano.cs.wisc.edu;
+    system cs.wisc.edu;
+    process snmpaddr(*, *);
+    exports mgmt.mib to "public"
+        access ReadOnly
+        frequency >= 5 minutes;
+end domain wisc-cs.
+`
+
+// PublicDomain declares the "public" administrative domain referenced by
+// the exports in Figures 4.4 and 4.8. The paper leaves it implicit: in
+// SNMP practice "public" is the community everyone belongs to, so a
+// complete specification declares it as a domain containing the other
+// domains. Exporting "to public" then covers references from wisc-cs
+// members through the containment-distribution rule of section 4.2.
+const PublicDomain = `
+domain public ::=
+    domain wisc-cs;
+end domain public.
+`
+
+// CSWisc declares the second network element referenced by Figure 4.8.
+// The paper leaves its specification implicit.
+const CSWisc = `
+system "cs.wisc.edu" ::=
+    cpu sparc;
+    interface ie0 net wisc-research
+        type ethernet-csmacd
+        speed 10000000 bps;
+    opsys SunOS version 4.0.1;
+    supports
+        mgmt.mib.system, mgmt.mib.interfaces, mgmt.mib.ip;
+    process snmpdReadOnly;
+end system "cs.wisc.edu".
+`
+
+// Combined is the full, self-contained specification assembled from the
+// paper's figures: types, processes, both network elements, the wisc-cs
+// domain and the public domain. It is the canonical "consistent
+// specification" used by integration tests and the quickstart example.
+const Combined = Figure42 + Figure44 + Figure46 + CSWisc + Figure48 + PublicDomain

@@ -1,0 +1,533 @@
+// Package parser implements the first pass of the NMSL compiler: the
+// generalized grammar of Figure 6.1.
+//
+// Per section 6.1 of the paper, the first pass parses every specification
+// against one generic shape — a header ("decltype declname [params] ::="),
+// a body of keyword-led clauses terminated by ";", and a trailer
+// ("end decltype declname.") — and performs no semantic analysis. "Any
+// group of tokens will be accepted by the parsing pass, provided that the
+// group of tokens matches the basic format of the NMSL grammar. The task
+// of differentiating between the specifications and clauses is left for
+// the second pass." This is what makes the extension mechanism (section
+// 6.3) a pure table-prepend: new clauses parse without grammar changes.
+//
+// The parse tree is deliberately generic: a Decl holds flat Clauses, each
+// clause a flat list of Items. The semantic pass (internal/sema) splits
+// clause items into subclauses using the (extensible) keyword tables.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nmsl/internal/lexer"
+	"nmsl/internal/token"
+)
+
+// ItemKind classifies a clause item (the "token" and "list" productions of
+// Figure 6.1).
+type ItemKind int
+
+const (
+	// Word is an identifier or dotted name (mgmt.mib.ip.ipAddrTable).
+	Word ItemKind = iota
+	// Str is a quoted string literal.
+	Str
+	// Int is an unsigned integer literal.
+	Int
+	// Float is a floating point or dotted version literal (4.0.1).
+	Float
+	// Op is a special token: one of < <= > >= := : ,
+	Op
+	// Star is the late-binding placeholder "*" (Figure 4.8).
+	Star
+	// Group is a parenthesized or braced item sequence, used by ASN.1
+	// SEQUENCE bodies and by process instantiation parameter lists.
+	Group
+)
+
+func (k ItemKind) String() string {
+	switch k {
+	case Word:
+		return "Word"
+	case Str:
+		return "Str"
+	case Int:
+		return "Int"
+	case Float:
+		return "Float"
+	case Op:
+		return "Op"
+	case Star:
+		return "Star"
+	case Group:
+		return "Group"
+	}
+	return fmt.Sprintf("ItemKind(%d)", int(k))
+}
+
+// Item is one element of a clause: a word, literal, operator or group.
+type Item struct {
+	Kind ItemKind
+	// Text holds the word, string, operator or literal source text.
+	Text string
+	// IntVal is set for Int items.
+	IntVal int64
+	// FloatVal is set for Float items when the text is a plain float
+	// (it is 0 for dotted version literals such as "4.0.1").
+	FloatVal float64
+	// Items holds the contents of a Group. Delim is '(' or '{'.
+	Items []Item
+	Delim byte
+	Pos   token.Pos
+}
+
+// String renders the item approximately as it appeared in source.
+func (it Item) String() string {
+	switch it.Kind {
+	case Str:
+		return strconv.Quote(it.Text)
+	case Group:
+		parts := make([]string, len(it.Items))
+		for i, sub := range it.Items {
+			parts[i] = sub.String()
+		}
+		open, close := "(", ")"
+		if it.Delim == '{' {
+			open, close = "{", "}"
+		}
+		return open + strings.Join(parts, " ") + close
+	default:
+		return it.Text
+	}
+}
+
+// IsWord reports whether the item is a Word with the given text.
+func (it Item) IsWord(text string) bool { return it.Kind == Word && it.Text == text }
+
+// Clause is one ";"-terminated clause: a flat item sequence whose
+// decomposition into keyword-led subclauses happens in pass 2.
+type Clause struct {
+	Items []Item
+	Pos   token.Pos
+}
+
+// Keyword returns the leading word of the clause, or "" if the clause does
+// not start with a word.
+func (c *Clause) Keyword() string {
+	if len(c.Items) > 0 && c.Items[0].Kind == Word {
+		return c.Items[0].Text
+	}
+	return ""
+}
+
+// String renders the clause approximately as it appeared in source.
+func (c *Clause) String() string {
+	parts := make([]string, len(c.Items))
+	for i, it := range c.Items {
+		parts[i] = it.String()
+	}
+	return strings.Join(parts, " ") + ";"
+}
+
+// Param is one formal parameter of a declaration header, e.g.
+// "SysAddr: Process". Untyped parameters (instantiation arguments) leave
+// Type empty and put the value in Name/Value.
+type Param struct {
+	// Name is the parameter name for formal parameters.
+	Name string
+	// Type is the declared type name for formal parameters.
+	Type string
+	// Value holds the raw item for non-formal (value) parameters.
+	Value *Item
+	Pos   token.Pos
+}
+
+// Decl is one generic declaration:
+//
+//	decltype declname [ "(" params ")" ] "::=" clauses "end" decltype declname "."
+type Decl struct {
+	// Type is the declaration type keyword: type, process, system, domain,
+	// or any extension-defined declaration type.
+	Type string
+	// Name is the declaration name; quoted names keep their unquoted text
+	// and set Quoted.
+	Name   string
+	Quoted bool
+	Params []Param
+	// Clauses is the declaration body in source order.
+	Clauses []*Clause
+	Pos     token.Pos
+	End     token.Pos
+}
+
+// File is a parsed specification source file.
+type File struct {
+	Name  string
+	Decls []*Decl
+}
+
+// Error is a syntax error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList is a collection of syntax errors; it implements error.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+}
+
+// Err returns the list as an error, or nil when empty.
+func (l ErrorList) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+type parser struct {
+	toks []token.Token
+	pos  int
+	errs ErrorList
+}
+
+// Parse parses src as an NMSL specification. name is used in diagnostics
+// only. It returns the File together with any syntax errors; the File
+// contains every declaration that could be recovered.
+func Parse(name, src string) (*File, error) {
+	lx := lexer.New(src)
+	toks := lx.All()
+	p := &parser{toks: toks}
+	for _, le := range lx.Errors() {
+		p.errs = append(p.errs, &Error{Pos: le.Pos, Msg: le.Msg})
+	}
+	file := &File{Name: name}
+	for p.cur().Kind != token.EOF {
+		d := p.parseDecl()
+		if d != nil {
+			file.Decls = append(file.Decls, d)
+		} else {
+			p.recoverToNextDecl()
+		}
+	}
+	return file, p.errs.Err()
+}
+
+func (p *parser) cur() token.Token { return p.toks[p.pos] }
+func (p *parser) peek() token.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) advance() token.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(pos token.Pos, format string, args ...any) {
+	p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// recoverToNextDecl skips tokens until just after a PERIOD that plausibly
+// terminates a declaration, so that one malformed declaration does not
+// cascade.
+func (p *parser) recoverToNextDecl() {
+	for {
+		t := p.advance()
+		if t.Kind == token.EOF {
+			return
+		}
+		if t.Kind == token.PERIOD {
+			return
+		}
+	}
+}
+
+// parseName parses a declaration or member name: a STRING, or an IDENT
+// optionally extended by dotted segments (cs.wisc.edu appears unquoted as
+// a domain member in Figure 4.8).
+func (p *parser) parseName() (name string, quoted bool, ok bool) {
+	t := p.cur()
+	switch t.Kind {
+	case token.STRING:
+		p.advance()
+		return t.Text, true, true
+	case token.IDENT:
+		p.advance()
+		parts := []string{t.Text}
+		for p.cur().Kind == token.PERIOD && p.peek().Kind == token.IDENT {
+			p.advance()
+			parts = append(parts, p.advance().Text)
+		}
+		return strings.Join(parts, "."), false, true
+	default:
+		p.errorf(t.Pos, "expected declaration name, found %s", t)
+		return "", false, false
+	}
+}
+
+// parseTrailerName parses the declaration name in a trailer. Unlike
+// parseName it must not treat the declaration-terminating "." as a
+// dotted-name connector, so for unquoted names it consumes at most as many
+// dotted segments as the header name has.
+func (p *parser) parseTrailerName(header string) (string, bool) {
+	t := p.cur()
+	switch t.Kind {
+	case token.STRING:
+		p.advance()
+		return t.Text, true
+	case token.IDENT:
+		p.advance()
+		parts := []string{t.Text}
+		want := strings.Count(header, ".") + 1
+		for len(parts) < want && p.cur().Kind == token.PERIOD && p.peek().Kind == token.IDENT {
+			p.advance()
+			parts = append(parts, p.advance().Text)
+		}
+		return strings.Join(parts, "."), true
+	default:
+		p.errorf(t.Pos, "expected declaration name after \"end %s\", found %s", p.toks[p.pos-1].Text, t)
+		return "", false
+	}
+}
+
+func (p *parser) parseDecl() *Decl {
+	start := p.cur()
+	if start.Kind != token.IDENT {
+		p.errorf(start.Pos, "expected declaration type keyword, found %s", start)
+		return nil
+	}
+	d := &Decl{Type: start.Text, Pos: start.Pos}
+	p.advance()
+
+	name, quoted, ok := p.parseName()
+	if !ok {
+		return nil
+	}
+	d.Name, d.Quoted = name, quoted
+
+	if p.cur().Kind == token.LPAREN {
+		d.Params = p.parseParams()
+	}
+
+	if p.cur().Kind != token.DEFINE {
+		p.errorf(p.cur().Pos, "expected \"::=\" after declaration header, found %s", p.cur())
+		return nil
+	}
+	p.advance()
+
+	// Clause body: clauses until the word "end" appears at clause-start
+	// position.
+	for {
+		t := p.cur()
+		if t.Kind == token.EOF {
+			p.errorf(t.Pos, "unexpected end of input in %s %s (missing \"end %s %s.\")", d.Type, d.Name, d.Type, d.Name)
+			return d
+		}
+		if t.Is("end") {
+			break
+		}
+		c := p.parseClause()
+		if c != nil {
+			d.Clauses = append(d.Clauses, c)
+		}
+	}
+
+	// Trailer: end decltype declname "."
+	endTok := p.advance() // "end"
+	d.End = endTok.Pos
+	tt := p.cur()
+	if tt.Kind != token.IDENT {
+		p.errorf(tt.Pos, "expected declaration type after \"end\", found %s", tt)
+		return d
+	}
+	if tt.Text != d.Type {
+		p.errorf(tt.Pos, "declaration trailer type %q does not match header type %q", tt.Text, d.Type)
+	}
+	p.advance()
+	endName, ok := p.parseTrailerName(d.Name)
+	if !ok {
+		return d
+	}
+	if endName != d.Name {
+		p.errorf(tt.Pos, "declaration trailer name %q does not match header name %q", endName, d.Name)
+	}
+	if p.cur().Kind != token.PERIOD {
+		p.errorf(p.cur().Pos, "expected \".\" to terminate %s %s, found %s", d.Type, d.Name, p.cur())
+		return d
+	}
+	p.advance()
+	return d
+}
+
+// parseParams parses "(" param ("," | ";") param ... ")". The paper's
+// grammar (Figure 4.3) separates parameters with "," but its example
+// (Figure 4.4) uses ";"; both are accepted. A formal parameter is
+// "Name : Type"; a value parameter is any single item (Figure 4.8 uses
+// "*" placeholders at instantiation).
+func (p *parser) parseParams() []Param {
+	p.advance() // '('
+	var params []Param
+	for {
+		t := p.cur()
+		if t.Kind == token.RPAREN {
+			p.advance()
+			return params
+		}
+		if t.Kind == token.EOF {
+			p.errorf(t.Pos, "unterminated parameter list")
+			return params
+		}
+		if t.Kind == token.COMMA || t.Kind == token.SEMI {
+			p.advance()
+			continue
+		}
+		if t.Kind == token.IDENT && p.peek().Kind == token.COLON {
+			name := p.advance().Text
+			p.advance() // ':'
+			tt := p.cur()
+			if tt.Kind != token.IDENT {
+				p.errorf(tt.Pos, "expected type name after %q:, found %s", name, tt)
+				p.advance()
+				continue
+			}
+			p.advance()
+			params = append(params, Param{Name: name, Type: tt.Text, Pos: t.Pos})
+			continue
+		}
+		it := p.parseItem()
+		if it == nil {
+			p.advance()
+			continue
+		}
+		params = append(params, Param{Value: it, Pos: t.Pos})
+	}
+}
+
+// parseClause parses items until the terminating ";". Inside a clause,
+// PERIOD always joins dotted names (declaration-terminating periods only
+// occur after the trailer's "end").
+func (p *parser) parseClause() *Clause {
+	c := &Clause{Pos: p.cur().Pos}
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case token.SEMI:
+			p.advance()
+			return c
+		case token.EOF:
+			p.errorf(t.Pos, "unterminated clause (missing \";\")")
+			return c
+		case token.PERIOD:
+			// A stray period inside a clause is an error; most likely a
+			// missing semicolon before a declaration trailer.
+			p.errorf(t.Pos, "unexpected \".\" inside clause (missing \";\"?)")
+			p.advance()
+			return c
+		}
+		if t.Is("end") && len(c.Items) > 0 {
+			// Defensive: missing ";" before trailer. Report and stop the
+			// clause so the declaration trailer can still be parsed.
+			p.errorf(t.Pos, "missing \";\" before \"end\"")
+			return c
+		}
+		it := p.parseItem()
+		if it == nil {
+			p.advance()
+			continue
+		}
+		c.Items = append(c.Items, *it)
+	}
+}
+
+func (p *parser) parseItem() *Item {
+	t := p.cur()
+	switch t.Kind {
+	case token.IDENT:
+		p.advance()
+		text := t.Text
+		for p.cur().Kind == token.PERIOD && p.peek().Kind == token.IDENT {
+			p.advance()
+			text += "." + p.advance().Text
+		}
+		return &Item{Kind: Word, Text: text, Pos: t.Pos}
+	case token.STRING:
+		p.advance()
+		return &Item{Kind: Str, Text: t.Text, Pos: t.Pos}
+	case token.INT:
+		p.advance()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			p.errorf(t.Pos, "integer literal %q out of range", t.Text)
+		}
+		return &Item{Kind: Int, Text: t.Text, IntVal: v, Pos: t.Pos}
+	case token.FLOAT:
+		p.advance()
+		it := &Item{Kind: Float, Text: t.Text, Pos: t.Pos}
+		if v, err := strconv.ParseFloat(t.Text, 64); err == nil {
+			it.FloatVal = v
+		}
+		return it
+	case token.STAR:
+		p.advance()
+		return &Item{Kind: Star, Text: "*", Pos: t.Pos}
+	case token.LT, token.LE, token.GT, token.GE, token.ASSIGN, token.COLON, token.COMMA:
+		p.advance()
+		return &Item{Kind: Op, Text: t.Text, Pos: t.Pos}
+	case token.LPAREN, token.LBRACE:
+		return p.parseGroup()
+	default:
+		p.errorf(t.Pos, "unexpected %s in clause", t)
+		return nil
+	}
+}
+
+func (p *parser) parseGroup() *Item {
+	open := p.advance()
+	delim := byte('(')
+	closeKind := token.RPAREN
+	if open.Kind == token.LBRACE {
+		delim = '{'
+		closeKind = token.RBRACE
+	}
+	g := &Item{Kind: Group, Delim: delim, Pos: open.Pos}
+	for {
+		t := p.cur()
+		if t.Kind == closeKind {
+			p.advance()
+			return g
+		}
+		if t.Kind == token.EOF {
+			p.errorf(open.Pos, "unterminated %q group", string(delim))
+			return g
+		}
+		// Inside ASN.1 groups a ';' can appear (defensively skip it).
+		if t.Kind == token.SEMI {
+			p.advance()
+			continue
+		}
+		it := p.parseItem()
+		if it == nil {
+			p.advance()
+			continue
+		}
+		g.Items = append(g.Items, *it)
+	}
+}

@@ -1,0 +1,333 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nmsl/internal/paperspec"
+)
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse("test", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func TestFigure42Parses(t *testing.T) {
+	f := mustParse(t, paperspec.Figure42)
+	if len(f.Decls) != 2 {
+		t.Fatalf("want 2 decls, got %d", len(f.Decls))
+	}
+	d := f.Decls[0]
+	if d.Type != "type" || d.Name != "ipAddrTable" {
+		t.Fatalf("decl 0: %s %s", d.Type, d.Name)
+	}
+	if len(d.Clauses) != 2 {
+		t.Fatalf("want 2 clauses, got %d: %v", len(d.Clauses), d.Clauses)
+	}
+	if kw := d.Clauses[0].Keyword(); kw != "SEQUENCE" {
+		t.Errorf("clause 0 keyword %q", kw)
+	}
+	if kw := d.Clauses[1].Keyword(); kw != "access" {
+		t.Errorf("clause 1 keyword %q", kw)
+	}
+
+	entry := f.Decls[1]
+	if entry.Name != "IpAddrEntry" || len(entry.Clauses) != 1 {
+		t.Fatalf("decl 1: %+v", entry)
+	}
+	seq := entry.Clauses[0]
+	// SEQUENCE { ... } → Word("SEQUENCE"), Group{...}
+	if len(seq.Items) != 2 || seq.Items[1].Kind != Group || seq.Items[1].Delim != '{' {
+		t.Fatalf("SEQUENCE clause items: %v", seq.Items)
+	}
+	// group contents: 4 member name/type pairs separated by commas →
+	// 4*(2 words) + 3 commas = 11 items
+	if n := len(seq.Items[1].Items); n != 11 {
+		t.Errorf("group has %d items: %v", n, seq.Items[1].Items)
+	}
+}
+
+func TestFigure44Parses(t *testing.T) {
+	f := mustParse(t, paperspec.Figure44)
+	if len(f.Decls) != 2 {
+		t.Fatalf("want 2 decls, got %d", len(f.Decls))
+	}
+	agent := f.Decls[0]
+	if agent.Type != "process" || agent.Name != "snmpdReadOnly" {
+		t.Fatalf("agent: %s %s", agent.Type, agent.Name)
+	}
+	if len(agent.Clauses) != 2 {
+		t.Fatalf("agent clauses: %v", agent.Clauses)
+	}
+	exp := agent.Clauses[1]
+	if exp.Keyword() != "exports" {
+		t.Fatalf("clause 1 keyword %q", exp.Keyword())
+	}
+	// exports mgmt.mib to "public" access ReadOnly frequency >= 5 minutes
+	var texts []string
+	for _, it := range exp.Items {
+		texts = append(texts, it.String())
+	}
+	want := `exports mgmt.mib to "public" access ReadOnly frequency >= 5 minutes`
+	if got := strings.Join(texts, " "); got != want {
+		t.Errorf("exports clause:\n got %s\nwant %s", got, want)
+	}
+
+	app := f.Decls[1]
+	if app.Name != "snmpaddr" {
+		t.Fatalf("app name %q", app.Name)
+	}
+	if len(app.Params) != 2 {
+		t.Fatalf("params: %+v", app.Params)
+	}
+	if app.Params[0].Name != "SysAddr" || app.Params[0].Type != "Process" {
+		t.Errorf("param 0: %+v", app.Params[0])
+	}
+	if app.Params[1].Name != "Dest" || app.Params[1].Type != "IpAddress" {
+		t.Errorf("param 1: %+v", app.Params[1])
+	}
+	q := app.Clauses[0]
+	if q.Keyword() != "queries" {
+		t.Fatalf("queries clause keyword %q", q.Keyword())
+	}
+	// the using clause contains "name := Dest"
+	var hasAssign bool
+	for _, it := range q.Items {
+		if it.Kind == Op && it.Text == ":=" {
+			hasAssign = true
+		}
+	}
+	if !hasAssign {
+		t.Error("queries clause missing := in using subclause")
+	}
+}
+
+func TestFigure46Parses(t *testing.T) {
+	f := mustParse(t, paperspec.Figure46)
+	d := f.Decls[0]
+	if d.Type != "system" || d.Name != "romano.cs.wisc.edu" || !d.Quoted {
+		t.Fatalf("decl: %+v", d)
+	}
+	wantKw := []string{"cpu", "interface", "opsys", "supports", "process"}
+	if len(d.Clauses) != len(wantKw) {
+		t.Fatalf("clauses: %v", d.Clauses)
+	}
+	for i, kw := range wantKw {
+		if got := d.Clauses[i].Keyword(); got != kw {
+			t.Errorf("clause %d keyword %q, want %q", i, got, kw)
+		}
+	}
+	// interface clause: speed 10000000 bps
+	iface := d.Clauses[1]
+	var sawSpeed bool
+	for i, it := range iface.Items {
+		if it.IsWord("speed") {
+			if i+2 >= len(iface.Items) || iface.Items[i+1].Kind != Int ||
+				iface.Items[i+1].IntVal != 10000000 || !iface.Items[i+2].IsWord("bps") {
+				t.Errorf("speed subclause malformed: %v", iface.Items[i:])
+			}
+			sawSpeed = true
+		}
+	}
+	if !sawSpeed {
+		t.Error("no speed subclause")
+	}
+	// opsys SunOS version 4.0.1 → version literal lexes as Float text
+	op := d.Clauses[2]
+	if len(op.Items) != 4 || op.Items[3].Kind != Float || op.Items[3].Text != "4.0.1" {
+		t.Errorf("opsys clause: %v", op.Items)
+	}
+}
+
+func TestFigure48Parses(t *testing.T) {
+	f := mustParse(t, paperspec.Figure48)
+	d := f.Decls[0]
+	if d.Type != "domain" || d.Name != "wisc-cs" {
+		t.Fatalf("decl: %+v", d)
+	}
+	// member: system romano.cs.wisc.edu (unquoted dotted name)
+	m := d.Clauses[0]
+	if m.Keyword() != "system" || len(m.Items) != 2 || m.Items[1].Text != "romano.cs.wisc.edu" {
+		t.Fatalf("member clause: %v", m.Items)
+	}
+	// process snmpaddr(*, *)
+	pc := d.Clauses[2]
+	if pc.Keyword() != "process" {
+		t.Fatalf("clause 2: %v", pc.Items)
+	}
+	if len(pc.Items) != 3 || pc.Items[2].Kind != Group {
+		t.Fatalf("instantiation: %v", pc.Items)
+	}
+	grp := pc.Items[2]
+	stars := 0
+	for _, it := range grp.Items {
+		if it.Kind == Star {
+			stars++
+		}
+	}
+	if stars != 2 {
+		t.Errorf("want 2 star params, got %d: %v", stars, grp.Items)
+	}
+}
+
+func TestCombinedParses(t *testing.T) {
+	f := mustParse(t, paperspec.Combined)
+	if len(f.Decls) != 8 {
+		t.Fatalf("want 8 decls, got %d", len(f.Decls))
+	}
+}
+
+func TestEmptyBodyDomain(t *testing.T) {
+	f := mustParse(t, "domain public ::= end domain public.")
+	if len(f.Decls) != 1 || len(f.Decls[0].Clauses) != 0 {
+		t.Fatalf("got %+v", f.Decls)
+	}
+}
+
+// The generalized grammar (Figure 6.1) accepts declarations and clauses
+// with unknown keywords; semantic validation is pass 2's job.
+func TestGeneralizedGrammarAcceptsUnknownKeywords(t *testing.T) {
+	src := `gadget frobnicator ::=
+	    whirl clockwise 3 times;
+	    color "blue";
+	end gadget frobnicator.`
+	f := mustParse(t, src)
+	d := f.Decls[0]
+	if d.Type != "gadget" || d.Name != "frobnicator" {
+		t.Fatalf("decl: %+v", d)
+	}
+	if len(d.Clauses) != 2 || d.Clauses[0].Keyword() != "whirl" {
+		t.Fatalf("clauses: %v", d.Clauses)
+	}
+}
+
+func TestTrailerTypeMismatch(t *testing.T) {
+	_, err := Parse("t", "type foo ::= access Any; end process foo.")
+	if err == nil || !strings.Contains(err.Error(), "trailer type") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTrailerNameMismatch(t *testing.T) {
+	_, err := Parse("t", "type foo ::= access Any; end type bar.")
+	if err == nil || !strings.Contains(err.Error(), "trailer name") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMissingDefine(t *testing.T) {
+	_, err := Parse("t", "type foo access Any; end type foo.")
+	if err == nil || !strings.Contains(err.Error(), "::=") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMissingSemicolonBeforeEnd(t *testing.T) {
+	f, err := Parse("t", "domain d ::= system x end domain d.")
+	if err == nil {
+		t.Fatal("want error for missing semicolon")
+	}
+	// recovery still yields the declaration
+	if len(f.Decls) != 1 {
+		t.Fatalf("decls: %+v", f.Decls)
+	}
+}
+
+func TestUnterminatedClause(t *testing.T) {
+	_, err := Parse("t", "domain d ::= system x")
+	if err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestRecoveryAcrossBadDecl(t *testing.T) {
+	src := `junk ( ::= ;.
+	domain ok ::= end domain ok.`
+	f, err := Parse("t", src)
+	if err == nil {
+		t.Fatal("want error from first decl")
+	}
+	found := false
+	for _, d := range f.Decls {
+		if d.Name == "ok" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("recovery failed, decls: %+v", f.Decls)
+	}
+}
+
+func TestFrequencyOperators(t *testing.T) {
+	for _, op := range []string{"<", "<=", ">", ">="} {
+		src := "process p ::= exports m to \"d\" access Any frequency " + op + " 2 hours; end process p."
+		f := mustParse(t, src)
+		cl := f.Decls[0].Clauses[0]
+		var found bool
+		for _, it := range cl.Items {
+			if it.Kind == Op && it.Text == op {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("operator %q not preserved: %v", op, cl.Items)
+		}
+	}
+}
+
+func TestClauseString(t *testing.T) {
+	f := mustParse(t, `domain d ::= exports mgmt.mib to "public" access ReadOnly frequency >= 5 minutes; end domain d.`)
+	got := f.Decls[0].Clauses[0].String()
+	want := `exports mgmt.mib to "public" access ReadOnly frequency >= 5 minutes;`
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestNestedGroups(t *testing.T) {
+	src := `type t ::= SEQUENCE { a SEQUENCE { b INTEGER }, c INTEGER }; end type t.`
+	f := mustParse(t, src)
+	outer := f.Decls[0].Clauses[0].Items[1]
+	if outer.Kind != Group {
+		t.Fatalf("outer: %v", outer)
+	}
+	var inner *Item
+	for i := range outer.Items {
+		if outer.Items[i].Kind == Group {
+			inner = &outer.Items[i]
+		}
+	}
+	if inner == nil || len(inner.Items) != 2 {
+		t.Fatalf("inner group: %+v", inner)
+	}
+}
+
+// Property: for arbitrary input, Parse never panics; either it returns
+// declarations or an error (or both, with recovery).
+func TestParseTotal(t *testing.T) {
+	f := func(src string) bool {
+		_, _ = Parse("q", src)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: well-formed single-clause declarations with arbitrary
+// identifier names round-trip the name.
+func TestParseDeclNameRoundTrip(t *testing.T) {
+	names := []string{"a", "zz", "wisc-cs", "a1", "deep.dotted.name"}
+	for _, n := range names {
+		src := "domain " + n + " ::= end domain " + n + "."
+		f := mustParse(t, src)
+		if f.Decls[0].Name != n {
+			t.Errorf("name %q parsed as %q", n, f.Decls[0].Name)
+		}
+	}
+}

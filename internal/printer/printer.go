@@ -1,0 +1,198 @@
+// Package printer renders a typed NMSL specification back to canonical
+// NMSL source text.
+//
+// The canonical form is stable (declarations sorted by kind, then name;
+// one clause per line; normalized spacing), which makes it useful for
+// formatting hand-written specifications, diffing generated ones, and —
+// through the round-trip property parse(print(x)) ≡ x — as a strong
+// correctness check on the whole front end.
+package printer
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"nmsl/internal/asn1"
+	"nmsl/internal/ast"
+	"nmsl/internal/mib"
+)
+
+// name renders a declaration or member name, quoting when the name
+// contains characters outside the identifier alphabet (dots require
+// quoting in declaration headers to round-trip unambiguously).
+func name(s string) string {
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '_' {
+			continue
+		}
+		return fmt.Sprintf("%q", s)
+	}
+	if s == "" {
+		return `""`
+	}
+	return s
+}
+
+// asn1Body renders an ASN.1 type in NMSL source syntax.
+func asn1Body(t *asn1.Type) string {
+	switch t.Kind {
+	case asn1.KindPrimitive:
+		switch t.Name {
+		case "OCTETSTRING":
+			return "OCTET STRING"
+		case "OBJECTIDENTIFIER":
+			return "OBJECT IDENTIFIER"
+		}
+		return t.Name
+	case asn1.KindRef:
+		return t.Name
+	case asn1.KindSequenceOf:
+		return "SEQUENCE of " + asn1Body(t.Elem)
+	case asn1.KindSequence:
+		parts := make([]string, len(t.Fields))
+		for i, f := range t.Fields {
+			parts[i] = f.Name + " " + asn1Body(f.Type)
+		}
+		return "SEQUENCE { " + strings.Join(parts, ", ") + " }"
+	}
+	return "NULL"
+}
+
+func freqSuffix(f ast.Freq) string {
+	if f.Unspecified() {
+		return ""
+	}
+	return " frequency " + f.String()
+}
+
+func accessSuffix(a mib.Access) string {
+	if a == mib.AccessUnspecified {
+		return ""
+	}
+	return " access " + a.String()
+}
+
+// Fprint writes the whole specification in canonical order: types,
+// processes, systems, domains, each alphabetical.
+func Fprint(w io.Writer, spec *ast.Spec) error {
+	var b strings.Builder
+	for _, n := range spec.TypeNames() {
+		printType(&b, spec.Types[n])
+	}
+	for _, n := range spec.ProcessNames() {
+		printProcess(&b, spec.Processes[n])
+	}
+	for _, n := range spec.SystemNames() {
+		printSystem(&b, spec.Systems[n])
+	}
+	for _, n := range spec.DomainNames() {
+		printDomain(&b, spec.Domains[n])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the specification to a string.
+func String(spec *ast.Spec) string {
+	var b strings.Builder
+	_ = Fprint(&b, spec)
+	return b.String()
+}
+
+func printType(b *strings.Builder, ts *ast.TypeSpec) {
+	fmt.Fprintf(b, "type %s ::=\n", ts.Name)
+	fmt.Fprintf(b, "    %s;\n", asn1Body(ts.Body))
+	if ts.Access != mib.AccessUnspecified {
+		fmt.Fprintf(b, "    access %s;\n", ts.Access)
+	}
+	fmt.Fprintf(b, "end type %s.\n\n", ts.Name)
+}
+
+func printExport(b *strings.Builder, ex ast.Export) {
+	fmt.Fprintf(b, "    exports %s to %q%s%s;\n",
+		strings.Join(ex.Vars, ", "), ex.To, accessSuffix(ex.Access), freqSuffix(ex.Freq))
+}
+
+func printProcess(b *strings.Builder, ps *ast.ProcessSpec) {
+	fmt.Fprintf(b, "process %s", ps.Name)
+	if len(ps.Params) > 0 {
+		parts := make([]string, len(ps.Params))
+		for i, p := range ps.Params {
+			parts[i] = p.Name + ": " + p.Type
+		}
+		fmt.Fprintf(b, "(%s)", strings.Join(parts, "; "))
+	}
+	b.WriteString(" ::=\n")
+	if len(ps.Supports) > 0 {
+		fmt.Fprintf(b, "    supports %s;\n", strings.Join(ps.Supports, ", "))
+	}
+	for _, ex := range ps.Exports {
+		printExport(b, ex)
+	}
+	for _, q := range ps.Queries {
+		fmt.Fprintf(b, "    queries %s requests %s", q.Target, strings.Join(q.Requests, ", "))
+		for _, sel := range q.Using {
+			fmt.Fprintf(b, " using %s := %s", sel.Var, sel.Value.String())
+		}
+		if q.Access != mib.AccessReadOnly {
+			b.WriteString(accessSuffix(q.Access))
+		}
+		b.WriteString(freqSuffix(q.Freq))
+		b.WriteString(";\n")
+	}
+	fmt.Fprintf(b, "end process %s.\n\n", ps.Name)
+}
+
+func printInstance(b *strings.Builder, pi ast.ProcInstance) {
+	fmt.Fprintf(b, "    process %s;\n", pi.String())
+}
+
+func printSystem(b *strings.Builder, ss *ast.SystemSpec) {
+	fmt.Fprintf(b, "system %s ::=\n", name(ss.Name))
+	fmt.Fprintf(b, "    cpu %s;\n", ss.CPU)
+	for _, ifc := range ss.Interfaces {
+		fmt.Fprintf(b, "    interface %s net %s", ifc.Name, ifc.Net)
+		if len(ifc.Protocols) > 0 {
+			fmt.Fprintf(b, " protocols %s", strings.Join(ifc.Protocols, ", "))
+		}
+		if ifc.Type != "" {
+			fmt.Fprintf(b, " type %s", ifc.Type)
+		}
+		if ifc.SpeedBPS > 0 {
+			fmt.Fprintf(b, " speed %d bps", ifc.SpeedBPS)
+		}
+		b.WriteString(";\n")
+	}
+	if ss.OpSys != "" {
+		fmt.Fprintf(b, "    opsys %s", ss.OpSys)
+		if ss.OpSysVersion != "" {
+			fmt.Fprintf(b, " version %s", ss.OpSysVersion)
+		}
+		b.WriteString(";\n")
+	}
+	if len(ss.Supports) > 0 {
+		fmt.Fprintf(b, "    supports %s;\n", strings.Join(ss.Supports, ", "))
+	}
+	for _, pi := range ss.Processes {
+		printInstance(b, pi)
+	}
+	fmt.Fprintf(b, "end system %s.\n\n", name(ss.Name))
+}
+
+func printDomain(b *strings.Builder, ds *ast.DomainSpec) {
+	fmt.Fprintf(b, "domain %s ::=\n", name(ds.Name))
+	for _, sys := range ds.Systems {
+		fmt.Fprintf(b, "    system %s;\n", name(sys))
+	}
+	for _, sub := range ds.Subdomains {
+		fmt.Fprintf(b, "    domain %s;\n", name(sub))
+	}
+	for _, pi := range ds.Processes {
+		printInstance(b, pi)
+	}
+	for _, ex := range ds.Exports {
+		printExport(b, ex)
+	}
+	fmt.Fprintf(b, "end domain %s.\n\n", name(ds.Name))
+}

@@ -1,0 +1,146 @@
+package printer
+
+import (
+	"strings"
+	"testing"
+
+	"nmsl/internal/ast"
+	"nmsl/internal/consistency"
+	"nmsl/internal/netsim"
+	"nmsl/internal/paperspec"
+	"nmsl/internal/parser"
+	"nmsl/internal/sema"
+)
+
+func analyze(t *testing.T, src string) *ast.Spec {
+	t.Helper()
+	f, err := parser.Parse("test", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	a := sema.NewAnalyzer()
+	a.AnalyzeFile(f)
+	spec, err := a.Finish()
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return spec
+}
+
+// TestRoundTripPaperSpec: printing the paper spec and re-analyzing the
+// output must reach a fixed point (print ∘ analyze is idempotent) and
+// preserve the consistency verdict.
+func TestRoundTripPaperSpec(t *testing.T) {
+	spec1 := analyze(t, paperspec.Combined)
+	out1 := String(spec1)
+	spec2 := analyze(t, out1)
+	out2 := String(spec2)
+	if out1 != out2 {
+		t.Fatalf("printing is not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+	}
+	rep1 := consistency.Check(consistency.BuildModel(spec1))
+	rep2 := consistency.Check(consistency.BuildModel(spec2))
+	if rep1.Consistent() != rep2.Consistent() || rep1.RefsChecked != rep2.RefsChecked {
+		t.Fatalf("round trip changed semantics:\n%s\nvs\n%s", rep1, rep2)
+	}
+}
+
+func TestRoundTripPreservesModelCounts(t *testing.T) {
+	spec1 := analyze(t, paperspec.Combined)
+	spec2 := analyze(t, String(spec1))
+	if len(spec1.Types) != len(spec2.Types) ||
+		len(spec1.Processes) != len(spec2.Processes) ||
+		len(spec1.Systems) != len(spec2.Systems) ||
+		len(spec1.Domains) != len(spec2.Domains) {
+		t.Fatal("declaration counts changed")
+	}
+	m1 := consistency.BuildModel(spec1)
+	m2 := consistency.BuildModel(spec2)
+	if len(m1.Instances) != len(m2.Instances) || len(m1.Refs) != len(m2.Refs) || len(m1.Perms) != len(m2.Perms) {
+		t.Fatalf("model counts changed: %d/%d/%d vs %d/%d/%d",
+			len(m1.Instances), len(m1.Refs), len(m1.Perms),
+			len(m2.Instances), len(m2.Refs), len(m2.Perms))
+	}
+}
+
+// Property-style: round-trip generated internets of several shapes.
+func TestRoundTripGenerated(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		p := netsim.Params{
+			Domains:           3 + int(seed),
+			SystemsPerDomain:  1 + int(seed%3),
+			InconsistencyRate: 0.3,
+			NestingDepth:      int(seed % 2),
+			Seed:              seed,
+		}
+		spec1, err := netsim.Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out1 := String(spec1)
+		spec2 := analyze(t, out1)
+		if out2 := String(spec2); out1 != out2 {
+			t.Fatalf("seed %d: not a fixed point", seed)
+		}
+		rep1 := consistency.Check(consistency.BuildModel(spec1))
+		rep2 := consistency.Check(consistency.BuildModel(spec2))
+		if len(rep1.Violations) != len(rep2.Violations) {
+			t.Fatalf("seed %d: verdicts changed: %d vs %d violations",
+				seed, len(rep1.Violations), len(rep2.Violations))
+		}
+	}
+}
+
+func TestPrintTypeForms(t *testing.T) {
+	src := `
+type a ::= OCTET STRING; access Any; end type a.
+type b ::= OBJECT IDENTIFIER; end type b.
+type c ::= SEQUENCE of b; end type c.
+type d ::= SEQUENCE { x INTEGER, y IpAddress }; access ReadOnly; end type d.
+`
+	spec := analyze(t, src)
+	out := String(spec)
+	for _, want := range []string{
+		"type a ::=\n    OCTET STRING;\n    access Any;",
+		"type b ::=\n    OBJECT IDENTIFIER;",
+		"SEQUENCE of b;",
+		"SEQUENCE { x INTEGER, y IpAddress };",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// and the printed source is valid
+	analyze(t, out)
+}
+
+func TestPrintQuotesDottedNames(t *testing.T) {
+	spec := analyze(t, paperspec.Combined)
+	out := String(spec)
+	if !strings.Contains(out, `system "romano.cs.wisc.edu" ::=`) {
+		t.Errorf("dotted system name not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, "domain wisc-cs ::=") {
+		t.Errorf("hyphenated name needlessly quoted")
+	}
+}
+
+func TestPrintQueryWithUsingAndAccess(t *testing.T) {
+	src := `
+process srv ::= supports mgmt.mib; end process srv.
+process p(Dest: IpAddress) ::=
+    queries srv
+        requests mgmt.mib.ip
+        using mgmt.mib.ip.ipAddrTable.IpAddrEntry.ipAdEntAddr := Dest
+        access WriteOnly
+        frequency > 10 seconds;
+end process p.
+`
+	spec := analyze(t, src)
+	out := String(spec)
+	want := "queries srv requests mgmt.mib.ip using mgmt.mib.ip.ipAddrTable.IpAddrEntry.ipAdEntAddr := Dest access WriteOnly frequency > 10 seconds;"
+	if !strings.Contains(out, want) {
+		t.Fatalf("query rendering:\n%s", out)
+	}
+	analyze(t, out)
+}

@@ -1,0 +1,36 @@
+package sema
+
+import (
+	"fmt"
+	"io"
+)
+
+// Emitter is the sink output actions write to. It tracks the first write
+// error so actions can ignore write failures and the generator reports
+// one error at the end.
+type Emitter struct {
+	w   io.Writer
+	err error
+}
+
+// NewEmitter returns an Emitter writing to w.
+func NewEmitter(w io.Writer) *Emitter { return &Emitter{w: w} }
+
+// Printf writes formatted output.
+func (e *Emitter) Printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// Println writes a line.
+func (e *Emitter) Println(args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintln(e.w, args...)
+}
+
+// Err returns the first write error, if any.
+func (e *Emitter) Err() error { return e.err }

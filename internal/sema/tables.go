@@ -1,0 +1,309 @@
+// Package sema implements the second pass of the NMSL compiler (paper
+// sections 6.1-6.3): keyword-driven semantic analysis and output
+// generation over the generic parse tree.
+//
+// Associated with each production of the generalized grammar is a list of
+// actions. Actions come in two flavors:
+//
+//   - generic actions validate the specification and perform bookkeeping
+//     (symbol table, typed model construction); they run on every compile
+//     and are tagged "generic" in the compiler's tables;
+//   - output-specific actions generate output and are tagged with the
+//     output type they produce (e.g. "consistency" for logic facts, or a
+//     configuration format name like "BartsSnmpd"); each compiler run
+//     executes the generic actions plus one output tag's actions.
+//
+// The tables are extensible: the extension language (section 6.3)
+// prepends keyword and action entries. A prepended entry with a new
+// keyword extends the language; one with an existing keyword overrides —
+// but only the actions it specifies. An extension that provides only an
+// action tagged "DavesSnmpd" for the existing "queries" clause overrides
+// only that output action, never the basic generic action.
+package sema
+
+import (
+	"fmt"
+
+	"nmsl/internal/ast"
+	"nmsl/internal/parser"
+	"nmsl/internal/token"
+)
+
+// Subclause is one keyword-led fragment of a clause, e.g. the
+// `access ReadOnly` inside an exports clause.
+type Subclause struct {
+	Keyword string
+	// Items are the arguments following the keyword (the keyword item
+	// itself is excluded).
+	Items []parser.Item
+	Pos   token.Pos
+}
+
+// SplitClause splits a clause's flat item list into subclauses at each
+// Word item that is in subKeywords. The clause's own leading keyword
+// starts the first subclause. This is the pass-2 differentiation the
+// paper defers out of the generalized grammar.
+func SplitClause(c *parser.Clause, subKeywords map[string]bool) []Subclause {
+	var subs []Subclause
+	cur := -1
+	for i, it := range c.Items {
+		isKw := it.Kind == parser.Word && (i == 0 || subKeywords[it.Text])
+		if isKw {
+			subs = append(subs, Subclause{Keyword: it.Text, Pos: it.Pos})
+			cur = len(subs) - 1
+			continue
+		}
+		if cur < 0 {
+			// clause does not begin with a word; collect under an
+			// anonymous subclause
+			subs = append(subs, Subclause{Pos: it.Pos})
+			cur = 0
+		}
+		subs[cur].Items = append(subs[cur].Items, it)
+	}
+	return subs
+}
+
+// DeclContext carries the state of analyzing one declaration.
+type DeclContext struct {
+	// Spec is the specification being built.
+	Spec *ast.Spec
+	// Decl is the declaration under analysis.
+	Decl *parser.Decl
+	// Value is the typed model object the generic decl action created
+	// (e.g. *ast.ProcessSpec); clause actions populate it.
+	Value any
+	// analyzer backlink for error reporting.
+	a *Analyzer
+}
+
+// Errorf records a semantic error at pos.
+func (ctx *DeclContext) Errorf(pos token.Pos, format string, args ...any) {
+	ctx.a.errorf(pos, format, args...)
+}
+
+// ClauseContext carries the state of analyzing one clause.
+type ClauseContext struct {
+	*DeclContext
+	Clause *parser.Clause
+	// Subs is the clause split into subclauses using the resolved
+	// subclause keywords.
+	Subs []Subclause
+}
+
+// Sub returns the first subclause with the given keyword, or nil.
+func (ctx *ClauseContext) Sub(keyword string) *Subclause {
+	for i := range ctx.Subs {
+		if ctx.Subs[i].Keyword == keyword {
+			return &ctx.Subs[i]
+		}
+	}
+	return nil
+}
+
+// DeclAction is a generic action pair for a declaration type.
+type DeclAction struct {
+	// Begin runs before the declaration's clauses; it typically creates
+	// the typed model object and stores it in ctx.Value.
+	Begin func(ctx *DeclContext) error
+	// End runs after all clauses; it typically validates required clauses
+	// and registers the object in the Spec.
+	End func(ctx *DeclContext) error
+}
+
+// OutputAction generates output for one declaration or clause. The sink
+// is output-type specific; for text outputs it is an *Emitter.
+type OutputAction func(ctx *DeclContext, e *Emitter) error
+
+// ClauseEntry describes one clause keyword within a declaration type:
+// its subclause keywords, generic action and output actions.
+type ClauseEntry struct {
+	// DeclType restricts the entry to one declaration type; "" matches
+	// any.
+	DeclType string
+	// Keyword is the clause's leading keyword.
+	Keyword string
+	// SubKeywords are the words that begin nested subclauses.
+	SubKeywords []string
+	// Generic is the validation/bookkeeping action (tag "generic").
+	Generic func(ctx *ClauseContext) error
+	// Outputs maps output tags to code-generation actions for this clause.
+	Outputs map[string]func(ctx *ClauseContext, e *Emitter) error
+}
+
+// DeclEntry describes one declaration type.
+type DeclEntry struct {
+	// Type is the declaration type keyword ("type", "process", ...).
+	Type string
+	// Generic is the declaration's generic action pair.
+	Generic DeclAction
+	// Fallback handles clauses whose keyword matches no ClauseEntry; the
+	// basic "type" declaration uses it to accept ASN.1 bodies, whose
+	// leading word is a type name, not a fixed keyword. If nil, unknown
+	// clauses are semantic errors.
+	Fallback func(ctx *ClauseContext) error
+	// Outputs maps output tags to per-declaration output actions.
+	Outputs map[string]OutputAction
+}
+
+// Tables is the compiler's keyword/action store. Extension entries are
+// prepended; lookups scan front to back, so extensions win, and action
+// resolution merges across entries so an extension overrides only the
+// actions it specifies (section 6.3).
+type Tables struct {
+	decls   []*DeclEntry
+	clauses []*ClauseEntry
+}
+
+// NewTables returns tables containing only the basic NMSL language.
+func NewTables() *Tables {
+	t := &Tables{}
+	registerBasic(t)
+	return t
+}
+
+// PrependDecl adds a declaration entry ahead of existing entries.
+func (t *Tables) PrependDecl(e *DeclEntry) {
+	t.decls = append([]*DeclEntry{e}, t.decls...)
+}
+
+// PrependClause adds a clause entry ahead of existing entries.
+func (t *Tables) PrependClause(e *ClauseEntry) {
+	t.clauses = append([]*ClauseEntry{e}, t.clauses...)
+}
+
+// AppendDecl and AppendClause register basic-language entries.
+func (t *Tables) AppendDecl(e *DeclEntry)     { t.decls = append(t.decls, e) }
+func (t *Tables) AppendClause(e *ClauseEntry) { t.clauses = append(t.clauses, e) }
+
+// DeclResolution is the merged view of a declaration type across all
+// matching table entries.
+type DeclResolution struct {
+	Type     string
+	Generic  DeclAction
+	Fallback func(ctx *ClauseContext) error
+	outputs  []map[string]OutputAction
+	known    bool
+}
+
+// Known reports whether any table entry matched.
+func (r *DeclResolution) Known() bool { return r.known }
+
+// Output returns the output action for tag, scanning extension-first.
+func (r *DeclResolution) Output(tag string) OutputAction {
+	for _, m := range r.outputs {
+		if a, ok := m[tag]; ok {
+			return a
+		}
+	}
+	return nil
+}
+
+// ResolveDecl merges all entries for a declaration type, front to back:
+// the first entry providing a Begin/End/Fallback wins for that slot, and
+// output tags resolve to the first entry that defines them.
+func (t *Tables) ResolveDecl(declType string) DeclResolution {
+	r := DeclResolution{Type: declType}
+	for _, e := range t.decls {
+		if e.Type != declType {
+			continue
+		}
+		r.known = true
+		if r.Generic.Begin == nil {
+			r.Generic.Begin = e.Generic.Begin
+		}
+		if r.Generic.End == nil {
+			r.Generic.End = e.Generic.End
+		}
+		if r.Fallback == nil {
+			r.Fallback = e.Fallback
+		}
+		if e.Outputs != nil {
+			r.outputs = append(r.outputs, e.Outputs)
+		}
+	}
+	return r
+}
+
+// ClauseResolution is the merged view of one clause keyword within a
+// declaration type.
+type ClauseResolution struct {
+	Keyword     string
+	SubKeywords map[string]bool
+	Generic     func(ctx *ClauseContext) error
+	outputs     []map[string]func(ctx *ClauseContext, e *Emitter) error
+	known       bool
+}
+
+// Known reports whether any table entry matched.
+func (r *ClauseResolution) Known() bool { return r.known }
+
+// Output returns the clause output action for tag, extension-first.
+func (r *ClauseResolution) Output(tag string) func(ctx *ClauseContext, e *Emitter) error {
+	for _, m := range r.outputs {
+		if a, ok := m[tag]; ok {
+			return a
+		}
+	}
+	return nil
+}
+
+// ResolveClause merges all entries matching (declType, keyword). Entries
+// with DeclType "" apply to every declaration type. Subclause keyword
+// sets are unioned so an extension can add subclauses to a basic clause.
+func (t *Tables) ResolveClause(declType, keyword string) ClauseResolution {
+	r := ClauseResolution{Keyword: keyword, SubKeywords: map[string]bool{}}
+	for _, e := range t.clauses {
+		if e.Keyword != keyword {
+			continue
+		}
+		if e.DeclType != "" && e.DeclType != declType {
+			continue
+		}
+		r.known = true
+		for _, kw := range e.SubKeywords {
+			r.SubKeywords[kw] = true
+		}
+		if r.Generic == nil {
+			r.Generic = e.Generic
+		}
+		if e.Outputs != nil {
+			r.outputs = append(r.outputs, e.Outputs)
+		}
+	}
+	return r
+}
+
+// Error is a semantic error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+	}
+	return e.Msg
+}
+
+// ErrorList collects semantic errors; it implements error.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+}
+
+// Err returns the list as an error, or nil when empty.
+func (l ErrorList) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}

@@ -1,0 +1,273 @@
+// Package simrun executes a specified internet over virtual time: a
+// discrete-event simulation in which every reference of the consistency
+// model issues queries at its declared frequency against in-process
+// agents configured by the configuration generators.
+//
+// This closes the behavioural loop the paper's two aspects imply: the
+// descriptive aspect proves the specification consistent, the
+// prescriptive aspect configures the managers, and the simulation shows
+// the configured managers interoperating *over time* — days of virtual
+// operation in milliseconds of real time, with every query, acceptance,
+// refusal and rate rejection accounted for.
+//
+// The simulation also surfaces a subtlety the paper's pairwise
+// consistency model does not capture: permissions are granted to
+// *domains*, so several sources under one grantee share the same
+// community — and therefore the same rate budget — at an agent. A
+// specification can be pairwise consistent while the aggregate arrival
+// rate at one agent exceeds its per-community interval, producing rate
+// rejections at runtime (reported as Contention, distinct from
+// Violations). See EXPERIMENTS.md E-SIM.
+package simrun
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"nmsl/internal/configgen"
+	"nmsl/internal/consistency"
+	"nmsl/internal/snmp"
+)
+
+// Options configure a run.
+type Options struct {
+	// Duration is the virtual time to simulate. Zero selects one hour.
+	Duration time.Duration
+	// InfrequentPeriod is the issue period for "infrequent" references.
+	// Zero selects one hour.
+	InfrequentPeriod time.Duration
+	// DefaultPeriod is the issue period for references with no frequency
+	// clause. Zero selects one minute.
+	DefaultPeriod time.Duration
+	// JitterFrac randomizes each inter-query gap by up to this fraction
+	// of the period, modelling client clock drift. Without it,
+	// equal-period pollers sharing a community budget phase-lock and one
+	// starves forever. Zero selects 0.05; negative disables jitter.
+	JitterFrac float64
+	// Seed jitters reference start offsets deterministically.
+	Seed int64
+}
+
+func (o *Options) fill() {
+	if o.Duration == 0 {
+		o.Duration = time.Hour
+	}
+	if o.InfrequentPeriod == 0 {
+		o.InfrequentPeriod = time.Hour
+	}
+	if o.DefaultPeriod == 0 {
+		o.DefaultPeriod = time.Minute
+	}
+	if o.JitterFrac == 0 {
+		o.JitterFrac = 0.05
+	}
+	if o.JitterFrac < 0 {
+		o.JitterFrac = 0
+	}
+}
+
+// RefStats accumulates per-reference outcomes.
+type RefStats struct {
+	Issued     int64
+	Accepted   int64
+	Contention int64 // rate-limited (shared-community budget)
+	Violations int64 // refused or dropped although the spec permits
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	VirtualDuration time.Duration
+	// Totals across all references.
+	Issued, Accepted, Contention, Violations int64
+	// PerRef keyed by the reference's String().
+	PerRef map[string]*RefStats
+	// ViolationDetails describes the first few violations observed.
+	ViolationDetails []string
+	// AgentRequests is the total requests observed by the agents.
+	AgentRequests int64
+}
+
+// Clean reports whether no violations occurred.
+func (r *Result) Clean() bool { return r.Violations == 0 }
+
+// String renders a summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "simulated %s of operation: %d queries issued, %d accepted, %d rate-contended, %d violations\n",
+		r.VirtualDuration, r.Issued, r.Accepted, r.Contention, r.Violations)
+	for _, d := range r.ViolationDetails {
+		fmt.Fprintf(&b, "  VIOLATION: %s\n", d)
+	}
+	return b.String()
+}
+
+// event is one pending query issue.
+type event struct {
+	at  time.Duration
+	ref int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// refPeriod returns how often the reference issues queries.
+func refPeriod(ref *consistency.Ref, opts *Options) time.Duration {
+	t, _, infreq := refGuarantee(ref)
+	switch {
+	case infreq:
+		return opts.InfrequentPeriod
+	case t > 0:
+		return time.Duration(t * float64(time.Second))
+	default:
+		return opts.DefaultPeriod
+	}
+}
+
+// refGuarantee mirrors the model's internal guarantee extraction using
+// only exported fields.
+func refGuarantee(ref *consistency.Ref) (seconds float64, strict, infrequent bool) {
+	if ref.Freq.Infrequent {
+		return 0, false, true
+	}
+	return ref.Freq.MinPeriodSeconds(), ref.Freq.Op == ">", false
+}
+
+// Run simulates the model for the configured virtual duration. Agents
+// are created in-process, configured through the configuration
+// generators, and driven through their wire-message handler on a shared
+// virtual clock.
+func Run(m *consistency.Model, opts Options) (*Result, error) {
+	opts.fill()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Virtual clock shared by the harness and every agent.
+	var now time.Duration
+	epoch := time.Unix(1_000_000, 0)
+	clock := func() time.Time { return epoch.Add(now) }
+
+	// One in-process agent per agent instance, configured per spec.
+	configs := configgen.Generate(m)
+	agents := map[string]*snmp.Agent{}
+	for id, cfg := range configs {
+		store := snmp.NewStore()
+		snmp.PopulateFromMIB(store, m.Spec.MIB, "mgmt.mib")
+		agent := snmp.NewAgent(store, cfg)
+		agent.SetTimeSource(clock)
+		agents[id] = agent
+	}
+
+	res := &Result{VirtualDuration: opts.Duration, PerRef: map[string]*RefStats{}}
+
+	// Precompute per-reference state; skip references whose target runs
+	// no agent here (e.g. application targets).
+	type refState struct {
+		ref       *consistency.Ref
+		agent     *snmp.Agent
+		community string
+		period    time.Duration
+		reqID     int32
+	}
+	var states []refState
+	for i := range m.Refs {
+		ref := &m.Refs[i]
+		agent := agents[ref.Target.ID]
+		if agent == nil {
+			continue
+		}
+		states = append(states, refState{
+			ref:       ref,
+			agent:     agent,
+			community: m.GrantedCommunity(ref),
+			period:    refPeriod(ref, &opts),
+		})
+		res.PerRef[ref.String()] = &RefStats{}
+	}
+	// deterministic order
+	sort.Slice(states, func(a, b int) bool { return states[a].ref.String() < states[b].ref.String() })
+
+	h := &eventHeap{}
+	for i, st := range states {
+		offset := time.Duration(rng.Int63n(int64(st.period) + 1))
+		heap.Push(h, event{at: offset, ref: i})
+	}
+
+	issue := func(st *refState) (accepted bool) {
+		st.reqID++
+		stats := res.PerRef[st.ref.String()]
+		stats.Issued++
+		res.Issued++
+		if st.community == "" {
+			stats.Violations++
+			res.Violations++
+			res.note(fmt.Sprintf("%s: no granted community", st.ref))
+			return false
+		}
+		req := &snmp.Message{
+			Version:   snmp.Version0,
+			Community: st.community,
+			PDU: snmp.PDU{
+				Type:      snmp.TagGetNextRequest,
+				RequestID: st.reqID,
+				Bindings:  []snmp.Binding{{OID: st.ref.Var.OID(), Value: snmp.Null()}},
+			},
+		}
+		resp := st.agent.Handle(req)
+		switch {
+		case resp == nil:
+			stats.Violations++
+			res.Violations++
+			res.note(fmt.Sprintf("%s: dropped (community %q unknown to agent)", st.ref, st.community))
+			return false
+		case resp.PDU.ErrorStatus == snmp.NoError:
+			stats.Accepted++
+			res.Accepted++
+			return true
+		case resp.PDU.ErrorStatus == snmp.GenErr:
+			// rate-limited: the shared community budget was consumed
+			stats.Contention++
+			res.Contention++
+			return false
+		default:
+			stats.Violations++
+			res.Violations++
+			res.note(fmt.Sprintf("%s: refused with %s", st.ref, resp.PDU.ErrorStatus))
+			return false
+		}
+	}
+
+	for h.Len() > 0 {
+		e := heap.Pop(h).(event)
+		if e.at > opts.Duration {
+			break
+		}
+		now = e.at
+		st := &states[e.ref]
+		issue(st)
+		next := st.period
+		if opts.JitterFrac > 0 {
+			j := int64(float64(st.period) * opts.JitterFrac)
+			next += time.Duration(rng.Int63n(2*j+1) - j)
+		}
+		heap.Push(h, event{at: e.at + next, ref: e.ref})
+	}
+
+	for _, agent := range agents {
+		res.AgentRequests += agent.Stats().Requests
+	}
+	return res, nil
+}
+
+func (r *Result) note(msg string) {
+	if len(r.ViolationDetails) < 8 {
+		r.ViolationDetails = append(r.ViolationDetails, msg)
+	}
+}

@@ -1,0 +1,175 @@
+package simrun
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nmsl/internal/consistency"
+	"nmsl/internal/netsim"
+	"nmsl/internal/paperspec"
+	"nmsl/internal/parser"
+	"nmsl/internal/sema"
+)
+
+func model(t *testing.T, src string) *consistency.Model {
+	t.Helper()
+	f, err := parser.Parse("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sema.NewAnalyzer()
+	a.AnalyzeFile(f)
+	spec, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return consistency.BuildModel(spec)
+}
+
+func TestPaperSpecSimulatesCleanly(t *testing.T) {
+	m := model(t, paperspec.Combined)
+	res, err := Run(m, Options{Duration: 24 * time.Hour, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() {
+		t.Fatalf("violations in a consistent spec:\n%s", res)
+	}
+	if res.Issued == 0 || res.Accepted == 0 {
+		t.Fatalf("nothing happened: %s", res)
+	}
+	// snmpaddr is infrequent (1/hour here): 24h -> ~24 queries per target
+	if res.Issued < 40 || res.Issued > 60 {
+		t.Fatalf("issued %d, want ~48", res.Issued)
+	}
+	if !strings.Contains(res.String(), "simulated") {
+		t.Errorf("summary: %s", res)
+	}
+}
+
+func TestGeneratedInternetSimulates(t *testing.T) {
+	m, err := netsim.Model(netsim.Params{Domains: 5, SystemsPerDomain: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, Options{Duration: 2 * time.Hour, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() {
+		t.Fatalf("violations:\n%s", res)
+	}
+	// Each poller queries two target instances through the shared
+	// "public" community: the second query inside an agent's window may
+	// contend, but never violate.
+	if res.Accepted == 0 {
+		t.Fatalf("no accepted queries: %s", res)
+	}
+	if res.AgentRequests != res.Issued {
+		t.Fatalf("agent requests %d != issued %d", res.AgentRequests, res.Issued)
+	}
+}
+
+// TestAggregateContention demonstrates the pairwise-vs-aggregate
+// subtlety: two pollers in different domains, both covered by the same
+// grantee ("public"), each query the agent every 5 minutes — pairwise
+// consistent — but share one community budget of >= 5 minutes, so about
+// half their queries are rate-limited at runtime.
+func TestAggregateContention(t *testing.T) {
+	src := `
+process agent ::=
+    supports mgmt.mib;
+    exports mgmt.mib to "public" access ReadOnly frequency >= 5 minutes;
+end process agent.
+process pollerA ::=
+    queries agent requests mgmt.mib.system frequency >= 5 minutes;
+end process pollerA.
+process pollerB ::=
+    queries agent requests mgmt.mib.system frequency >= 5 minutes;
+end process pollerB.
+system "srv" ::=
+    cpu sparc; interface ie0 net lan type ethernet-csmacd speed 10000000 bps;
+    supports mgmt.mib;
+    process agent;
+end system "srv".
+system "wsA" ::=
+    cpu sparc; interface ie0 net lan type ethernet-csmacd speed 10000000 bps;
+    supports mgmt.mib;
+    process pollerA;
+end system "wsA".
+system "wsB" ::=
+    cpu sparc; interface ie0 net lan type ethernet-csmacd speed 10000000 bps;
+    supports mgmt.mib;
+    process pollerB;
+end system "wsB".
+domain a ::= system srv; system wsA; end domain a.
+domain b ::= system wsB; end domain b.
+domain public ::= domain a; domain b; end domain public.
+`
+	m := model(t, src)
+	// pairwise consistent
+	if rep := consistency.Check(m); !rep.Consistent() {
+		t.Fatalf("spec should be pairwise consistent:\n%s", rep)
+	}
+	res, err := Run(m, Options{Duration: 10 * time.Hour, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clean() == false {
+		t.Fatalf("contention must not be classified as violation:\n%s", res)
+	}
+	if res.Contention == 0 {
+		t.Fatalf("expected aggregate rate contention:\n%s", res)
+	}
+	// both pollers still make progress
+	for refStr, st := range res.PerRef {
+		if st.Accepted == 0 {
+			t.Errorf("%s never accepted (issued %d, contended %d)", refStr, st.Issued, st.Contention)
+		}
+	}
+}
+
+// TestMisconfiguredAgentViolates: when the generated config is replaced
+// by an empty policy at one agent, the simulation reports violations.
+func TestMisconfiguredAgentViolates(t *testing.T) {
+	// Flip every export to WriteOnly: the read references then have no
+	// granted community and every simulated query is a violation.
+	src := strings.ReplaceAll(paperspec.Combined, "access ReadOnly", "access WriteOnly")
+	m := model(t, src)
+	// the spec is now inconsistent (read refs vs write-only exports), and
+	// the simulation shows it behaviourally
+	res, err := Run(m, Options{Duration: 4 * time.Hour, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clean() {
+		t.Fatalf("expected violations:\n%s", res)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	m := model(t, paperspec.Combined)
+	r1, err := Run(m, Options{Duration: 6 * time.Hour, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(m, Options{Duration: 6 * time.Hour, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Issued != r2.Issued || r1.Accepted != r2.Accepted || r1.Contention != r2.Contention {
+		t.Fatalf("non-deterministic: %s vs %s", r1, r2)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	m := model(t, paperspec.Combined)
+	res, err := Run(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VirtualDuration != time.Hour {
+		t.Fatalf("duration %s", res.VirtualDuration)
+	}
+}

@@ -1,0 +1,432 @@
+package snmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"nmsl/internal/mib"
+)
+
+// CommunityConfig is the per-principal policy an NMSL configuration
+// generator installs: what data the community may see (View), with which
+// access mode, no more often than MinInterval. These are exactly NMSL's
+// exports: the community plays the role of the importing domain, the view
+// the exported MIB subtree, and MinInterval the "frequency >=" clause.
+type CommunityConfig struct {
+	// Access is the granted access mode.
+	Access mib.Access `json:"access"`
+	// View lists OID prefixes the community may reference. Empty means
+	// no access at all.
+	View []mib.OID `json:"view"`
+	// MinInterval is the minimum time between requests from this
+	// community; zero disables rate enforcement.
+	MinInterval time.Duration `json:"min_interval"`
+}
+
+// Config is a full agent configuration.
+type Config struct {
+	// Communities maps community strings to their policies.
+	Communities map[string]*CommunityConfig `json:"communities"`
+	// AdminCommunity, when non-empty, names a community that may replace
+	// the agent's configuration by writing an Opaque JSON blob to
+	// ConfigOID (the live install path of NMSL's prescriptive aspect).
+	AdminCommunity string `json:"admin_community,omitempty"`
+}
+
+// ConfigOID is the reserved objet where a serialized Config can be
+// installed by the admin community (an enterprise arc, RFC 1065
+// private.enterprises).
+var ConfigOID = mib.OID{1, 3, 6, 1, 4, 1, 42424, 1}
+
+// MarshalConfig serializes a Config for the live install path.
+func MarshalConfig(c *Config) ([]byte, error) { return json.Marshal(c) }
+
+// UnmarshalConfig parses a serialized Config.
+func UnmarshalConfig(data []byte) (*Config, error) {
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// viewAllows reports whether oid falls under any view prefix.
+func (cc *CommunityConfig) viewAllows(oid mib.OID) bool {
+	for _, p := range cc.View {
+		if oid.HasPrefix(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Store is the agent's management database: OID-ordered variables.
+type Store struct {
+	mu   sync.RWMutex
+	vals map[string]Value
+	oids []mib.OID // sorted
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{vals: map[string]Value{}} }
+
+// Set inserts or replaces a variable.
+func (s *Store) Set(oid mib.OID, v Value) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := oid.String()
+	if _, exists := s.vals[key]; !exists {
+		i := sort.Search(len(s.oids), func(i int) bool { return s.oids[i].Compare(oid) >= 0 })
+		s.oids = append(s.oids, nil)
+		copy(s.oids[i+1:], s.oids[i:])
+		s.oids[i] = oid.Clone()
+	}
+	s.vals[key] = v
+}
+
+// Get returns the variable's value.
+func (s *Store) Get(oid mib.OID) (Value, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.vals[oid.String()]
+	return v, ok
+}
+
+// Next returns the first variable strictly after oid in lexicographic
+// order (the GetNext traversal).
+func (s *Store) Next(oid mib.OID) (mib.OID, Value, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i := sort.Search(len(s.oids), func(i int) bool { return s.oids[i].Compare(oid) > 0 })
+	if i >= len(s.oids) {
+		return nil, Value{}, false
+	}
+	found := s.oids[i]
+	return found.Clone(), s.vals[found.String()], true
+}
+
+// Len returns the number of variables.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.oids)
+}
+
+// Agent is a UDP management agent.
+type Agent struct {
+	store *Store
+
+	mu       sync.Mutex
+	cfg      *Config
+	lastSeen map[string]time.Time // community -> last accepted request
+	stats    Stats
+
+	conn *net.UDPConn
+	done chan struct{}
+	wg   sync.WaitGroup
+	// now is replaceable for tests.
+	now func() time.Time
+}
+
+// Stats counts agent activity.
+type Stats struct {
+	Requests     int64
+	Denied       int64
+	RateLimited  int64
+	ConfigLoads  int64
+	NoSuchName   int64
+	SetsAccepted int64
+}
+
+// NewAgent returns an agent serving the store with the given initial
+// configuration.
+func NewAgent(store *Store, cfg *Config) *Agent {
+	if cfg == nil {
+		cfg = &Config{Communities: map[string]*CommunityConfig{}}
+	}
+	return &Agent{
+		store:    store,
+		cfg:      cfg,
+		lastSeen: map[string]time.Time{},
+		done:     make(chan struct{}),
+		now:      time.Now,
+	}
+}
+
+// Store returns the agent's management database.
+func (a *Agent) Store() *Store { return a.store }
+
+// SetTimeSource replaces the agent's clock. Rate enforcement reads the
+// time through it, which lets simulations (internal/simrun) and tests
+// drive the agent on a virtual clock. Call before serving traffic.
+func (a *Agent) SetTimeSource(now func() time.Time) { a.now = now }
+
+// Stats returns a snapshot of the counters.
+func (a *Agent) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// ApplyConfig atomically replaces the agent's configuration (the file
+// transport of section 5, or the live path via the admin community).
+func (a *Agent) ApplyConfig(cfg *Config) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.cfg = cfg
+	a.stats.ConfigLoads++
+}
+
+// ConfigSnapshot returns the current configuration.
+func (a *Agent) ConfigSnapshot() *Config {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cfg
+}
+
+// ListenAndServe binds a UDP socket on addr (e.g. "127.0.0.1:0") and
+// serves until Close. It returns the bound address.
+func (a *Agent) ListenAndServe(addr string) (*net.UDPAddr, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	a.conn = conn
+	a.wg.Add(1)
+	go a.serve()
+	return conn.LocalAddr().(*net.UDPAddr), nil
+}
+
+// Close stops the agent.
+func (a *Agent) Close() error {
+	select {
+	case <-a.done:
+		return nil
+	default:
+	}
+	close(a.done)
+	var err error
+	if a.conn != nil {
+		err = a.conn.Close()
+	}
+	a.wg.Wait()
+	return err
+}
+
+func (a *Agent) serve() {
+	defer a.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, raddr, err := a.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-a.done:
+				return
+			default:
+				continue
+			}
+		}
+		req, err := Unmarshal(buf[:n])
+		if err != nil {
+			continue // silently drop malformed datagrams, as agents do
+		}
+		resp := a.Handle(req)
+		if resp == nil {
+			continue
+		}
+		out, err := resp.Marshal()
+		if err != nil {
+			continue
+		}
+		_, _ = a.conn.WriteToUDP(out, raddr)
+	}
+}
+
+// Handle processes one request message and returns the response (nil to
+// drop). Exposed for in-process tests and simulations.
+func (a *Agent) Handle(req *Message) *Message {
+	if req.Version != Version0 {
+		return nil
+	}
+	switch req.PDU.Type {
+	case TagGetRequest, TagGetNextRequest, TagSetRequest:
+	default:
+		return nil
+	}
+	a.mu.Lock()
+	a.stats.Requests++
+	cfg := a.cfg
+	cc := cfg.Communities[req.Community]
+	isAdmin := cfg.AdminCommunity != "" && req.Community == cfg.AdminCommunity
+	if cc == nil && !isAdmin {
+		a.stats.Denied++
+		a.mu.Unlock()
+		return nil // unknown community: drop, per SNMPv1 practice
+	}
+	// Rate enforcement: NMSL's frequency clause. Admin traffic is not
+	// rate limited.
+	if cc != nil && cc.MinInterval > 0 && !isAdmin {
+		now := a.now()
+		if last, ok := a.lastSeen[req.Community]; ok && now.Sub(last) < cc.MinInterval {
+			a.stats.RateLimited++
+			a.mu.Unlock()
+			return errorResponse(req, GenErr, 0)
+		}
+		a.lastSeen[req.Community] = now
+	}
+	a.mu.Unlock()
+
+	switch req.PDU.Type {
+	case TagGetRequest:
+		return a.handleGet(req, cc)
+	case TagGetNextRequest:
+		return a.handleGetNext(req, cc)
+	case TagSetRequest:
+		return a.handleSet(req, cc, isAdmin)
+	}
+	return nil
+}
+
+func errorResponse(req *Message, status ErrorStatus, index int) *Message {
+	return &Message{
+		Version:   req.Version,
+		Community: req.Community,
+		PDU: PDU{
+			Type:        TagGetResponse,
+			RequestID:   req.PDU.RequestID,
+			ErrorStatus: status,
+			ErrorIndex:  index,
+			Bindings:    req.PDU.Bindings,
+		},
+	}
+}
+
+func (a *Agent) handleGet(req *Message, cc *CommunityConfig) *Message {
+	if cc == nil || !cc.Access.Allows(mib.AccessReadOnly) {
+		a.bumpDenied()
+		return errorResponse(req, NoSuchName, 1)
+	}
+	out := errorResponse(req, NoError, 0)
+	out.PDU.Bindings = nil
+	for i, b := range req.PDU.Bindings {
+		if !cc.viewAllows(b.OID) {
+			a.bumpDenied()
+			return errorResponse(req, NoSuchName, i+1)
+		}
+		v, ok := a.store.Get(b.OID)
+		if !ok {
+			a.bumpNoSuch()
+			return errorResponse(req, NoSuchName, i+1)
+		}
+		out.PDU.Bindings = append(out.PDU.Bindings, Binding{OID: b.OID, Value: v})
+	}
+	return out
+}
+
+func (a *Agent) handleGetNext(req *Message, cc *CommunityConfig) *Message {
+	if cc == nil || !cc.Access.Allows(mib.AccessReadOnly) {
+		a.bumpDenied()
+		return errorResponse(req, NoSuchName, 1)
+	}
+	out := errorResponse(req, NoError, 0)
+	out.PDU.Bindings = nil
+	for i, b := range req.PDU.Bindings {
+		oid := b.OID
+		for {
+			next, v, ok := a.store.Next(oid)
+			if !ok {
+				a.bumpNoSuch()
+				return errorResponse(req, NoSuchName, i+1)
+			}
+			oid = next
+			if cc.viewAllows(next) {
+				out.PDU.Bindings = append(out.PDU.Bindings, Binding{OID: next, Value: v})
+				break
+			}
+			// skip variables outside the view, continuing the sweep
+		}
+	}
+	return out
+}
+
+func (a *Agent) handleSet(req *Message, cc *CommunityConfig, isAdmin bool) *Message {
+	for i, b := range req.PDU.Bindings {
+		if isAdmin && b.OID.Compare(ConfigOID) == 0 {
+			if b.Value.Tag != TagOpaque && b.Value.Tag != TagOctets {
+				return errorResponse(req, BadValue, i+1)
+			}
+			cfg, err := UnmarshalConfig(b.Value.Bytes)
+			if err != nil {
+				return errorResponse(req, BadValue, i+1)
+			}
+			a.ApplyConfig(cfg)
+			continue
+		}
+		if cc == nil || !cc.Access.Allows(mib.AccessWriteOnly) {
+			a.bumpDenied()
+			return errorResponse(req, ReadOnly, i+1)
+		}
+		if !cc.viewAllows(b.OID) {
+			a.bumpDenied()
+			return errorResponse(req, NoSuchName, i+1)
+		}
+	}
+	// first pass validated; second pass commits (RFC 1067 "as if
+	// simultaneous" semantics)
+	for _, b := range req.PDU.Bindings {
+		if isAdmin && b.OID.Compare(ConfigOID) == 0 {
+			continue // applied above
+		}
+		a.store.Set(b.OID, b.Value)
+		a.mu.Lock()
+		a.stats.SetsAccepted++
+		a.mu.Unlock()
+	}
+	return errorResponse(req, NoError, 0)
+}
+
+func (a *Agent) bumpDenied() {
+	a.mu.Lock()
+	a.stats.Denied++
+	a.mu.Unlock()
+}
+
+func (a *Agent) bumpNoSuch() {
+	a.mu.Lock()
+	a.stats.NoSuchName++
+	a.mu.Unlock()
+}
+
+// PopulateFromMIB seeds the store with one variable per leaf of the MIB
+// subtree at path, using deterministic placeholder values. Simulations
+// and examples use it to give agents plausible databases.
+func PopulateFromMIB(store *Store, tree *mib.Tree, path string) int {
+	n := 0
+	tree.Walk(path, func(node *mib.Node) {
+		if len(node.Children()) > 0 {
+			return
+		}
+		oid := node.OID()
+		var v Value
+		switch {
+		case strings.Contains(node.Name, "Addr") || strings.Contains(node.Name, "Address"):
+			v = Value{Tag: TagIPAddress, Bytes: []byte{10, 0, byte(n >> 8), byte(n)}}
+		case strings.HasPrefix(node.Name, "sys"):
+			v = Str(fmt.Sprintf("%s-value", node.Name))
+		default:
+			v = Int64(int64(len(oid) * 7))
+		}
+		store.Set(oid, v)
+		n++
+	})
+	return n
+}

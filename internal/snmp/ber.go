@@ -1,0 +1,338 @@
+// Package snmp implements a compact SNMPv1-like management protocol over
+// UDP: a BER codec, the RFC 1067 message shapes (Get, GetNext, Set,
+// Response), an agent with community-based access control, view subtrees
+// and per-community minimum query intervals, and a client.
+//
+// It is the substrate for NMSL's prescriptive aspect (paper section 5):
+// configuration generators produce agent configuration from a consistent
+// specification and ship it to running agents — "initiating a connection
+// to a network management process on each affected network element ...
+// and sending, via the normal network management protocol, the
+// configuration information". The agent enforces exactly the three things
+// NMSL configures: which principal may query (community/domain), what
+// data (view subtree and access mode), and how often (minimum interval —
+// NMSL's frequency clauses).
+package snmp
+
+import (
+	"errors"
+	"fmt"
+
+	"nmsl/internal/mib"
+)
+
+// BER/ASN.1 tags used by the protocol (RFC 1065/1067 subset).
+const (
+	TagInteger   = 0x02
+	TagOctets    = 0x04
+	TagNull      = 0x05
+	TagOID       = 0x06
+	TagSequence  = 0x30
+	TagIPAddress = 0x40
+	TagCounter   = 0x41
+	TagGauge     = 0x42
+	TagTimeTicks = 0x43
+	TagOpaque    = 0x44
+
+	// PDU tags (context class, constructed).
+	TagGetRequest     = 0xA0
+	TagGetNextRequest = 0xA1
+	TagGetResponse    = 0xA2
+	TagSetRequest     = 0xA3
+)
+
+// Value is a decoded BER value. Exactly one payload field is meaningful,
+// selected by Tag.
+type Value struct {
+	Tag byte
+	// Int carries INTEGER, Counter, Gauge and TimeTicks payloads.
+	Int int64
+	// Bytes carries OCTET STRING, Opaque and IpAddress payloads.
+	Bytes []byte
+	// OID carries OBJECT IDENTIFIER payloads.
+	OID mib.OID
+	// Seq carries constructed (SEQUENCE, PDU) payloads.
+	Seq []Value
+}
+
+// Common constructors.
+
+// Int64 returns an INTEGER value.
+func Int64(v int64) Value { return Value{Tag: TagInteger, Int: v} }
+
+// Octets returns an OCTET STRING value.
+func Octets(b []byte) Value { return Value{Tag: TagOctets, Bytes: b} }
+
+// Str returns an OCTET STRING value from a string.
+func Str(s string) Value { return Value{Tag: TagOctets, Bytes: []byte(s)} }
+
+// Null returns a NULL value.
+func Null() Value { return Value{Tag: TagNull} }
+
+// OIDValue returns an OBJECT IDENTIFIER value.
+func OIDValue(o mib.OID) Value { return Value{Tag: TagOID, OID: o.Clone()} }
+
+// Seq returns a SEQUENCE value.
+func Seq(vals ...Value) Value { return Value{Tag: TagSequence, Seq: vals} }
+
+// Opaque returns an Opaque value.
+func Opaque(b []byte) Value { return Value{Tag: TagOpaque, Bytes: b} }
+
+// Equal reports deep equality of two values.
+func (v Value) Equal(o Value) bool {
+	if v.Tag != o.Tag {
+		return false
+	}
+	switch v.Tag {
+	case TagInteger, TagCounter, TagGauge, TagTimeTicks:
+		return v.Int == o.Int
+	case TagOctets, TagOpaque, TagIPAddress:
+		return string(v.Bytes) == string(o.Bytes)
+	case TagNull:
+		return true
+	case TagOID:
+		return v.OID.Compare(o.OID) == 0
+	default:
+		if len(v.Seq) != len(o.Seq) {
+			return false
+		}
+		for i := range v.Seq {
+			if !v.Seq[i].Equal(o.Seq[i]) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.Tag {
+	case TagInteger:
+		return fmt.Sprintf("INTEGER %d", v.Int)
+	case TagCounter:
+		return fmt.Sprintf("Counter %d", v.Int)
+	case TagGauge:
+		return fmt.Sprintf("Gauge %d", v.Int)
+	case TagTimeTicks:
+		return fmt.Sprintf("TimeTicks %d", v.Int)
+	case TagOctets:
+		return fmt.Sprintf("OCTETS %q", v.Bytes)
+	case TagOpaque:
+		return fmt.Sprintf("Opaque(%d bytes)", len(v.Bytes))
+	case TagIPAddress:
+		if len(v.Bytes) == 4 {
+			return fmt.Sprintf("IpAddress %d.%d.%d.%d", v.Bytes[0], v.Bytes[1], v.Bytes[2], v.Bytes[3])
+		}
+		return fmt.Sprintf("IpAddress %x", v.Bytes)
+	case TagNull:
+		return "NULL"
+	case TagOID:
+		return "OID " + v.OID.String()
+	default:
+		return fmt.Sprintf("constructed(0x%02x, %d elems)", v.Tag, len(v.Seq))
+	}
+}
+
+// isConstructed reports whether a tag carries nested values.
+func isConstructed(tag byte) bool { return tag&0x20 != 0 }
+
+// appendLength appends a BER definite length.
+func appendLength(dst []byte, n int) []byte {
+	if n < 0x80 {
+		return append(dst, byte(n))
+	}
+	var tmp [8]byte
+	i := len(tmp)
+	for n > 0 {
+		i--
+		tmp[i] = byte(n)
+		n >>= 8
+	}
+	dst = append(dst, 0x80|byte(len(tmp)-i))
+	return append(dst, tmp[i:]...)
+}
+
+// appendInt appends a two's-complement big-endian integer body.
+func appendInt(dst []byte, v int64) []byte {
+	// minimal two's complement encoding
+	n := 8
+	for n > 1 {
+		top := byte(v >> ((n - 1) * 8))
+		next := byte(v >> ((n - 2) * 8))
+		if (top == 0x00 && next&0x80 == 0) || (top == 0xFF && next&0x80 == 0x80) {
+			n--
+			continue
+		}
+		break
+	}
+	for i := n - 1; i >= 0; i-- {
+		dst = append(dst, byte(v>>(i*8)))
+	}
+	return dst
+}
+
+// appendOID appends OID body bytes (X.690 packed form).
+func appendOID(dst []byte, oid mib.OID) ([]byte, error) {
+	if len(oid) < 2 {
+		return nil, fmt.Errorf("snmp: OID %v too short to encode", oid)
+	}
+	if oid[0] > 2 || oid[1] >= 40 {
+		return nil, fmt.Errorf("snmp: OID %v has invalid first arcs", oid)
+	}
+	dst = append(dst, byte(oid[0]*40+oid[1]))
+	for _, arc := range oid[2:] {
+		if arc < 0 {
+			return nil, fmt.Errorf("snmp: negative OID arc %d", arc)
+		}
+		dst = appendBase128(dst, uint64(arc))
+	}
+	return dst, nil
+}
+
+func appendBase128(dst []byte, v uint64) []byte {
+	var tmp [10]byte
+	i := len(tmp)
+	i--
+	tmp[i] = byte(v & 0x7F)
+	v >>= 7
+	for v > 0 {
+		i--
+		tmp[i] = byte(v&0x7F) | 0x80
+		v >>= 7
+	}
+	return append(dst, tmp[i:]...)
+}
+
+// Encode appends the BER encoding of v to dst.
+func Encode(dst []byte, v Value) ([]byte, error) {
+	var body []byte
+	var err error
+	switch {
+	case isConstructed(v.Tag):
+		for _, sub := range v.Seq {
+			body, err = Encode(body, sub)
+			if err != nil {
+				return nil, err
+			}
+		}
+	case v.Tag == TagInteger || v.Tag == TagCounter || v.Tag == TagGauge || v.Tag == TagTimeTicks:
+		body = appendInt(nil, v.Int)
+	case v.Tag == TagOctets || v.Tag == TagOpaque || v.Tag == TagIPAddress:
+		body = append(body, v.Bytes...)
+	case v.Tag == TagNull:
+		// empty
+	case v.Tag == TagOID:
+		body, err = appendOID(nil, v.OID)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("snmp: cannot encode tag 0x%02x", v.Tag)
+	}
+	dst = append(dst, v.Tag)
+	dst = appendLength(dst, len(body))
+	return append(dst, body...), nil
+}
+
+// errTruncated reports malformed input.
+var errTruncated = errors.New("snmp: truncated BER data")
+
+// decodeHeader reads tag and length, returning the body slice and rest.
+func decodeHeader(data []byte) (tag byte, body, rest []byte, err error) {
+	if len(data) < 2 {
+		return 0, nil, nil, errTruncated
+	}
+	tag = data[0]
+	l := int(data[1])
+	off := 2
+	if l >= 0x80 {
+		n := l & 0x7F
+		if n == 0 || n > 4 || len(data) < 2+n {
+			return 0, nil, nil, errTruncated
+		}
+		l = 0
+		for i := 0; i < n; i++ {
+			l = l<<8 | int(data[2+i])
+		}
+		off = 2 + n
+	}
+	if len(data) < off+l {
+		return 0, nil, nil, errTruncated
+	}
+	return tag, data[off : off+l], data[off+l:], nil
+}
+
+// Decode reads one BER value from data, returning it and the remaining
+// bytes.
+func Decode(data []byte) (Value, []byte, error) {
+	tag, body, rest, err := decodeHeader(data)
+	if err != nil {
+		return Value{}, nil, err
+	}
+	v := Value{Tag: tag}
+	switch {
+	case isConstructed(tag):
+		for len(body) > 0 {
+			var sub Value
+			sub, body, err = Decode(body)
+			if err != nil {
+				return Value{}, nil, err
+			}
+			v.Seq = append(v.Seq, sub)
+		}
+	case tag == TagInteger || tag == TagCounter || tag == TagGauge || tag == TagTimeTicks:
+		if len(body) == 0 || len(body) > 8 {
+			return Value{}, nil, fmt.Errorf("snmp: bad integer length %d", len(body))
+		}
+		var n int64
+		if body[0]&0x80 != 0 {
+			n = -1
+		}
+		for _, b := range body {
+			n = n<<8 | int64(b)
+		}
+		v.Int = n
+	case tag == TagOctets || tag == TagOpaque || tag == TagIPAddress:
+		v.Bytes = append([]byte(nil), body...)
+	case tag == TagNull:
+		if len(body) != 0 {
+			return Value{}, nil, errors.New("snmp: NULL with content")
+		}
+	case tag == TagOID:
+		oid, err := decodeOID(body)
+		if err != nil {
+			return Value{}, nil, err
+		}
+		v.OID = oid
+	default:
+		return Value{}, nil, fmt.Errorf("snmp: cannot decode tag 0x%02x", tag)
+	}
+	return v, rest, nil
+}
+
+func decodeOID(body []byte) (mib.OID, error) {
+	if len(body) == 0 {
+		return nil, errors.New("snmp: empty OID")
+	}
+	oid := mib.OID{int(body[0]) / 40, int(body[0]) % 40}
+	var cur uint64
+	inArc := false
+	for _, b := range body[1:] {
+		cur = cur<<7 | uint64(b&0x7F)
+		if cur > 1<<31 {
+			return nil, errors.New("snmp: OID arc overflow")
+		}
+		if b&0x80 == 0 {
+			oid = append(oid, int(cur))
+			cur = 0
+			inArc = false
+		} else {
+			inArc = true
+		}
+	}
+	if inArc {
+		return nil, errTruncated
+	}
+	return oid, nil
+}

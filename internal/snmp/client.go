@@ -1,0 +1,173 @@
+package snmp
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"nmsl/internal/mib"
+)
+
+// Client is a simple synchronous management client.
+type Client struct {
+	conn      *net.UDPConn
+	community string
+	timeout   time.Duration
+	retries   int
+	reqID     atomic.Int32
+}
+
+// Dial connects a client to an agent address with the given community.
+func Dial(addr, community string) (*Client, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn:      conn,
+		community: community,
+		timeout:   500 * time.Millisecond,
+		retries:   2,
+	}, nil
+}
+
+// SetTimeout adjusts the per-attempt timeout.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// Close releases the client socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// RequestError is a non-zero error-status response.
+type RequestError struct {
+	Status ErrorStatus
+	Index  int
+}
+
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("snmp: agent returned %s (index %d)", e.Status, e.Index)
+}
+
+// roundTrip sends the PDU and waits for the matching response.
+func (c *Client) roundTrip(pduType byte, bindings []Binding) (*Message, error) {
+	id := c.reqID.Add(1)
+	req := &Message{
+		Version:   Version0,
+		Community: c.community,
+		PDU:       PDU{Type: pduType, RequestID: id, Bindings: bindings},
+	}
+	out, err := req.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 64*1024)
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if _, err := c.conn.Write(out); err != nil {
+			return nil, err
+		}
+		deadline := time.Now().Add(c.timeout)
+		for {
+			if err := c.conn.SetReadDeadline(deadline); err != nil {
+				return nil, err
+			}
+			n, err := c.conn.Read(buf)
+			if err != nil {
+				lastErr = fmt.Errorf("snmp: timeout waiting for response: %w", err)
+				break
+			}
+			resp, err := Unmarshal(buf[:n])
+			if err != nil || resp.PDU.Type != TagGetResponse || resp.PDU.RequestID != id {
+				continue // stale or malformed; keep waiting
+			}
+			if resp.PDU.ErrorStatus != NoError {
+				return resp, &RequestError{Status: resp.PDU.ErrorStatus, Index: resp.PDU.ErrorIndex}
+			}
+			return resp, nil
+		}
+	}
+	return nil, lastErr
+}
+
+// Get fetches the values of the given OIDs.
+func (c *Client) Get(oids ...mib.OID) ([]Binding, error) {
+	binds := make([]Binding, len(oids))
+	for i, o := range oids {
+		binds[i] = Binding{OID: o, Value: Null()}
+	}
+	resp, err := c.roundTrip(TagGetRequest, binds)
+	if err != nil {
+		return nil, err
+	}
+	return resp.PDU.Bindings, nil
+}
+
+// GetNext fetches the lexicographic successors of the given OIDs.
+func (c *Client) GetNext(oids ...mib.OID) ([]Binding, error) {
+	binds := make([]Binding, len(oids))
+	for i, o := range oids {
+		binds[i] = Binding{OID: o, Value: Null()}
+	}
+	resp, err := c.roundTrip(TagGetNextRequest, binds)
+	if err != nil {
+		return nil, err
+	}
+	return resp.PDU.Bindings, nil
+}
+
+// Set writes the given bindings.
+func (c *Client) Set(bindings ...Binding) error {
+	_, err := c.roundTrip(TagSetRequest, bindings)
+	return err
+}
+
+// Walk performs a GetNext sweep under the prefix, invoking fn per
+// variable found, until the sweep leaves the subtree.
+func (c *Client) Walk(prefix mib.OID, fn func(Binding) error) error {
+	cur := prefix.Clone()
+	for {
+		binds, err := c.GetNext(cur)
+		if err != nil {
+			var re *RequestError
+			if asRequestError(err, &re) && re.Status == NoSuchName {
+				return nil // end of the database
+			}
+			return err
+		}
+		if len(binds) != 1 {
+			return fmt.Errorf("snmp: walk got %d bindings", len(binds))
+		}
+		b := binds[0]
+		if !b.OID.HasPrefix(prefix) {
+			return nil
+		}
+		if err := fn(b); err != nil {
+			return err
+		}
+		cur = b.OID
+	}
+}
+
+// InstallConfig ships a configuration to an agent over the wire via the
+// admin community's reserved config object — the live transport of the
+// paper's prescriptive aspect (section 5).
+func (c *Client) InstallConfig(cfg *Config) error {
+	blob, err := MarshalConfig(cfg)
+	if err != nil {
+		return err
+	}
+	return c.Set(Binding{OID: ConfigOID, Value: Opaque(blob)})
+}
+
+// asRequestError unwraps a *RequestError.
+func asRequestError(err error, target **RequestError) bool {
+	re, ok := err.(*RequestError)
+	if ok {
+		*target = re
+	}
+	return ok
+}

@@ -1,0 +1,136 @@
+package snmp
+
+import (
+	"errors"
+	"fmt"
+
+	"nmsl/internal/mib"
+)
+
+// Version0 is the SNMPv1 version number on the wire (RFC 1067: version-1
+// is encoded as 0).
+const Version0 = 0
+
+// ErrorStatus values (RFC 1067).
+type ErrorStatus int
+
+const (
+	NoError ErrorStatus = iota
+	TooBig
+	NoSuchName
+	BadValue
+	ReadOnly
+	GenErr
+)
+
+func (e ErrorStatus) String() string {
+	switch e {
+	case NoError:
+		return "noError"
+	case TooBig:
+		return "tooBig"
+	case NoSuchName:
+		return "noSuchName"
+	case BadValue:
+		return "badValue"
+	case ReadOnly:
+		return "readOnly"
+	case GenErr:
+		return "genErr"
+	}
+	return fmt.Sprintf("errorStatus(%d)", int(e))
+}
+
+// Binding is one variable binding: an OID and its value (NULL in
+// requests).
+type Binding struct {
+	OID   mib.OID
+	Value Value
+}
+
+// PDU is a protocol data unit.
+type PDU struct {
+	// Type is one of the PDU tags (TagGetRequest, TagGetNextRequest,
+	// TagGetResponse, TagSetRequest).
+	Type        byte
+	RequestID   int32
+	ErrorStatus ErrorStatus
+	ErrorIndex  int
+	Bindings    []Binding
+}
+
+// Message is a community-authenticated message.
+type Message struct {
+	Version   int
+	Community string
+	PDU       PDU
+}
+
+// Marshal encodes the message to wire format.
+func (m *Message) Marshal() ([]byte, error) {
+	binds := make([]Value, 0, len(m.PDU.Bindings))
+	for _, b := range m.PDU.Bindings {
+		binds = append(binds, Seq(OIDValue(b.OID), b.Value))
+	}
+	pdu := Value{
+		Tag: m.PDU.Type,
+		Seq: []Value{
+			Int64(int64(m.PDU.RequestID)),
+			Int64(int64(m.PDU.ErrorStatus)),
+			Int64(int64(m.PDU.ErrorIndex)),
+			Seq(binds...),
+		},
+	}
+	msg := Seq(Int64(int64(m.Version)), Str(m.Community), pdu)
+	return Encode(nil, msg)
+}
+
+// Unmarshal decodes a wire-format message.
+func Unmarshal(data []byte) (*Message, error) {
+	v, rest, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, errors.New("snmp: trailing bytes after message")
+	}
+	if v.Tag != TagSequence || len(v.Seq) != 3 {
+		return nil, errors.New("snmp: message is not a 3-element SEQUENCE")
+	}
+	ver, comm, pdu := v.Seq[0], v.Seq[1], v.Seq[2]
+	if ver.Tag != TagInteger || comm.Tag != TagOctets {
+		return nil, errors.New("snmp: bad message header")
+	}
+	switch pdu.Tag {
+	case TagGetRequest, TagGetNextRequest, TagGetResponse, TagSetRequest:
+	default:
+		return nil, fmt.Errorf("snmp: unknown PDU tag 0x%02x", pdu.Tag)
+	}
+	if len(pdu.Seq) != 4 {
+		return nil, errors.New("snmp: PDU is not a 4-element sequence")
+	}
+	reqID, errSt, errIx, vbl := pdu.Seq[0], pdu.Seq[1], pdu.Seq[2], pdu.Seq[3]
+	if reqID.Tag != TagInteger || errSt.Tag != TagInteger || errIx.Tag != TagInteger || vbl.Tag != TagSequence {
+		return nil, errors.New("snmp: bad PDU fields")
+	}
+	out := &Message{
+		Version:   int(ver.Int),
+		Community: string(comm.Bytes),
+		PDU: PDU{
+			Type:        pdu.Tag,
+			RequestID:   int32(reqID.Int),
+			ErrorStatus: ErrorStatus(errSt.Int),
+			ErrorIndex:  int(errIx.Int),
+		},
+	}
+	for i, vb := range vbl.Seq {
+		if vb.Tag != TagSequence || len(vb.Seq) != 2 || vb.Seq[0].Tag != TagOID {
+			return nil, fmt.Errorf("snmp: bad variable binding %d", i)
+		}
+		out.PDU.Bindings = append(out.PDU.Bindings, Binding{
+			OID:   vb.Seq[0].OID,
+			Value: vb.Seq[1],
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,462 @@
+package snmp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nmsl/internal/mib"
+)
+
+func TestBERRoundTripScalars(t *testing.T) {
+	vals := []Value{
+		Int64(0), Int64(1), Int64(-1), Int64(127), Int64(128), Int64(-128),
+		Int64(65536), Int64(1<<40 + 5), Int64(-(1 << 40)),
+		Str(""), Str("public"), Octets([]byte{0, 1, 2, 255}),
+		Null(),
+		OIDValue(mib.OID{1, 3, 6, 1, 2, 1}),
+		OIDValue(mib.OID{1, 3, 6, 1, 4, 1, 42424, 1}),
+		{Tag: TagCounter, Int: 42}, {Tag: TagGauge, Int: 7}, {Tag: TagTimeTicks, Int: 123456},
+		{Tag: TagIPAddress, Bytes: []byte{10, 0, 0, 1}},
+		Opaque([]byte("blob")),
+	}
+	for _, v := range vals {
+		enc, err := Encode(nil, v)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		dec, rest, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", v, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%v: %d trailing bytes", v, len(rest))
+		}
+		if !dec.Equal(v) {
+			t.Fatalf("round trip: %v != %v", dec, v)
+		}
+	}
+}
+
+func TestBERRoundTripNested(t *testing.T) {
+	v := Seq(Int64(0), Str("public"), Seq(OIDValue(mib.OID{1, 3, 6}), Null()))
+	enc, err := Encode(nil, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Equal(v) {
+		t.Fatalf("%v != %v", dec, v)
+	}
+}
+
+func TestBERLongLength(t *testing.T) {
+	big := make([]byte, 300) // forces long-form length
+	for i := range big {
+		big[i] = byte(i)
+	}
+	v := Octets(big)
+	enc, err := Encode(nil, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc[1] != 0x82 {
+		t.Fatalf("expected 2-byte long form, header %x", enc[:4])
+	}
+	dec, _, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Equal(v) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestBERDecodeErrors(t *testing.T) {
+	bad := [][]byte{
+		{},
+		{0x02},
+		{0x02, 0x05, 0x01},       // truncated body
+		{0x02, 0x89},             // absurd length-of-length
+		{0x05, 0x01, 0x00},       // NULL with content
+		{0x06, 0x00},             // empty OID
+		{0x06, 0x02, 0x2b, 0x80}, // OID ends mid-arc
+		{0x02, 0x00},             // zero-length integer
+		{0x8F, 0x01, 0x00},       // unknown primitive tag
+	}
+	for _, b := range bad {
+		if _, _, err := Decode(b); err == nil {
+			t.Errorf("Decode(%x) succeeded", b)
+		}
+	}
+}
+
+// Property: Int64 round trips for arbitrary values.
+func TestBERIntProperty(t *testing.T) {
+	f := func(v int64) bool {
+		enc, err := Encode(nil, Int64(v))
+		if err != nil {
+			return false
+		}
+		dec, rest, err := Decode(enc)
+		return err == nil && len(rest) == 0 && dec.Int == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: OIDs with valid arcs round trip.
+func TestBEROIDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		oid := mib.OID{1, 3}
+		n := rng.Intn(10)
+		for i := 0; i < n; i++ {
+			oid = append(oid, rng.Intn(1<<20))
+		}
+		enc, err := Encode(nil, OIDValue(oid))
+		if err != nil {
+			return false
+		}
+		dec, _, err := Decode(enc)
+		return err == nil && dec.OID.Compare(oid) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := &Message{
+		Version:   Version0,
+		Community: "public",
+		PDU: PDU{
+			Type:      TagGetRequest,
+			RequestID: 42,
+			Bindings: []Binding{
+				{OID: mib.OID{1, 3, 6, 1, 2, 1, 1, 1}, Value: Null()},
+				{OID: mib.OID{1, 3, 6, 1, 2, 1, 1, 3}, Value: Null()},
+			},
+		},
+	}
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Community != "public" || got.PDU.RequestID != 42 || len(got.PDU.Bindings) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	// not a sequence
+	enc, _ := Encode(nil, Int64(1))
+	if _, err := Unmarshal(enc); err == nil {
+		t.Error("accepted non-sequence")
+	}
+	// trailing bytes
+	m := &Message{Version: 0, Community: "c", PDU: PDU{Type: TagGetRequest, RequestID: 1}}
+	data, _ := m.Marshal()
+	if _, err := Unmarshal(append(data, 0x00)); err == nil {
+		t.Error("accepted trailing bytes")
+	}
+}
+
+func TestStoreOrdering(t *testing.T) {
+	s := NewStore()
+	s.Set(mib.OID{1, 3, 6, 1, 2}, Int64(2))
+	s.Set(mib.OID{1, 3, 6, 1, 1}, Int64(1))
+	s.Set(mib.OID{1, 3, 6, 1, 10}, Int64(10))
+	next, v, ok := s.Next(mib.OID{1, 3, 6, 1})
+	if !ok || next.Compare(mib.OID{1, 3, 6, 1, 1}) != 0 || v.Int != 1 {
+		t.Fatalf("next %v %v", next, v)
+	}
+	next, v, ok = s.Next(next)
+	if !ok || next.Compare(mib.OID{1, 3, 6, 1, 2}) != 0 {
+		t.Fatalf("next %v", next)
+	}
+	next, _, ok = s.Next(next)
+	if !ok || next.Compare(mib.OID{1, 3, 6, 1, 10}) != 0 {
+		t.Fatalf("next %v", next)
+	}
+	if _, _, ok := s.Next(next); ok {
+		t.Fatal("next past end")
+	}
+	// overwrite does not duplicate
+	s.Set(mib.OID{1, 3, 6, 1, 1}, Int64(99))
+	if s.Len() != 3 {
+		t.Fatalf("len %d", s.Len())
+	}
+}
+
+// newTestAgent builds an agent with a populated store and one read-only
+// community limited to the mgmt subtree.
+func newTestAgent(t *testing.T, cfg *Config) (*Agent, *Client) {
+	t.Helper()
+	store := NewStore()
+	tree := mib.NewStandard()
+	if n := PopulateFromMIB(store, tree, "mgmt.mib"); n == 0 {
+		t.Fatal("store empty")
+	}
+	a := NewAgent(store, cfg)
+	addr, err := a.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	c, err := Dial(addr.String(), "public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return a, c
+}
+
+func mibOID(t *testing.T, path string) mib.OID {
+	t.Helper()
+	n := mib.NewStandard().Lookup(path)
+	if n == nil {
+		t.Fatalf("no MIB node %s", path)
+	}
+	return n.OID()
+}
+
+func publicReadOnly(t *testing.T) *Config {
+	t.Helper()
+	return &Config{
+		Communities: map[string]*CommunityConfig{
+			"public": {
+				Access: mib.AccessReadOnly,
+				View:   []mib.OID{mibOID(t, "mgmt.mib")},
+			},
+		},
+	}
+}
+
+func TestAgentGet(t *testing.T) {
+	_, c := newTestAgent(t, publicReadOnly(t))
+	oid := mibOID(t, "mgmt.mib.system.sysDescr")
+	binds, err := c.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(binds) != 1 || string(binds[0].Value.Bytes) != "sysDescr-value" {
+		t.Fatalf("binds %+v", binds)
+	}
+}
+
+func TestAgentGetNextWalk(t *testing.T) {
+	_, c := newTestAgent(t, publicReadOnly(t))
+	prefix := mibOID(t, "mgmt.mib.udp")
+	var got []string
+	err := c.Walk(prefix, func(b Binding) error {
+		got = append(got, b.OID.String())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("walked %v", got)
+	}
+}
+
+func TestAgentViewRestriction(t *testing.T) {
+	cfg := &Config{
+		Communities: map[string]*CommunityConfig{
+			"public": {
+				Access: mib.AccessReadOnly,
+				View:   []mib.OID{mibOID(t, "mgmt.mib.system")},
+			},
+		},
+	}
+	_, c := newTestAgent(t, cfg)
+	// inside the view: ok
+	if _, err := c.Get(mibOID(t, "mgmt.mib.system.sysDescr")); err != nil {
+		t.Fatalf("in-view get: %v", err)
+	}
+	// outside the view: noSuchName
+	_, err := c.Get(mibOID(t, "mgmt.mib.udp.udpNoPorts"))
+	var re *RequestError
+	if !asRequestError(err, &re) || re.Status != NoSuchName {
+		t.Fatalf("out-of-view get: %v", err)
+	}
+	// GetNext must skip hidden variables entirely: walking mgmt.mib sees
+	// only the system group.
+	var got []string
+	if err := c.Walk(mibOID(t, "mgmt.mib"), func(b Binding) error {
+		got = append(got, b.OID.String())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sysPrefix := mibOID(t, "mgmt.mib.system")
+	for _, g := range got {
+		if len(g) < len(sysPrefix.String()) {
+			t.Fatalf("leaked OID %s", g)
+		}
+	}
+	if len(got) != 6 {
+		t.Fatalf("walk got %v", got)
+	}
+}
+
+func TestAgentUnknownCommunityDropped(t *testing.T) {
+	a, _ := newTestAgent(t, publicReadOnly(t))
+	resp := a.Handle(&Message{Version: 0, Community: "wrong", PDU: PDU{Type: TagGetRequest, RequestID: 9}})
+	if resp != nil {
+		t.Fatalf("response %+v", resp)
+	}
+	if a.Stats().Denied != 1 {
+		t.Fatalf("stats %+v", a.Stats())
+	}
+}
+
+func TestAgentSetRequiresWriteAccess(t *testing.T) {
+	_, c := newTestAgent(t, publicReadOnly(t))
+	err := c.Set(Binding{OID: mibOID(t, "mgmt.mib.ip.ipDefaultTTL"), Value: Int64(63)})
+	var re *RequestError
+	if !asRequestError(err, &re) || re.Status != ReadOnly {
+		t.Fatalf("set: %v", err)
+	}
+}
+
+func TestAgentSetWithWriteAccess(t *testing.T) {
+	cfg := publicReadOnly(t)
+	cfg.Communities["public"].Access = mib.AccessAny
+	a, c := newTestAgent(t, cfg)
+	oid := mibOID(t, "mgmt.mib.ip.ipDefaultTTL")
+	if err := c.Set(Binding{OID: oid, Value: Int64(63)}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := a.Store().Get(oid)
+	if !ok || v.Int != 63 {
+		t.Fatalf("store %v %v", v, ok)
+	}
+}
+
+func TestAgentRateLimiting(t *testing.T) {
+	cfg := publicReadOnly(t)
+	cfg.Communities["public"].MinInterval = time.Hour
+	a, c := newTestAgent(t, cfg)
+	oid := mibOID(t, "mgmt.mib.system.sysDescr")
+	if _, err := c.Get(oid); err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	_, err := c.Get(oid)
+	var re *RequestError
+	if !asRequestError(err, &re) || re.Status != GenErr {
+		t.Fatalf("second query should be rate limited: %v", err)
+	}
+	if a.Stats().RateLimited != 1 {
+		t.Fatalf("stats %+v", a.Stats())
+	}
+}
+
+func TestAgentRateLimitWindowPasses(t *testing.T) {
+	cfg := publicReadOnly(t)
+	cfg.Communities["public"].MinInterval = 10 * time.Millisecond
+	now := time.Unix(1000, 0)
+	store := NewStore()
+	PopulateFromMIB(store, mib.NewStandard(), "mgmt.mib")
+	a := NewAgent(store, cfg)
+	a.now = func() time.Time { return now }
+	req := &Message{Version: 0, Community: "public", PDU: PDU{
+		Type: TagGetRequest, RequestID: 1,
+		Bindings: []Binding{{OID: mibOID(t, "mgmt.mib.system.sysDescr"), Value: Null()}},
+	}}
+	if resp := a.Handle(req); resp == nil || resp.PDU.ErrorStatus != NoError {
+		t.Fatalf("first: %+v", resp)
+	}
+	if resp := a.Handle(req); resp == nil || resp.PDU.ErrorStatus != GenErr {
+		t.Fatalf("second: %+v", resp)
+	}
+	now = now.Add(11 * time.Millisecond)
+	if resp := a.Handle(req); resp == nil || resp.PDU.ErrorStatus != NoError {
+		t.Fatalf("after window: %+v", resp)
+	}
+}
+
+func TestLiveConfigInstall(t *testing.T) {
+	// Start with only the admin community; install a public config over
+	// the wire, then use it.
+	cfg := &Config{
+		Communities:    map[string]*CommunityConfig{},
+		AdminCommunity: "nmsl-admin",
+	}
+	store := NewStore()
+	PopulateFromMIB(store, mib.NewStandard(), "mgmt.mib")
+	a := NewAgent(store, cfg)
+	addr, err := a.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	admin, err := Dial(addr.String(), "nmsl-admin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	newCfg := publicReadOnly(t)
+	newCfg.AdminCommunity = "nmsl-admin"
+	if err := admin.InstallConfig(newCfg); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if a.Stats().ConfigLoads != 1 {
+		t.Fatalf("stats %+v", a.Stats())
+	}
+
+	pub, err := Dial(addr.String(), "public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if _, err := pub.Get(mibOID(t, "mgmt.mib.system.sysDescr")); err != nil {
+		t.Fatalf("get after install: %v", err)
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := &Config{
+		Communities: map[string]*CommunityConfig{
+			"wisc-cs": {
+				Access:      mib.AccessReadOnly,
+				View:        []mib.OID{{1, 3, 6, 1, 2, 1}},
+				MinInterval: 5 * time.Minute,
+			},
+		},
+		AdminCommunity: "adm",
+	}
+	blob, err := MarshalConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalConfig(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := got.Communities["wisc-cs"]
+	if cc == nil || cc.Access != mib.AccessReadOnly || cc.MinInterval != 5*time.Minute || len(cc.View) != 1 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestAgentCloseIdempotent(t *testing.T) {
+	a, _ := newTestAgent(t, publicReadOnly(t))
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

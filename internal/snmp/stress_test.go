@@ -1,0 +1,177 @@
+package snmp
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"nmsl/internal/mib"
+)
+
+// TestAgentSurvivesGarbageDatagrams fires malformed wire data at a live
+// agent and verifies it keeps serving valid clients.
+func TestAgentSurvivesGarbageDatagrams(t *testing.T) {
+	store := NewStore()
+	tree := mib.NewStandard()
+	PopulateFromMIB(store, tree, "mgmt.mib")
+	agent := NewAgent(store, &Config{
+		Communities: map[string]*CommunityConfig{
+			"public": {Access: mib.AccessReadOnly, View: []mib.OID{tree.Lookup("mgmt.mib").OID()}},
+		},
+	})
+	addr, err := agent.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	raw, err := net.Dial("udp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	garbage := [][]byte{
+		{},
+		{0x00},
+		{0x30},                   // truncated sequence
+		{0x30, 0x02, 0x02, 0x01}, // truncated integer
+		[]byte("not ber at all"),
+		make([]byte, 2000), // zeros
+	}
+	for _, g := range garbage {
+		if _, err := raw.Write(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a version-2 message and an unexpected PDU type are dropped too
+	badVersion := Seq(Int64(1), Str("public"), Value{Tag: TagGetRequest, Seq: []Value{Int64(1), Int64(0), Int64(0), Seq()}})
+	enc, err := Encode(nil, badVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write(enc); err != nil {
+		t.Fatal(err)
+	}
+	respPDU := Seq(Int64(0), Str("public"), Value{Tag: TagGetResponse, Seq: []Value{Int64(1), Int64(0), Int64(0), Seq()}})
+	enc, err = Encode(nil, respPDU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write(enc); err != nil {
+		t.Fatal(err)
+	}
+
+	// the agent still answers a proper client
+	c, err := Dial(addr.String(), "public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Get(tree.Lookup("mgmt.mib.system.sysDescr").OID()); err != nil {
+		t.Fatalf("agent died after garbage: %v", err)
+	}
+}
+
+// TestAgentConcurrentClients hammers one agent from many goroutines.
+func TestAgentConcurrentClients(t *testing.T) {
+	store := NewStore()
+	tree := mib.NewStandard()
+	PopulateFromMIB(store, tree, "mgmt.mib")
+	agent := NewAgent(store, &Config{
+		Communities: map[string]*CommunityConfig{
+			"public": {Access: mib.AccessAny, View: []mib.OID{tree.Lookup("mgmt.mib").OID()}},
+		},
+	})
+	addr, err := agent.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	oid := tree.Lookup("mgmt.mib.ip.ipDefaultTTL").OID()
+	const workers = 16
+	const perWorker = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(addr.String(), "public")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < perWorker; i++ {
+				if w%2 == 0 {
+					if _, err := c.Get(oid); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					if err := c.Set(Binding{OID: oid, Value: Int64(int64(i))}); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := agent.Stats().Requests; got != workers*perWorker {
+		t.Fatalf("requests %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestClientIgnoresStaleResponses: a response with the wrong request ID
+// must not satisfy a pending call.
+func TestClientIgnoresStaleResponses(t *testing.T) {
+	// a fake "agent" that first answers with a wrong request id, then
+	// with the right one
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	go func() {
+		buf := make([]byte, 4096)
+		n, raddr, err := pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		req, err := Unmarshal(buf[:n])
+		if err != nil {
+			return
+		}
+		stale := &Message{Version: 0, Community: req.Community, PDU: PDU{
+			Type: TagGetResponse, RequestID: req.PDU.RequestID + 99,
+			Bindings: []Binding{{OID: mib.OID{1, 3}, Value: Int64(666)}},
+		}}
+		out, _ := stale.Marshal()
+		pc.WriteTo(out, raddr)
+		good := &Message{Version: 0, Community: req.Community, PDU: PDU{
+			Type: TagGetResponse, RequestID: req.PDU.RequestID,
+			Bindings: []Binding{{OID: mib.OID{1, 3}, Value: Int64(7)}},
+		}}
+		out, _ = good.Marshal()
+		pc.WriteTo(out, raddr)
+	}()
+
+	c, err := Dial(pc.LocalAddr().String(), "public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	binds, err := c.Get(mib.OID{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binds[0].Value.Int != 7 {
+		t.Fatalf("client accepted stale response: %v", binds[0].Value)
+	}
+}

@@ -1,0 +1,81 @@
+package token
+
+import "testing"
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		IDENT:    "IDENT",
+		EOF:      "EOF",
+		DEFINE:   "::=",
+		SEMI:     ";",
+		GE:       ">=",
+		ASSIGN:   ":=",
+		STAR:     "*",
+		Kind(99): "Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestPos(t *testing.T) {
+	p := Pos{Offset: 10, Line: 3, Column: 7}
+	if p.String() != "3:7" {
+		t.Errorf("String() = %q", p.String())
+	}
+	if !p.IsValid() {
+		t.Error("valid position reported invalid")
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero position reported valid")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	cases := []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Kind: IDENT, Text: "process"}, `IDENT("process")`},
+		{Token{Kind: STRING, Text: "a b"}, `STRING("a b")`},
+		{Token{Kind: INT, Text: "42"}, `INT("42")`},
+		{Token{Kind: SEMI}, ";"},
+		{Token{Kind: DEFINE}, "::="},
+	}
+	for _, c := range cases {
+		if got := c.tok.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestIs(t *testing.T) {
+	tok := Token{Kind: IDENT, Text: "exports"}
+	if !tok.Is("exports") || tok.Is("Exports") || tok.Is("queries") {
+		t.Error("Is matching wrong")
+	}
+	if (Token{Kind: STRING, Text: "exports"}).Is("exports") {
+		t.Error("Is must only match IDENT tokens")
+	}
+}
+
+func TestBasicKeywordsComplete(t *testing.T) {
+	// the documented keyword set must include every word the basic
+	// grammar figures use
+	want := []string{"type", "process", "system", "domain", "end",
+		"access", "supports", "exports", "to", "queries", "requests",
+		"using", "frequency", "infrequent", "cpu", "interface", "net",
+		"protocols", "speed", "bps", "opsys", "version",
+		"hours", "minutes", "seconds"}
+	set := map[string]bool{}
+	for _, k := range BasicKeywords {
+		set[k] = true
+	}
+	for _, w := range want {
+		if !set[w] {
+			t.Errorf("BasicKeywords missing %q", w)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+// Package nmsl is a Go implementation of NMSL, the Network Management
+// Specification Language of Cohrs & Miller, "Specification and
+// Verification of Network Managers for Large Internets" (SIGCOMM 1989).
+//
+// NMSL addresses configuration management for very large, multi-domain
+// internets with two coupled aspects:
+//
+//   - Descriptive: specifications describe management data types
+//     (ASN.1-based), processes (agents and applications, their supported
+//     data, exports and queries), network elements and administrative
+//     domains. The Compiler parses them against the paper's generalized
+//     grammar and the Consistency Checker proves that every data
+//     reference has a corresponding permission — including access-mode
+//     and frequency (timing) constraints — or reports the immediate
+//     causes of inconsistency.
+//
+//   - Prescriptive: from a consistent specification, Configuration
+//     Generators derive per-agent configuration (communities, view
+//     subtrees, minimum query intervals) and ship it to running
+//     management agents over files or the management protocol itself.
+//
+// The typical flow:
+//
+//	c := nmsl.NewCompiler()
+//	_ = c.CompileSource("site.nmsl", source)
+//	spec, err := c.Finish()
+//	if err != nil { ... }                      // syntax/semantic errors
+//	report := spec.Check()                     // consistency proof
+//	if report.Consistent() {
+//	    configs := spec.AgentConfigs()         // prescriptive output
+//	}
+//
+// Extensions (the paper's NMSL/EXT) are added with AddExtensionSource
+// before compiling. Output-specific compiler actions ("consistency",
+// "BartsSnmpd", "nvp", or extension-defined tags) run via Generate.
+package nmsl
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"nmsl/internal/ast"
+	"nmsl/internal/audit"
+	"nmsl/internal/configgen"
+	"nmsl/internal/consistency"
+	"nmsl/internal/extension"
+	"nmsl/internal/logic"
+	"nmsl/internal/mib"
+	"nmsl/internal/parser"
+	"nmsl/internal/printer"
+	"nmsl/internal/sema"
+	"nmsl/internal/simrun"
+	"nmsl/internal/snmp"
+)
+
+// Re-exported result types, so callers need only this package.
+type (
+	// Report is a consistency-check result.
+	Report = consistency.Report
+	// Violation is one immediate cause of inconsistency.
+	Violation = consistency.Violation
+	// Model is the checkable instance/reference/permission view.
+	Model = consistency.Model
+	// LoadReport estimates management traffic (the speculative role).
+	LoadReport = consistency.LoadReport
+	// LoadOptions tunes load estimation.
+	LoadOptions = consistency.LoadOptions
+	// Interval is an admissible-parameter interval from reverse solving.
+	Interval = logic.Interval
+	// AgentConfig is a generated agent configuration.
+	AgentConfig = snmp.Config
+	// Access is an NMSL access mode.
+	Access = mib.Access
+)
+
+// Violation kinds (see consistency package for semantics).
+const (
+	KindNoPermission       = consistency.KindNoPermission
+	KindAccessViolation    = consistency.KindAccessViolation
+	KindFrequencyViolation = consistency.KindFrequencyViolation
+	KindDomainRestriction  = consistency.KindDomainRestriction
+	KindNoSupport          = consistency.KindNoSupport
+	KindUnresolvedTarget   = consistency.KindUnresolvedTarget
+)
+
+// Access modes.
+const (
+	AccessAny       = mib.AccessAny
+	AccessReadOnly  = mib.AccessReadOnly
+	AccessWriteOnly = mib.AccessWriteOnly
+	AccessNone      = mib.AccessNone
+)
+
+// Output tags built into the compiler.
+const (
+	// OutputConsistency emits the logic facts of the descriptive aspect.
+	OutputConsistency = consistency.OutputTag
+	// OutputBartsSnmpd emits snmpd.conf-style configuration.
+	OutputBartsSnmpd = configgen.TagBartsSnmpd
+	// OutputNVP emits JSON name/value configuration.
+	OutputNVP = configgen.TagNVP
+)
+
+// Compiler drives the two-pass NMSL compiler with the basic language and
+// any installed extensions.
+type Compiler struct {
+	analyzer *sema.Analyzer
+	finished bool
+}
+
+// NewCompiler returns a Compiler with the basic language and the built-in
+// output actions (consistency, BartsSnmpd, nvp) installed.
+func NewCompiler() *Compiler {
+	a := sema.NewAnalyzer()
+	consistency.RegisterOutput(a.Tables())
+	configgen.RegisterOutput(a.Tables())
+	return &Compiler{analyzer: a}
+}
+
+// AddExtensionSource installs NMSL/EXT extension declarations. Must be
+// called before CompileSource for clauses the extension defines.
+func (c *Compiler) AddExtensionSource(name, src string) error {
+	exts, err := extension.ParseFile(name, src)
+	if err != nil {
+		return err
+	}
+	extension.InstallAll(c.analyzer.Tables(), exts)
+	return nil
+}
+
+// CompileSource parses and analyzes one specification source. Syntax
+// errors are returned immediately; semantic errors accumulate and are
+// reported by Finish.
+func (c *Compiler) CompileSource(name, src string) error {
+	f, err := parser.Parse(name, src)
+	if err != nil {
+		return err
+	}
+	c.analyzer.AnalyzeFile(f)
+	return nil
+}
+
+// CompileFile reads and compiles a specification file.
+func (c *Compiler) CompileFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return c.CompileSource(path, string(data))
+}
+
+// Finish links the compiled declarations and returns the Specification.
+// The returned error aggregates all semantic errors.
+func (c *Compiler) Finish() (*Specification, error) {
+	spec, err := c.analyzer.Finish()
+	c.finished = true
+	if err != nil {
+		return nil, err
+	}
+	return &Specification{
+		spec:     spec,
+		analyzer: c.analyzer,
+		model:    consistency.BuildModel(spec),
+	}, nil
+}
+
+// Specification is a compiled, linked NMSL specification.
+type Specification struct {
+	spec     *ast.Spec
+	analyzer *sema.Analyzer
+	model    *consistency.Model
+}
+
+// AST exposes the typed specification model.
+func (s *Specification) AST() *ast.Spec { return s.spec }
+
+// Model exposes the consistency model (instances, references,
+// permissions).
+func (s *Specification) Model() *Model { return s.model }
+
+// Check runs the indexed consistency checker.
+func (s *Specification) Check() *Report { return consistency.Check(s.model) }
+
+// CheckLogic runs the consistency check through the CLP(R)-style logic
+// engine (the paper's reference semantics; slower but independent).
+func (s *Specification) CheckLogic() *Report { return consistency.CheckLogic(s.model) }
+
+// Generate runs the output-specific compiler actions for tag into w
+// (paper section 6.2).
+func (s *Specification) Generate(tag string, w io.Writer) error {
+	return s.analyzer.Generate(tag, w)
+}
+
+// WriteConsistencyProgram writes the complete logic program the checker
+// evaluates: derived facts plus the consistency rules, in Prolog/CLP(R)
+// notation.
+func (s *Specification) WriteConsistencyProgram(w io.Writer) error {
+	if err := consistency.WriteFacts(w, s.model); err != nil {
+		return err
+	}
+	return consistency.WriteRules(w)
+}
+
+// AgentConfigs derives per-agent-instance configurations (the
+// prescriptive aspect). Keys are instance IDs such as
+// "snmpdReadOnly@romano.cs.wisc.edu#0".
+func (s *Specification) AgentConfigs() map[string]*AgentConfig {
+	return configgen.Generate(s.model)
+}
+
+// EstimateLoad estimates steady-state management traffic (the checker's
+// speculative role, section 4.2).
+func (s *Specification) EstimateLoad(opts LoadOptions) *LoadReport {
+	return consistency.EstimateLoad(s.model, opts)
+}
+
+// AdmissiblePeriods solves the consistency check in reverse: the query
+// periods at which a prospective reference from srcInstance to data
+// varPath on tgtInstance would be consistent (section 4.2).
+func (s *Specification) AdmissiblePeriods(srcInstance, tgtInstance, varPath string, access Access) ([]Interval, error) {
+	node := s.spec.MIB.LookupSuffix(varPath)
+	if node == nil {
+		return nil, fmt.Errorf("nmsl: MIB name %q does not resolve", varPath)
+	}
+	if s.model.InstanceByID(srcInstance) == nil {
+		return nil, fmt.Errorf("nmsl: unknown source instance %q", srcInstance)
+	}
+	if s.model.InstanceByID(tgtInstance) == nil {
+		return nil, fmt.Errorf("nmsl: unknown target instance %q", tgtInstance)
+	}
+	return consistency.AdmissiblePeriods(s.model, srcInstance, tgtInstance, node, access), nil
+}
+
+// FormatIntervals renders an interval set, e.g. "[300, +inf)".
+func FormatIntervals(ivs []Interval) string { return consistency.FormatIntervals(ivs) }
+
+// Audit-related re-exports.
+type (
+	// AuditReport is the result of probing one live agent for adherence.
+	AuditReport = audit.Report
+	// AuditOptions tunes audit probing.
+	AuditOptions = audit.Options
+	// InteropReport is the result of driving every specified reference
+	// against the live fleet.
+	InteropReport = audit.InteropReport
+)
+
+// AuditAgent verifies that the running agent at addr adheres to what the
+// specification prescribes for instance instID (the paper's "verifying
+// that these specifications are actually being adhered to in the
+// network").
+func (s *Specification) AuditAgent(instID, addr string, opts AuditOptions) (*AuditReport, error) {
+	return audit.Agent(s.model, instID, addr, opts)
+}
+
+// Interop drives every reference of the specification against the live
+// agents in addrs (instance ID -> host:port) and reports the references
+// that fail — the empirical answer to "will the network managers
+// interoperate correctly?".
+func (s *Specification) Interop(addrs map[string]string, opts AuditOptions) (*InteropReport, error) {
+	return audit.Interop(s.model, addrs, opts)
+}
+
+// Format renders the specification in canonical NMSL source form.
+func (s *Specification) Format(w io.Writer) error {
+	return printer.Fprint(w, s.spec)
+}
+
+// Simulation re-exports.
+type (
+	// SimOptions configure a virtual-time simulation run.
+	SimOptions = simrun.Options
+	// SimResult is a simulation outcome.
+	SimResult = simrun.Result
+)
+
+// Simulate executes the specified internet over virtual time: in-process
+// agents are configured per the specification and every reference issues
+// queries at its declared frequency. The result accounts for every
+// acceptance, rate contention and violation.
+func (s *Specification) Simulate(opts SimOptions) (*SimResult, error) {
+	return simrun.Run(s.model, opts)
+}
+
+// CheckSource is the one-shot convenience: compile a single source and
+// check it.
+func CheckSource(name, src string) (*Report, error) {
+	c := NewCompiler()
+	if err := c.CompileSource(name, src); err != nil {
+		return nil, err
+	}
+	spec, err := c.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return spec.Check(), nil
+}
