@@ -1,0 +1,31 @@
+# Build and verification entry points. `make ci` is the gate every PR
+# must pass: vet plus the full test suite under the race detector, so
+# the concurrent sharded checker is race-checked on every change.
+
+GO ?= go
+
+.PHONY: all build test vet race ci bench bench-parallel
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# The tentpole sweep: parallel sharded checking vs worker count on the
+# 1k-domain netsim workload (meaningful on multi-core hosts).
+bench-parallel:
+	$(GO) test -bench='BenchmarkCheckParallel' -run='^$$' .

@@ -11,6 +11,7 @@ package nmsl
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -50,6 +51,33 @@ func BenchmarkCheckDomains10(b *testing.B)    { benchCheckDomains(b, 10) }
 func BenchmarkCheckDomains100(b *testing.B)   { benchCheckDomains(b, 100) }
 func BenchmarkCheckDomains1000(b *testing.B)  { benchCheckDomains(b, 1000) }
 func BenchmarkCheckDomains10000(b *testing.B) { benchCheckDomains(b, 10000) }
+
+// ---- Tentpole: parallel sharded checking, worker sweep on the
+// 1k-domain netsim workload (acceptance: >= 1.5x over 1 worker) ----
+
+func benchCheckParallel(b *testing.B, workers int) {
+	m, err := netsim.Model(netsim.Params{Domains: 1000, SystemsPerDomain: 2, NestingDepth: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(m.Refs)), "refs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := consistency.CheckContext(context.Background(), m, consistency.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Consistent() {
+			b.Fatal("unexpected inconsistency")
+		}
+	}
+}
+
+func BenchmarkCheckParallel1(b *testing.B)  { benchCheckParallel(b, 1) }
+func BenchmarkCheckParallel2(b *testing.B)  { benchCheckParallel(b, 2) }
+func BenchmarkCheckParallel4(b *testing.B)  { benchCheckParallel(b, 4) }
+func BenchmarkCheckParallel8(b *testing.B)  { benchCheckParallel(b, 8) }
+func BenchmarkCheckParallel16(b *testing.B) { benchCheckParallel(b, 16) }
 
 // ---- T-SCALE-2: compile+check vs number of network elements ----
 

@@ -9,17 +9,27 @@
 //
 // Usage:
 //
-//	nmslcheck [-ext f ...] [-logic] [-load] [-program] spec.nmsl ...
+//	nmslcheck [-ext f ...] [-logic] [-workers n] [-stream] [-failfast]
+//	          [-timeout d] [-load] [-program] spec.nmsl ...
 //	nmslcheck -solve src,tgt,var,access spec.nmsl ...
 //
-// Exit status: 0 consistent, 1 inconsistent, 2 usage or compile error.
+// The check runs over a sharded worker pool (-workers, default one per
+// CPU) and can stream each violation as it is found (-stream), stop at
+// the first one (-failfast), or be bounded by a deadline (-timeout).
+// An interrupt (Ctrl-C) cancels a running check and reports the partial
+// result.
+//
+// Exit status: 0 consistent, 1 inconsistent, 2 usage or compile error
+// (including a cancelled or timed-out check).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"nmsl"
@@ -43,6 +53,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var exts multiFlag
 	fs.Var(&exts, "ext", "extension language file (repeatable)")
 	useLogic := fs.Bool("logic", false, "use the CLP(R)-style logic engine instead of the indexed checker")
+	workers := fs.Int("workers", 0, "check worker pool size (0 = one per CPU)")
+	stream := fs.Bool("stream", false, "print each violation as it is found; end with a one-line summary")
+	failFast := fs.Bool("failfast", false, "stop the check at the first violation")
+	timeout := fs.Duration("timeout", 0, "abort the check after this long (0 = no deadline)")
 	load := fs.Bool("load", false, "also print the estimated management load")
 	program := fs.Bool("program", false, "also print the logic program (facts + rules)")
 	solve := fs.String("solve", "", "reverse-solve admissible periods: src,tgt,var,access")
@@ -108,13 +122,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	var rep *nmsl.Report
-	if *useLogic {
-		rep = spec.CheckLogic()
-	} else {
-		rep = spec.Check()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	fmt.Fprint(stdout, rep.String())
+	copts := []nmsl.CheckOption{nmsl.WithWorkers(*workers)}
+	if *useLogic {
+		copts = append(copts, nmsl.WithEngine(nmsl.EngineLogic))
+	}
+	if *stream {
+		copts = append(copts, nmsl.WithOnViolation(func(v nmsl.Violation) {
+			fmt.Fprintf(stdout, "  %s\n", v)
+		}))
+	}
+	if *failFast {
+		copts = append(copts, nmsl.WithFailFast())
+	}
+	rep, cerr := spec.CheckContext(ctx, copts...)
+	if cerr != nil {
+		fmt.Fprintf(stderr, "nmslcheck: check aborted: %v (%d references checked, %d violations so far)\n",
+			cerr, rep.RefsChecked, len(rep.Violations))
+		return 2
+	}
+	if *stream {
+		fmt.Fprintln(stdout, rep.Summary())
+	} else {
+		fmt.Fprint(stdout, rep.String())
+	}
 	if *load {
 		fmt.Fprint(stdout, spec.EstimateLoad(nmsl.LoadOptions{}).String())
 	}

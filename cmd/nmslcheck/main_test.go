@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"nmsl/internal/netsim"
 	"nmsl/internal/paperspec"
 )
 
@@ -60,6 +61,71 @@ func TestLogicFlagAgrees(t *testing.T) {
 	}
 	if a.String() != b.String() {
 		t.Fatalf("checkers disagree:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestWorkersFlagIdenticalOutput(t *testing.T) {
+	path := specFile(t, paperspec.Combined)
+	var serial, par, errb strings.Builder
+	if code := run([]string{"-workers", "1", path}, &serial, &errb); code != 0 {
+		t.Fatal(errb.String())
+	}
+	if code := run([]string{"-workers", "8", path}, &par, &errb); code != 0 {
+		t.Fatal(errb.String())
+	}
+	if serial.String() != par.String() {
+		t.Fatalf("worker count changed the report:\n%s\nvs\n%s", serial.String(), par.String())
+	}
+}
+
+func TestStreamFlag(t *testing.T) {
+	src := `
+process agent ::= supports mgmt.mib; end process agent.
+process poller ::= queries agent requests mgmt.mib.system frequency infrequent; end process poller.
+system "h" ::=
+    cpu sparc; interface ie0 net l type e speed 10 bps;
+    supports mgmt.mib; process agent; process poller;
+end system "h".
+domain d ::= system h; end domain d.
+`
+	var out, errb strings.Builder
+	code := run([]string{"-stream", "-workers", "2", specFile(t, src)}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "[no-permission]") ||
+		!strings.Contains(out.String(), "INCONSISTENT: 1 violations") {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+func TestFailFastFlag(t *testing.T) {
+	src := `
+process agent ::= supports mgmt.mib; end process agent.
+process poller ::= queries agent requests mgmt.mib.system frequency infrequent; end process poller.
+system "h" ::=
+    cpu sparc; interface ie0 net l type e speed 10 bps;
+    supports mgmt.mib; process agent; process poller;
+end system "h".
+domain d ::= system h; end domain d.
+`
+	var out, errb strings.Builder
+	if code := run([]string{"-failfast", specFile(t, src)}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d: %s%s", code, out.String(), errb.String())
+	}
+}
+
+func TestTimeoutExpiredAborts(t *testing.T) {
+	// A synthetic 2000-domain internet keeps the check busy long enough
+	// that a 1ns deadline always fires mid-scan.
+	path := specFile(t, netsim.Source(netsim.Params{Domains: 2000, SystemsPerDomain: 2, Seed: 1}))
+	var out, errb strings.Builder
+	code := run([]string{"-timeout", "1ns", path}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit %d: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "check aborted") {
+		t.Fatalf("stderr: %q", errb.String())
 	}
 }
 

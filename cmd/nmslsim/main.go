@@ -9,9 +9,11 @@
 //	nmslsim -table domains          # sweep domains  (T-SCALE-1)
 //	nmslsim -table systems          # sweep elements (T-SCALE-2)
 //	nmslsim -domains 1000 -systems 10 -rate 0.01
+//	nmslsim -domains 10000 -workers 8    # parallel sharded check
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -37,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	star := fs.Bool("star", false, "use late-bound (*) query targets")
 	recursive := fs.Bool("recursive", false, "agents also query their peer agents (server-to-server)")
 	seed := fs.Int64("seed", 1, "generation seed")
+	workers := fs.Int("workers", 0, "check worker pool size (0 = one per CPU)")
 	table := fs.String("table", "", "run a sweep: domains | systems")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -49,7 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			NestingDepth: *depth, InconsistencyRate: *rate,
 			StarTargets: *star, RecursiveChains: *recursive, Seed: *seed,
 		}
-		row, err := measure(p)
+		row, err := measure(p, *workers)
 		if err != nil {
 			fmt.Fprintf(stderr, "nmslsim: %v\n", err)
 			return 1
@@ -62,7 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			row, err := measure(netsim.Params{
 				Domains: d, SystemsPerDomain: *systems,
 				NestingDepth: *depth, InconsistencyRate: *rate, Seed: *seed,
-			})
+			}, *workers)
 			if err != nil {
 				fmt.Fprintf(stderr, "nmslsim: %v\n", err)
 				return 1
@@ -75,7 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			row, err := measure(netsim.Params{
 				Domains: *domains, SystemsPerDomain: s,
 				NestingDepth: *depth, InconsistencyRate: *rate, Seed: *seed,
-			})
+			}, *workers)
 			if err != nil {
 				fmt.Fprintf(stderr, "nmslsim: %v\n", err)
 				return 1
@@ -98,7 +101,7 @@ type row struct {
 	heapMB              float64
 }
 
-func measure(p netsim.Params) (row, error) {
+func measure(p netsim.Params, workers int) (row, error) {
 	src := netsim.Source(p)
 	lines := 0
 	for _, ch := range src {
@@ -118,7 +121,10 @@ func measure(p netsim.Params) (row, error) {
 	build := time.Since(t1)
 
 	t2 := time.Now()
-	rep := consistency.Check(m)
+	rep, err := consistency.CheckContext(context.Background(), m, consistency.Options{Workers: workers})
+	if err != nil {
+		return row{}, err
+	}
 	chk := time.Since(t2)
 
 	var ms runtime.MemStats

@@ -122,11 +122,11 @@ func Agent(m *consistency.Model, instID, addr string, opts Options) (*Report, er
 	opts.fill()
 	inst := m.InstanceByID(instID)
 	if inst == nil {
-		return nil, fmt.Errorf("audit: unknown instance %q", instID)
+		return nil, fmt.Errorf("audit: instance %q: %w", instID, consistency.ErrUnknownInstance)
 	}
 	expected := configgen.Generate(m)[instID]
 	if expected == nil {
-		return nil, fmt.Errorf("audit: instance %q is not an agent", instID)
+		return nil, fmt.Errorf("audit: instance %q: %w", instID, consistency.ErrNotAgent)
 	}
 	rep := &Report{Instance: instID, Addr: addr}
 

@@ -72,6 +72,16 @@ func communityFor(m *consistency.Model, ref *consistency.Ref) string {
 // the probe retries are pointless; the frequency side is Agent's job.
 func Interop(m *consistency.Model, addrs map[string]string, opts Options) (*InteropReport, error) {
 	opts.fill()
+	ids := make([]string, 0, len(addrs))
+	for id := range addrs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if m.InstanceByID(id) == nil {
+			return nil, fmt.Errorf("interop: instance %q: %w", id, consistency.ErrUnknownInstance)
+		}
+	}
 	rep := &InteropReport{}
 	// Exercise in a stable order.
 	refIdx := make([]int, len(m.Refs))

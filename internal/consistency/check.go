@@ -50,11 +50,26 @@ func (v Violation) String() string {
 	return fmt.Sprintf("[%s] %s", v.Kind, v.Message)
 }
 
+// Error makes Violation usable as an error value (and with errors.As),
+// so callers can surface individual causes through error-handling paths.
+func (v Violation) Error() string { return v.String() }
+
 // Report is the checker's result.
 type Report struct {
-	Model      *Model
+	Model *Model
+	// Violations holds every immediate cause found, in a deterministic,
+	// documented order — the sort key is (reference order, rule order):
+	// references in model order (system-hosted instances in system
+	// declaration order, then domain-hosted instances in domain order,
+	// queries and requested variables in declaration order), each
+	// reference's causes in rule order (support, permission, domain
+	// restriction); then proxy violations in declaration order; then
+	// unresolved targets in discovery order. Serial and parallel checks
+	// produce identical ordering.
 	Violations []Violation
-	// RefsChecked counts the references examined.
+	// RefsChecked counts the references examined. Equal to the model's
+	// reference count except when the check was cancelled or stopped by
+	// FailFast.
 	RefsChecked int
 }
 
@@ -76,6 +91,30 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "  %s\n", v)
 	}
 	return b.String()
+}
+
+// Summary returns a one-line digest of the report: the verdict, plus
+// violation counts broken down by kind for inconsistent specifications.
+func (r *Report) Summary() string {
+	if r.Consistent() {
+		return fmt.Sprintf("consistent: %d references, %d permissions, %d instances",
+			r.RefsChecked, len(r.Model.Perms), len(r.Model.Instances))
+	}
+	counts := map[Kind]int{}
+	kinds := make([]string, 0, 4)
+	for _, v := range r.Violations {
+		if counts[v.Kind] == 0 {
+			kinds = append(kinds, string(v.Kind))
+		}
+		counts[v.Kind]++
+	}
+	sort.Strings(kinds)
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%d %s", counts[Kind(k)], k))
+	}
+	return fmt.Sprintf("INCONSISTENT: %d violations (%s), %d references checked",
+		len(r.Violations), strings.Join(parts, ", "), r.RefsChecked)
 }
 
 // ByKind returns the violations of one kind.
@@ -247,6 +286,17 @@ func (c *Checker) checkRef(ref *Ref, out *[]Violation) {
 	}
 }
 
+// unresolvedViolation renders one unresolved query target as a
+// violation; shared by the serial and sharded checkers of both engines.
+func unresolvedViolation(u *UnresolvedTarget) Violation {
+	return Violation{
+		Kind:       KindUnresolvedTarget,
+		Unresolved: u,
+		Message: fmt.Sprintf("%s query of %q cannot be resolved: %s",
+			u.Source.ID, u.Query.Target, u.Reason),
+	}
+}
+
 // Check runs the full consistency check.
 func (c *Checker) Check() *Report {
 	rep := &Report{Model: c.m}
@@ -256,17 +306,12 @@ func (c *Checker) Check() *Report {
 	rep.RefsChecked = len(c.m.Refs)
 	c.checkProxies(&rep.Violations)
 	for i := range c.m.Unresolved {
-		u := &c.m.Unresolved[i]
-		rep.Violations = append(rep.Violations, Violation{
-			Kind:       KindUnresolvedTarget,
-			Unresolved: u,
-			Message: fmt.Sprintf("%s query of %q cannot be resolved: %s",
-				u.Source.ID, u.Query.Target, u.Reason),
-		})
+		rep.Violations = append(rep.Violations, unresolvedViolation(&c.m.Unresolved[i]))
 	}
 	return rep
 }
 
 // Check is the convenience entry point: build the model and run the
-// indexed checker.
+// indexed checker serially. It is equivalent to CheckContext with a
+// background context and one worker.
 func Check(m *Model) *Report { return NewChecker(m).Check() }

@@ -1,0 +1,19 @@
+package consistency
+
+import "errors"
+
+// Sentinel errors, wrapped (with %w) by the entry points that take
+// caller-supplied names — AdmissiblePeriods, audit.Agent, audit.Interop
+// and the nmsl facade — so callers can classify failures with
+// errors.Is/errors.As instead of matching message strings.
+var (
+	// ErrUnknownInstance reports an instance ID that names no instance
+	// of the specification.
+	ErrUnknownInstance = errors.New("unknown instance")
+	// ErrUnresolvedName reports a dotted MIB name (or other identifier)
+	// that does not resolve in the specification.
+	ErrUnresolvedName = errors.New("name does not resolve")
+	// ErrNotAgent reports an instance that exists but is not an agent
+	// (it exports nothing, so it has no prescriptive configuration).
+	ErrNotAgent = errors.New("instance is not an agent")
+)

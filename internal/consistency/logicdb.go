@@ -238,64 +238,67 @@ func BuildDB(m *Model) *logic.DB {
 	return db
 }
 
+// logicCheckRef proves one reference against the compiled rule base
+// through solver s, appending violations in rule order (support,
+// permission, restriction). The DB behind s is read-only during
+// solving, so concurrent workers may share it, each with a private
+// solver.
+func logicCheckRef(m *Model, s *logic.Solver, r *Ref, out *[]Violation) {
+	src, tgt := logic.Atom(r.Source.ID), logic.Atom(r.Target.ID)
+	v := logic.Atom(r.Var.Path())
+	acc := accessAtom(r.Access)
+	t, rop := freqTerms(r.guarantee())
+	args := []logic.Term{src, tgt, v, acc, t, rop}
+
+	if !s.Prove(logic.Call(logic.Comp("support_ok", tgt, v))) {
+		*out = append(*out, Violation{
+			Kind: KindNoSupport, Ref: r,
+			Message: fmt.Sprintf("%s: target %s (%s) does not support %s",
+				r, r.Target.ID, r.Target.Hosted(), r.Var.Path()),
+		})
+	}
+	switch {
+	case s.Prove(logic.Call(logic.Comp("permitted", args...))):
+		// permitted
+	case s.Prove(logic.Call(logic.Comp("permitted_nofreq", args...))):
+		*out = append(*out, Violation{
+			Kind: KindFrequencyViolation, Ref: r,
+			Message: fmt.Sprintf("%s: a permission covers the parties and data but not this frequency", r),
+		})
+	case s.Prove(logic.Call(logic.Comp("permitted_parties", args...))):
+		*out = append(*out, Violation{
+			Kind: KindAccessViolation, Ref: r,
+			Message: fmt.Sprintf("%s: a permission covers the parties and data but not this access mode", r),
+		})
+	default:
+		*out = append(*out, Violation{
+			Kind: KindNoPermission, Ref: r,
+			Message: fmt.Sprintf("%s: no permission covers this reference", r),
+		})
+	}
+	if s.Prove(logic.Call(logic.Comp("violates_restriction", args...))) {
+		*out = append(*out, Violation{
+			Kind: KindDomainRestriction, Ref: r,
+			Message: fmt.Sprintf("%s: a domain containing the target restricts access and grants no covering export", r),
+		})
+	}
+}
+
 // CheckLogic runs the consistency check through the logic engine: for
 // every reference it proves (or fails to prove) the reduction rules and
 // classifies the failure. Its verdicts must agree with the indexed Check;
-// tests cross-validate the two.
+// tests cross-validate the two. It is equivalent to CheckContext with
+// EngineLogic, a background context and one worker.
 func CheckLogic(m *Model) *Report {
 	db := BuildDB(m)
 	s := logic.NewSolver(db)
 	rep := &Report{Model: m}
 	for i := range m.Refs {
-		r := &m.Refs[i]
-		src, tgt := logic.Atom(r.Source.ID), logic.Atom(r.Target.ID)
-		v := logic.Atom(r.Var.Path())
-		acc := accessAtom(r.Access)
-		t, rop := freqTerms(r.guarantee())
-		args := []logic.Term{src, tgt, v, acc, t, rop}
-
-		if !s.Prove(logic.Call(logic.Comp("support_ok", tgt, v))) {
-			rep.Violations = append(rep.Violations, Violation{
-				Kind: KindNoSupport, Ref: r,
-				Message: fmt.Sprintf("%s: target %s (%s) does not support %s",
-					r, r.Target.ID, r.Target.Hosted(), r.Var.Path()),
-			})
-		}
-		switch {
-		case s.Prove(logic.Call(logic.Comp("permitted", args...))):
-			// permitted
-		case s.Prove(logic.Call(logic.Comp("permitted_nofreq", args...))):
-			rep.Violations = append(rep.Violations, Violation{
-				Kind: KindFrequencyViolation, Ref: r,
-				Message: fmt.Sprintf("%s: a permission covers the parties and data but not this frequency", r),
-			})
-		case s.Prove(logic.Call(logic.Comp("permitted_parties", args...))):
-			rep.Violations = append(rep.Violations, Violation{
-				Kind: KindAccessViolation, Ref: r,
-				Message: fmt.Sprintf("%s: a permission covers the parties and data but not this access mode", r),
-			})
-		default:
-			rep.Violations = append(rep.Violations, Violation{
-				Kind: KindNoPermission, Ref: r,
-				Message: fmt.Sprintf("%s: no permission covers this reference", r),
-			})
-		}
-		if s.Prove(logic.Call(logic.Comp("violates_restriction", args...))) {
-			rep.Violations = append(rep.Violations, Violation{
-				Kind: KindDomainRestriction, Ref: r,
-				Message: fmt.Sprintf("%s: a domain containing the target restricts access and grants no covering export", r),
-			})
-		}
+		logicCheckRef(m, s, &m.Refs[i], &rep.Violations)
 	}
 	rep.RefsChecked = len(m.Refs)
 	for i := range m.Unresolved {
-		u := &m.Unresolved[i]
-		rep.Violations = append(rep.Violations, Violation{
-			Kind:       KindUnresolvedTarget,
-			Unresolved: u,
-			Message: fmt.Sprintf("%s query of %q cannot be resolved: %s",
-				u.Source.ID, u.Query.Target, u.Reason),
-		})
+		rep.Violations = append(rep.Violations, unresolvedViolation(&m.Unresolved[i]))
 	}
 	return rep
 }

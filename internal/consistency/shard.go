@@ -1,0 +1,218 @@
+package consistency
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"nmsl/internal/logic"
+)
+
+// Parallel sharded checking. The paper's scale goals (section 1: 10,000
+// domains, 100k-1M hosts) make the consistency check the dominant cost
+// on large specifications. Every reference is verified independently —
+// the check reads the model but never writes it — so the reference
+// relation partitions cleanly: the refs are split into contiguous
+// shards whose boundaries are aligned to target-instance runs (the
+// references against one target share permission-index lookups), and a
+// bounded worker pool checks shards concurrently. Shard results are
+// merged in shard order, which by construction reproduces the serial
+// checker's violation order byte for byte.
+
+// Engine selects which evaluator CheckContext runs.
+type Engine int
+
+const (
+	// EngineIndexed is the Go-side indexed checker (the fast path that
+	// scales to the paper's 10,000-domain goal).
+	EngineIndexed Engine = iota
+	// EngineLogic proves each reference through the CLP(R)-style logic
+	// engine (the paper's reference semantics; slower but independent).
+	// Workers share the compiled fact/rule base, each with its own
+	// solver.
+	EngineLogic
+)
+
+// Options configure CheckContext. The zero value runs the indexed
+// engine over a worker per CPU.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Engine selects the evaluator.
+	Engine Engine
+	// OnViolation, when non-nil, is invoked for every violation as it
+	// is found, before the Report is assembled. Invocations are
+	// serialized, but their order across shards is scheduling-dependent;
+	// only the returned Report's ordering is deterministic.
+	OnViolation func(Violation)
+	// FailFast stops scheduling further work once any violation has
+	// been recorded. The Report then holds at least one violation but
+	// is partial, and RefsChecked reflects the truncated scan.
+	FailFast bool
+	// DisableIndex forces full permission scans in the indexed engine
+	// (the DESIGN.md ablation).
+	DisableIndex bool
+}
+
+// shardsPerWorker oversubscribes shards so uneven shard costs (star
+// targets, restriction-heavy domains) still balance across the pool.
+const shardsPerWorker = 4
+
+// cancelStride is how many references a worker checks between context
+// polls.
+const cancelStride = 32
+
+// shardRefs partitions the ref index space [0, len(refs)) into at most
+// nshards contiguous ranges. Boundaries are advanced to the end of the
+// current target-instance run, so all references against one target
+// stay in one shard (its permission neighborhood is checked together).
+func shardRefs(refs []Ref, nshards int) [][2]int {
+	n := len(refs)
+	if n == 0 {
+		return nil
+	}
+	if nshards < 1 {
+		nshards = 1
+	}
+	if nshards > n {
+		nshards = n
+	}
+	shards := make([][2]int, 0, nshards)
+	start := 0
+	for s := 1; s <= nshards && start < n; s++ {
+		end := s * n / nshards
+		if end <= start {
+			continue
+		}
+		for end < n && refs[end].Target == refs[end-1].Target {
+			end++
+		}
+		shards = append(shards, [2]int{start, end})
+		start = end
+	}
+	return shards
+}
+
+// refChecker evaluates one reference, appending violations in rule
+// order. Implementations must be safe for concurrent use by the worker
+// that owns them over a read-only Model.
+type refChecker func(ref *Ref, out *[]Violation)
+
+// CheckContext runs the consistency check over a bounded worker pool,
+// honoring ctx for cancellation and deadline. A completed run returns a
+// Report byte-identical to the serial Check (or CheckLogic, under
+// EngineLogic) regardless of worker count. When ctx is cancelled
+// mid-check the partial Report accumulated so far is returned together
+// with ctx.Err().
+func CheckContext(ctx context.Context, m *Model, opts Options) (*Report, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := &Report{Model: m}
+
+	// Per-engine worker construction. The indexed Checker is built once
+	// and shared (read-only after construction); the logic engine
+	// shares the fact/rule base and gives each worker a private solver.
+	var chk *Checker
+	var newWorker func() refChecker
+	switch opts.Engine {
+	case EngineLogic:
+		db := BuildDB(m)
+		newWorker = func() refChecker {
+			s := logic.NewSolver(db)
+			return func(ref *Ref, out *[]Violation) { logicCheckRef(m, s, ref, out) }
+		}
+	default:
+		chk = NewChecker(m)
+		chk.DisableIndex = opts.DisableIndex
+		newWorker = func() refChecker { return chk.checkRef }
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// emit streams violations to the caller as they are found.
+	var emitMu sync.Mutex
+	emit := func(vs []Violation) {
+		if opts.OnViolation == nil {
+			return
+		}
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		for _, v := range vs {
+			opts.OnViolation(v)
+		}
+	}
+
+	shards := shardRefs(m.Refs, workers*shardsPerWorker)
+	results := make([][]Violation, len(shards))
+	checked := make([]int, len(shards))
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			checkRef := newWorker()
+			// Workers drain the channel even after cancellation (each
+			// shard is then skipped immediately), so the feeder below
+			// never blocks on an exited pool.
+			for si := range work {
+				lo, hi := shards[si][0], shards[si][1]
+				var out []Violation
+				n := 0
+				for i := lo; i < hi; i++ {
+					if (i-lo)%cancelStride == 0 && runCtx.Err() != nil {
+						break
+					}
+					before := len(out)
+					checkRef(&m.Refs[i], &out)
+					n++
+					if len(out) > before {
+						emit(out[before:])
+						if opts.FailFast {
+							cancel()
+						}
+					}
+				}
+				results[si], checked[si] = out, n
+			}
+		}()
+	}
+	for si := range shards {
+		work <- si
+	}
+	close(work)
+	wg.Wait()
+
+	// Merge in shard order: contiguous shards concatenated in order are
+	// exactly the serial scan order.
+	for si, vs := range results {
+		rep.Violations = append(rep.Violations, vs...)
+		rep.RefsChecked += checked[si]
+	}
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+	if opts.FailFast && len(rep.Violations) > 0 {
+		return rep, nil
+	}
+
+	// Tail phase, serial and cheap: proxy relationships (indexed engine
+	// only, matching the serial checkers) and unresolved targets.
+	before := len(rep.Violations)
+	if opts.Engine != EngineLogic {
+		chk.checkProxies(&rep.Violations)
+	}
+	for i := range m.Unresolved {
+		u := &m.Unresolved[i]
+		rep.Violations = append(rep.Violations, unresolvedViolation(u))
+	}
+	emit(rep.Violations[before:])
+	return rep, nil
+}

@@ -1,0 +1,144 @@
+package consistency
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"nmsl/internal/paperspec"
+)
+
+// checkParallel runs CheckContext with the given options and fails the
+// test on error.
+func checkParallel(t *testing.T, m *Model, opts Options) *Report {
+	t.Helper()
+	rep, err := CheckContext(context.Background(), m, opts)
+	if err != nil {
+		t.Fatalf("CheckContext: %v", err)
+	}
+	return rep
+}
+
+func TestShardRefsCoverAndAlign(t *testing.T) {
+	// Refs with target runs A A B B B C: boundaries must not split runs.
+	a := &Instance{ID: "a"}
+	b := &Instance{ID: "b"}
+	c := &Instance{ID: "c"}
+	var refs []Ref
+	for _, tgt := range []*Instance{a, a, b, b, b, c} {
+		refs = append(refs, Ref{Target: tgt})
+	}
+	for nshards := 1; nshards <= 8; nshards++ {
+		shards := shardRefs(refs, nshards)
+		next := 0
+		for _, sh := range shards {
+			if sh[0] != next || sh[1] <= sh[0] {
+				t.Fatalf("nshards=%d: non-contiguous shards %v", nshards, shards)
+			}
+			if sh[0] > 0 && refs[sh[0]].Target == refs[sh[0]-1].Target {
+				t.Fatalf("nshards=%d: shard boundary splits a target run: %v", nshards, shards)
+			}
+			next = sh[1]
+		}
+		if next != len(refs) {
+			t.Fatalf("nshards=%d: shards %v do not cover %d refs", nshards, shards, len(refs))
+		}
+	}
+	if got := shardRefs(nil, 4); got != nil {
+		t.Fatalf("empty refs: %v", got)
+	}
+}
+
+// TestParallelParity asserts the sharded checker reproduces the serial
+// Report byte for byte at every worker count, for both engines, on
+// consistent and inconsistent specifications.
+func TestParallelParity(t *testing.T) {
+	for name, src := range map[string]string{
+		"paper":          paperspec.Combined,
+		"withoutExports": withoutExports,
+		"freq":           freqSpec,
+	} {
+		t.Run(name, func(t *testing.T) {
+			m := buildModel(t, src)
+			serial := Check(m).String()
+			serialLogic := CheckLogic(m).String()
+			for _, w := range []int{1, 2, 4, 8} {
+				if got := checkParallel(t, m, Options{Workers: w}).String(); got != serial {
+					t.Errorf("workers=%d diverges from serial:\n%s\nvs\n%s", w, got, serial)
+				}
+				if got := checkParallel(t, m, Options{Workers: w, Engine: EngineLogic}).String(); got != serialLogic {
+					t.Errorf("workers=%d logic engine diverges:\n%s\nvs\n%s", w, got, serialLogic)
+				}
+			}
+		})
+	}
+}
+
+func TestParallelParityDisableIndex(t *testing.T) {
+	m := buildModel(t, freqSpec)
+	serial := Check(m).String()
+	got := checkParallel(t, m, Options{Workers: 4, DisableIndex: true}).String()
+	if got != serial {
+		t.Fatalf("index ablation under parallelism diverges:\n%s\nvs\n%s", got, serial)
+	}
+}
+
+func TestCheckContextCancelled(t *testing.T) {
+	m := buildModel(t, freqSpec)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := CheckContext(ctx, m, Options{Workers: 2})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep == nil {
+		t.Fatal("cancelled check must still return the partial report")
+	}
+	if rep.RefsChecked != 0 {
+		t.Errorf("pre-cancelled context checked %d refs", rep.RefsChecked)
+	}
+}
+
+func TestOnViolationStreams(t *testing.T) {
+	m := buildModel(t, withoutExports)
+	var streamed []Violation
+	rep := checkParallel(t, m, Options{Workers: 1, OnViolation: func(v Violation) {
+		streamed = append(streamed, v)
+	}})
+	if len(streamed) != len(rep.Violations) {
+		t.Fatalf("streamed %d violations, report has %d", len(streamed), len(rep.Violations))
+	}
+	// Single worker: streaming order equals report order.
+	for i := range streamed {
+		if streamed[i].String() != rep.Violations[i].String() {
+			t.Errorf("streamed[%d] = %s, want %s", i, streamed[i], rep.Violations[i])
+		}
+	}
+}
+
+func TestFailFast(t *testing.T) {
+	m := buildModel(t, withoutExports)
+	rep := checkParallel(t, m, Options{Workers: 2, FailFast: true})
+	if rep.Consistent() {
+		t.Fatal("fail-fast check missed the violations entirely")
+	}
+}
+
+func TestViolationIsError(t *testing.T) {
+	var err error = Violation{Kind: KindNoPermission, Message: "x"}
+	if !strings.Contains(err.Error(), "no-permission") {
+		t.Errorf("Error() = %q", err.Error())
+	}
+}
+
+func TestReportSummary(t *testing.T) {
+	m := buildModel(t, paperspec.Combined)
+	if s := Check(m).Summary(); !strings.HasPrefix(s, "consistent:") {
+		t.Errorf("summary: %q", s)
+	}
+	m2 := buildModel(t, withoutExports)
+	s2 := Check(m2).Summary()
+	if !strings.Contains(s2, "INCONSISTENT: 2 violations") || !strings.Contains(s2, "2 no-permission") {
+		t.Errorf("summary: %q", s2)
+	}
+}

@@ -36,6 +36,8 @@
 package nmsl
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -92,6 +94,63 @@ const (
 	AccessNone      = mib.AccessNone
 )
 
+// Sentinel errors. Entry points that take caller-supplied names wrap
+// these (AdmissiblePeriods, AuditAgent, Interop), so callers classify
+// failures with errors.Is instead of matching message strings.
+var (
+	// ErrUnknownInstance: an instance ID names no instance.
+	ErrUnknownInstance = consistency.ErrUnknownInstance
+	// ErrUnresolvedName: a dotted MIB name does not resolve.
+	ErrUnresolvedName = consistency.ErrUnresolvedName
+	// ErrNotAgent: the instance exists but is not an agent.
+	ErrNotAgent = consistency.ErrNotAgent
+	// ErrFinished: the Compiler was used after Finish.
+	ErrFinished = errors.New("nmsl: compiler already finished")
+)
+
+// CheckEngine selects the consistency evaluator for CheckContext.
+type CheckEngine = consistency.Engine
+
+// Check engines.
+const (
+	// EngineIndexed is the Go-side indexed checker (default; scales to
+	// the paper's 10,000-domain goal).
+	EngineIndexed = consistency.EngineIndexed
+	// EngineLogic proves every reference through the CLP(R)-style logic
+	// engine (the paper's reference semantics; slower but independent).
+	EngineLogic = consistency.EngineLogic
+)
+
+// CheckOption configures Specification.CheckContext.
+type CheckOption func(*consistency.Options)
+
+// WithWorkers bounds the check's worker pool. n <= 0 (the default)
+// selects one worker per CPU.
+func WithWorkers(n int) CheckOption {
+	return func(o *consistency.Options) { o.Workers = n }
+}
+
+// WithEngine selects the evaluator: EngineIndexed (default) or
+// EngineLogic.
+func WithEngine(e CheckEngine) CheckOption {
+	return func(o *consistency.Options) { o.Engine = e }
+}
+
+// WithOnViolation streams every violation to fn as it is found, before
+// the Report is assembled — on 10,000-domain inputs the caller sees
+// causes immediately instead of after the full scan. Invocations are
+// serialized, but their order across shards is scheduling-dependent;
+// only the Report ordering is deterministic.
+func WithOnViolation(fn func(Violation)) CheckOption {
+	return func(o *consistency.Options) { o.OnViolation = fn }
+}
+
+// WithFailFast stops the check once any violation has been recorded.
+// The Report then holds at least one violation but is partial.
+func WithFailFast() CheckOption {
+	return func(o *consistency.Options) { o.FailFast = true }
+}
+
 // Output tags built into the compiler.
 const (
 	// OutputConsistency emits the logic facts of the descriptive aspect.
@@ -119,8 +178,12 @@ func NewCompiler() *Compiler {
 }
 
 // AddExtensionSource installs NMSL/EXT extension declarations. Must be
-// called before CompileSource for clauses the extension defines.
+// called before CompileSource for clauses the extension defines, and
+// returns ErrFinished after Finish.
 func (c *Compiler) AddExtensionSource(name, src string) error {
+	if c.finished {
+		return fmt.Errorf("%w: cannot add extension %q", ErrFinished, name)
+	}
 	exts, err := extension.ParseFile(name, src)
 	if err != nil {
 		return err
@@ -131,8 +194,12 @@ func (c *Compiler) AddExtensionSource(name, src string) error {
 
 // CompileSource parses and analyzes one specification source. Syntax
 // errors are returned immediately; semantic errors accumulate and are
-// reported by Finish.
+// reported by Finish. After Finish the analyzer is sealed and
+// CompileSource returns ErrFinished.
 func (c *Compiler) CompileSource(name, src string) error {
+	if c.finished {
+		return fmt.Errorf("%w: cannot compile %q", ErrFinished, name)
+	}
 	f, err := parser.Parse(name, src)
 	if err != nil {
 		return err
@@ -151,8 +218,13 @@ func (c *Compiler) CompileFile(path string) error {
 }
 
 // Finish links the compiled declarations and returns the Specification.
-// The returned error aggregates all semantic errors.
+// The returned error aggregates all semantic errors. Finish seals the
+// Compiler: further CompileSource/AddExtensionSource calls (and a second
+// Finish) return ErrFinished.
 func (c *Compiler) Finish() (*Specification, error) {
+	if c.finished {
+		return nil, ErrFinished
+	}
 	spec, err := c.analyzer.Finish()
 	c.finished = true
 	if err != nil {
@@ -179,11 +251,38 @@ func (s *Specification) AST() *ast.Spec { return s.spec }
 // permissions).
 func (s *Specification) Model() *Model { return s.model }
 
-// Check runs the indexed consistency checker.
+// CheckContext runs the consistency check over a bounded worker pool,
+// honoring ctx for cancellation and deadline:
+//
+//	rep, err := spec.CheckContext(ctx,
+//	    nmsl.WithWorkers(8),
+//	    nmsl.WithOnViolation(func(v nmsl.Violation) { log.Print(v) }))
+//
+// The model's references are partitioned into shards aligned to target
+// instances and checked concurrently; a completed run returns a Report
+// byte-identical to the serial checker regardless of worker count. When
+// ctx is cancelled mid-check, the partial Report is returned together
+// with ctx.Err(). This is the one entry point behind which the older
+// Check/CheckLogic split is unified (see WithEngine).
+func (s *Specification) CheckContext(ctx context.Context, opts ...CheckOption) (*Report, error) {
+	var o consistency.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return consistency.CheckContext(ctx, s.model, o)
+}
+
+// Check runs the indexed consistency checker serially. It is the
+// compatibility wrapper for CheckContext(context.Background()) with one
+// worker and produces an identical Report.
 func (s *Specification) Check() *Report { return consistency.Check(s.model) }
 
 // CheckLogic runs the consistency check through the CLP(R)-style logic
 // engine (the paper's reference semantics; slower but independent).
+//
+// Deprecated: use CheckContext with WithEngine(EngineLogic), which adds
+// cancellation, streaming and parallelism; CheckLogic remains as a thin
+// compatibility wrapper.
 func (s *Specification) CheckLogic() *Report { return consistency.CheckLogic(s.model) }
 
 // Generate runs the output-specific compiler actions for tag into w
@@ -221,13 +320,13 @@ func (s *Specification) EstimateLoad(opts LoadOptions) *LoadReport {
 func (s *Specification) AdmissiblePeriods(srcInstance, tgtInstance, varPath string, access Access) ([]Interval, error) {
 	node := s.spec.MIB.LookupSuffix(varPath)
 	if node == nil {
-		return nil, fmt.Errorf("nmsl: MIB name %q does not resolve", varPath)
+		return nil, fmt.Errorf("nmsl: MIB name %q: %w", varPath, ErrUnresolvedName)
 	}
 	if s.model.InstanceByID(srcInstance) == nil {
-		return nil, fmt.Errorf("nmsl: unknown source instance %q", srcInstance)
+		return nil, fmt.Errorf("nmsl: source instance %q: %w", srcInstance, ErrUnknownInstance)
 	}
 	if s.model.InstanceByID(tgtInstance) == nil {
-		return nil, fmt.Errorf("nmsl: unknown target instance %q", tgtInstance)
+		return nil, fmt.Errorf("nmsl: target instance %q: %w", tgtInstance, ErrUnknownInstance)
 	}
 	return consistency.AdmissiblePeriods(s.model, srcInstance, tgtInstance, node, access), nil
 }

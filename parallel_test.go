@@ -1,0 +1,199 @@
+package nmsl
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"nmsl/internal/consistency"
+	"nmsl/internal/netsim"
+)
+
+// compileCorpus compiles one testdata specification (with its extension,
+// if any) through the public facade.
+func compileCorpus(t *testing.T, tc corpusCase) *Specification {
+	t.Helper()
+	c := NewCompiler()
+	if tc.ext != "" {
+		extData, err := os.ReadFile(filepath.Join("testdata", tc.ext))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddExtensionSource(tc.ext, string(extData)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join("testdata", tc.file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CompileSource(tc.file, string(data)); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := c.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestParallelParityCorpus asserts that CheckContext produces a Report
+// byte-identical to the serial checkers at workers 1, 2, 4 and 8 across
+// the whole testdata corpus, for both engines.
+func TestParallelParityCorpus(t *testing.T) {
+	for _, tc := range corpus {
+		t.Run(tc.file, func(t *testing.T) {
+			spec := compileCorpus(t, tc)
+			serial := spec.Check().String()
+			serialLogic := spec.CheckLogic().String()
+			for _, w := range []int{1, 2, 4, 8} {
+				rep, err := spec.CheckContext(context.Background(), WithWorkers(w))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.String() != serial {
+					t.Errorf("workers=%d diverges from serial:\n%s\nvs\n%s", w, rep, serial)
+				}
+				lrep, err := spec.CheckContext(context.Background(),
+					WithWorkers(w), WithEngine(EngineLogic))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if lrep.String() != serialLogic {
+					t.Errorf("workers=%d logic engine diverges:\n%s\nvs\n%s", w, lrep, serialLogic)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelParityNetsim asserts serial/parallel parity on a
+// netsim-generated 1000-domain internet with injected inconsistencies
+// (so the merge path carries real violations).
+func TestParallelParityNetsim(t *testing.T) {
+	m, err := netsim.Model(netsim.Params{
+		Domains: 1000, SystemsPerDomain: 2, NestingDepth: 1,
+		InconsistencyRate: 0.02, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := consistency.Check(m)
+	if serial.Consistent() {
+		t.Fatal("expected injected violations")
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		rep, err := consistency.CheckContext(context.Background(), m, consistency.Options{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.String() != serial.String() {
+			t.Fatalf("workers=%d diverges from serial on the 1k-domain internet", w)
+		}
+	}
+}
+
+// TestCheckContextCancelMidCheck cancels from inside the violation
+// stream and expects the check to stop early with ctx.Err().
+func TestCheckContextCancelMidCheck(t *testing.T) {
+	m, err := netsim.Model(netsim.Params{
+		Domains: 500, SystemsPerDomain: 2, InconsistencyRate: 1.0, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(consistency.Check(m).Violations)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	seen := 0
+	rep, cerr := consistency.CheckContext(ctx, m, consistency.Options{
+		Workers: 2,
+		OnViolation: func(consistency.Violation) {
+			mu.Lock()
+			seen++
+			mu.Unlock()
+			cancel()
+		},
+	})
+	if !errors.Is(cerr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", cerr)
+	}
+	if seen == 0 || len(rep.Violations) == 0 {
+		t.Fatal("cancel arrived before any violation streamed")
+	}
+	if rep.RefsChecked >= len(m.Refs) {
+		t.Errorf("cancelled check still scanned all %d refs", rep.RefsChecked)
+	}
+	_ = total
+}
+
+// TestCheckContextFacadeOptions exercises the functional options
+// end-to-end through the public API.
+func TestCheckContextFacadeOptions(t *testing.T) {
+	spec := compileCorpus(t, corpusCase{file: "campus-broken.nmsl"})
+	var streamed []Violation
+	rep, err := spec.CheckContext(context.Background(),
+		WithWorkers(4),
+		WithOnViolation(func(v Violation) { streamed = append(streamed, v) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Consistent() || len(streamed) != len(rep.Violations) {
+		t.Fatalf("streamed %d of %d violations", len(streamed), len(rep.Violations))
+	}
+	ff, err := spec.CheckContext(context.Background(), WithFailFast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.Consistent() {
+		t.Fatal("fail-fast missed the violations")
+	}
+}
+
+// TestCompilerSealedAfterFinish: satellite hardening — a finished
+// Compiler rejects further sources instead of silently mutating the
+// analyzer.
+func TestCompilerSealedAfterFinish(t *testing.T) {
+	c := NewCompiler()
+	if err := c.CompileSource("ok.nmsl", "domain d ::= end domain d."); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CompileSource("late.nmsl", "domain e ::= end domain e."); !errors.Is(err, ErrFinished) {
+		t.Errorf("CompileSource after Finish: %v", err)
+	}
+	if err := c.CompileFile("testdata/isp.nmsl"); !errors.Is(err, ErrFinished) {
+		t.Errorf("CompileFile after Finish: %v", err)
+	}
+	if err := c.AddExtensionSource("x", ""); !errors.Is(err, ErrFinished) {
+		t.Errorf("AddExtensionSource after Finish: %v", err)
+	}
+	if _, err := c.Finish(); !errors.Is(err, ErrFinished) {
+		t.Errorf("second Finish: %v", err)
+	}
+}
+
+// TestTypedErrors: satellite API redesign — sentinel errors are
+// matchable with errors.Is across the speculative and audit entry
+// points.
+func TestTypedErrors(t *testing.T) {
+	spec := compileCorpus(t, corpusCase{file: "isp.nmsl"})
+	if _, err := spec.AdmissiblePeriods("a", "b", "no.such.var", AccessReadOnly); !errors.Is(err, ErrUnresolvedName) {
+		t.Errorf("bad var: %v", err)
+	}
+	if _, err := spec.AdmissiblePeriods("nope", "b", "mgmt.mib.system", AccessReadOnly); !errors.Is(err, ErrUnknownInstance) {
+		t.Errorf("bad source: %v", err)
+	}
+	if _, err := spec.AuditAgent("nope", "127.0.0.1:1", AuditOptions{}); !errors.Is(err, ErrUnknownInstance) {
+		t.Errorf("audit unknown instance: %v", err)
+	}
+	if _, err := spec.Interop(map[string]string{"nope": "127.0.0.1:1"}, AuditOptions{}); !errors.Is(err, ErrUnknownInstance) {
+		t.Errorf("interop unknown instance: %v", err)
+	}
+}
