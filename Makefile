@@ -1,10 +1,11 @@
 # Build and verification entry points. `make ci` is the gate every PR
-# must pass: vet plus the full test suite under the race detector, so
-# the concurrent sharded checker is race-checked on every change.
+# must pass: vet plus the full test suite under the race detector, with
+# shuffled test order so hidden inter-test dependencies (shared agents,
+# leaked rate-limit state) surface instead of hiding behind file order.
 
 GO ?= go
 
-.PHONY: all build test vet race ci bench bench-parallel
+.PHONY: all build test vet race ci bench bench-parallel bench-rollout
 
 all: build test
 
@@ -12,13 +13,13 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 ci: vet race
 
@@ -29,3 +30,8 @@ bench:
 # 1k-domain netsim workload (meaningful on multi-core hosts).
 bench-parallel:
 	$(GO) test -bench='BenchmarkCheckParallel' -run='^$$' .
+
+# Rollout sweep: wall-clock and attempts/target vs worker count and
+# injected packet loss (E-ROLL in EXPERIMENTS.md).
+bench-rollout:
+	$(GO) test -bench='BenchmarkDistribute' -run='^$$' .

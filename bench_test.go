@@ -332,7 +332,7 @@ func BenchmarkAgentHandle(b *testing.B) {
 	snmp.PopulateFromMIB(store, tree, "mgmt.mib")
 	agent := snmp.NewAgent(store, &snmp.Config{
 		Communities: map[string]*snmp.CommunityConfig{
-			"public": {Access: mib.AccessReadOnly, View: []mib.OID{tree.Lookup("mgmt.mib").OID()}},
+			"public": {Access: mib.AccessReadOnly, View: []snmp.View{{Prefix: tree.Lookup("mgmt.mib").OID()}}},
 		},
 	})
 	req := &snmp.Message{
@@ -348,12 +348,71 @@ func BenchmarkAgentHandle(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// distinct request IDs: an identical repeat would be served from
+		// the agent's retransmit cache rather than the handler path
+		req.PDU.RequestID = int32(i + 1)
 		resp := agent.Handle(req)
 		if resp == nil || resp.PDU.ErrorStatus != snmp.NoError {
 			b.Fatalf("resp %+v", resp)
 		}
 	}
 }
+
+// ---- E-ROLL: rollout wall-clock vs workers and injected loss ----
+
+// benchDistribute measures a full fault-tolerant rollout to 8 live
+// agents, each behind the given per-direction drop probability.
+func benchDistribute(b *testing.B, workers int, loss float64) {
+	m, err := netsim.Model(netsim.Params{Domains: 4, SystemsPerDomain: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var targets []cfggen.Target
+	i := 0
+	for id := range cfggen.Generate(m) {
+		store := snmp.NewStore()
+		snmp.PopulateFromMIB(store, m.Spec.MIB, "mgmt.mib")
+		agent := snmp.NewAgent(store, &snmp.Config{
+			Communities:    map[string]*snmp.CommunityConfig{},
+			AdminCommunity: "adm",
+		})
+		if loss > 0 {
+			inj := snmp.NewFaultInjector(int64(1 + i))
+			inj.In = snmp.Faults{Drop: loss}
+			inj.Out = snmp.Faults{Drop: loss}
+			agent.SetFaultInjector(inj)
+		}
+		addr, err := agent.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer agent.Close()
+		targets = append(targets, cfggen.Target{InstanceID: id, Addr: addr.String(), AdminCommunity: "adm"})
+		i++
+	}
+	attempts := 0
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		report, err := cfggen.DistributeContext(context.Background(), m, targets,
+			cfggen.WithWorkers(workers),
+			cfggen.WithRetries(12),
+			cfggen.WithBackoff(time.Millisecond, 10*time.Millisecond),
+			cfggen.WithAttemptTimeout(50*time.Millisecond),
+		)
+		if err != nil || !report.OK() {
+			b.Fatalf("rollout: %v %s", err, report.Summary())
+		}
+		attempts += report.Attempts
+	}
+	b.ReportMetric(float64(attempts)/float64(b.N*len(targets)), "attempts/target")
+}
+
+func BenchmarkDistributeW1Loss1(b *testing.B)  { benchDistribute(b, 1, 0.01) }
+func BenchmarkDistributeW8Loss1(b *testing.B)  { benchDistribute(b, 8, 0.01) }
+func BenchmarkDistributeW1Loss5(b *testing.B)  { benchDistribute(b, 1, 0.05) }
+func BenchmarkDistributeW8Loss5(b *testing.B)  { benchDistribute(b, 8, 0.05) }
+func BenchmarkDistributeW1Loss20(b *testing.B) { benchDistribute(b, 1, 0.20) }
+func BenchmarkDistributeW8Loss20(b *testing.B) { benchDistribute(b, 8, 0.20) }
 
 // ---- model building (the reduction to Figure 4.9 relations) ----
 
@@ -388,38 +447,11 @@ func BenchmarkCheckStarTargets(b *testing.B) {
 }
 
 // ---- T-GEN-DIST: central vs distributed installation (section 5) ----
+// The loss-0 rows of the E-ROLL sweep above; kept under their original
+// names so existing experiment tables keep regenerating.
 
-func benchDistribute(b *testing.B, workers int) {
-	m, err := netsim.Model(netsim.Params{Domains: 16, SystemsPerDomain: 1, Seed: 1})
-	if err != nil {
-		b.Fatal(err)
-	}
-	var targets []cfggen.Target
-	for id := range cfggen.Generate(m) {
-		store := snmp.NewStore()
-		snmp.PopulateFromMIB(store, m.Spec.MIB, "mgmt.mib")
-		agent := snmp.NewAgent(store, &snmp.Config{
-			Communities:    map[string]*snmp.CommunityConfig{},
-			AdminCommunity: "adm",
-		})
-		addr, err := agent.ListenAndServe("127.0.0.1:0")
-		if err != nil {
-			b.Fatal(err)
-		}
-		defer agent.Close()
-		targets = append(targets, cfggen.Target{InstanceID: id, Addr: addr.String(), AdminCommunity: "adm"})
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		results := cfggen.Distribute(m, targets, cfggen.DistributeOptions{Workers: workers})
-		if len(cfggen.Failed(results)) != 0 {
-			b.Fatal("install failures")
-		}
-	}
-}
-
-func BenchmarkDistributeSerial(b *testing.B)    { benchDistribute(b, 1) }
-func BenchmarkDistributeParallel8(b *testing.B) { benchDistribute(b, 8) }
+func BenchmarkDistributeSerial(b *testing.B)    { benchDistribute(b, 1, 0) }
+func BenchmarkDistributeParallel8(b *testing.B) { benchDistribute(b, 8, 0) }
 
 // ---- E-SIM: virtual-time simulation throughput ----
 

@@ -16,10 +16,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"nmsl"
@@ -27,16 +29,20 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("nmslaudit", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	instance := fs.String("instance", "", "agent instance ID to audit")
 	addr := fs.String("addr", "", "agent address host:port")
 	writes := fs.Bool("writes", false, "probe write enforcement (writes back the value just read)")
 	timeout := fs.Duration("timeout", 300*time.Millisecond, "per-probe response timeout")
+	retries := fs.Int("retries", 0, "retransmits per probe (0 keeps the client default, negative disables)")
+	backoff := fs.Duration("backoff", 0, "base delay between probe retransmits (0 keeps the client default)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -58,8 +64,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	rep, err := audit.Agent(spec.Model(), *instance, *addr, audit.Options{
+	rep, err := audit.AgentContext(ctx, spec.Model(), *instance, *addr, audit.Options{
 		Timeout:     *timeout,
+		Retries:     *retries,
+		Backoff:     *backoff,
 		ProbeWrites: *writes,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -56,7 +57,7 @@ func startAgent(t *testing.T, adherent bool) string {
 func TestAdherentAgentExitsZero(t *testing.T) {
 	addr := startAgent(t, true)
 	var out, errb strings.Builder
-	code := run([]string{"-instance", instID, "-addr", addr, specFile(t)}, &out, &errb)
+	code := run(context.Background(), []string{"-instance", instID, "-addr", addr, specFile(t)}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit %d: %s%s", code, out.String(), errb.String())
 	}
@@ -68,7 +69,7 @@ func TestAdherentAgentExitsZero(t *testing.T) {
 func TestDivergentAgentExitsOne(t *testing.T) {
 	addr := startAgent(t, false)
 	var out, errb strings.Builder
-	code := run([]string{"-instance", instID, "-addr", addr, "-writes", specFile(t)}, &out, &errb)
+	code := run(context.Background(), []string{"-instance", instID, "-addr", addr, "-writes", specFile(t)}, &out, &errb)
 	if code != 1 {
 		t.Fatalf("exit %d: %s%s", code, out.String(), errb.String())
 	}
@@ -79,13 +80,13 @@ func TestDivergentAgentExitsOne(t *testing.T) {
 
 func TestUsageErrors(t *testing.T) {
 	var out, errb strings.Builder
-	if code := run(nil, &out, &errb); code != 2 {
+	if code := run(context.Background(), nil, &out, &errb); code != 2 {
 		t.Errorf("no args: exit %d", code)
 	}
-	if code := run([]string{"-instance", "x", "-addr", "y", "/missing.nmsl"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"-instance", "x", "-addr", "y", "/missing.nmsl"}, &out, &errb); code != 2 {
 		t.Errorf("missing file: exit %d", code)
 	}
-	if code := run([]string{"-instance", "ghost", "-addr", "127.0.0.1:1", specFile(t)}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"-instance", "ghost", "-addr", "127.0.0.1:1", specFile(t)}, &out, &errb); code != 2 {
 		t.Errorf("unknown instance: exit %d", code)
 	}
 }

@@ -8,24 +8,34 @@
 // Usage:
 //
 //	nmslgen [-target BartsSnmpd|nvp] [-dir outdir] spec.nmsl ...
-//	nmslgen -install host:port -admin community -instance id spec.nmsl ...
+//	nmslgen -install host:port -admin community -instance id \
+//	    [-retries n] [-backoff d] [-timeout d] [-failfast] spec.nmsl ...
+//
+// The live install is a fault-tolerant rollout: each target is retried
+// with jittered exponential backoff, and Ctrl-C cancels cleanly, leaving
+// a report of what was and was not installed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"time"
 
 	"nmsl"
 	"nmsl/internal/configgen"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("nmslgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	target := fs.String("target", configgen.TagBartsSnmpd, "configuration format: BartsSnmpd or nvp")
@@ -34,6 +44,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	admin := fs.String("admin", "nmsl-admin", "admin community for live install")
 	instance := fs.String("instance", "", "agent instance ID whose config to install or print")
 	force := fs.Bool("force", false, "generate even if the specification is inconsistent")
+	retries := fs.Int("retries", 2, "live install: retries per target after the first attempt")
+	backoff := fs.Duration("backoff", 50*time.Millisecond, "live install: base delay between retries (grows exponentially, jittered)")
+	timeout := fs.Duration("timeout", 500*time.Millisecond, "live install: per-attempt wait for the agent's acknowledgment")
+	failfast := fs.Bool("failfast", false, "live install: cancel remaining targets after the first failure")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -73,17 +87,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "nmslgen: -install requires -instance")
 			return 2
 		}
-		cfg := configs[*instance]
-		if cfg == nil {
+		if configs[*instance] == nil {
 			fmt.Fprintf(stderr, "nmslgen: no configuration for instance %q; have:\n", *instance)
 			for id := range configs {
 				fmt.Fprintf(stderr, "  %s\n", id)
 			}
 			return 1
 		}
-		cfg.AdminCommunity = *admin
-		if err := configgen.InstallLive(*install, *admin, cfg); err != nil {
-			fmt.Fprintf(stderr, "nmslgen: install: %v\n", err)
+		opts := []configgen.RolloutOption{
+			configgen.WithRetries(*retries),
+			configgen.WithBackoff(*backoff, 0),
+			configgen.WithAttemptTimeout(*timeout),
+			configgen.WithOnResult(func(r configgen.TargetResult) {
+				if r.Err != nil {
+					fmt.Fprintf(stderr, "nmslgen: %s: %s after %d attempt(s): %v\n",
+						r.Target.InstanceID, r.Status, r.Attempts, r.Err)
+				}
+			}),
+		}
+		if *failfast {
+			opts = append(opts, configgen.WithFailFast())
+		}
+		targets := []configgen.Target{{InstanceID: *instance, Addr: *install, AdminCommunity: *admin}}
+		report, cerr := configgen.DistributeContext(ctx, spec.Model(), targets, opts...)
+		fmt.Fprintln(stdout, report.Summary())
+		if cerr != nil {
+			fmt.Fprintf(stderr, "nmslgen: rollout canceled: %v\n", cerr)
+			return 1
+		}
+		if !report.OK() {
 			return 1
 		}
 		fmt.Fprintf(stdout, "installed configuration for %s into %s\n", *instance, *install)

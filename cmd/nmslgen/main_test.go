@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,7 +23,7 @@ func specFile(t *testing.T, content string) string {
 
 func TestPrintConfigs(t *testing.T) {
 	var out, errb strings.Builder
-	code := run([]string{specFile(t, paperspec.Combined)}, &out, &errb)
+	code := run(context.Background(), []string{specFile(t, paperspec.Combined)}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
@@ -34,7 +35,7 @@ func TestPrintConfigs(t *testing.T) {
 func TestWriteDir(t *testing.T) {
 	dir := t.TempDir()
 	var out, errb strings.Builder
-	code := run([]string{"-dir", dir, specFile(t, paperspec.Combined)}, &out, &errb)
+	code := run(context.Background(), []string{"-dir", dir, specFile(t, paperspec.Combined)}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
@@ -49,7 +50,7 @@ func TestWriteDir(t *testing.T) {
 
 func TestNVPTarget(t *testing.T) {
 	var out, errb strings.Builder
-	code := run([]string{"-target", "nvp", "-instance", "snmpdReadOnly@romano.cs.wisc.edu#0",
+	code := run(context.Background(), []string{"-target", "nvp", "-instance", "snmpdReadOnly@romano.cs.wisc.edu#0",
 		specFile(t, paperspec.Combined)}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
@@ -70,7 +71,7 @@ end system "h".
 domain d ::= system h; end domain d.
 `
 	var out, errb strings.Builder
-	if code := run([]string{specFile(t, src)}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{specFile(t, src)}, &out, &errb); code != 1 {
 		t.Fatalf("exit %d", code)
 	}
 	if !strings.Contains(errb.String(), "inconsistent") {
@@ -92,7 +93,7 @@ func TestLiveInstall(t *testing.T) {
 	defer agent.Close()
 
 	var out, errb strings.Builder
-	code := run([]string{
+	code := run(context.Background(), []string{
 		"-install", addr.String(), "-admin", "adm",
 		"-instance", "snmpdReadOnly@romano.cs.wisc.edu#0",
 		specFile(t, paperspec.Combined)}, &out, &errb)
@@ -107,16 +108,16 @@ func TestLiveInstall(t *testing.T) {
 func TestInstallErrors(t *testing.T) {
 	path := specFile(t, paperspec.Combined)
 	var out, errb strings.Builder
-	if code := run([]string{"-install", "127.0.0.1:1", path}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"-install", "127.0.0.1:1", path}, &out, &errb); code != 2 {
 		t.Errorf("missing -instance: exit %d", code)
 	}
-	if code := run([]string{"-install", "127.0.0.1:1", "-instance", "ghost", path}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"-install", "127.0.0.1:1", "-instance", "ghost", path}, &out, &errb); code != 1 {
 		t.Errorf("unknown instance: exit %d", code)
 	}
-	if code := run([]string{"-target", "weird", path}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"-target", "weird", path}, &out, &errb); code != 2 {
 		t.Errorf("unknown target: exit %d", code)
 	}
-	if code := run(nil, &out, &errb); code != 2 {
+	if code := run(context.Background(), nil, &out, &errb); code != 2 {
 		t.Errorf("no files: exit %d", code)
 	}
 }

@@ -8,7 +8,9 @@
 //  3. Distribute: derive every agent's configuration and install all 24
 //     concurrently over the management protocol (the paper's
 //     "distributed manner" discussion — each configuration depends only
-//     on its own specification, so the fan-out parallelizes).
+//     on its own specification, so the fan-out parallelizes). The fleet's
+//     network is made deliberately lossy with an injected fault schedule;
+//     the rollout's retries absorb the loss.
 //  4. Audit the whole fleet: probe each agent and verify it adheres to
 //     the specification. One agent is then deliberately misconfigured by
 //     hand, and the audit catches the divergence — "verifying that these
@@ -20,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -46,10 +49,13 @@ func main() {
 		log.Fatal("refusing to configure an inconsistent internet")
 	}
 
-	// 2. Start the fleet.
+	// 2. Start the fleet. Every agent sits behind an injected fault
+	// schedule dropping 10% of datagrams in each direction — the lossy
+	// internet the rollout layer exists for.
 	configs := configgen.Generate(m)
 	agents := map[string]*snmp.Agent{}
 	var targets []configgen.Target
+	seed := int64(1)
 	for id := range configs {
 		store := snmp.NewStore()
 		snmp.PopulateFromMIB(store, m.Spec.MIB, "mgmt.mib")
@@ -57,6 +63,11 @@ func main() {
 			Communities:    map[string]*snmp.CommunityConfig{},
 			AdminCommunity: "nmsl-admin",
 		})
+		inj := snmp.NewFaultInjector(seed)
+		seed++
+		inj.In = snmp.Faults{Drop: 0.1}
+		inj.Out = snmp.Faults{Drop: 0.1}
+		agent.SetFaultInjector(inj)
 		addr, err := agent.ListenAndServe("127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
@@ -67,20 +78,25 @@ func main() {
 			InstanceID: id, Addr: addr.String(), AdminCommunity: "nmsl-admin",
 		})
 	}
-	fmt.Printf("started %d unconfigured agents\n", len(agents))
+	fmt.Printf("started %d unconfigured agents behind 10%% packet loss\n", len(agents))
 
-	// 3. Distribute concurrently.
-	start := time.Now()
-	results := configgen.Distribute(m, targets, configgen.DistributeOptions{Workers: 8})
-	if failed := configgen.Failed(results); len(failed) > 0 {
-		log.Fatalf("%d installations failed, first: %v", len(failed), failed[0].Err)
+	// 3. Distribute concurrently, retrying through the loss.
+	report, err := configgen.DistributeContext(context.Background(), m, targets,
+		configgen.WithWorkers(8),
+		configgen.WithRetries(8),
+		configgen.WithBackoff(20*time.Millisecond, 500*time.Millisecond),
+	)
+	if err != nil || !report.OK() {
+		log.Fatalf("rollout incomplete (%v): %s", err, report.Summary())
 	}
-	fmt.Printf("distributed %d configurations in %s\n", len(results), time.Since(start).Round(time.Millisecond))
+	fmt.Println(report.Summary())
 
-	// 4. Audit the fleet.
+	// 4. Audit the fleet. The probes cross the same lossy network, so
+	// they get a generous retransmit budget too.
+	auditOpts := audit.Options{ProbeWrites: true, Retries: 8, Backoff: 10 * time.Millisecond}
 	adherent := 0
 	for _, tgt := range targets {
-		arep, err := audit.Agent(m, tgt.InstanceID, tgt.Addr, audit.Options{ProbeWrites: true})
+		arep, err := audit.Agent(m, tgt.InstanceID, tgt.Addr, auditOpts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -100,7 +116,7 @@ func main() {
 	for _, tgt := range targets {
 		addrs[tgt.InstanceID] = tgt.Addr
 	}
-	irep, err := audit.Interop(m, addrs, audit.Options{})
+	irep, err := audit.Interop(m, addrs, audit.Options{Retries: 8, Backoff: 10 * time.Millisecond})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -115,13 +131,17 @@ func main() {
 	cfg := agents[victim.InstanceID].ConfigSnapshot()
 	loose := &snmp.Config{Communities: map[string]*snmp.CommunityConfig{}, AdminCommunity: cfg.AdminCommunity}
 	for name, cc := range cfg.Communities {
+		views := make([]snmp.View, len(cc.View))
+		for i, v := range cc.View {
+			views[i] = snmp.View{Prefix: v.Prefix, Access: mib.AccessAny}
+		}
 		loose.Communities[name] = &snmp.CommunityConfig{
-			Access: mib.AccessAny, View: cc.View, MinInterval: 0,
+			Access: mib.AccessAny, View: views, MinInterval: 0,
 		}
 	}
 	agents[victim.InstanceID].ApplyConfig(loose)
 	fmt.Printf("\nmisconfigured %s by hand; re-auditing:\n", victim.InstanceID)
-	arep, err := audit.Agent(m, victim.InstanceID, victim.Addr, audit.Options{ProbeWrites: true})
+	arep, err := audit.Agent(m, victim.InstanceID, victim.Addr, auditOpts)
 	if err != nil {
 		log.Fatal(err)
 	}

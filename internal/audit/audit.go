@@ -18,6 +18,7 @@
 package audit
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -99,6 +100,13 @@ func (r *Report) String() string {
 type Options struct {
 	// Timeout is the per-probe response timeout. Zero selects 300ms.
 	Timeout time.Duration
+	// Retries is how many times an unanswered probe is retransmitted
+	// (the rollout layer's retry policy applied to audit traffic). Zero
+	// selects the client default (2); negative disables retransmits.
+	Retries int
+	// Backoff is the base delay between retransmits, growing
+	// exponentially with jitter; zero keeps the client default.
+	Backoff time.Duration
 	// ProbeWrites enables write-leak probing. The probe writes back the
 	// value it just read, so a leaking agent's database is left
 	// unchanged; set false for strictly passive audits.
@@ -116,9 +124,30 @@ func (o *Options) fill() {
 	}
 }
 
+// configure applies the probe policy to a client.
+func (o *Options) configure(client *snmp.Client) {
+	client.SetTimeout(o.Timeout)
+	switch {
+	case o.Retries < 0:
+		client.SetRetries(0)
+	case o.Retries > 0:
+		client.SetRetries(o.Retries)
+	}
+	if o.Backoff > 0 {
+		client.SetBackoff(o.Backoff, 0)
+	}
+}
+
 // Agent audits the running agent at addr against what the specification
 // prescribes for instance instID.
 func Agent(m *consistency.Model, instID, addr string, opts Options) (*Report, error) {
+	return AgentContext(context.Background(), m, instID, addr, opts)
+}
+
+// AgentContext is Agent under a context: probes stop (and the partial
+// report is returned along with the context's error) as soon as ctx is
+// done.
+func AgentContext(ctx context.Context, m *consistency.Model, instID, addr string, opts Options) (*Report, error) {
 	opts.fill()
 	inst := m.InstanceByID(instID)
 	if inst == nil {
@@ -136,11 +165,23 @@ func Agent(m *consistency.Model, instID, addr string, opts Options) (*Report, er
 	}
 	sort.Strings(communities)
 	for _, name := range communities {
-		if err := auditCommunity(m, rep, addr, name, expected.Communities[name], opts); err != nil {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		if err := auditCommunity(ctx, m, rep, addr, name, expected.Communities[name], opts); err != nil {
+			if ctx.Err() != nil {
+				return rep, ctx.Err()
+			}
 			return nil, err
 		}
 	}
-	if err := auditUnknownCommunity(rep, addr, expected, opts); err != nil {
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+	if err := auditUnknownCommunity(ctx, rep, addr, expected, opts); err != nil {
+		if ctx.Err() != nil {
+			return rep, ctx.Err()
+		}
 		return nil, err
 	}
 	return rep, nil
@@ -149,8 +190,8 @@ func Agent(m *consistency.Model, instID, addr string, opts Options) (*Report, er
 // inViewOID picks a leaf variable inside the community's view that the
 // instance supports, preferring the system group (always present).
 func inViewOID(m *consistency.Model, cc *snmp.CommunityConfig) mib.OID {
-	for _, prefix := range cc.View {
-		node := m.Spec.MIB.LookupOID(prefix)
+	for _, v := range cc.View {
+		node := m.Spec.MIB.LookupOID(v.Prefix)
 		if node == nil {
 			continue
 		}
@@ -167,28 +208,33 @@ func inViewOID(m *consistency.Model, cc *snmp.CommunityConfig) mib.OID {
 	return nil
 }
 
-func auditCommunity(m *consistency.Model, rep *Report, addr, name string, cc *snmp.CommunityConfig, opts Options) error {
+func auditCommunity(ctx context.Context, m *consistency.Model, rep *Report, addr, name string, cc *snmp.CommunityConfig, opts Options) error {
 	client, err := snmp.Dial(addr, name)
 	if err != nil {
 		return err
 	}
 	defer client.Close()
-	client.SetTimeout(opts.Timeout)
+	opts.configure(client)
 
 	oid := inViewOID(m, cc)
 	if oid == nil {
 		return nil // nothing observable for this community
 	}
 
-	// Probe 1: an in-spec read must succeed (when the mode allows reads).
-	canRead := cc.Access.Allows(mib.AccessReadOnly)
+	// Probe 1: an in-spec read must succeed (when some grant covering the
+	// variable allows reads — access is per view subtree, not per
+	// community).
+	canRead := cc.Allows(oid, mib.AccessReadOnly)
 	rep.Probes++
-	binds, err := client.Get(oid)
+	binds, err := client.GetContext(ctx, oid)
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
 	switch {
 	case err == nil && !canRead:
 		rep.Findings = append(rep.Findings, Finding{
 			Kind: KindViewLeak, Community: name, OID: oid,
-			Message: fmt.Sprintf("read of %s succeeded but the specification grants %s", oid, cc.Access),
+			Message: fmt.Sprintf("read of %s succeeded but the specification grants %s", oid, cc.AccessFor(oid)),
 		})
 	case err != nil && canRead:
 		if re, ok := err.(*snmp.RequestError); ok {
@@ -208,7 +254,10 @@ func auditCommunity(m *consistency.Model, rep *Report, addr, name string, cc *sn
 	// specification bounds the frequency.
 	if canRead && err == nil {
 		rep.Probes++
-		_, err2 := client.Get(oid)
+		_, err2 := client.GetContext(ctx, oid)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
 		if cc.MinInterval > 0 && err2 == nil {
 			rep.Findings = append(rep.Findings, Finding{
 				Kind: KindRateLeak, Community: name, OID: oid,
@@ -232,9 +281,13 @@ func auditCommunity(m *consistency.Model, rep *Report, addr, name string, cc *sn
 	if outside == nil {
 		outside = mib.OID{1, 3, 6, 1, 3, 9, 9} // experimental arc
 	}
-	if !inAnyView(cc, outside) {
+	if !cc.InView(outside) {
 		rep.Probes++
-		if _, err := client.Get(outside); err == nil {
+		_, err := client.GetContext(ctx, outside)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err == nil {
 			rep.Findings = append(rep.Findings, Finding{
 				Kind: KindViewLeak, Community: name, OID: outside,
 				Message: fmt.Sprintf("read of %s succeeded outside the exported view", outside),
@@ -244,12 +297,16 @@ func auditCommunity(m *consistency.Model, rep *Report, addr, name string, cc *sn
 
 	// Probe 4: writes must be refused unless the specification grants
 	// write access. The probe writes back the value read in probe 1.
-	if opts.ProbeWrites && len(binds) == 1 && !cc.Access.Allows(mib.AccessWriteOnly) {
+	if opts.ProbeWrites && len(binds) == 1 && !cc.Allows(oid, mib.AccessWriteOnly) {
 		rep.Probes++
-		if err := client.Set(snmp.Binding{OID: oid, Value: binds[0].Value}); err == nil {
+		err := client.SetContext(ctx, snmp.Binding{OID: oid, Value: binds[0].Value})
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err == nil {
 			rep.Findings = append(rep.Findings, Finding{
 				Kind: KindWriteLeak, Community: name, OID: oid,
-				Message: fmt.Sprintf("write to %s accepted but the specification grants %s", oid, cc.Access),
+				Message: fmt.Sprintf("write to %s accepted but the specification grants %s", oid, cc.AccessFor(oid)),
 			})
 		}
 	}
@@ -267,16 +324,7 @@ func auditCommunity(m *consistency.Model, rep *Report, addr, name string, cc *sn
 	return nil
 }
 
-func inAnyView(cc *snmp.CommunityConfig, oid mib.OID) bool {
-	for _, p := range cc.View {
-		if oid.HasPrefix(p) {
-			return true
-		}
-	}
-	return false
-}
-
-func auditUnknownCommunity(rep *Report, addr string, expected *snmp.Config, opts Options) error {
+func auditUnknownCommunity(ctx context.Context, rep *Report, addr string, expected *snmp.Config, opts Options) error {
 	name := "nmsl-audit-unknown"
 	for expected.Communities[name] != nil || expected.AdminCommunity == name {
 		name += "-x"
@@ -286,12 +334,15 @@ func auditUnknownCommunity(rep *Report, addr string, expected *snmp.Config, opts
 		return err
 	}
 	defer client.Close()
-	client.SetTimeout(opts.Timeout)
+	opts.configure(client)
 	rep.Probes++
 	// Unknown communities must be silently dropped (SNMPv1 practice and
 	// the only behaviour consistent with "no permission"): any response,
 	// even an error status, reveals the agent processed the request.
-	_, err = client.Get(mib.OID{1, 3, 6, 1, 2, 1, 1, 1})
+	_, err = client.GetContext(ctx, mib.OID{1, 3, 6, 1, 2, 1, 1, 1})
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
 	if _, answered := err.(*snmp.RequestError); err == nil || answered {
 		rep.Findings = append(rep.Findings, Finding{
 			Kind: KindUnknownCommunityLeak, Community: name,

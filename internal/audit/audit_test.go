@@ -72,6 +72,9 @@ func misconfigured(m *consistency.Model) *snmp.Config {
 	for _, cc := range cfg.Communities {
 		cc.MinInterval = 0
 		cc.Access = mib.AccessAny
+		for i := range cc.View {
+			cc.View[i].Access = mib.AccessAny
+		}
 	}
 	return cfg
 }
@@ -106,7 +109,7 @@ func TestViewLeak(t *testing.T) {
 	outside := mib.OID{1, 3, 6, 1, 3, 9, 9}
 	for _, cc := range cfg.Communities {
 		cc.MinInterval = 0
-		cc.View = append(cc.View, mib.OID{1, 3, 6, 1, 3})
+		cc.View = append(cc.View, snmp.View{Prefix: mib.OID{1, 3, 6, 1, 3}})
 	}
 	store := snmp.NewStore()
 	snmp.PopulateFromMIB(store, m.Spec.MIB, "mgmt.mib")
@@ -139,7 +142,7 @@ func TestUnknownCommunityLeak(t *testing.T) {
 	// an agent that answers any community with the public policy
 	cfg.Communities["nmsl-audit-unknown"] = &snmp.CommunityConfig{
 		Access: mib.AccessReadOnly,
-		View:   []mib.OID{m.Spec.MIB.Lookup("mgmt.mib").OID()},
+		View:   []snmp.View{{Prefix: m.Spec.MIB.Lookup("mgmt.mib").OID()}},
 	}
 	addr := startAgent(t, m, cfg)
 	rep, err := Agent(m, instID, addr, Options{})

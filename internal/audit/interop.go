@@ -1,6 +1,7 @@
 package audit
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -71,6 +72,12 @@ func communityFor(m *consistency.Model, ref *consistency.Ref) string {
 // they mean another exercised reference already consumed the window, so
 // the probe retries are pointless; the frequency side is Agent's job.
 func Interop(m *consistency.Model, addrs map[string]string, opts Options) (*InteropReport, error) {
+	return InteropContext(context.Background(), m, addrs, opts)
+}
+
+// InteropContext is Interop under a context: the sweep stops (returning
+// the partial report with the context's error) once ctx is done.
+func InteropContext(ctx context.Context, m *consistency.Model, addrs map[string]string, opts Options) (*InteropReport, error) {
 	opts.fill()
 	ids := make([]string, 0, len(addrs))
 	for id := range addrs {
@@ -92,6 +99,9 @@ func Interop(m *consistency.Model, addrs map[string]string, opts Options) (*Inte
 		return m.Refs[refIdx[a]].String() < m.Refs[refIdx[b]].String()
 	})
 	for _, i := range refIdx {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		ref := &m.Refs[i]
 		addr, ok := addrs[ref.Target.ID]
 		if !ok {
@@ -106,7 +116,11 @@ func Interop(m *consistency.Model, addrs map[string]string, opts Options) (*Inte
 			})
 			continue
 		}
-		if reason := driveRef(ref, addr, community, opts); reason != "" {
+		reason := driveRef(ctx, ref, addr, community, opts)
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		if reason != "" {
 			rep.Findings = append(rep.Findings, InteropFinding{Ref: *ref, Reason: reason})
 		}
 	}
@@ -114,13 +128,13 @@ func Interop(m *consistency.Model, addrs map[string]string, opts Options) (*Inte
 }
 
 // driveRef performs one specified query and classifies the outcome.
-func driveRef(ref *consistency.Ref, addr, community string, opts Options) string {
+func driveRef(ctx context.Context, ref *consistency.Ref, addr, community string, opts Options) string {
 	client, err := snmp.Dial(addr, community)
 	if err != nil {
 		return fmt.Sprintf("dial %s: %v", addr, err)
 	}
 	defer client.Close()
-	client.SetTimeout(opts.Timeout)
+	opts.configure(client)
 
 	// References usually name tables or groups while agents serve
 	// leaves: for an interior node, the GetNext successor inside the
@@ -128,9 +142,9 @@ func driveRef(ref *consistency.Ref, addr, community string, opts Options) string
 	oid := ref.Var.OID()
 	var binds []snmp.Binding
 	if len(ref.Var.Children()) == 0 {
-		binds, err = client.Get(oid)
+		binds, err = client.GetContext(ctx, oid)
 	} else {
-		binds, err = client.GetNext(oid)
+		binds, err = client.GetNextContext(ctx, oid)
 	}
 	if err != nil {
 		if re, ok := err.(*snmp.RequestError); ok {

@@ -7,7 +7,6 @@ import (
 
 	"nmsl/internal/configgen"
 	"nmsl/internal/consistency"
-	"nmsl/internal/mib"
 	"nmsl/internal/netsim"
 	"nmsl/internal/snmp"
 )
@@ -101,7 +100,7 @@ func TestInteropDetectsWrongView(t *testing.T) {
 	icmp := m.Spec.MIB.Lookup("mgmt.mib.icmp").OID()
 	broken := &snmp.Config{Communities: map[string]*snmp.CommunityConfig{}, AdminCommunity: cfg.AdminCommunity}
 	for name, cc := range cfg.Communities {
-		broken.Communities[name] = &snmp.CommunityConfig{Access: cc.Access, View: []mib.OID{icmp}}
+		broken.Communities[name] = &snmp.CommunityConfig{Access: cc.Access, View: []snmp.View{{Prefix: icmp}}}
 	}
 	agents[victim].ApplyConfig(broken)
 	rep, err := Interop(m, addrs, Options{Timeout: 100 * time.Millisecond})

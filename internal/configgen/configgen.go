@@ -70,34 +70,47 @@ func Generate(m *consistency.Model) map[string]*snmp.Config {
 			}
 			cc := cfg.Communities[p.Grantee]
 			if cc == nil {
-				cc = &snmp.CommunityConfig{Access: p.Access}
+				cc = &snmp.CommunityConfig{Access: mib.AccessNone}
 				cfg.Communities[p.Grantee] = cc
 			}
-			cc.View = append(cc.View, p.Var.OID())
+			// Each permission becomes its own view entry carrying its own
+			// mode. Collapsing the modes into one per-community value (as
+			// this used to do) either leaks — a grantee holding ReadWrite
+			// on one subtree and ReadOnly on another got the write mode on
+			// both — or over-restricts, depending on permission order.
+			cc.View = append(cc.View, snmp.View{Prefix: p.Var.OID(), Access: exportAccess(p.Access)})
 			iv := time.Duration(p.MinPeriod * float64(time.Second))
 			if iv > cc.MinInterval {
 				cc.MinInterval = iv
-			}
-			if !cc.Access.Allows(p.Access) && p.Access.Allows(cc.Access) {
-				// keep the narrower of the two modes
-			} else if cc.Access == mib.AccessAny && p.Access != mib.AccessAny {
-				cc.Access = p.Access
 			}
 		}
 		applyDomainRestrictions(m, in, cfg)
 		for _, cc := range cfg.Communities {
 			sortViews(cc)
+			summarizeAccess(cc)
 		}
 		out[in.ID] = cfg
 	}
 	return out
 }
 
+// exportAccess normalizes a permission's mode for storage in a view
+// grant: an export that never stated a mode grants nothing by itself
+// (AccessUnspecified in a view would instead inherit the community
+// default, silently widening the grant).
+func exportAccess(a mib.Access) mib.Access {
+	if a == mib.AccessUnspecified {
+		return mib.AccessNone
+	}
+	return a
+}
+
 // applyDomainRestrictions tightens an agent's communities to honor the
 // domain-level exports of every restricting domain containing it: a
 // community survives only if each such domain exports to a domain
 // covering it, and inherits the strictest interval and the intersected
-// view.
+// view — per view, each surviving subtree's mode is the meet of what the
+// instance granted and what the domain grants.
 func applyDomainRestrictions(m *consistency.Model, in *consistency.Instance, cfg *snmp.Config) {
 	for _, dom := range m.PartyDomains(in.ID) {
 		if !m.Restricts(dom) {
@@ -114,26 +127,25 @@ func applyDomainRestrictions(m *consistency.Model, in *consistency.Instance, cfg
 					continue
 				}
 				granted = true
-				// narrow access to what the domain grants
-				if !ex.Access.Allows(cc.Access) {
-					cc.Access = ex.Access
-				}
 				// raise the minimum interval to the stricter bound
 				iv := time.Duration(ex.Freq.MinPeriodSeconds() * float64(time.Second))
 				if iv > cc.MinInterval {
 					cc.MinInterval = iv
 				}
-				// clip views to the exported subtrees
-				var clipped []mib.OID
+				// clip views to the exported subtrees, narrowing each
+				// surviving view to the mode both grants allow
+				exAcc := exportAccess(ex.Access)
+				var clipped []snmp.View
 				for _, v := range cc.View {
 					for _, ev := range ex.Vars {
 						if n := m.Spec.MIB.LookupSuffix(ev); n != nil {
 							eo := n.OID()
+							narrowed := v.Access.Meet(exAcc)
 							switch {
-							case v.HasPrefix(eo):
-								clipped = append(clipped, v)
-							case eo.HasPrefix(v):
-								clipped = append(clipped, eo)
+							case v.Prefix.HasPrefix(eo):
+								clipped = append(clipped, snmp.View{Prefix: v.Prefix, Access: narrowed})
+							case eo.HasPrefix(v.Prefix):
+								clipped = append(clipped, snmp.View{Prefix: eo, Access: narrowed})
 							}
 						}
 					}
@@ -147,14 +159,25 @@ func applyDomainRestrictions(m *consistency.Model, in *consistency.Instance, cfg
 	}
 }
 
+// sortViews orders a community's views, joins duplicate prefixes, and
+// drops views already covered by an earlier broader grant.
 func sortViews(cc *snmp.CommunityConfig) {
-	sort.Slice(cc.View, func(i, j int) bool { return cc.View[i].Compare(cc.View[j]) < 0 })
-	// drop views covered by an earlier prefix
-	var dedup []mib.OID
+	sort.Slice(cc.View, func(i, j int) bool {
+		if c := cc.View[i].Prefix.Compare(cc.View[j].Prefix); c != 0 {
+			return c < 0
+		}
+		return cc.View[i].Access < cc.View[j].Access
+	})
+	var dedup []snmp.View
 	for _, v := range cc.View {
+		if n := len(dedup); n > 0 && dedup[n-1].Prefix.Compare(v.Prefix) == 0 {
+			dedup[n-1].Access = dedup[n-1].Access.Join(v.Access)
+			continue
+		}
 		covered := false
 		for _, d := range dedup {
-			if v.HasPrefix(d) {
+			// only a grant at least as permissive subsumes a nested one
+			if v.Prefix.HasPrefix(d.Prefix) && d.Access.Covers(v.Access) {
 				covered = true
 				break
 			}
@@ -166,11 +189,26 @@ func sortViews(cc *snmp.CommunityConfig) {
 	cc.View = dedup
 }
 
+// summarizeAccess keeps the community-wide Access field at the join of
+// the per-view modes: a sound summary for pre-per-view consumers, and the
+// inherited mode for any view left AccessUnspecified.
+func summarizeAccess(cc *snmp.CommunityConfig) {
+	acc := mib.AccessNone
+	for _, v := range cc.View {
+		acc = acc.Join(v.Access)
+	}
+	cc.Access = acc
+}
+
 // WriteSnmpdConf renders a configuration in the BartsSnmpd text format:
 //
 //	# comment
-//	community <name> <access> <min-interval-seconds> <view-oid>[,<view-oid>...]
+//	community <name> <access> <min-interval-seconds> <view-oid>[:<mode>][,<view-oid>[:<mode>]...]
 //	admin <community>
+//
+// A view without an explicit :<mode> suffix inherits the community
+// access; the writer always emits the suffix so per-view modes survive a
+// round trip.
 func WriteSnmpdConf(w io.Writer, cfg *snmp.Config) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "# generated by nmslgen (BartsSnmpd format)")
@@ -186,7 +224,11 @@ func WriteSnmpdConf(w io.Writer, cfg *snmp.Config) error {
 		cc := cfg.Communities[name]
 		views := make([]string, len(cc.View))
 		for i, v := range cc.View {
-			views[i] = v.String()
+			if v.Access == mib.AccessUnspecified {
+				views[i] = v.Prefix.String()
+			} else {
+				views[i] = v.Prefix.String() + ":" + v.Access.String()
+			}
 		}
 		fmt.Fprintf(bw, "community %s %s %g %s\n",
 			name, cc.Access, cc.MinInterval.Seconds(), strings.Join(views, ","))
@@ -230,11 +272,20 @@ func ParseSnmpdConf(r io.Reader) (*snmp.Config, error) {
 				MinInterval: time.Duration(secs * float64(time.Second)),
 			}
 			for _, vs := range strings.Split(fields[4], ",") {
-				oid, err := parseOID(vs)
+				spec := vs
+				mode := mib.AccessUnspecified
+				if oidPart, modePart, found := strings.Cut(vs, ":"); found {
+					a, err := mib.ParseAccess(modePart)
+					if err != nil {
+						return nil, fmt.Errorf("line %d: %s", lineNo, err)
+					}
+					spec, mode = oidPart, a
+				}
+				oid, err := parseOID(spec)
 				if err != nil {
 					return nil, fmt.Errorf("line %d: %s", lineNo, err)
 				}
-				cc.View = append(cc.View, oid)
+				cc.View = append(cc.View, snmp.View{Prefix: oid, Access: mode})
 			}
 			cfg.Communities[fields[1]] = cc
 		default:

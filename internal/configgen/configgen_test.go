@@ -54,7 +54,7 @@ func TestGeneratePaperSpec(t *testing.T) {
 		t.Errorf("interval %v", cc.MinInterval)
 	}
 	mibOID := m.Spec.MIB.Lookup("mgmt.mib").OID()
-	if len(cc.View) != 1 || cc.View[0].Compare(mibOID) != 0 {
+	if len(cc.View) != 1 || cc.View[0].Prefix.Compare(mibOID) != 0 {
 		t.Errorf("view %v", cc.View)
 	}
 }
@@ -103,8 +103,79 @@ domain public ::= domain lab; end domain public.
 		t.Errorf("interval %v", cc.MinInterval)
 	}
 	sysOID := m.Spec.MIB.Lookup("mgmt.mib.system").OID()
-	if len(cc.View) != 1 || cc.View[0].Compare(sysOID) != 0 {
+	if len(cc.View) != 1 || cc.View[0].Prefix.Compare(sysOID) != 0 {
 		t.Errorf("view %v", cc.View)
+	}
+}
+
+// TestGenerateMixedAccessDoesNotLeak is the regression test for the
+// access-mode merge bug: a grantee holding ReadWrite on one subtree and
+// ReadOnly on another used to get one community-wide mode covering both,
+// leaking write access onto the ReadOnly export. The generated policy —
+// and a live agent running it — must reject a Set on the ReadOnly
+// subtree while still accepting one on the writable subtree.
+func TestGenerateMixedAccessDoesNotLeak(t *testing.T) {
+	src := `
+process agent ::=
+    supports mgmt.mib;
+    exports mgmt.mib.system to "ops" access ReadOnly;
+    exports mgmt.mib.ip to "ops" access Any;
+end process agent.
+system "h" ::=
+    cpu sparc;
+    interface ie0 net lab type ethernet-csmacd speed 10000000 bps;
+    supports mgmt.mib;
+    process agent;
+end system "h".
+domain lab ::= system h; end domain lab.
+domain ops ::= end domain ops.
+`
+	m := buildModel(t, src)
+	cfg := Generate(m)["agent@h#0"]
+	if cfg == nil {
+		t.Fatal("missing config")
+	}
+	cc := cfg.Communities["ops"]
+	if cc == nil {
+		t.Fatalf("missing ops community: %+v", cfg)
+	}
+	sysDescr := m.Spec.MIB.Lookup("mgmt.mib.system.sysDescr").OID()
+	ttl := m.Spec.MIB.Lookup("mgmt.mib.ip.ipDefaultTTL").OID()
+	if cc.Allows(sysDescr, mib.AccessWriteOnly) {
+		t.Errorf("write access leaked onto the ReadOnly subtree: %+v", cc.View)
+	}
+	if !cc.Allows(sysDescr, mib.AccessReadOnly) {
+		t.Errorf("ReadOnly subtree lost read access: %+v", cc.View)
+	}
+	if !cc.Allows(ttl, mib.AccessWriteOnly) || !cc.Allows(ttl, mib.AccessReadOnly) {
+		t.Errorf("ReadWrite subtree over-restricted: %+v", cc.View)
+	}
+
+	// End to end: a live agent running this config enforces the split.
+	store := snmp.NewStore()
+	snmp.PopulateFromMIB(store, m.Spec.MIB, "mgmt.mib")
+	agent := snmp.NewAgent(store, cfg)
+	addr, err := agent.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	client, err := snmp.Dial(addr.String(), "ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	err = client.Set(snmp.Binding{OID: sysDescr, Value: snmp.Str("hacked")})
+	re, ok := err.(*snmp.RequestError)
+	if !ok || re.Status != snmp.ReadOnly {
+		t.Fatalf("Set on ReadOnly-exported variable: %v (want ReadOnly error)", err)
+	}
+	if err := client.Set(snmp.Binding{OID: ttl, Value: snmp.Int64(63)}); err != nil {
+		t.Fatalf("Set on ReadWrite-exported variable: %v", err)
+	}
+	if _, err := client.Get(sysDescr); err != nil {
+		t.Fatalf("Get on ReadOnly-exported variable: %v", err)
 	}
 }
 
@@ -141,12 +212,12 @@ func TestSnmpdConfRoundTrip(t *testing.T) {
 		Communities: map[string]*snmp.CommunityConfig{
 			"public": {
 				Access:      mib.AccessReadOnly,
-				View:        []mib.OID{{1, 3, 6, 1, 2, 1}, {1, 3, 6, 1, 4}},
+				View:        []snmp.View{{Prefix: mib.OID{1, 3, 6, 1, 2, 1}}, {Prefix: mib.OID{1, 3, 6, 1, 4}, Access: mib.AccessReadOnly}},
 				MinInterval: 300 * time.Second,
 			},
 			"ops": {
 				Access: mib.AccessAny,
-				View:   []mib.OID{{1, 3, 6}},
+				View:   []snmp.View{{Prefix: mib.OID{1, 3, 6}}},
 			},
 		},
 	}

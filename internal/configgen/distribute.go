@@ -1,9 +1,7 @@
 package configgen
 
 import (
-	"fmt"
-	"sort"
-	"sync"
+	"context"
 	"time"
 
 	"nmsl/internal/consistency"
@@ -48,41 +46,16 @@ type DistributeOptions struct {
 // installs each one concurrently at its target. Instances without a
 // target are skipped; targets without a generated configuration are
 // reported as errors. Results are sorted by instance ID.
+//
+// Distribute is the pre-context compatibility wrapper around
+// DistributeContext: default retry policy, no cancellation, flat result
+// list.
 func Distribute(m *consistency.Model, targets []Target, opts DistributeOptions) []InstallResult {
-	if opts.Workers <= 0 {
-		opts.Workers = 8
+	report, _ := DistributeContext(context.Background(), m, targets, WithWorkers(opts.Workers))
+	results := make([]InstallResult, len(report.Results))
+	for i, r := range report.Results {
+		results[i] = InstallResult{Target: r.Target, Err: r.Err, Duration: r.Duration}
 	}
-	configs := Generate(m)
-
-	results := make([]InstallResult, len(targets))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Workers)
-	for i, tgt := range targets {
-		wg.Add(1)
-		go func(i int, tgt Target) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			start := time.Now()
-			res := InstallResult{Target: tgt}
-			cfg := configs[tgt.InstanceID]
-			if cfg == nil {
-				res.Err = fmt.Errorf("configgen: no configuration for instance %q", tgt.InstanceID)
-			} else {
-				// each goroutine ships an independent copy so the shared
-				// map stays untouched
-				cp := *cfg
-				cp.AdminCommunity = tgt.AdminCommunity
-				res.Err = InstallLive(tgt.Addr, tgt.AdminCommunity, &cp)
-			}
-			res.Duration = time.Since(start)
-			results[i] = res
-		}(i, tgt)
-	}
-	wg.Wait()
-	sort.Slice(results, func(i, j int) bool {
-		return results[i].Target.InstanceID < results[j].Target.InstanceID
-	})
 	return results
 }
 

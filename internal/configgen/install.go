@@ -1,10 +1,12 @@
 package configgen
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"nmsl/internal/snmp"
 )
@@ -77,4 +79,22 @@ func InstallLive(addr, adminCommunity string, cfg *snmp.Config) error {
 	}
 	defer client.Close()
 	return client.InstallConfig(cfg)
+}
+
+// InstallLiveContext is InstallLive as a single attempt under a context:
+// the client does not retransmit on its own (retries belong to the
+// rollout layer, which spaces attempts with backoff and counts them),
+// and timeout bounds the wait for the agent's acknowledgment (zero keeps
+// the client default).
+func InstallLiveContext(ctx context.Context, addr, adminCommunity string, cfg *snmp.Config, timeout time.Duration) error {
+	client, err := snmp.Dial(addr, adminCommunity)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	client.SetRetries(0)
+	if timeout > 0 {
+		client.SetTimeout(timeout)
+	}
+	return client.InstallConfigContext(ctx, cfg)
 }

@@ -1,0 +1,319 @@
+// Fault-tolerant rollout: the distributed installation phase of section 5
+// made robust against the network it manages. Shipping configuration to
+// 100k+ elements cannot assume a lossless transport, so DistributeContext
+// treats each install as a fallible distributed operation — bounded
+// workers, per-target retries with jittered exponential backoff, optional
+// per-target deadlines, streamed results, and a report that distinguishes
+// installed, failed, skipped and canceled targets instead of collapsing
+// them into one error.
+
+package configgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"nmsl/internal/consistency"
+	"nmsl/internal/snmp"
+)
+
+// RolloutStatus classifies one target's outcome.
+type RolloutStatus int
+
+const (
+	// StatusInstalled means the configuration was acknowledged by the
+	// agent.
+	StatusInstalled RolloutStatus = iota
+	// StatusFailed means every attempt errored (or the per-target
+	// deadline expired).
+	StatusFailed
+	// StatusSkipped means no configuration was generated for the
+	// target's instance, so nothing was sent.
+	StatusSkipped
+	// StatusCanceled means the rollout was canceled (context or
+	// fail-fast) before the target succeeded.
+	StatusCanceled
+)
+
+// String returns the lowercase status name.
+func (s RolloutStatus) String() string {
+	switch s {
+	case StatusInstalled:
+		return "installed"
+	case StatusFailed:
+		return "failed"
+	case StatusSkipped:
+		return "skipped"
+	case StatusCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("RolloutStatus(%d)", int(s))
+}
+
+// TargetResult reports one target's rollout outcome.
+type TargetResult struct {
+	Target   Target
+	Status   RolloutStatus
+	Attempts int
+	// Err is the last error observed (nil when installed).
+	Err      error
+	Duration time.Duration
+}
+
+// RolloutReport aggregates a rollout.
+type RolloutReport struct {
+	// Results holds every target's outcome, sorted by instance ID.
+	Results []TargetResult
+	// Installed, Failed, Skipped and Canceled count targets by status.
+	Installed, Failed, Skipped, Canceled int
+	// Attempts is the total number of install attempts across targets.
+	Attempts int
+	// Duration is the wall-clock time of the whole rollout.
+	Duration time.Duration
+}
+
+// OK reports whether every target was installed.
+func (r *RolloutReport) OK() bool {
+	return r.Failed == 0 && r.Skipped == 0 && r.Canceled == 0
+}
+
+// Summary renders a one-line account of the rollout.
+func (r *RolloutReport) Summary() string {
+	return fmt.Sprintf("rollout: %d/%d installed, %d failed, %d skipped, %d canceled (%d attempts in %v)",
+		r.Installed, len(r.Results), r.Failed, r.Skipped, r.Canceled, r.Attempts, r.Duration.Round(time.Millisecond))
+}
+
+// rolloutOptions is the resolved option set.
+type rolloutOptions struct {
+	workers          int
+	retries          int
+	backoffBase      time.Duration
+	backoffMax       time.Duration
+	perTargetTimeout time.Duration
+	attemptTimeout   time.Duration
+	onResult         func(TargetResult)
+	failFast         bool
+}
+
+// RolloutOption tunes DistributeContext, mirroring the checker's
+// functional options.
+type RolloutOption func(*rolloutOptions)
+
+// WithWorkers bounds concurrent installations; n <= 0 selects the
+// default (8).
+func WithWorkers(n int) RolloutOption {
+	return func(o *rolloutOptions) { o.workers = n }
+}
+
+// WithRetries sets how many times a failed install is retried per target
+// (n retries = n+1 attempts). Negative means zero.
+func WithRetries(n int) RolloutOption {
+	return func(o *rolloutOptions) {
+		if n < 0 {
+			n = 0
+		}
+		o.retries = n
+	}
+}
+
+// WithBackoff sets the delay before the k-th retry of a target:
+// base·2^k, jittered ±50%, capped at max. A zero base retries
+// immediately.
+func WithBackoff(base, max time.Duration) RolloutOption {
+	return func(o *rolloutOptions) { o.backoffBase, o.backoffMax = base, max }
+}
+
+// WithPerTargetTimeout bounds the total time spent on one target across
+// all its attempts and backoffs; zero means unbounded (the context still
+// applies).
+func WithPerTargetTimeout(d time.Duration) RolloutOption {
+	return func(o *rolloutOptions) { o.perTargetTimeout = d }
+}
+
+// WithAttemptTimeout bounds each individual install attempt's wait for
+// the agent's acknowledgment; zero selects the client default (500ms).
+func WithAttemptTimeout(d time.Duration) RolloutOption {
+	return func(o *rolloutOptions) { o.attemptTimeout = d }
+}
+
+// WithOnResult streams each target's result as it completes (from worker
+// goroutines, serialized — fn need not lock). The callback may cancel
+// the rollout's context to stop early.
+func WithOnResult(fn func(TargetResult)) RolloutOption {
+	return func(o *rolloutOptions) { o.onResult = fn }
+}
+
+// WithFailFast cancels the remaining targets after the first failure
+// (skips count as failures for this purpose; cancellations do not).
+func WithFailFast() RolloutOption {
+	return func(o *rolloutOptions) { o.failFast = true }
+}
+
+// rolloutBackoff computes the jittered exponential delay before retry k.
+func (o *rolloutOptions) rolloutBackoff(k int) time.Duration {
+	if o.backoffBase <= 0 {
+		return 0
+	}
+	d := o.backoffBase << uint(k)
+	if o.backoffMax > 0 && (d > o.backoffMax || d <= 0) {
+		d = o.backoffMax
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(2*half))
+}
+
+// DistributeContext derives every agent's configuration from the model
+// and installs each one at its target over a bounded worker pool,
+// retrying failures with backoff. It returns the report along with the
+// context's error when the rollout was cut short; the report is complete
+// either way (unfinished targets appear as canceled).
+func DistributeContext(ctx context.Context, m *consistency.Model, targets []Target, opts ...RolloutOption) (*RolloutReport, error) {
+	opt := rolloutOptions{
+		workers:     8,
+		retries:     2,
+		backoffBase: 50 * time.Millisecond,
+		backoffMax:  2 * time.Second,
+	}
+	for _, fn := range opts {
+		fn(&opt)
+	}
+	if opt.workers <= 0 {
+		opt.workers = 8
+	}
+
+	configs := Generate(m)
+	start := time.Now()
+
+	// rctx carries both external cancellation and fail-fast.
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	report := &RolloutReport{Results: make([]TargetResult, len(targets))}
+	var mu sync.Mutex // serializes onResult and failFast bookkeeping
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.workers)
+	for i, tgt := range targets {
+		wg.Add(1)
+		go func(i int, tgt Target) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res := installTarget(rctx, configs[tgt.InstanceID], tgt, &opt)
+			mu.Lock()
+			report.Results[i] = res
+			if opt.onResult != nil {
+				opt.onResult(res)
+			}
+			if opt.failFast && (res.Status == StatusFailed || res.Status == StatusSkipped) {
+				cancel()
+			}
+			mu.Unlock()
+		}(i, tgt)
+	}
+	wg.Wait()
+
+	sort.Slice(report.Results, func(i, j int) bool {
+		return report.Results[i].Target.InstanceID < report.Results[j].Target.InstanceID
+	})
+	for _, r := range report.Results {
+		report.Attempts += r.Attempts
+		switch r.Status {
+		case StatusInstalled:
+			report.Installed++
+		case StatusFailed:
+			report.Failed++
+		case StatusSkipped:
+			report.Skipped++
+		case StatusCanceled:
+			report.Canceled++
+		}
+	}
+	report.Duration = time.Since(start)
+	return report, ctx.Err()
+}
+
+// installTarget runs one target's attempt loop. cfg is the shared
+// generated configuration (nil when the instance has none); the target
+// gets its own deep copy before any mutation.
+func installTarget(rctx context.Context, cfg *snmp.Config, tgt Target, opt *rolloutOptions) TargetResult {
+	start := time.Now()
+	res := TargetResult{Target: tgt}
+	defer func() { res.Duration = time.Since(start) }()
+
+	if cfg == nil {
+		res.Status = StatusSkipped
+		res.Err = fmt.Errorf("configgen: no configuration for instance %q", tgt.InstanceID)
+		return res
+	}
+
+	tctx := rctx
+	if opt.perTargetTimeout > 0 {
+		var tcancel context.CancelFunc
+		tctx, tcancel = context.WithTimeout(rctx, opt.perTargetTimeout)
+		defer tcancel()
+	}
+
+	// Deep copy: the generated config (and its Communities map) is shared
+	// by every worker; the shallow copy this used to take let concurrent
+	// installs race on one map.
+	cp := cfg.Clone()
+	cp.AdminCommunity = tgt.AdminCommunity
+
+	var lastErr error
+	for attempt := 0; attempt <= opt.retries; attempt++ {
+		if attempt > 0 {
+			if err := sleepRollout(tctx, opt.rolloutBackoff(attempt-1)); err != nil {
+				break
+			}
+		}
+		if tctx.Err() != nil {
+			break
+		}
+		res.Attempts++
+		err := InstallLiveContext(tctx, tgt.Addr, tgt.AdminCommunity, cp, opt.attemptTimeout)
+		if err == nil {
+			res.Status = StatusInstalled
+			res.Err = nil
+			return res
+		}
+		lastErr = err
+	}
+
+	switch {
+	case rctx.Err() != nil:
+		res.Status = StatusCanceled
+		if lastErr == nil {
+			lastErr = rctx.Err()
+		}
+	default:
+		// exhausted retries, or the per-target deadline expired
+		res.Status = StatusFailed
+		if lastErr == nil && tctx.Err() != nil {
+			lastErr = tctx.Err()
+		}
+	}
+	res.Err = lastErr
+	return res
+}
+
+// sleepRollout sleeps for d or until ctx is done.
+func sleepRollout(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

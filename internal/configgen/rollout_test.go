@@ -1,0 +1,250 @@
+package configgen
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"nmsl/internal/consistency"
+	"nmsl/internal/netsim"
+	"nmsl/internal/snmp"
+)
+
+// startRolloutFleet starts one live agent per generated config and
+// returns targets for all of them. faults, when non-nil, supplies a
+// per-agent injector.
+func startRolloutFleet(t *testing.T, m *consistency.Model, admin string, faults func(i int) *snmp.FaultInjector) []Target {
+	t.Helper()
+	configs := Generate(m)
+	var targets []Target
+	i := 0
+	for id := range configs {
+		store := snmp.NewStore()
+		snmp.PopulateFromMIB(store, m.Spec.MIB, "mgmt.mib")
+		agent := snmp.NewAgent(store, &snmp.Config{
+			Communities:    map[string]*snmp.CommunityConfig{},
+			AdminCommunity: admin,
+		})
+		if faults != nil {
+			agent.SetFaultInjector(faults(i))
+		}
+		addr, err := agent.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { agent.Close() })
+		targets = append(targets, Target{InstanceID: id, Addr: addr.String(), AdminCommunity: "adm"})
+		i++
+	}
+	return targets
+}
+
+// TestDistributeContextPartialFailure mixes healthy, unreachable and
+// unknown targets in one rollout and checks the report separates them.
+func TestDistributeContextPartialFailure(t *testing.T) {
+	m, err := netsim.Model(netsim.Params{Domains: 2, SystemsPerDomain: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := startRolloutFleet(t, m, "adm", nil)
+	healthy := len(targets)
+	// port 1: nothing listens, so installs error out after retries
+	targets = append(targets, Target{InstanceID: targets[0].InstanceID, Addr: "127.0.0.1:1", AdminCommunity: "adm"})
+	// no generated config at all
+	targets = append(targets, Target{InstanceID: "ghost@nowhere#0", Addr: "127.0.0.1:1", AdminCommunity: "adm"})
+
+	var streamed []TargetResult
+	report, err := DistributeContext(context.Background(), m, targets,
+		WithWorkers(4),
+		WithRetries(1),
+		WithBackoff(time.Millisecond, 2*time.Millisecond),
+		WithAttemptTimeout(100*time.Millisecond),
+		WithOnResult(func(r TargetResult) { streamed = append(streamed, r) }),
+	)
+	if err != nil {
+		t.Fatalf("uncanceled rollout returned %v", err)
+	}
+	if report.Installed != healthy || report.Failed != 1 || report.Skipped != 1 || report.Canceled != 0 {
+		t.Fatalf("counts: %s", report.Summary())
+	}
+	if report.OK() {
+		t.Fatal("partial failure reported OK")
+	}
+	if len(streamed) != len(targets) {
+		t.Fatalf("streamed %d of %d results", len(streamed), len(targets))
+	}
+	if len(report.Results) != len(targets) {
+		t.Fatalf("results %d", len(report.Results))
+	}
+	for _, r := range report.Results {
+		switch r.Status {
+		case StatusInstalled:
+			if r.Err != nil || r.Attempts < 1 {
+				t.Errorf("installed %s: err=%v attempts=%d", r.Target.InstanceID, r.Err, r.Attempts)
+			}
+		case StatusFailed:
+			if r.Err == nil || r.Attempts != 2 {
+				t.Errorf("failed %s: err=%v attempts=%d (want 2: 1 retry)", r.Target.InstanceID, r.Err, r.Attempts)
+			}
+		case StatusSkipped:
+			if r.Err == nil || r.Attempts != 0 {
+				t.Errorf("skipped %s: err=%v attempts=%d", r.Target.InstanceID, r.Err, r.Attempts)
+			}
+		}
+	}
+}
+
+// TestDistributeContextCancellation cancels a rollout against agents
+// that never acknowledge; every target must come back canceled and the
+// call must return the context's error, parallel_test-style.
+func TestDistributeContextCancellation(t *testing.T) {
+	m, err := netsim.Model(netsim.Params{Domains: 5, SystemsPerDomain: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the agents only honor a different admin community, so install
+	// requests are silently dropped and every attempt runs to its timeout
+	targets := startRolloutFleet(t, m, "other-admin", nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(150*time.Millisecond, cancel)
+	defer timer.Stop()
+	defer cancel()
+	report, err := DistributeContext(ctx, m, targets,
+		WithWorkers(2),
+		WithRetries(5),
+		WithBackoff(10*time.Millisecond, 50*time.Millisecond),
+		WithAttemptTimeout(200*time.Millisecond),
+	)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(report.Results) != len(targets) {
+		t.Fatalf("report incomplete: %d of %d", len(report.Results), len(targets))
+	}
+	if report.Canceled != len(targets) || report.Installed != 0 {
+		t.Fatalf("counts: %s", report.Summary())
+	}
+	for _, r := range report.Results {
+		if r.Err == nil {
+			t.Errorf("canceled %s with nil error", r.Target.InstanceID)
+		}
+	}
+}
+
+// TestDistributeContextFailFast: the first definitive failure cancels
+// the remaining targets.
+func TestDistributeContextFailFast(t *testing.T) {
+	m, err := netsim.Model(netsim.Params{Domains: 1, SystemsPerDomain: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// one instantly-failing target (no config) ahead of six that would
+	// each grind through a long retry loop if allowed to
+	slow := startRolloutFleet(t, m, "other-admin", nil)[0]
+	targets := []Target{{InstanceID: "ghost@nowhere#0", Addr: "127.0.0.1:1", AdminCommunity: "adm"}}
+	for i := 0; i < 6; i++ {
+		targets = append(targets, slow)
+	}
+
+	report, err := DistributeContext(context.Background(), m, targets,
+		WithWorkers(2),
+		WithRetries(10),
+		WithBackoff(10*time.Millisecond, 50*time.Millisecond),
+		WithAttemptTimeout(200*time.Millisecond),
+		WithFailFast(),
+	)
+	if err != nil {
+		t.Fatalf("fail-fast must not surface as a context error: %v", err)
+	}
+	if report.Skipped != 1 {
+		t.Fatalf("counts: %s", report.Summary())
+	}
+	if report.Canceled == 0 {
+		t.Fatalf("fail-fast canceled nothing: %s", report.Summary())
+	}
+	if report.OK() {
+		t.Fatal("report OK despite fail-fast abort")
+	}
+}
+
+// TestDistributeConcurrentSameInstance installs the same instance's
+// configuration from many workers at once. Run under -race this pins
+// the deep-copy fix: the shallow per-target copy used to share one
+// Communities map across all workers.
+func TestDistributeConcurrentSameInstance(t *testing.T) {
+	m, err := netsim.Model(netsim.Params{Domains: 1, SystemsPerDomain: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := startRolloutFleet(t, m, "adm", nil)[0]
+	targets := make([]Target, 8)
+	for i := range targets {
+		targets[i] = tgt
+	}
+	report, err := DistributeContext(context.Background(), m, targets,
+		WithWorkers(8),
+		WithRetries(2),
+		WithBackoff(time.Millisecond, 5*time.Millisecond),
+		WithAttemptTimeout(200*time.Millisecond),
+	)
+	if err != nil || !report.OK() {
+		t.Fatalf("concurrent same-instance installs: err=%v %s", err, report.Summary())
+	}
+	if report.Installed != len(targets) {
+		t.Fatalf("counts: %s", report.Summary())
+	}
+}
+
+// TestRolloutAbsorbsInjectedLoss is the acceptance bar: a 50-target
+// rollout across links losing 20% of datagrams each way completes with
+// zero failures given a retry budget — and demonstrably loses targets
+// without one.
+func TestRolloutAbsorbsInjectedLoss(t *testing.T) {
+	m, err := netsim.Model(netsim.Params{Domains: 25, SystemsPerDomain: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := startRolloutFleet(t, m, "adm", func(i int) *snmp.FaultInjector {
+		inj := snmp.NewFaultInjector(int64(100 + i))
+		inj.In = snmp.Faults{Drop: 0.2}
+		inj.Out = snmp.Faults{Drop: 0.2}
+		return inj
+	})
+	if len(targets) != 50 {
+		t.Fatalf("fleet size %d, want 50", len(targets))
+	}
+
+	report, err := DistributeContext(context.Background(), m, targets,
+		WithWorkers(16),
+		WithRetries(12),
+		WithBackoff(2*time.Millisecond, 20*time.Millisecond),
+		WithAttemptTimeout(150*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatalf("rollout: %v", err)
+	}
+	if report.Failed != 0 || report.Installed != len(targets) {
+		t.Fatalf("retries did not absorb 20%% loss: %s", report.Summary())
+	}
+	if report.Attempts <= len(targets) {
+		t.Errorf("attempts %d suggests no loss was injected", report.Attempts)
+	}
+
+	// Control: without retries the same fleet loses targets, which is
+	// exactly why the rollout layer exists.
+	noRetry, err := DistributeContext(context.Background(), m, targets,
+		WithWorkers(16),
+		WithRetries(0),
+		WithAttemptTimeout(100*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatalf("control rollout: %v", err)
+	}
+	if noRetry.Installed == len(targets) {
+		t.Fatalf("no-retry control lost nothing; the acceptance test is vacuous: %s", noRetry.Summary())
+	}
+	t.Logf("with retries: %s", report.Summary())
+	t.Logf("without:      %s", noRetry.Summary())
+}

@@ -87,6 +87,46 @@ func (a Access) Allows(need Access) bool {
 	return a == need
 }
 
+// Covers reports whether mode a grants at least everything mode b grants:
+// the partial order of the access lattice None < {ReadOnly, WriteOnly} < Any,
+// with Unspecified treated as None (an unspecified grant grants nothing by
+// itself). ReadOnly and WriteOnly are incomparable.
+func (a Access) Covers(b Access) bool {
+	if b == AccessNone || b == AccessUnspecified {
+		return true
+	}
+	if a == AccessAny {
+		return true
+	}
+	return a == b
+}
+
+// Join returns the least upper bound of two access modes: the weakest mode
+// granting everything either mode grants. ReadOnly ∨ WriteOnly = Any.
+func (a Access) Join(b Access) Access {
+	switch {
+	case a.Covers(b):
+		return a
+	case b.Covers(a):
+		return b
+	default:
+		return AccessAny
+	}
+}
+
+// Meet returns the greatest lower bound of two access modes: the strongest
+// mode granted by both. ReadOnly ∧ WriteOnly = None.
+func (a Access) Meet(b Access) Access {
+	switch {
+	case a.Covers(b):
+		return b
+	case b.Covers(a):
+		return a
+	default:
+		return AccessNone
+	}
+}
+
 // OID is an object identifier: a sequence of non-negative sub-identifiers.
 type OID []int
 

@@ -12,20 +12,116 @@ import (
 	"nmsl/internal/mib"
 )
 
+// View is one grant in a community's access policy: the subtree at
+// Prefix may be referenced at mode Access. AccessUnspecified inherits the
+// community-wide Access (Figure 4.2's inheritance rule, applied to
+// grants). Keeping the mode per subtree rather than per community is what
+// lets a grantee hold ReadOnly on one export and Any on another without
+// either widening the first or narrowing the second.
+type View struct {
+	Prefix mib.OID    `json:"prefix"`
+	Access mib.Access `json:"access,omitempty"`
+}
+
+// viewJSON is the object wire form of a View.
+type viewJSON struct {
+	Prefix mib.OID    `json:"prefix"`
+	Access mib.Access `json:"access,omitempty"`
+}
+
+// UnmarshalJSON accepts both the object form {"prefix":[...],"access":n}
+// and the pre-per-view bare OID form [...] (which inherits the community
+// access), so configurations serialized by older generators still load.
+func (v *View) UnmarshalJSON(data []byte) error {
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "[") {
+		var oid mib.OID
+		if err := json.Unmarshal(data, &oid); err != nil {
+			return err
+		}
+		*v = View{Prefix: oid, Access: mib.AccessUnspecified}
+		return nil
+	}
+	var vj viewJSON
+	if err := json.Unmarshal(data, &vj); err != nil {
+		return err
+	}
+	*v = View(vj)
+	return nil
+}
+
 // CommunityConfig is the per-principal policy an NMSL configuration
 // generator installs: what data the community may see (View), with which
 // access mode, no more often than MinInterval. These are exactly NMSL's
 // exports: the community plays the role of the importing domain, the view
 // the exported MIB subtree, and MinInterval the "frequency >=" clause.
 type CommunityConfig struct {
-	// Access is the granted access mode.
+	// Access is the community-wide default access mode: views whose own
+	// Access is AccessUnspecified inherit it. Generators keep it at the
+	// join of the per-view modes so pre-per-view consumers still see a
+	// sound (if coarse) summary.
 	Access mib.Access `json:"access"`
-	// View lists OID prefixes the community may reference. Empty means
-	// no access at all.
-	View []mib.OID `json:"view"`
+	// View lists the granted subtrees. Empty means no access at all.
+	View []View `json:"view"`
 	// MinInterval is the minimum time between requests from this
 	// community; zero disables rate enforcement.
 	MinInterval time.Duration `json:"min_interval"`
+}
+
+// Clone returns a deep copy sharing no mutable state with cc.
+func (cc *CommunityConfig) Clone() *CommunityConfig {
+	if cc == nil {
+		return nil
+	}
+	cp := *cc
+	cp.View = make([]View, len(cc.View))
+	for i, v := range cc.View {
+		cp.View[i] = View{Prefix: v.Prefix.Clone(), Access: v.Access}
+	}
+	return &cp
+}
+
+// effectiveAccess resolves a view's inherited mode against the community
+// default.
+func (cc *CommunityConfig) effectiveAccess(v View) mib.Access {
+	if v.Access == mib.AccessUnspecified {
+		return cc.Access
+	}
+	return v.Access
+}
+
+// InView reports whether oid falls under any granted subtree, at any mode.
+func (cc *CommunityConfig) InView(oid mib.OID) bool {
+	for _, v := range cc.View {
+		if oid.HasPrefix(v.Prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Allows reports whether the community may reference oid at mode need.
+// Grants are a union: any covering view whose mode allows the need
+// suffices, matching the checker's exists-a-permission rule.
+func (cc *CommunityConfig) Allows(oid mib.OID, need mib.Access) bool {
+	for _, v := range cc.View {
+		if oid.HasPrefix(v.Prefix) && cc.effectiveAccess(v).Allows(need) {
+			return true
+		}
+	}
+	return false
+}
+
+// AccessFor returns the total mode granted on oid: the join over every
+// covering view, AccessNone if none covers it.
+func (cc *CommunityConfig) AccessFor(oid mib.OID) mib.Access {
+	out := mib.AccessNone
+	for _, v := range cc.View {
+		if oid.HasPrefix(v.Prefix) {
+			out = out.Join(cc.effectiveAccess(v))
+		}
+	}
+	return out
 }
 
 // Config is a full agent configuration.
@@ -36,6 +132,22 @@ type Config struct {
 	// the agent's configuration by writing an Opaque JSON blob to
 	// ConfigOID (the live install path of NMSL's prescriptive aspect).
 	AdminCommunity string `json:"admin_community,omitempty"`
+}
+
+// Clone returns a deep copy sharing no mutable state with c: safe to hand
+// to concurrent installers that each mutate their own copy.
+func (c *Config) Clone() *Config {
+	if c == nil {
+		return nil
+	}
+	cp := &Config{
+		Communities:    make(map[string]*CommunityConfig, len(c.Communities)),
+		AdminCommunity: c.AdminCommunity,
+	}
+	for name, cc := range c.Communities {
+		cp.Communities[name] = cc.Clone()
+	}
+	return cp
 }
 
 // ConfigOID is the reserved objet where a serialized Config can be
@@ -53,16 +165,6 @@ func UnmarshalConfig(data []byte) (*Config, error) {
 		return nil, err
 	}
 	return &c, nil
-}
-
-// viewAllows reports whether oid falls under any view prefix.
-func (cc *CommunityConfig) viewAllows(oid mib.OID) bool {
-	for _, p := range cc.View {
-		if oid.HasPrefix(p) {
-			return true
-		}
-	}
-	return false
 }
 
 // Store is the agent's management database: OID-ordered variables.
@@ -124,11 +226,14 @@ type Agent struct {
 	mu       sync.Mutex
 	cfg      *Config
 	lastSeen map[string]time.Time // community -> last accepted request
+	lastReq  map[string]*Message  // community -> last answered request
+	lastResp map[string]*Message  // community -> response to lastReq
 	stats    Stats
 
-	conn *net.UDPConn
-	done chan struct{}
-	wg   sync.WaitGroup
+	conn   *net.UDPConn
+	faults *FaultInjector
+	done   chan struct{}
+	wg     sync.WaitGroup
 	// now is replaceable for tests.
 	now func() time.Time
 }
@@ -138,6 +243,7 @@ type Stats struct {
 	Requests     int64
 	Denied       int64
 	RateLimited  int64
+	Retransmits  int64
 	ConfigLoads  int64
 	NoSuchName   int64
 	SetsAccepted int64
@@ -153,10 +259,17 @@ func NewAgent(store *Store, cfg *Config) *Agent {
 		store:    store,
 		cfg:      cfg,
 		lastSeen: map[string]time.Time{},
+		lastReq:  map[string]*Message{},
+		lastResp: map[string]*Message{},
 		done:     make(chan struct{}),
 		now:      time.Now,
 	}
 }
+
+// SetFaultInjector makes the agent's UDP loop pass traffic through inj
+// (inbound faults on received datagrams, outbound faults on responses).
+// Call before ListenAndServe; nil disables injection.
+func (a *Agent) SetFaultInjector(inj *FaultInjector) { a.faults = inj }
 
 // Store returns the agent's management database.
 func (a *Agent) Store() *Store { return a.store }
@@ -180,6 +293,10 @@ func (a *Agent) ApplyConfig(cfg *Config) {
 	defer a.mu.Unlock()
 	a.cfg = cfg
 	a.stats.ConfigLoads++
+	// Cached responses were computed under the old policy; drop them so a
+	// retransmit cannot be answered with pre-reconfiguration data.
+	a.lastReq = map[string]*Message{}
+	a.lastResp = map[string]*Message{}
 }
 
 // ConfigSnapshot returns the current configuration.
@@ -235,6 +352,18 @@ func (a *Agent) serve() {
 				continue
 			}
 		}
+		if a.faults != nil {
+			fx := a.faults.decide(&a.faults.In)
+			if fx.drop {
+				continue
+			}
+			if fx.truncate {
+				n = truncateLen(n)
+			}
+			if fx.delay > 0 {
+				time.Sleep(fx.delay)
+			}
+		}
 		req, err := Unmarshal(buf[:n])
 		if err != nil {
 			continue // silently drop malformed datagrams, as agents do
@@ -247,6 +376,42 @@ func (a *Agent) serve() {
 		if err != nil {
 			continue
 		}
+		a.send(out, raddr)
+	}
+}
+
+// send writes a response datagram, applying outbound faults when an
+// injector is installed.
+func (a *Agent) send(out []byte, raddr *net.UDPAddr) {
+	if a.faults == nil {
+		_, _ = a.conn.WriteToUDP(out, raddr)
+		return
+	}
+	fx := a.faults.decide(&a.faults.Out)
+	if fx.drop {
+		return
+	}
+	if fx.truncate {
+		out = out[:truncateLen(len(out))]
+	}
+	writes := 1
+	if fx.dup {
+		writes = 2
+	}
+	if fx.delay > 0 {
+		// Deliver late without stalling the serve loop.
+		cp := append([]byte(nil), out...)
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			time.Sleep(fx.delay)
+			for i := 0; i < writes; i++ {
+				_, _ = a.conn.WriteToUDP(cp, raddr)
+			}
+		}()
+		return
+	}
+	for i := 0; i < writes; i++ {
 		_, _ = a.conn.WriteToUDP(out, raddr)
 	}
 }
@@ -272,8 +437,23 @@ func (a *Agent) Handle(req *Message) *Message {
 		a.mu.Unlock()
 		return nil // unknown community: drop, per SNMPv1 practice
 	}
+	// Retransmit detection: a client whose response was lost resends the
+	// identical request. Answering from the cache keeps the retry from
+	// being charged against the community's rate budget (and keeps Sets
+	// idempotent), which is what prevents the starvation spiral where
+	// MinInterval ~ client timeout turns every recovery attempt into a
+	// fresh rate-limit rejection.
+	if cached := a.lastReq[req.Community]; cached != nil && messagesEqual(cached, req) {
+		resp := a.lastResp[req.Community]
+		a.stats.Retransmits++
+		a.mu.Unlock()
+		return resp
+	}
 	// Rate enforcement: NMSL's frequency clause. Admin traffic is not
-	// rate limited.
+	// rate limited. Rejected requests deliberately do NOT advance
+	// lastSeen: the budget meters requests the agent serves, so a too-
+	// eager client is delayed, not starved — advancing it on rejects
+	// would let a client that always polls early lock itself out forever.
 	if cc != nil && cc.MinInterval > 0 && !isAdmin {
 		now := a.now()
 		if last, ok := a.lastSeen[req.Community]; ok && now.Sub(last) < cc.MinInterval {
@@ -285,15 +465,48 @@ func (a *Agent) Handle(req *Message) *Message {
 	}
 	a.mu.Unlock()
 
+	var resp *Message
 	switch req.PDU.Type {
 	case TagGetRequest:
-		return a.handleGet(req, cc)
+		resp = a.handleGet(req, cc)
 	case TagGetNextRequest:
-		return a.handleGetNext(req, cc)
+		resp = a.handleGetNext(req, cc)
 	case TagSetRequest:
-		return a.handleSet(req, cc, isAdmin)
+		resp = a.handleSet(req, cc, isAdmin)
 	}
-	return nil
+	if resp != nil {
+		// Cache only served requests; rate-limit rejections above are not
+		// cached, so a client retrying a rejected poll is re-metered.
+		a.mu.Lock()
+		a.lastReq[req.Community] = req
+		a.lastResp[req.Community] = resp
+		a.mu.Unlock()
+	}
+	return resp
+}
+
+// messagesEqual reports whether two messages are byte-for-byte the same
+// request: same version, community, PDU type, request ID and bindings.
+// Request IDs repeat across client restarts, so the full comparison is
+// what keeps the retransmit cache from answering a new request with a
+// stale response.
+func messagesEqual(a, b *Message) bool {
+	if a.Version != b.Version || a.Community != b.Community {
+		return false
+	}
+	if a.PDU.Type != b.PDU.Type || a.PDU.RequestID != b.PDU.RequestID {
+		return false
+	}
+	if len(a.PDU.Bindings) != len(b.PDU.Bindings) {
+		return false
+	}
+	for i := range a.PDU.Bindings {
+		ab, bb := a.PDU.Bindings[i], b.PDU.Bindings[i]
+		if ab.OID.Compare(bb.OID) != 0 || !ab.Value.Equal(bb.Value) {
+			return false
+		}
+	}
+	return true
 }
 
 func errorResponse(req *Message, status ErrorStatus, index int) *Message {
@@ -311,14 +524,14 @@ func errorResponse(req *Message, status ErrorStatus, index int) *Message {
 }
 
 func (a *Agent) handleGet(req *Message, cc *CommunityConfig) *Message {
-	if cc == nil || !cc.Access.Allows(mib.AccessReadOnly) {
+	if cc == nil {
 		a.bumpDenied()
 		return errorResponse(req, NoSuchName, 1)
 	}
 	out := errorResponse(req, NoError, 0)
 	out.PDU.Bindings = nil
 	for i, b := range req.PDU.Bindings {
-		if !cc.viewAllows(b.OID) {
+		if !cc.Allows(b.OID, mib.AccessReadOnly) {
 			a.bumpDenied()
 			return errorResponse(req, NoSuchName, i+1)
 		}
@@ -333,7 +546,7 @@ func (a *Agent) handleGet(req *Message, cc *CommunityConfig) *Message {
 }
 
 func (a *Agent) handleGetNext(req *Message, cc *CommunityConfig) *Message {
-	if cc == nil || !cc.Access.Allows(mib.AccessReadOnly) {
+	if cc == nil {
 		a.bumpDenied()
 		return errorResponse(req, NoSuchName, 1)
 	}
@@ -348,7 +561,7 @@ func (a *Agent) handleGetNext(req *Message, cc *CommunityConfig) *Message {
 				return errorResponse(req, NoSuchName, i+1)
 			}
 			oid = next
-			if cc.viewAllows(next) {
+			if cc.Allows(next, mib.AccessReadOnly) {
 				out.PDU.Bindings = append(out.PDU.Bindings, Binding{OID: next, Value: v})
 				break
 			}
@@ -371,13 +584,19 @@ func (a *Agent) handleSet(req *Message, cc *CommunityConfig, isAdmin bool) *Mess
 			a.ApplyConfig(cfg)
 			continue
 		}
-		if cc == nil || !cc.Access.Allows(mib.AccessWriteOnly) {
+		if cc == nil {
 			a.bumpDenied()
 			return errorResponse(req, ReadOnly, i+1)
 		}
-		if !cc.viewAllows(b.OID) {
+		if !cc.InView(b.OID) {
 			a.bumpDenied()
 			return errorResponse(req, NoSuchName, i+1)
+		}
+		// In view but no covering grant allows writes: the variable is
+		// visible yet read-only to this community.
+		if !cc.Allows(b.OID, mib.AccessWriteOnly) {
+			a.bumpDenied()
+			return errorResponse(req, ReadOnly, i+1)
 		}
 	}
 	// first pass validated; second pass commits (RFC 1067 "as if

@@ -1,7 +1,9 @@
 package snmp
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync/atomic"
 	"time"
@@ -9,13 +11,44 @@ import (
 	"nmsl/internal/mib"
 )
 
+// clientConn is the transport a Client speaks over: the subset of
+// *net.UDPConn the client uses, so tests can substitute a FaultyConn (or
+// any in-memory pipe) for the real socket.
+type clientConn interface {
+	Read(b []byte) (int, error)
+	Write(b []byte) (int, error)
+	SetReadDeadline(t time.Time) error
+	Close() error
+}
+
 // Client is a simple synchronous management client.
 type Client struct {
-	conn      *net.UDPConn
-	community string
-	timeout   time.Duration
-	retries   int
-	reqID     atomic.Int32
+	conn        clientConn
+	community   string
+	timeout     time.Duration
+	retries     int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	reqID       atomic.Int32
+}
+
+// NewClientOn returns a client speaking over an already-connected
+// transport. The transport must be datagram-oriented (one Write per
+// request, one Read per response).
+func NewClientOn(conn clientConn, community string) *Client {
+	c := &Client{
+		conn:        conn,
+		community:   community,
+		timeout:     500 * time.Millisecond,
+		retries:     2,
+		backoffBase: 50 * time.Millisecond,
+		backoffMax:  2 * time.Second,
+	}
+	// Start request IDs at a random point: successive short-lived clients
+	// to the same agent must not reuse IDs, or the agent's retransmit
+	// cache would answer a new client's request with a stale response.
+	c.reqID.Store(rand.Int31n(1 << 30))
+	return c
 }
 
 // Dial connects a client to an agent address with the given community.
@@ -28,16 +61,28 @@ func Dial(addr, community string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{
-		conn:      conn,
-		community: community,
-		timeout:   500 * time.Millisecond,
-		retries:   2,
-	}, nil
+	return NewClientOn(conn, community), nil
 }
 
 // SetTimeout adjusts the per-attempt timeout.
 func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// SetRetries adjusts how many times a request is retransmitted after the
+// first attempt times out. Negative counts mean zero.
+func (c *Client) SetRetries(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.retries = n
+}
+
+// SetBackoff adjusts the delay between retransmits: the k-th retry waits
+// base·2^k, jittered ±50%, capped at max. A zero base disables backoff
+// (retransmit immediately on timeout).
+func (c *Client) SetBackoff(base, max time.Duration) {
+	c.backoffBase = base
+	c.backoffMax = max
+}
 
 // Close releases the client socket.
 func (c *Client) Close() error { return c.conn.Close() }
@@ -52,8 +97,29 @@ func (e *RequestError) Error() string {
 	return fmt.Sprintf("snmp: agent returned %s (index %d)", e.Status, e.Index)
 }
 
-// roundTrip sends the PDU and waits for the matching response.
-func (c *Client) roundTrip(pduType byte, bindings []Binding) (*Message, error) {
+// backoffDelay computes the jittered exponential delay before retry
+// attempt k (k = 0 for the first retransmit).
+func (c *Client) backoffDelay(k int) time.Duration {
+	if c.backoffBase <= 0 {
+		return 0
+	}
+	d := c.backoffBase << uint(k)
+	if c.backoffMax > 0 && (d > c.backoffMax || d <= 0) {
+		d = c.backoffMax
+	}
+	// Jitter uniformly in [d/2, 3d/2) so a fleet of retrying installers
+	// does not retransmit in lockstep.
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(2*half))
+}
+
+// roundTrip sends the PDU and waits for the matching response,
+// retransmitting with exponential backoff until the retry budget or the
+// context runs out.
+func (c *Client) roundTrip(ctx context.Context, pduType byte, bindings []Binding) (*Message, error) {
 	id := c.reqID.Add(1)
 	req := &Message{
 		Version:   Version0,
@@ -67,16 +133,30 @@ func (c *Client) roundTrip(pduType byte, bindings []Binding) (*Message, error) {
 	buf := make([]byte, 64*1024)
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, c.backoffDelay(attempt-1)); err != nil {
+				return nil, err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if _, err := c.conn.Write(out); err != nil {
 			return nil, err
 		}
 		deadline := time.Now().Add(c.timeout)
+		if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
+			deadline = ctxDeadline
+		}
 		for {
 			if err := c.conn.SetReadDeadline(deadline); err != nil {
 				return nil, err
 			}
 			n, err := c.conn.Read(buf)
 			if err != nil {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return nil, ctxErr
+				}
 				lastErr = fmt.Errorf("snmp: timeout waiting for response: %w", err)
 				break
 			}
@@ -93,13 +173,48 @@ func (c *Client) roundTrip(pduType byte, bindings []Binding) (*Message, error) {
 	return nil, lastErr
 }
 
-// Get fetches the values of the given OIDs.
-func (c *Client) Get(oids ...mib.OID) ([]Binding, error) {
+// sleepCtx sleeps for d or until the context is done, whichever first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// GetContext fetches the values of the given OIDs, honoring ctx across
+// retransmits.
+func (c *Client) GetContext(ctx context.Context, oids ...mib.OID) ([]Binding, error) {
 	binds := make([]Binding, len(oids))
 	for i, o := range oids {
 		binds[i] = Binding{OID: o, Value: Null()}
 	}
-	resp, err := c.roundTrip(TagGetRequest, binds)
+	resp, err := c.roundTrip(ctx, TagGetRequest, binds)
+	if err != nil {
+		return nil, err
+	}
+	return resp.PDU.Bindings, nil
+}
+
+// Get fetches the values of the given OIDs.
+func (c *Client) Get(oids ...mib.OID) ([]Binding, error) {
+	return c.GetContext(context.Background(), oids...)
+}
+
+// GetNextContext fetches the lexicographic successors of the given OIDs,
+// honoring ctx across retransmits.
+func (c *Client) GetNextContext(ctx context.Context, oids ...mib.OID) ([]Binding, error) {
+	binds := make([]Binding, len(oids))
+	for i, o := range oids {
+		binds[i] = Binding{OID: o, Value: Null()}
+	}
+	resp, err := c.roundTrip(ctx, TagGetNextRequest, binds)
 	if err != nil {
 		return nil, err
 	}
@@ -108,29 +223,26 @@ func (c *Client) Get(oids ...mib.OID) ([]Binding, error) {
 
 // GetNext fetches the lexicographic successors of the given OIDs.
 func (c *Client) GetNext(oids ...mib.OID) ([]Binding, error) {
-	binds := make([]Binding, len(oids))
-	for i, o := range oids {
-		binds[i] = Binding{OID: o, Value: Null()}
-	}
-	resp, err := c.roundTrip(TagGetNextRequest, binds)
-	if err != nil {
-		return nil, err
-	}
-	return resp.PDU.Bindings, nil
+	return c.GetNextContext(context.Background(), oids...)
+}
+
+// SetContext writes the given bindings, honoring ctx across retransmits.
+func (c *Client) SetContext(ctx context.Context, bindings ...Binding) error {
+	_, err := c.roundTrip(ctx, TagSetRequest, bindings)
+	return err
 }
 
 // Set writes the given bindings.
 func (c *Client) Set(bindings ...Binding) error {
-	_, err := c.roundTrip(TagSetRequest, bindings)
-	return err
+	return c.SetContext(context.Background(), bindings...)
 }
 
-// Walk performs a GetNext sweep under the prefix, invoking fn per
-// variable found, until the sweep leaves the subtree.
-func (c *Client) Walk(prefix mib.OID, fn func(Binding) error) error {
+// WalkContext performs a GetNext sweep under the prefix, invoking fn per
+// variable found, until the sweep leaves the subtree or ctx is done.
+func (c *Client) WalkContext(ctx context.Context, prefix mib.OID, fn func(Binding) error) error {
 	cur := prefix.Clone()
 	for {
-		binds, err := c.GetNext(cur)
+		binds, err := c.GetNextContext(ctx, cur)
 		if err != nil {
 			var re *RequestError
 			if asRequestError(err, &re) && re.Status == NoSuchName {
@@ -152,15 +264,27 @@ func (c *Client) Walk(prefix mib.OID, fn func(Binding) error) error {
 	}
 }
 
-// InstallConfig ships a configuration to an agent over the wire via the
-// admin community's reserved config object — the live transport of the
-// paper's prescriptive aspect (section 5).
-func (c *Client) InstallConfig(cfg *Config) error {
+// Walk performs a GetNext sweep under the prefix, invoking fn per
+// variable found, until the sweep leaves the subtree.
+func (c *Client) Walk(prefix mib.OID, fn func(Binding) error) error {
+	return c.WalkContext(context.Background(), prefix, fn)
+}
+
+// InstallConfigContext ships a configuration to an agent over the wire
+// via the admin community's reserved config object — the live transport
+// of the paper's prescriptive aspect (section 5).
+func (c *Client) InstallConfigContext(ctx context.Context, cfg *Config) error {
 	blob, err := MarshalConfig(cfg)
 	if err != nil {
 		return err
 	}
-	return c.Set(Binding{OID: ConfigOID, Value: Opaque(blob)})
+	return c.SetContext(ctx, Binding{OID: ConfigOID, Value: Opaque(blob)})
+}
+
+// InstallConfig ships a configuration to an agent over the wire via the
+// admin community's reserved config object.
+func (c *Client) InstallConfig(cfg *Config) error {
+	return c.InstallConfigContext(context.Background(), cfg)
 }
 
 // asRequestError unwraps a *RequestError.

@@ -1,0 +1,215 @@
+package snmp
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Faults describes the misbehavior injected on one traffic direction.
+// Probabilities are independent per datagram, in [0, 1].
+type Faults struct {
+	// Drop is the probability of losing the datagram outright.
+	Drop float64
+	// Duplicate is the probability of delivering the datagram twice.
+	Duplicate float64
+	// Truncate is the probability of delivering only a prefix of the
+	// datagram (which the receiver then discards as malformed).
+	Truncate float64
+	// Delay is the probability of delaying delivery by a uniform random
+	// duration up to MaxDelay.
+	Delay float64
+	// MaxDelay bounds injected delays.
+	MaxDelay time.Duration
+	// DropFirst deterministically drops the first N datagrams on this
+	// direction, independent of the probabilities above. Tests use it to
+	// force an exact loss pattern (e.g. "lose exactly the first
+	// response").
+	DropFirst int
+}
+
+// FaultStats counts injected faults.
+type FaultStats struct {
+	Dropped    int64
+	Duplicated int64
+	Truncated  int64
+	Delayed    int64
+}
+
+// FaultInjector decides, from a seeded stream, which fault (if any) each
+// datagram suffers. One injector may be shared by a FaultyConn (client
+// side) and an Agent (server side); decisions are serialized, so a fixed
+// seed gives a reproducible fault schedule.
+type FaultInjector struct {
+	// In applies to datagrams arriving at the faulted endpoint, Out to
+	// datagrams it sends.
+	In  Faults
+	Out Faults
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	seen  map[*Faults]int
+	stats FaultStats
+}
+
+// NewFaultInjector returns an injector drawing from the given seed.
+func NewFaultInjector(seed int64) *FaultInjector {
+	return &FaultInjector{
+		rng:  rand.New(rand.NewSource(seed)),
+		seen: map[*Faults]int{},
+	}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (f *FaultInjector) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// effects is the outcome of one per-datagram decision.
+type effects struct {
+	drop     bool
+	dup      bool
+	truncate bool
+	delay    time.Duration
+}
+
+// decide rolls the dice for one datagram on the given direction.
+func (f *FaultInjector) decide(dir *Faults) effects {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var fx effects
+	f.seen[dir]++
+	if f.seen[dir] <= dir.DropFirst {
+		fx.drop = true
+		f.stats.Dropped++
+		return fx
+	}
+	if dir.Drop > 0 && f.rng.Float64() < dir.Drop {
+		fx.drop = true
+		f.stats.Dropped++
+		return fx
+	}
+	if dir.Duplicate > 0 && f.rng.Float64() < dir.Duplicate {
+		fx.dup = true
+		f.stats.Duplicated++
+	}
+	if dir.Truncate > 0 && f.rng.Float64() < dir.Truncate {
+		fx.truncate = true
+		f.stats.Truncated++
+	}
+	if dir.Delay > 0 && dir.MaxDelay > 0 && f.rng.Float64() < dir.Delay {
+		fx.delay = time.Duration(f.rng.Int63n(int64(dir.MaxDelay)))
+		f.stats.Delayed++
+	}
+	return fx
+}
+
+// truncateLen is how much of a datagram survives truncation: enough to
+// look like BER, never enough to parse.
+func truncateLen(n int) int {
+	if n <= 1 {
+		return n
+	}
+	return n / 2
+}
+
+// FaultyConn wraps a client transport and injects faults on both
+// directions: Out faults on Write (requests), In faults on Read
+// (responses). It implements the client's transport interface, so
+// NewClientOn(NewFaultyConn(...)) yields a client whose network loses,
+// duplicates, truncates and delays packets on a reproducible schedule.
+type FaultyConn struct {
+	inner clientConn
+	inj   *FaultInjector
+
+	mu      sync.Mutex
+	pending [][]byte // duplicated inbound datagrams awaiting re-read
+}
+
+// NewFaultyConn wraps conn with the injector's fault schedule.
+func NewFaultyConn(conn clientConn, inj *FaultInjector) *FaultyConn {
+	return &FaultyConn{inner: conn, inj: inj}
+}
+
+// Write sends the datagram, subject to Out faults. A dropped datagram
+// still reports success — the sender of a lost UDP packet never knows.
+func (fc *FaultyConn) Write(b []byte) (int, error) {
+	fx := fc.inj.decide(&fc.inj.Out)
+	if fx.drop {
+		return len(b), nil
+	}
+	if fx.delay > 0 {
+		time.Sleep(fx.delay)
+	}
+	out := b
+	if fx.truncate {
+		out = b[:truncateLen(len(b))]
+	}
+	if _, err := fc.inner.Write(out); err != nil {
+		return 0, err
+	}
+	if fx.dup {
+		_, _ = fc.inner.Write(out)
+	}
+	return len(b), nil
+}
+
+// Read delivers the next inbound datagram, subject to In faults. Dropped
+// datagrams are consumed and the read retried, so the caller observes
+// loss as silence (then a deadline error), exactly like a real socket.
+func (fc *FaultyConn) Read(b []byte) (int, error) {
+	fc.mu.Lock()
+	if len(fc.pending) > 0 {
+		p := fc.pending[0]
+		fc.pending = fc.pending[1:]
+		fc.mu.Unlock()
+		return copy(b, p), nil
+	}
+	fc.mu.Unlock()
+	for {
+		n, err := fc.inner.Read(b)
+		if err != nil {
+			return n, err
+		}
+		fx := fc.inj.decide(&fc.inj.In)
+		if fx.drop {
+			continue
+		}
+		if fx.delay > 0 {
+			time.Sleep(fx.delay)
+		}
+		if fx.truncate {
+			n = truncateLen(n)
+		}
+		if fx.dup {
+			cp := append([]byte(nil), b[:n]...)
+			fc.mu.Lock()
+			fc.pending = append(fc.pending, cp)
+			fc.mu.Unlock()
+		}
+		return n, nil
+	}
+}
+
+// SetReadDeadline forwards to the wrapped transport.
+func (fc *FaultyConn) SetReadDeadline(t time.Time) error { return fc.inner.SetReadDeadline(t) }
+
+// Close forwards to the wrapped transport.
+func (fc *FaultyConn) Close() error { return fc.inner.Close() }
+
+// DialFaulty connects a client whose transport passes through inj — the
+// lossy-network counterpart of Dial, used by tests and the fleet example.
+func DialFaulty(addr, community string, inj *FaultInjector) (*Client, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClientOn(NewFaultyConn(conn, inj), community), nil
+}

@@ -236,7 +236,7 @@ func publicReadOnly(t *testing.T) *Config {
 		Communities: map[string]*CommunityConfig{
 			"public": {
 				Access: mib.AccessReadOnly,
-				View:   []mib.OID{mibOID(t, "mgmt.mib")},
+				View:   []View{{Prefix: mibOID(t, "mgmt.mib")}},
 			},
 		},
 	}
@@ -275,7 +275,7 @@ func TestAgentViewRestriction(t *testing.T) {
 		Communities: map[string]*CommunityConfig{
 			"public": {
 				Access: mib.AccessReadOnly,
-				View:   []mib.OID{mibOID(t, "mgmt.mib.system")},
+				View:   []View{{Prefix: mibOID(t, "mgmt.mib.system")}},
 			},
 		},
 	}
@@ -370,18 +370,22 @@ func TestAgentRateLimitWindowPasses(t *testing.T) {
 	PopulateFromMIB(store, mib.NewStandard(), "mgmt.mib")
 	a := NewAgent(store, cfg)
 	a.now = func() time.Time { return now }
-	req := &Message{Version: 0, Community: "public", PDU: PDU{
-		Type: TagGetRequest, RequestID: 1,
-		Bindings: []Binding{{OID: mibOID(t, "mgmt.mib.system.sysDescr"), Value: Null()}},
-	}}
-	if resp := a.Handle(req); resp == nil || resp.PDU.ErrorStatus != NoError {
+	// Distinct request IDs: identical re-sent messages are retransmits and
+	// are answered from the cache rather than re-metered.
+	req := func(id int32) *Message {
+		return &Message{Version: 0, Community: "public", PDU: PDU{
+			Type: TagGetRequest, RequestID: id,
+			Bindings: []Binding{{OID: mibOID(t, "mgmt.mib.system.sysDescr"), Value: Null()}},
+		}}
+	}
+	if resp := a.Handle(req(1)); resp == nil || resp.PDU.ErrorStatus != NoError {
 		t.Fatalf("first: %+v", resp)
 	}
-	if resp := a.Handle(req); resp == nil || resp.PDU.ErrorStatus != GenErr {
+	if resp := a.Handle(req(2)); resp == nil || resp.PDU.ErrorStatus != GenErr {
 		t.Fatalf("second: %+v", resp)
 	}
 	now = now.Add(11 * time.Millisecond)
-	if resp := a.Handle(req); resp == nil || resp.PDU.ErrorStatus != NoError {
+	if resp := a.Handle(req(3)); resp == nil || resp.PDU.ErrorStatus != NoError {
 		t.Fatalf("after window: %+v", resp)
 	}
 }
@@ -431,7 +435,7 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 		Communities: map[string]*CommunityConfig{
 			"wisc-cs": {
 				Access:      mib.AccessReadOnly,
-				View:        []mib.OID{{1, 3, 6, 1, 2, 1}},
+				View:        []View{{Prefix: mib.OID{1, 3, 6, 1, 2, 1}, Access: mib.AccessReadOnly}},
 				MinInterval: 5 * time.Minute,
 			},
 		},

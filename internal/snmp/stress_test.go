@@ -16,7 +16,7 @@ func TestAgentSurvivesGarbageDatagrams(t *testing.T) {
 	PopulateFromMIB(store, tree, "mgmt.mib")
 	agent := NewAgent(store, &Config{
 		Communities: map[string]*CommunityConfig{
-			"public": {Access: mib.AccessReadOnly, View: []mib.OID{tree.Lookup("mgmt.mib").OID()}},
+			"public": {Access: mib.AccessReadOnly, View: []View{{Prefix: tree.Lookup("mgmt.mib").OID()}}},
 		},
 	})
 	addr, err := agent.ListenAndServe("127.0.0.1:0")
@@ -79,7 +79,7 @@ func TestAgentConcurrentClients(t *testing.T) {
 	PopulateFromMIB(store, tree, "mgmt.mib")
 	agent := NewAgent(store, &Config{
 		Communities: map[string]*CommunityConfig{
-			"public": {Access: mib.AccessAny, View: []mib.OID{tree.Lookup("mgmt.mib").OID()}},
+			"public": {Access: mib.AccessAny, View: []View{{Prefix: tree.Lookup("mgmt.mib").OID()}}},
 		},
 	})
 	addr, err := agent.ListenAndServe("127.0.0.1:0")

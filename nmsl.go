@@ -353,12 +353,24 @@ func (s *Specification) AuditAgent(instID, addr string, opts AuditOptions) (*Aud
 	return audit.Agent(s.model, instID, addr, opts)
 }
 
+// AuditAgentContext is AuditAgent under a context: probing stops as soon
+// as ctx is done, returning the partial report with the context's error.
+func (s *Specification) AuditAgentContext(ctx context.Context, instID, addr string, opts AuditOptions) (*AuditReport, error) {
+	return audit.AgentContext(ctx, s.model, instID, addr, opts)
+}
+
 // Interop drives every reference of the specification against the live
 // agents in addrs (instance ID -> host:port) and reports the references
 // that fail — the empirical answer to "will the network managers
 // interoperate correctly?".
 func (s *Specification) Interop(addrs map[string]string, opts AuditOptions) (*InteropReport, error) {
 	return audit.Interop(s.model, addrs, opts)
+}
+
+// InteropContext is Interop under a context: the sweep stops as soon as
+// ctx is done, returning the partial report with the context's error.
+func (s *Specification) InteropContext(ctx context.Context, addrs map[string]string, opts AuditOptions) (*InteropReport, error) {
+	return audit.InteropContext(ctx, s.model, addrs, opts)
 }
 
 // Format renders the specification in canonical NMSL source form.
