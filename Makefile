@@ -5,7 +5,11 @@
 
 GO ?= go
 
-.PHONY: all build test vet race ci bench bench-parallel bench-rollout
+# The coverage floor `make cover` enforces over internal/... — CI fails
+# below it.
+COVER_FLOOR ?= 70
+
+.PHONY: all build test vet race ci bench bench-parallel bench-rollout cover bench-ci
 
 all: build test
 
@@ -35,3 +39,17 @@ bench-parallel:
 # injected packet loss (E-ROLL in EXPERIMENTS.md).
 bench-rollout:
 	$(GO) test -bench='BenchmarkDistribute' -run='^$$' .
+
+# Coverage gate over the library packages: fails when the total drops
+# below $(COVER_FLOOR)%.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	@$(GO) tool cover -func=cover.out | awk -v floor=$(COVER_FLOOR) \
+		'/^total:/ { sub(/%/, "", $$3); printf "coverage: %.1f%% (floor %d%%)\n", $$3, floor; \
+		 if ($$3 + 0 < floor) exit 1 }'
+
+# Bench smoke for CI: one iteration of every benchmark — a compile-and-
+# run sanity pass, not a measurement — archived as BENCH_ci.json.
+bench-ci:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' . | tee BENCH_ci.txt
+	$(GO) run ./scripts/bench2json < BENCH_ci.txt > BENCH_ci.json

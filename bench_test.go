@@ -22,6 +22,7 @@ import (
 	"nmsl/internal/logic"
 	"nmsl/internal/mib"
 	"nmsl/internal/netsim"
+	"nmsl/internal/obs"
 	"nmsl/internal/paperspec"
 	"nmsl/internal/parser"
 	"nmsl/internal/simrun"
@@ -55,7 +56,7 @@ func BenchmarkCheckDomains10000(b *testing.B) { benchCheckDomains(b, 10000) }
 // ---- Tentpole: parallel sharded checking, worker sweep on the
 // 1k-domain netsim workload (acceptance: >= 1.5x over 1 worker) ----
 
-func benchCheckParallel(b *testing.B, workers int) {
+func benchCheckParallel(b *testing.B, workers int, metrics *obs.Registry) {
 	m, err := netsim.Model(netsim.Params{Domains: 1000, SystemsPerDomain: 2, NestingDepth: 1, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
@@ -63,7 +64,7 @@ func benchCheckParallel(b *testing.B, workers int) {
 	b.ReportMetric(float64(len(m.Refs)), "refs")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep, err := consistency.CheckContext(context.Background(), m, consistency.Options{Workers: workers})
+		rep, err := consistency.CheckContext(context.Background(), m, consistency.Options{Workers: workers, Metrics: metrics})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,11 +74,16 @@ func benchCheckParallel(b *testing.B, workers int) {
 	}
 }
 
-func BenchmarkCheckParallel1(b *testing.B)  { benchCheckParallel(b, 1) }
-func BenchmarkCheckParallel2(b *testing.B)  { benchCheckParallel(b, 2) }
-func BenchmarkCheckParallel4(b *testing.B)  { benchCheckParallel(b, 4) }
-func BenchmarkCheckParallel8(b *testing.B)  { benchCheckParallel(b, 8) }
-func BenchmarkCheckParallel16(b *testing.B) { benchCheckParallel(b, 16) }
+func BenchmarkCheckParallel1(b *testing.B)  { benchCheckParallel(b, 1, nil) }
+func BenchmarkCheckParallel2(b *testing.B)  { benchCheckParallel(b, 2, nil) }
+func BenchmarkCheckParallel4(b *testing.B)  { benchCheckParallel(b, 4, nil) }
+func BenchmarkCheckParallel8(b *testing.B)  { benchCheckParallel(b, 8, nil) }
+func BenchmarkCheckParallel16(b *testing.B) { benchCheckParallel(b, 16, nil) }
+
+// Observability overhead control (E-OBS): the same 8-worker check with
+// the instrumentation compiled in but switched off. Acceptance: the
+// instrumented default above regresses < 3% against this.
+func BenchmarkCheckParallel8NoObs(b *testing.B) { benchCheckParallel(b, 8, obs.Disabled) }
 
 // ---- T-SCALE-2: compile+check vs number of network elements ----
 

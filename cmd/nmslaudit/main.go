@@ -10,7 +10,12 @@
 //
 // Usage:
 //
-//	nmslaudit -instance id -addr host:port [-writes] spec.nmsl ...
+//	nmslaudit -instance id -addr host:port [-writes]
+//	          [-metrics-addr a] [-trace-out f] spec.nmsl ...
+//
+// -metrics-addr serves the observability endpoint (/metrics,
+// /debug/vars, /debug/pprof) while the audit runs; -trace-out appends
+// tracing spans to a file as JSON lines.
 //
 // Exit status: 0 adherent, 1 divergent, 2 usage or compile error.
 package main
@@ -26,6 +31,7 @@ import (
 
 	"nmsl"
 	"nmsl/internal/audit"
+	"nmsl/internal/obs"
 )
 
 func main() {
@@ -41,8 +47,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	addr := fs.String("addr", "", "agent address host:port")
 	writes := fs.Bool("writes", false, "probe write enforcement (writes back the value just read)")
 	timeout := fs.Duration("timeout", 300*time.Millisecond, "per-probe response timeout")
-	retries := fs.Int("retries", 0, "retransmits per probe (0 keeps the client default, negative disables)")
+	retries := fs.Int("retries", 0, "retransmits per probe (0 keeps the client default)")
 	backoff := fs.Duration("backoff", 0, "base delay between probe retransmits (0 keeps the client default)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	traceOut := fs.String("trace-out", "", "append tracing spans to this file as JSON lines")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -50,6 +58,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "nmslaudit: need -instance, -addr and specification files")
 		return 2
 	}
+	// A negative retry or backoff is always a typo; rejecting it beats
+	// the old behavior of silently reinterpreting it.
+	if *retries < 0 {
+		fmt.Fprintf(stderr, "nmslaudit: -retries must be >= 0 (got %d)\n", *retries)
+		return 2
+	}
+	if *backoff < 0 {
+		fmt.Fprintf(stderr, "nmslaudit: -backoff must be >= 0 (got %v)\n", *backoff)
+		return 2
+	}
+	ocli, err := obs.StartCLI(*metricsAddr, *traceOut, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "nmslaudit: %v\n", err)
+		return 2
+	}
+	defer ocli.Close()
 
 	c := nmsl.NewCompiler()
 	for _, path := range fs.Args() {

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nmsl/internal/obs"
+)
+
+func TestNegativeRetriesRejected(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{"-instance", instID, "-addr", "127.0.0.1:1",
+		"-retries", "-1", specFile(t)}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-retries must be >= 0") {
+		t.Fatalf("stderr: %q", errb.String())
+	}
+}
+
+func TestNegativeBackoffRejected(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{"-instance", instID, "-addr", "127.0.0.1:1",
+		"-backoff", "-5ms", specFile(t)}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-backoff must be >= 0") {
+		t.Fatalf("stderr: %q", errb.String())
+	}
+}
+
+func TestObservabilityFlags(t *testing.T) {
+	addr := startAgent(t, true)
+	trace := filepath.Join(t.TempDir(), "spans.jsonl")
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{"-instance", instID, "-addr", addr,
+		"-metrics-addr", "127.0.0.1:0", "-trace-out", trace, specFile(t)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "metrics: serving http://") {
+		t.Fatalf("no endpoint announcement on stderr: %q", errb.String())
+	}
+
+	// The audit's probes went through the instrumented SNMP client and
+	// agent, so both spans and metrics carry their traffic.
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"name":"snmp.roundtrip"`) {
+		t.Fatalf("trace file has no snmp.roundtrip span: %q", data)
+	}
+
+	cli, err := obs.StartCLI("127.0.0.1:0", "", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", cli.Server.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	for _, name := range []string{"nmsl_snmp_client_requests_total", "nmsl_snmp_agent_requests_total"} {
+		if !strings.Contains(string(body), name) {
+			t.Errorf("/metrics missing %s:\n%s", name, body)
+		}
+	}
+}
+
+func TestBadMetricsAddr(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{"-instance", instID, "-addr", "127.0.0.1:1",
+		"-metrics-addr", "definitely not an address", specFile(t)}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "metrics-addr") {
+		t.Fatalf("stderr: %q", errb.String())
+	}
+}

@@ -10,8 +10,14 @@
 // Usage:
 //
 //	nmslcheck [-ext f ...] [-logic] [-workers n] [-stream] [-failfast]
-//	          [-timeout d] [-load] [-program] spec.nmsl ...
+//	          [-timeout d] [-load] [-program]
+//	          [-metrics-addr a] [-trace-out f] spec.nmsl ...
 //	nmslcheck -solve src,tgt,var,access spec.nmsl ...
+//
+// -metrics-addr serves the observability endpoint (/metrics in
+// Prometheus text form, /debug/vars as JSON, /debug/pprof for
+// profiling) while the check runs; -trace-out appends tracing spans to
+// a file as JSON lines.
 //
 // The check runs over a sharded worker pool (-workers, default one per
 // CPU) and can stream each violation as it is found (-stream), stop at
@@ -33,6 +39,7 @@ import (
 	"strings"
 
 	"nmsl"
+	"nmsl/internal/obs"
 )
 
 type multiFlag []string
@@ -61,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	program := fs.Bool("program", false, "also print the logic program (facts + rules)")
 	solve := fs.String("solve", "", "reverse-solve admissible periods: src,tgt,var,access")
 	simulate := fs.Duration("simulate", 0, "also simulate this much virtual operation (e.g. 24h)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	traceOut := fs.String("trace-out", "", "append tracing spans to this file as JSON lines")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -68,6 +77,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "nmslcheck: no specification files")
 		return 2
 	}
+	ocli, err := obs.StartCLI(*metricsAddr, *traceOut, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "nmslcheck: %v\n", err)
+		return 2
+	}
+	defer ocli.Close()
 
 	c := nmsl.NewCompiler()
 	for _, path := range exts {

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nmsl/internal/obs"
+	"nmsl/internal/paperspec"
+)
+
+// scrape fetches a path from the observability endpoint and returns
+// the body.
+func scrape(t *testing.T, addr, path string) string {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+func TestObservabilityFlags(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "spans.jsonl")
+	var out, errb strings.Builder
+	code := run([]string{"-metrics-addr", "127.0.0.1:0", "-trace-out", trace,
+		specFile(t, paperspec.Combined)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "metrics: serving http://") {
+		t.Fatalf("no endpoint announcement on stderr: %q", errb.String())
+	}
+
+	// The span log survives the run and holds the check span.
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"name":"check"`) {
+		t.Fatalf("trace file has no check span: %q", data)
+	}
+
+	// The run recorded into the process registry; a fresh endpoint
+	// (the same one -metrics-addr starts) serves it in both formats.
+	cli, err := obs.StartCLI("127.0.0.1:0", "", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	addr := cli.Server.Addr().String()
+	prom := scrape(t, addr, "/metrics")
+	if !strings.Contains(prom, "nmsl_check_refs_total") ||
+		!strings.Contains(prom, "# TYPE nmsl_check_duration_ns histogram") {
+		t.Errorf("/metrics missing check metrics:\n%s", prom)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(scrape(t, addr, "/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["nmsl_check_refs_total"]; !ok {
+		t.Errorf("/debug/vars missing nmsl_check_refs_total: %v", vars)
+	}
+	if body := scrape(t, addr, "/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestBadMetricsAddr(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-metrics-addr", "definitely not an address",
+		specFile(t, paperspec.Combined)}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "metrics-addr") {
+		t.Fatalf("stderr: %q", errb.String())
+	}
+}

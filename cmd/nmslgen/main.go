@@ -9,11 +9,15 @@
 //
 //	nmslgen [-target BartsSnmpd|nvp] [-dir outdir] spec.nmsl ...
 //	nmslgen -install host:port -admin community -instance id \
-//	    [-retries n] [-backoff d] [-timeout d] [-failfast] spec.nmsl ...
+//	    [-retries n] [-backoff d] [-timeout d] [-failfast] \
+//	    [-metrics-addr a] [-trace-out f] spec.nmsl ...
 //
 // The live install is a fault-tolerant rollout: each target is retried
 // with jittered exponential backoff, and Ctrl-C cancels cleanly, leaving
-// a report of what was and was not installed.
+// a report of what was and was not installed. -metrics-addr serves the
+// observability endpoint (/metrics, /debug/vars, /debug/pprof) for the
+// duration of the run; -trace-out appends tracing spans to a file as
+// JSON lines.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 
 	"nmsl"
 	"nmsl/internal/configgen"
+	"nmsl/internal/obs"
 )
 
 func main() {
@@ -48,6 +53,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	backoff := fs.Duration("backoff", 50*time.Millisecond, "live install: base delay between retries (grows exponentially, jittered)")
 	timeout := fs.Duration("timeout", 500*time.Millisecond, "live install: per-attempt wait for the agent's acknowledgment")
 	failfast := fs.Bool("failfast", false, "live install: cancel remaining targets after the first failure")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	traceOut := fs.String("trace-out", "", "append tracing spans to this file as JSON lines")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -55,6 +62,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "nmslgen: no specification files")
 		return 2
 	}
+	// A negative retry or backoff is always a typo; clamping it
+	// silently (as the rollout options would) hides the mistake.
+	if *retries < 0 {
+		fmt.Fprintf(stderr, "nmslgen: -retries must be >= 0 (got %d)\n", *retries)
+		return 2
+	}
+	if *backoff < 0 {
+		fmt.Fprintf(stderr, "nmslgen: -backoff must be >= 0 (got %v)\n", *backoff)
+		return 2
+	}
+	ocli, err := obs.StartCLI(*metricsAddr, *traceOut, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "nmslgen: %v\n", err)
+		return 2
+	}
+	defer ocli.Close()
 
 	c := nmsl.NewCompiler()
 	for _, path := range fs.Args() {

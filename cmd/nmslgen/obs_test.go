@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nmsl/internal/mib"
+	"nmsl/internal/obs"
+	"nmsl/internal/paperspec"
+	"nmsl/internal/snmp"
+)
+
+func TestNegativeRetriesRejected(t *testing.T) {
+	path := specFile(t, paperspec.Combined)
+	var out, errb strings.Builder
+	if code := run(context.Background(), []string{"-retries", "-1", path}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-retries must be >= 0") {
+		t.Fatalf("stderr: %q", errb.String())
+	}
+}
+
+func TestNegativeBackoffRejected(t *testing.T) {
+	path := specFile(t, paperspec.Combined)
+	var out, errb strings.Builder
+	if code := run(context.Background(), []string{"-backoff", "-1s", path}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-backoff must be >= 0") {
+		t.Fatalf("stderr: %q", errb.String())
+	}
+}
+
+func TestObservabilityFlags(t *testing.T) {
+	store := snmp.NewStore()
+	snmp.PopulateFromMIB(store, mib.NewStandard(), "mgmt.mib")
+	agent := snmp.NewAgent(store, &snmp.Config{
+		Communities:    map[string]*snmp.CommunityConfig{},
+		AdminCommunity: "adm",
+	})
+	addr, err := agent.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	trace := filepath.Join(t.TempDir(), "spans.jsonl")
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{
+		"-install", addr.String(), "-admin", "adm",
+		"-instance", "snmpdReadOnly@romano.cs.wisc.edu#0",
+		"-metrics-addr", "127.0.0.1:0", "-trace-out", trace,
+		specFile(t, paperspec.Combined)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "metrics: serving http://") {
+		t.Fatalf("no endpoint announcement on stderr: %q", errb.String())
+	}
+
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, span := range []string{`"name":"rollout"`, `"name":"rollout.target"`} {
+		if !strings.Contains(string(data), span) {
+			t.Errorf("trace file missing %s span: %q", span, data)
+		}
+	}
+
+	// The rollout recorded into the process registry the endpoint serves.
+	cli, err := obs.StartCLI("127.0.0.1:0", "", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", cli.Server.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	for _, name := range []string{"nmsl_rollout_runs_total", "nmsl_rollout_attempts_total"} {
+		if !strings.Contains(string(body), name) {
+			t.Errorf("/metrics missing %s:\n%s", name, body)
+		}
+	}
+}
+
+func TestBadMetricsAddr(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{"-metrics-addr", "definitely not an address",
+		specFile(t, paperspec.Combined)}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "metrics-addr") {
+		t.Fatalf("stderr: %q", errb.String())
+	}
+}

@@ -14,11 +14,26 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"nmsl/internal/consistency"
+	"nmsl/internal/obs"
 	"nmsl/internal/snmp"
+)
+
+// Metric names recorded by DistributeContext. Durations are
+// nanoseconds; MetricRolloutTargets and MetricRolloutTargetDuration
+// carry a status label (installed, failed, skipped, canceled).
+const (
+	MetricRolloutRuns           = "nmsl_rollout_runs_total"
+	MetricRolloutTargets        = "nmsl_rollout_targets_total"
+	MetricRolloutAttempts       = "nmsl_rollout_attempts_total"
+	MetricRolloutRetries        = "nmsl_rollout_retries_total"
+	MetricRolloutBackoffSleep   = "nmsl_rollout_backoff_sleep_ns_total"
+	MetricRolloutDuration       = "nmsl_rollout_duration_ns"
+	MetricRolloutTargetDuration = "nmsl_rollout_target_duration_ns"
 )
 
 // RolloutStatus classifies one target's outcome.
@@ -74,6 +89,11 @@ type RolloutReport struct {
 	Attempts int
 	// Duration is the wall-clock time of the whole rollout.
 	Duration time.Duration
+	// Metrics is this rollout's observability snapshot — the
+	// MetricRollout* names above — embedded so tests and callers can
+	// assert on attempt, retry and latency counts without scraping an
+	// endpoint. Nil when metrics are disabled (WithMetrics(obs.Disabled)).
+	Metrics obs.Snapshot
 }
 
 // OK reports whether every target was installed.
@@ -87,6 +107,13 @@ func (r *RolloutReport) Summary() string {
 		r.Installed, len(r.Results), r.Failed, r.Skipped, r.Canceled, r.Attempts, r.Duration.Round(time.Millisecond))
 }
 
+// rolloutRunMetrics carries the run-scoped instruments the attempt
+// loop updates; the zero value (on=false) makes every update a no-op.
+type rolloutRunMetrics struct {
+	on    bool
+	sleep *obs.Counter
+}
+
 // rolloutOptions is the resolved option set.
 type rolloutOptions struct {
 	workers          int
@@ -97,6 +124,8 @@ type rolloutOptions struct {
 	attemptTimeout   time.Duration
 	onResult         func(TargetResult)
 	failFast         bool
+	metrics          *obs.Registry
+	om               rolloutRunMetrics
 }
 
 // RolloutOption tunes DistributeContext, mirroring the checker's
@@ -153,6 +182,14 @@ func WithFailFast() RolloutOption {
 	return func(o *rolloutOptions) { o.failFast = true }
 }
 
+// WithMetrics selects where the rollout's observability counters land:
+// nil (the default) records into obs.Default, obs.Disabled turns
+// instrumentation off entirely. The rollout's own numbers are also
+// embedded in RolloutReport.Metrics unless disabled.
+func WithMetrics(reg *obs.Registry) RolloutOption {
+	return func(o *rolloutOptions) { o.metrics = reg }
+}
+
 // rolloutBackoff computes the jittered exponential delay before retry k.
 func (o *rolloutOptions) rolloutBackoff(k int) time.Duration {
 	if o.backoffBase <= 0 {
@@ -188,6 +225,22 @@ func DistributeContext(ctx context.Context, m *consistency.Model, targets []Targ
 		opt.workers = 8
 	}
 
+	// Observability: run-scoped registry merged into the shared one at
+	// the end, so overlapping rollouts keep exact per-run snapshots.
+	reg := opt.metrics
+	if reg == nil {
+		reg = obs.Default
+	}
+	mon := reg.Enabled()
+	var run *obs.Registry
+	if mon {
+		run = obs.NewRegistry()
+		opt.om = rolloutRunMetrics{on: true, sleep: run.Counter(MetricRolloutBackoffSleep)}
+	}
+	sp := obs.StartSpan("rollout",
+		obs.Label{Key: "targets", Value: strconv.Itoa(len(targets))},
+		obs.Label{Key: "workers", Value: strconv.Itoa(opt.workers)})
+
 	configs := Generate(m)
 	start := time.Now()
 
@@ -222,8 +275,12 @@ func DistributeContext(ctx context.Context, m *consistency.Model, targets []Targ
 	sort.Slice(report.Results, func(i, j int) bool {
 		return report.Results[i].Target.InstanceID < report.Results[j].Target.InstanceID
 	})
+	retries := 0
 	for _, r := range report.Results {
 		report.Attempts += r.Attempts
+		if r.Attempts > 1 {
+			retries += r.Attempts - 1
+		}
 		switch r.Status {
 		case StatusInstalled:
 			report.Installed++
@@ -234,8 +291,32 @@ func DistributeContext(ctx context.Context, m *consistency.Model, targets []Targ
 		case StatusCanceled:
 			report.Canceled++
 		}
+		if mon {
+			run.Histogram(obs.L(MetricRolloutTargetDuration, "status", r.Status.String())).Observe(int64(r.Duration))
+		}
 	}
 	report.Duration = time.Since(start)
+	if mon {
+		run.Counter(MetricRolloutRuns).Inc()
+		run.Counter(MetricRolloutAttempts).Add(int64(report.Attempts))
+		run.Counter(MetricRolloutRetries).Add(int64(retries))
+		run.Histogram(MetricRolloutDuration).Observe(int64(report.Duration))
+		for s, n := range map[RolloutStatus]int{
+			StatusInstalled: report.Installed,
+			StatusFailed:    report.Failed,
+			StatusSkipped:   report.Skipped,
+			StatusCanceled:  report.Canceled,
+		} {
+			// Counter() first so zero-count statuses still appear in the
+			// snapshot with an explicit 0.
+			run.Counter(obs.L(MetricRolloutTargets, "status", s.String())).Add(int64(n))
+		}
+		reg.Merge(run)
+		report.Metrics = run.Snapshot()
+	}
+	sp.Label("installed", strconv.Itoa(report.Installed))
+	sp.Label("failed", strconv.Itoa(report.Failed))
+	sp.End()
 	return report, ctx.Err()
 }
 
@@ -245,7 +326,13 @@ func DistributeContext(ctx context.Context, m *consistency.Model, targets []Targ
 func installTarget(rctx context.Context, cfg *snmp.Config, tgt Target, opt *rolloutOptions) TargetResult {
 	start := time.Now()
 	res := TargetResult{Target: tgt}
-	defer func() { res.Duration = time.Since(start) }()
+	sp := obs.StartSpan("rollout.target", obs.Label{Key: "instance", Value: tgt.InstanceID})
+	defer func() {
+		res.Duration = time.Since(start)
+		sp.Label("status", res.Status.String())
+		sp.Label("attempts", strconv.Itoa(res.Attempts))
+		sp.End()
+	}()
 
 	if cfg == nil {
 		res.Status = StatusSkipped
@@ -269,7 +356,15 @@ func installTarget(rctx context.Context, cfg *snmp.Config, tgt Target, opt *roll
 	var lastErr error
 	for attempt := 0; attempt <= opt.retries; attempt++ {
 		if attempt > 0 {
-			if err := sleepRollout(tctx, opt.rolloutBackoff(attempt-1)); err != nil {
+			var t0 time.Time
+			if opt.om.on {
+				t0 = time.Now()
+			}
+			err := sleepRollout(tctx, opt.rolloutBackoff(attempt-1))
+			if opt.om.on {
+				opt.om.sleep.Add(int64(time.Since(t0)))
+			}
+			if err != nil {
 				break
 			}
 		}

@@ -8,6 +8,7 @@ import (
 
 	"nmsl/internal/consistency"
 	"nmsl/internal/netsim"
+	"nmsl/internal/obs"
 	"nmsl/internal/snmp"
 )
 
@@ -247,4 +248,151 @@ func TestRolloutAbsorbsInjectedLoss(t *testing.T) {
 	}
 	t.Logf("with retries: %s", report.Summary())
 	t.Logf("without:      %s", noRetry.Summary())
+}
+
+// TestRolloutMetricsSnapshot is the observability acceptance test: the
+// metrics snapshot embedded in the RolloutReport must agree with the
+// report itself (attempts, retries, per-status target counts), and the
+// agent-side retransmit counters must agree with the agents' own Stats
+// when a lossy client drives the idempotency cache.
+func TestRolloutMetricsSnapshot(t *testing.T) {
+	m, err := netsim.Model(netsim.Params{Domains: 3, SystemsPerDomain: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fleet whose agents drop their first response datagram: the
+	// rollout's first attempt at each target times out and the retry
+	// lands, so attempts > targets and the retry counters are non-zero.
+	agentReg := obs.NewRegistry()
+	configs := Generate(m)
+	var targets []Target
+	var agents []*snmp.Agent
+	for id := range configs {
+		agent := snmp.NewAgent(snmp.NewStore(), &snmp.Config{
+			Communities:    map[string]*snmp.CommunityConfig{},
+			AdminCommunity: "adm",
+		})
+		agent.SetMetrics(agentReg)
+		inj := snmp.NewFaultInjector(int64(len(targets)) + 1)
+		inj.SetMetrics(obs.Disabled)
+		inj.Out = snmp.Faults{DropFirst: 1}
+		agent.SetFaultInjector(inj)
+		addr, err := agent.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { agent.Close() })
+		agents = append(agents, agent)
+		targets = append(targets, Target{InstanceID: id, Addr: addr.String(), AdminCommunity: "adm"})
+	}
+
+	rolloutReg := obs.NewRegistry()
+	report, err := DistributeContext(context.Background(), m, targets,
+		WithWorkers(4),
+		WithRetries(3),
+		WithBackoff(time.Millisecond, 4*time.Millisecond),
+		WithAttemptTimeout(100*time.Millisecond),
+		WithMetrics(rolloutReg),
+	)
+	if err != nil {
+		t.Fatalf("rollout: %v", err)
+	}
+	if report.Installed != len(targets) {
+		t.Fatalf("fleet did not converge: %s", report.Summary())
+	}
+	s := report.Metrics
+	if s == nil {
+		t.Fatal("RolloutReport.Metrics is nil with metrics enabled")
+	}
+
+	// The embedded snapshot must match the report exactly.
+	if got := s.Value(MetricRolloutAttempts); got != int64(report.Attempts) {
+		t.Errorf("snapshot attempts %d != report attempts %d", got, report.Attempts)
+	}
+	wantRetries := 0
+	for _, r := range report.Results {
+		if r.Attempts > 1 {
+			wantRetries += r.Attempts - 1
+		}
+	}
+	if wantRetries == 0 {
+		t.Fatal("no retries happened; the drop-first injector is not biting")
+	}
+	if got := s.Value(MetricRolloutRetries); got != int64(wantRetries) {
+		t.Errorf("snapshot retries %d != computed retries %d", got, wantRetries)
+	}
+	for status, want := range map[string]int{
+		"installed": report.Installed,
+		"failed":    report.Failed,
+		"skipped":   report.Skipped,
+		"canceled":  report.Canceled,
+	} {
+		name := obs.L(MetricRolloutTargets, "status", status)
+		if got := s.Value(name); got != int64(want) {
+			t.Errorf("snapshot %s = %d, report says %d", name, got, want)
+		}
+	}
+	if s.Value(MetricRolloutRuns) != 1 {
+		t.Errorf("runs = %d, want 1", s.Value(MetricRolloutRuns))
+	}
+	if got := s.Count(obs.L(MetricRolloutTargetDuration, "status", "installed")); got != int64(report.Installed) {
+		t.Errorf("installed duration observations %d != installed %d", got, report.Installed)
+	}
+	if s.Value(MetricRolloutBackoffSleep) <= 0 {
+		t.Error("backoff sleep counter is zero despite retries with non-zero backoff")
+	}
+	// The shared registry received the merged run.
+	if got := rolloutReg.Snapshot().Value(MetricRolloutAttempts); got != int64(report.Attempts) {
+		t.Errorf("shared registry attempts %d != report attempts %d", got, report.Attempts)
+	}
+
+	// Retransmit phase: one client whose inbound datagrams lose the
+	// first response, so it retransmits the identical request and the
+	// agent answers from the idempotency cache.
+	clientReg := obs.NewRegistry()
+	clientInj := snmp.NewFaultInjector(99)
+	clientInj.SetMetrics(obs.Disabled)
+	clientInj.In = snmp.Faults{DropFirst: 1}
+	client, err := snmp.DialFaulty(targets[0].Addr, "adm", clientInj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.SetMetrics(clientReg)
+	client.SetRetries(2)
+	client.SetTimeout(100 * time.Millisecond)
+	client.SetBackoff(time.Millisecond, 2*time.Millisecond)
+	_, _ = client.Get(snmp.ConfigOID) // outcome irrelevant; the counters matter
+
+	cs := clientReg.Snapshot()
+	if cs.Value(snmp.MetricClientRequests) != 1 {
+		t.Errorf("client requests = %d, want 1", cs.Value(snmp.MetricClientRequests))
+	}
+	if cs.Value(snmp.MetricClientRetransmits) < 1 {
+		t.Error("client never retransmitted despite the dropped response")
+	}
+
+	// Agent counters mirror Stats one for one, across the whole fleet.
+	var want snmp.Stats
+	for _, a := range agents {
+		st := a.Stats()
+		want.Requests += st.Requests
+		want.Retransmits += st.Retransmits
+		want.Denied += st.Denied
+		want.ConfigLoads += st.ConfigLoads
+	}
+	as := agentReg.Snapshot()
+	if got := as.Value(snmp.MetricAgentRequests); got != want.Requests {
+		t.Errorf("agent requests metric %d != stats %d", got, want.Requests)
+	}
+	if got := as.Value(snmp.MetricAgentRetransmits); got != want.Retransmits {
+		t.Errorf("agent retransmits metric %d != stats %d", got, want.Retransmits)
+	}
+	if want.Retransmits < 1 {
+		t.Error("idempotency cache never served a retransmit")
+	}
+	if got := as.Value(snmp.MetricAgentConfigLoads); got != want.ConfigLoads {
+		t.Errorf("agent config loads metric %d != stats %d", got, want.ConfigLoads)
+	}
 }

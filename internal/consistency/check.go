@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"nmsl/internal/obs"
 )
 
 // Kind classifies a consistency violation.
@@ -71,6 +73,11 @@ type Report struct {
 	// reference count except when the check was cancelled or stopped by
 	// FailFast.
 	RefsChecked int
+	// Metrics is this run's observability snapshot — shard timings,
+	// worker occupancy, refs and violation counts (the MetricCheck*
+	// names in shard.go). Set by CheckContext; nil from the serial
+	// Check/CheckLogic paths and when Options.Metrics is obs.Disabled.
+	Metrics obs.Snapshot
 }
 
 // Consistent reports whether the specification passed.

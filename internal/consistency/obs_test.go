@@ -1,0 +1,112 @@
+package consistency
+
+import (
+	"context"
+	"testing"
+
+	"nmsl/internal/obs"
+	"nmsl/internal/paperspec"
+)
+
+// TestCheckContextMetricsSnapshot asserts the metrics embedded in the
+// Report agree with the Report itself, and that the run also lands in
+// the caller-supplied registry.
+func TestCheckContextMetricsSnapshot(t *testing.T) {
+	m := buildModel(t, paperspec.Combined)
+	reg := obs.NewRegistry()
+	rep := checkParallel(t, m, Options{Workers: 4, Metrics: reg})
+
+	s := rep.Metrics
+	if s == nil {
+		t.Fatal("Report.Metrics is nil with metrics enabled")
+	}
+	if got := s.Value(MetricCheckRefs); got != int64(rep.RefsChecked) {
+		t.Errorf("snapshot refs %d != report refs %d", got, rep.RefsChecked)
+	}
+	if got := s.Value(MetricCheckViolations); got != int64(len(rep.Violations)) {
+		t.Errorf("snapshot violations %d != report violations %d", got, len(rep.Violations))
+	}
+	if s.Value(MetricCheckRuns) != 1 {
+		t.Errorf("runs = %d, want 1", s.Value(MetricCheckRuns))
+	}
+	if s.Value(MetricCheckShards) < 1 {
+		t.Error("no shards recorded")
+	}
+	if got := s.Count(MetricCheckShardDuration); got != s.Value(MetricCheckShards) {
+		t.Errorf("shard duration observations %d != shard count %d", got, s.Value(MetricCheckShards))
+	}
+	if s.Count(MetricCheckWorkerBusy) < 1 {
+		t.Error("no worker busy time recorded")
+	}
+	if s.Count(MetricCheckDuration) != 1 {
+		t.Errorf("check duration observations = %d, want 1", s.Count(MetricCheckDuration))
+	}
+	if s.Value(MetricCheckWorkers) < 1 {
+		t.Errorf("workers gauge = %d", s.Value(MetricCheckWorkers))
+	}
+
+	// The run was merged into the caller's registry too.
+	if got := reg.Snapshot().Value(MetricCheckRefs); got != int64(rep.RefsChecked) {
+		t.Errorf("shared registry refs %d != report refs %d", got, rep.RefsChecked)
+	}
+
+	// Two runs into the same registry accumulate; each report still
+	// carries only its own run.
+	rep2 := checkParallel(t, m, Options{Workers: 2, Metrics: reg})
+	if got := rep2.Metrics.Value(MetricCheckRefs); got != int64(rep2.RefsChecked) {
+		t.Errorf("second run snapshot refs %d != report refs %d", got, rep2.RefsChecked)
+	}
+	if got := reg.Snapshot().Value(MetricCheckRuns); got != 2 {
+		t.Errorf("shared registry runs = %d, want 2", got)
+	}
+}
+
+// TestCheckContextMetricsDisabled asserts obs.Disabled turns the
+// instrumentation off without changing the check's result.
+func TestCheckContextMetricsDisabled(t *testing.T) {
+	m := buildModel(t, paperspec.Combined)
+	rep := checkParallel(t, m, Options{Workers: 4, Metrics: obs.Disabled})
+	if rep.Metrics != nil {
+		t.Errorf("Report.Metrics = %v with metrics disabled, want nil", rep.Metrics)
+	}
+	base := checkParallel(t, m, Options{Workers: 4})
+	if rep.String() != base.String() {
+		t.Error("disabling metrics changed the report")
+	}
+}
+
+// TestCheckContextSpans asserts check and shard spans reach an
+// installed sink with the advertised labels.
+func TestCheckContextSpans(t *testing.T) {
+	m := buildModel(t, paperspec.Combined)
+	col := &obs.CollectorSink{}
+	prev := obs.SetSpanSink(col)
+	defer obs.SetSpanSink(prev)
+
+	_, err := CheckContext(context.Background(), m, Options{Workers: 2, Metrics: obs.Disabled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var check, shards int
+	for _, ev := range col.Spans() {
+		switch ev.Name {
+		case "check":
+			check++
+			labels := map[string]string{}
+			for _, l := range ev.Labels {
+				labels[l.Key] = l.Value
+			}
+			if labels["engine"] != "indexed" || labels["workers"] == "" {
+				t.Errorf("check span labels = %v", ev.Labels)
+			}
+		case "check.shard":
+			shards++
+		}
+	}
+	if check != 1 {
+		t.Errorf("got %d check spans, want 1", check)
+	}
+	if shards < 1 {
+		t.Error("no shard spans emitted")
+	}
+}

@@ -3,9 +3,12 @@ package consistency
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
+	"time"
 
 	"nmsl/internal/logic"
+	"nmsl/internal/obs"
 )
 
 // Parallel sharded checking. The paper's scale goals (section 1: 10,000
@@ -52,6 +55,19 @@ type Options struct {
 	// DisableIndex forces full permission scans in the indexed engine
 	// (the DESIGN.md ablation).
 	DisableIndex bool
+	// Metrics selects where the run's observability counters land: nil
+	// records into obs.Default, obs.Disabled turns instrumentation off
+	// (including its clock reads). The run's own numbers are embedded
+	// in Report.Metrics either way, unless disabled.
+	Metrics *obs.Registry
+}
+
+// engineName names the engine for span labels.
+func engineName(e Engine) string {
+	if e == EngineLogic {
+		return "logic"
+	}
+	return "indexed"
 }
 
 // shardsPerWorker oversubscribes shards so uneven shard costs (star
@@ -98,6 +114,21 @@ func shardRefs(refs []Ref, nshards int) [][2]int {
 // that owns them over a read-only Model.
 type refChecker func(ref *Ref, out *[]Violation)
 
+// Metric names recorded by CheckContext. Durations are nanoseconds.
+// Shard-granularity instrumentation keeps the per-reference hot loop
+// free of clock reads and atomics; the observability tax is a handful
+// of operations per shard (see the E-OBS row of EXPERIMENTS.md).
+const (
+	MetricCheckRuns          = "nmsl_check_runs_total"
+	MetricCheckRefs          = "nmsl_check_refs_total"
+	MetricCheckViolations    = "nmsl_check_violations_total"
+	MetricCheckShards        = "nmsl_check_shards_total"
+	MetricCheckWorkers       = "nmsl_check_workers"
+	MetricCheckDuration      = "nmsl_check_duration_ns"
+	MetricCheckShardDuration = "nmsl_check_shard_duration_ns"
+	MetricCheckWorkerBusy    = "nmsl_check_worker_busy_ns"
+)
+
 // CheckContext runs the consistency check over a bounded worker pool,
 // honoring ctx for cancellation and deadline. A completed run returns a
 // Report byte-identical to the serial Check (or CheckLogic, under
@@ -110,6 +141,47 @@ func CheckContext(ctx context.Context, m *Model, opts Options) (*Report, error) 
 		workers = runtime.GOMAXPROCS(0)
 	}
 	rep := &Report{Model: m}
+
+	// Observability. Run-scoped metrics accumulate in a private
+	// registry that is merged into the shared one (and snapshotted into
+	// the Report) at the end, so overlapping checks never bleed into
+	// each other's embedded numbers. When disabled, mon gates every
+	// clock read below.
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.Default
+	}
+	mon := reg.Enabled()
+	var run *obs.Registry
+	var shardDur, workerBusy *obs.Histogram
+	var shardsDone *obs.Counter
+	var start time.Time
+	sp := obs.StartSpan("check",
+		obs.Label{Key: "engine", Value: engineName(opts.Engine)},
+		obs.Label{Key: "workers", Value: strconv.Itoa(workers)})
+	if mon {
+		start = time.Now()
+		run = obs.NewRegistry()
+		shardDur = run.Histogram(MetricCheckShardDuration)
+		workerBusy = run.Histogram(MetricCheckWorkerBusy)
+		shardsDone = run.Counter(MetricCheckShards)
+	}
+	defer func() {
+		if !mon {
+			sp.End()
+			return
+		}
+		run.Counter(MetricCheckRuns).Inc()
+		run.Counter(MetricCheckRefs).Add(int64(rep.RefsChecked))
+		run.Counter(MetricCheckViolations).Add(int64(len(rep.Violations)))
+		run.Gauge(MetricCheckWorkers).Set(int64(workers))
+		run.Histogram(MetricCheckDuration).Observe(int64(time.Since(start)))
+		reg.Merge(run)
+		rep.Metrics = run.Snapshot()
+		sp.Label("refs", strconv.Itoa(rep.RefsChecked))
+		sp.Label("violations", strconv.Itoa(len(rep.Violations)))
+		sp.End()
+	}()
 
 	// Per-engine worker construction. The indexed Checker is built once
 	// and shared (read-only after construction); the logic engine
@@ -159,11 +231,17 @@ func CheckContext(ctx context.Context, m *Model, opts Options) (*Report, error) 
 		go func() {
 			defer wg.Done()
 			checkRef := newWorker()
+			var busy time.Duration
 			// Workers drain the channel even after cancellation (each
 			// shard is then skipped immediately), so the feeder below
 			// never blocks on an exited pool.
 			for si := range work {
 				lo, hi := shards[si][0], shards[si][1]
+				var t0 time.Time
+				if mon {
+					t0 = time.Now()
+				}
+				ssp := obs.StartSpan("check.shard")
 				var out []Violation
 				n := 0
 				for i := lo; i < hi; i++ {
@@ -181,6 +259,17 @@ func CheckContext(ctx context.Context, m *Model, opts Options) (*Report, error) 
 					}
 				}
 				results[si], checked[si] = out, n
+				if mon {
+					d := time.Since(t0)
+					busy += d
+					shardDur.Observe(int64(d))
+					shardsDone.Inc()
+				}
+				ssp.Label("refs", strconv.Itoa(n))
+				ssp.End()
+			}
+			if mon {
+				workerBusy.Observe(int64(busy))
 			}
 		}()
 	}

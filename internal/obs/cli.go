@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// CLI is the observability bundle a command starts from its
+// -metrics-addr and -trace-out flags: an HTTP endpoint over the
+// Default registry and/or a span log file installed as the process
+// span sink. A nil *CLI is valid and closes to nothing, so commands
+// can unconditionally defer Close.
+type CLI struct {
+	// Server is the running endpoint, nil when no address was given.
+	Server *Server
+	sink   *FileSink
+	prev   SpanSink
+}
+
+// StartCLI wires up the flag-selected observability: when metricsAddr
+// is non-empty it serves /metrics, /debug/vars and /debug/pprof there
+// (announcing the bound address on stderr, so ":0" is usable), and
+// when traceOut is non-empty it appends completed spans to that file
+// as JSON lines. Either may be empty; when both are, it returns a nil
+// CLI.
+func StartCLI(metricsAddr, traceOut string, stderr io.Writer) (*CLI, error) {
+	if metricsAddr == "" && traceOut == "" {
+		return nil, nil
+	}
+	cli := &CLI{}
+	if traceOut != "" {
+		sink, err := NewFileSink(traceOut)
+		if err != nil {
+			return nil, fmt.Errorf("trace-out: %w", err)
+		}
+		cli.sink = sink
+		cli.prev = SetSpanSink(sink)
+	}
+	if metricsAddr != "" {
+		srv, err := Serve(metricsAddr, Default)
+		if err != nil {
+			if cli.sink != nil {
+				SetSpanSink(cli.prev)
+				cli.sink.Close()
+			}
+			return nil, fmt.Errorf("metrics-addr: %w", err)
+		}
+		cli.Server = srv
+		fmt.Fprintf(stderr, "metrics: serving http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+	return cli, nil
+}
+
+// Close stops the endpoint and detaches and flushes the span log.
+func (c *CLI) Close() error {
+	if c == nil {
+		return nil
+	}
+	var err error
+	if c.Server != nil {
+		err = c.Server.Close()
+	}
+	if c.sink != nil {
+		SetSpanSink(c.prev)
+		if cerr := c.sink.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// Exporters. Two formats cover the two consumers: the Prometheus text
+// exposition format for scrapers, and a JSON document (served at the
+// expvar-conventional /debug/vars path) for humans with curl and for
+// tests.
+//
+// Metric names may carry a label suffix in Prometheus syntax —
+// L("rollout_targets_total", "status", "installed") yields
+// `rollout_targets_total{status="installed"}` — which the registry
+// treats as an opaque name and the text exporter emits verbatim, so
+// one logical metric can be split by label without a label system in
+// the registry itself.
+
+// L renders a metric name with labels: L("x", "k", "v", ...) returns
+// `x{k="v",...}`. Odd trailing key is ignored.
+func L(name string, kv ...string) string {
+	if len(kv) < 2 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(kv[i+1])
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitName separates a metric name from its label suffix:
+// `x{k="v"}` -> ("x", `k="v"`).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// withLabel rejoins a base name with labels plus one extra label.
+func withLabel(base, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return base
+	case labels == "":
+		return base + "{" + extra + "}"
+	case extra == "":
+		return base + "{" + labels + "}"
+	}
+	return base + "{" + labels + "," + extra + "}"
+}
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var err error
+	typed := map[string]bool{}
+	r.each(func(m *metric) {
+		if err != nil {
+			return
+		}
+		base, labels := splitName(m.name)
+		switch {
+		case m.c != nil:
+			if !typed[base] {
+				typed[base] = true
+				_, err = fmt.Fprintf(w, "# TYPE %s counter\n", base)
+			}
+			if err == nil {
+				_, err = fmt.Fprintf(w, "%s %d\n", withLabel(base, labels, ""), m.c.Value())
+			}
+		case m.g != nil:
+			if !typed[base] {
+				typed[base] = true
+				_, err = fmt.Fprintf(w, "# TYPE %s gauge\n", base)
+			}
+			if err == nil {
+				_, err = fmt.Fprintf(w, "%s %d\n", withLabel(base, labels, ""), m.g.Value())
+			}
+		case m.h != nil:
+			if !typed[base] {
+				typed[base] = true
+				_, err = fmt.Fprintf(w, "# TYPE %s histogram\n", base)
+			}
+			run := int64(0)
+			for i := range m.h.counts {
+				if err != nil {
+					return
+				}
+				run += m.h.counts[i].Load()
+				le := "+Inf"
+				if i < len(m.h.bounds) {
+					le = strconv.FormatInt(m.h.bounds[i], 10)
+				}
+				_, err = fmt.Fprintf(w, "%s %d\n", withLabel(base+"_bucket", labels, `le="`+le+`"`), run)
+			}
+			if err == nil {
+				_, err = fmt.Fprintf(w, "%s %d\n", withLabel(base+"_sum", labels, ""), m.h.Sum())
+			}
+			if err == nil {
+				_, err = fmt.Fprintf(w, "%s %d\n", withLabel(base+"_count", labels, ""), m.h.Count())
+			}
+		}
+	})
+	return err
+}
+
+// WriteJSON writes the registry snapshot as one indented JSON object
+// keyed by metric name.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Handler returns the observability endpoint for the registry:
+//
+//	/metrics     Prometheus text format
+//	/debug/vars  JSON snapshot (expvar convention)
+//	/debug/pprof the runtime profiler index, plus profile/trace/symbol
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve binds addr and serves Handler(r) on it until Close. The cmds'
+// -metrics-addr flag lands here with the Default registry.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}

@@ -1,0 +1,266 @@
+// Package obs is the observability layer: a dependency-free metrics
+// registry (counters, gauges, histograms), lightweight tracing spans
+// with a pluggable sink, and exporters in Prometheus text and JSON
+// form. The paper's managers are meant to run over "very large,
+// multi-domain internets"; at that scale the management system needs
+// its own management, and this package is the instrumented view of the
+// checker, the rollout machinery and the protocol endpoints.
+//
+// Design constraints, in order:
+//
+//   - Hot paths pay atomics, not locks. Counter.Add and
+//     Histogram.Observe are a handful of atomic adds; registry lookups
+//     happen once per run (or per long-lived component), never per
+//     reference or per datagram.
+//   - Everything is optional. A disabled Registry (see Disabled) turns
+//     the instrumented code paths into straight-line code that skips
+//     even the clock reads, so benchmarks can price the layer honestly.
+//   - No dependencies. The exporter emits the Prometheus text
+//     exposition format and a JSON document by hand; nothing outside
+//     the standard library is imported.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n < 0 is ignored: counters only go
+// up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 that can move both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative allowed).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultBuckets are the histogram bucket upper bounds used when none
+// are given: exponential from 1µs to ~17s when observations are
+// nanoseconds, which covers everything from a shard check to a rollout
+// with backoff. Observations above the last bound land in the implicit
+// +Inf bucket.
+var DefaultBuckets = []int64{
+	1_000, 4_000, 16_000, 65_000, 262_000, // 1µs .. 262µs
+	1_048_000, 4_194_000, 16_777_000, 67_108_000, // 1ms .. 67ms
+	268_435_000, 1_073_741_000, 4_294_967_000, 17_179_869_000, // 268ms .. 17s
+}
+
+// Histogram counts observations into fixed buckets with an exact sum.
+// All methods are safe for concurrent use; Observe is lock-free.
+type Histogram struct {
+	bounds []int64 // sorted upper bounds; +Inf bucket is implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// NewHistogram returns a standalone histogram over the given bucket
+// upper bounds (DefaultBuckets when none are given). Bounds must be
+// sorted ascending.
+func NewHistogram(bounds ...int64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultBuckets
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns how many values have been observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Merge adds src's observations into h. Both histograms must share the
+// same bucket bounds (as all histograms with default buckets do);
+// mismatched shapes merge only count and sum.
+func (h *Histogram) Merge(src *Histogram) {
+	if src == nil {
+		return
+	}
+	if len(src.counts) == len(h.counts) {
+		for i := range src.counts {
+			h.counts[i].Add(src.counts[i].Load())
+		}
+	}
+	h.count.Add(src.count.Load())
+	h.sum.Add(src.sum.Load())
+}
+
+// metric is the registry's uniform view of one named instrument.
+type metric struct {
+	name string
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named metrics. Lookups (Counter, Gauge, Histogram)
+// get-or-create under a mutex and are meant to run once per component
+// or per run; the returned instruments are then updated lock-free.
+// The zero Registry is ready to use. A nil *Registry is valid and
+// discards everything (see Disabled).
+type Registry struct {
+	disabled bool
+	mu       sync.Mutex
+	metrics  map[string]*metric
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Default is the process-wide registry: library code records here
+// unless given a registry of its own, and the cmds' -metrics-addr
+// endpoint exports it.
+var Default = NewRegistry()
+
+// Disabled is the off switch: a sentinel registry on which every
+// lookup returns a shared discard instrument and Enabled() is false,
+// so instrumented code can skip clock reads entirely. It is distinct
+// from nil, which option structs reserve for "use Default".
+var Disabled = &Registry{disabled: true}
+
+// discard instruments absorb updates from code that does not bother
+// checking Enabled.
+var (
+	discardCounter   = &Counter{}
+	discardGauge     = &Gauge{}
+	discardHistogram = NewHistogram()
+)
+
+// Enabled reports whether the registry records anything. Instrumented
+// hot paths use it to skip the surrounding time.Now calls when
+// observability is off.
+func (r *Registry) Enabled() bool { return r != nil && !r.disabled }
+
+func (r *Registry) lookup(name string) *metric {
+	if r.metrics == nil {
+		r.metrics = map[string]*metric{}
+	}
+	m := r.metrics[name]
+	if m == nil {
+		m = &metric{name: name}
+		r.metrics[name] = m
+	}
+	return m
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if !r.Enabled() {
+		return discardCounter
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookup(name)
+	if m.c == nil {
+		m.c = &Counter{}
+	}
+	return m.c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if !r.Enabled() {
+		return discardGauge
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookup(name)
+	if m.g == nil {
+		m.g = &Gauge{}
+	}
+	return m.g
+}
+
+// Histogram returns the named histogram, creating it with
+// DefaultBuckets on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if !r.Enabled() {
+		return discardHistogram
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookup(name)
+	if m.h == nil {
+		m.h = NewHistogram()
+	}
+	return m.h
+}
+
+// each calls fn for every metric in name order.
+func (r *Registry) each(fn func(*metric)) {
+	if !r.Enabled() {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ms := make([]*metric, len(names))
+	for i, name := range names {
+		ms[i] = r.metrics[name]
+	}
+	r.mu.Unlock()
+	for _, m := range ms {
+		fn(m)
+	}
+}
+
+// Merge folds every metric of src into r, get-or-creating instruments
+// of the same kind and name. Run-scoped code instruments a private
+// registry and merges it into the shared one at the end, so the
+// per-run snapshot stays exact even when runs overlap.
+func (r *Registry) Merge(src *Registry) {
+	if !r.Enabled() || !src.Enabled() {
+		return
+	}
+	src.each(func(m *metric) {
+		if m.c != nil {
+			r.Counter(m.name).Add(m.c.Value())
+		}
+		if m.g != nil {
+			r.Gauge(m.name).Set(m.g.Value())
+		}
+		if m.h != nil {
+			r.Histogram(m.name).Merge(m.h)
+		}
+	})
+}

@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("c_total") != c {
+		t.Error("Counter lookup did not return the same instrument")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramZeroObservations(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("zero histogram: count=%d sum=%d", h.Count(), h.Sum())
+	}
+	// Export of an observation-free histogram must still be well formed.
+	r := NewRegistry()
+	r.Histogram("empty_ns")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"# TYPE empty_ns histogram", "empty_ns_count 0", "empty_ns_sum 0", `empty_ns_bucket{le="+Inf"} 0`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	s := r.Snapshot()
+	if s.Count("empty_ns") != 0 || s.Sum("empty_ns") != 0 {
+		t.Errorf("snapshot of empty histogram: %+v", s["empty_ns"])
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram(10, 100)
+	for _, v := range []int64{1, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 5122 {
+		t.Errorf("sum = %d, want 5122", h.Sum())
+	}
+	// Cumulative buckets: le=10 -> 2, le=100 -> 4, +Inf -> 5.
+	want := []int64{2, 4, 5}
+	run := int64(0)
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		if run != want[i] {
+			t.Errorf("bucket %d cumulative = %d, want %d", i, run, want[i])
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	// Exercised under -race by make ci: concurrent Observe on one
+	// histogram must be safe and lose no observations.
+	h := NewHistogram()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Errorf("count = %d, want %d", got, workers*per)
+	}
+	var inBuckets int64
+	for i := range h.counts {
+		inBuckets += h.counts[i].Load()
+	}
+	if inBuckets != workers*per {
+		t.Errorf("bucket total = %d, want %d", inBuckets, workers*per)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(10), NewHistogram(10)
+	a.Observe(5)
+	b.Observe(50)
+	b.Observe(7)
+	a.Merge(b)
+	if a.Count() != 3 || a.Sum() != 62 {
+		t.Errorf("merged count=%d sum=%d", a.Count(), a.Sum())
+	}
+	a.Merge(nil) // no-op
+	if a.Count() != 3 {
+		t.Errorf("merge(nil) changed count to %d", a.Count())
+	}
+}
+
+func TestDisabledRegistry(t *testing.T) {
+	if Disabled.Enabled() {
+		t.Error("Disabled.Enabled() = true")
+	}
+	var nilReg *Registry
+	if nilReg.Enabled() {
+		t.Error("nil registry Enabled() = true")
+	}
+	Disabled.Counter("x").Inc() // must not panic or register
+	nilReg.Gauge("y").Set(3)
+	Disabled.Histogram("z").Observe(1)
+	if len(Disabled.Snapshot()) != 0 {
+		t.Error("disabled registry accumulated metrics")
+	}
+	enabled := NewRegistry()
+	enabled.Counter("c").Inc()
+	Disabled.Merge(enabled) // no-op, must not panic
+}
+
+func TestRegistryMerge(t *testing.T) {
+	shared, run := NewRegistry(), NewRegistry()
+	shared.Counter("c_total").Add(10)
+	run.Counter("c_total").Add(5)
+	run.Gauge("g").Set(3)
+	run.Histogram("h_ns").Observe(100)
+	shared.Merge(run)
+	s := shared.Snapshot()
+	if s.Value("c_total") != 15 {
+		t.Errorf("merged counter = %d, want 15", s.Value("c_total"))
+	}
+	if s.Value("g") != 3 {
+		t.Errorf("merged gauge = %d, want 3", s.Value("g"))
+	}
+	if s.Count("h_ns") != 1 || s.Sum("h_ns") != 100 {
+		t.Errorf("merged histogram = %+v", s["h_ns"])
+	}
+}
+
+func TestLabelsAndPrometheusFormat(t *testing.T) {
+	name := L("targets_total", "status", "installed")
+	if name != `targets_total{status="installed"}` {
+		t.Fatalf("L() = %q", name)
+	}
+	r := NewRegistry()
+	r.Counter(name).Add(3)
+	r.Counter(L("targets_total", "status", "failed")).Add(1)
+	r.Histogram(L("lat_ns", "status", "installed")).Observe(42)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`targets_total{status="installed"} 3`,
+		`targets_total{status="failed"} 1`,
+		`lat_ns_bucket{status="installed",le="1000"} 1`,
+		`lat_ns_sum{status="installed"} 42`,
+		`lat_ns_count{status="installed"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE targets_total counter") != 1 {
+		t.Errorf("TYPE line not deduplicated:\n%s", out)
+	}
+}
+
+func TestSnapshotNamesAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	s := r.Snapshot()
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names() = %v", names)
+	}
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]MetricValue
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v", err)
+	}
+	if decoded["a"].Value != 1 || decoded["a"].Kind != "counter" {
+		t.Errorf("decoded = %+v", decoded)
+	}
+}
+
+func TestSpansNoSinkIsInert(t *testing.T) {
+	prev := SetSpanSink(nil)
+	defer SetSpanSink(prev)
+	if TracingEnabled() {
+		t.Fatal("tracing enabled with no sink")
+	}
+	sp := StartSpan("x")
+	sp.Label("k", "v")
+	sp.End() // must be a no-op, not a panic
+}
+
+func TestSpansDeliveredToSink(t *testing.T) {
+	col := &CollectorSink{}
+	prev := SetSpanSink(col)
+	defer SetSpanSink(prev)
+	if !TracingEnabled() {
+		t.Fatal("tracing not enabled after SetSpanSink")
+	}
+	sp := StartSpan("work", Label{Key: "phase", Value: "1"})
+	sp.Label("extra", "yes")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	sp.End() // double End delivers once
+	spans := col.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	ev := spans[0]
+	if ev.Name != "work" || ev.Dur <= 0 || len(ev.Labels) != 2 {
+		t.Errorf("span = %+v", ev)
+	}
+}
+
+func TestFileSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	fs, err := NewFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Emit(SpanEvent{Name: "a", Start: time.Now(), Dur: time.Millisecond})
+	fs.Emit(SpanEvent{Name: "b", Start: time.Now(), Dur: time.Second})
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var ev SpanEvent
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if ev.Name != "a" {
+		t.Errorf("first span name = %q", ev.Name)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total").Add(9)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + srv.Addr().String() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(body, "served_total 9") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+	body, ctype = get("/debug/vars")
+	if !strings.Contains(body, `"served_total"`) {
+		t.Errorf("/debug/vars missing counter:\n%s", body)
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/debug/vars content type %q", ctype)
+	}
+	if body, _ = get("/debug/pprof/"); !strings.Contains(body, "pprof") {
+		t.Errorf("/debug/pprof/ unexpected body:\n%.200s", body)
+	}
+}

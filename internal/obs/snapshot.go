@@ -1,0 +1,77 @@
+package obs
+
+import "sort"
+
+// BucketCount is one histogram bucket in a snapshot: the number of
+// observations at or below the upper bound Le.
+type BucketCount struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// MetricValue is the frozen state of one metric.
+type MetricValue struct {
+	// Kind is "counter", "gauge" or "histogram".
+	Kind string `json:"kind"`
+	// Value holds counters and gauges.
+	Value int64 `json:"value,omitempty"`
+	// Count and Sum hold histograms; Buckets carries the cumulative
+	// per-bucket counts (the final implicit +Inf bucket is Count).
+	Count   int64         `json:"count,omitempty"`
+	Sum     int64         `json:"sum,omitempty"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry, the form reports
+// embed so tests and operators can assert on counts without scraping
+// an endpoint. A nil Snapshot behaves as empty.
+type Snapshot map[string]MetricValue
+
+// Snapshot freezes every metric currently in the registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{}
+	r.each(func(m *metric) {
+		switch {
+		case m.c != nil:
+			s[m.name] = MetricValue{Kind: "counter", Value: m.c.Value()}
+		case m.g != nil:
+			s[m.name] = MetricValue{Kind: "gauge", Value: m.g.Value()}
+		case m.h != nil:
+			mv := MetricValue{Kind: "histogram", Count: m.h.Count(), Sum: m.h.Sum()}
+			run := int64(0)
+			for i := range m.h.counts {
+				run += m.h.counts[i].Load()
+				le := int64(0)
+				if i < len(m.h.bounds) {
+					le = m.h.bounds[i]
+				} else {
+					le = -1 // +Inf
+				}
+				mv.Buckets = append(mv.Buckets, BucketCount{Le: le, Count: run})
+			}
+			s[m.name] = mv
+		}
+	})
+	return s
+}
+
+// Value returns the named counter's or gauge's value, zero when
+// absent.
+func (s Snapshot) Value(name string) int64 { return s[name].Value }
+
+// Count returns the named histogram's observation count, zero when
+// absent.
+func (s Snapshot) Count(name string) int64 { return s[name].Count }
+
+// Sum returns the named histogram's observation sum, zero when absent.
+func (s Snapshot) Sum(name string) int64 { return s[name].Sum }
+
+// Names returns the metric names in sorted order.
+func (s Snapshot) Names() []string {
+	out := make([]string, 0, len(s))
+	for name := range s {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

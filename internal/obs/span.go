@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracing spans. A span brackets one unit of work — a whole check, one
+// shard, one rollout target, one served request — with a name, labels
+// and wall-clock bounds. There is deliberately no context plumbing and
+// no span tree: the subsystems here are shallow, and a flat stream of
+// (name, labels, start, duration) records answers the operational
+// questions ("where did that rollout's two seconds go?") without
+// taxing the hot paths. When no sink is installed — the default —
+// StartSpan costs one atomic load and End is a no-op.
+
+// Label is one key/value annotation on a span.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanEvent is one completed span as delivered to a sink.
+type SpanEvent struct {
+	Name   string        `json:"name"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur_ns"`
+	Labels []Label       `json:"labels,omitempty"`
+}
+
+// SpanSink receives completed spans. Emit may be called concurrently.
+type SpanSink interface {
+	Emit(SpanEvent)
+}
+
+// sinkBox wraps the sink so the atomic pointer always has a concrete
+// type to point at.
+type sinkBox struct{ sink SpanSink }
+
+var spanSink atomic.Pointer[sinkBox]
+
+// SetSpanSink installs the process-wide span sink; nil uninstalls it
+// (the default, making all spans free). It returns the previous sink
+// so tests can restore it.
+func SetSpanSink(s SpanSink) SpanSink {
+	var prev *sinkBox
+	if s == nil {
+		prev = spanSink.Swap(nil)
+	} else {
+		prev = spanSink.Swap(&sinkBox{sink: s})
+	}
+	if prev == nil {
+		return nil
+	}
+	return prev.sink
+}
+
+// TracingEnabled reports whether a span sink is installed — one atomic
+// load, the entire cost of an un-traced span.
+func TracingEnabled() bool { return spanSink.Load() != nil }
+
+// Span is an in-flight span. The zero Span (returned by StartSpan when
+// tracing is off) makes every method a no-op.
+type Span struct {
+	name   string
+	start  time.Time
+	labels []Label
+	active bool
+}
+
+// StartSpan begins a span when a sink is installed; otherwise it
+// returns an inert Span.
+func StartSpan(name string, labels ...Label) Span {
+	if spanSink.Load() == nil {
+		return Span{}
+	}
+	return Span{name: name, start: time.Now(), labels: labels, active: true}
+}
+
+// Label adds an annotation to an active span.
+func (s *Span) Label(key, value string) {
+	if s.active {
+		s.labels = append(s.labels, Label{Key: key, Value: value})
+	}
+}
+
+// End completes the span and delivers it to the sink installed at End
+// time.
+func (s *Span) End() {
+	if !s.active {
+		return
+	}
+	s.active = false
+	box := spanSink.Load()
+	if box == nil {
+		return
+	}
+	box.sink.Emit(SpanEvent{
+		Name:   s.name,
+		Start:  s.start,
+		Dur:    time.Since(s.start),
+		Labels: s.labels,
+	})
+}
+
+// FileSink writes spans as JSON lines, one object per span — the
+// -trace-out format of the cmds. Safe for concurrent Emit.
+type FileSink struct {
+	mu  sync.Mutex
+	f   *os.File
+	buf *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewFileSink opens (appending) or creates the span log at path.
+func NewFileSink(path string) (*FileSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FileSink{f: f, buf: bufio.NewWriter(f)}
+	fs.enc = json.NewEncoder(fs.buf)
+	return fs, nil
+}
+
+// Emit writes one span record.
+func (fs *FileSink) Emit(ev SpanEvent) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_ = fs.enc.Encode(ev)
+}
+
+// Close flushes and closes the log.
+func (fs *FileSink) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.buf.Flush(); err != nil {
+		fs.f.Close()
+		return err
+	}
+	return fs.f.Close()
+}
+
+// CollectorSink buffers spans in memory; tests use it to assert on the
+// span stream.
+type CollectorSink struct {
+	mu    sync.Mutex
+	spans []SpanEvent
+}
+
+// Emit appends the span.
+func (c *CollectorSink) Emit(ev SpanEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.spans = append(c.spans, ev)
+}
+
+// Spans returns a copy of everything collected so far.
+func (c *CollectorSink) Spans() []SpanEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]SpanEvent(nil), c.spans...)
+}

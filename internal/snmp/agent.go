@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"nmsl/internal/mib"
+	"nmsl/internal/obs"
 )
 
 // View is one grant in a community's access policy: the subtree at
@@ -236,6 +237,7 @@ type Agent struct {
 	wg     sync.WaitGroup
 	// now is replaceable for tests.
 	now func() time.Time
+	om  agentMetrics
 }
 
 // Stats counts agent activity.
@@ -247,6 +249,56 @@ type Stats struct {
 	ConfigLoads  int64
 	NoSuchName   int64
 	SetsAccepted int64
+}
+
+// Metric names recorded by the agent, the client and the fault
+// injector. The agent counters mirror Stats one for one, so a metrics
+// scrape and Stats() never disagree; MetricAgentHandle prices request
+// handling in nanoseconds.
+const (
+	MetricAgentRequests     = "nmsl_snmp_agent_requests_total"
+	MetricAgentDenied       = "nmsl_snmp_agent_denied_total"
+	MetricAgentRateLimited  = "nmsl_snmp_agent_rate_limited_total"
+	MetricAgentRetransmits  = "nmsl_snmp_agent_retransmits_total"
+	MetricAgentConfigLoads  = "nmsl_snmp_agent_config_loads_total"
+	MetricAgentNoSuchName   = "nmsl_snmp_agent_no_such_name_total"
+	MetricAgentSetsAccepted = "nmsl_snmp_agent_sets_accepted_total"
+	MetricAgentHandle       = "nmsl_snmp_agent_handle_ns"
+
+	MetricClientRequests    = "nmsl_snmp_client_requests_total"
+	MetricClientRetransmits = "nmsl_snmp_client_retransmits_total"
+	MetricClientTimeouts    = "nmsl_snmp_client_timeouts_total"
+
+	// MetricFaults carries a kind label: drop, dup, truncate, delay.
+	MetricFaults = "nmsl_snmp_faults_total"
+)
+
+// agentMetrics holds the agent's pre-resolved instruments so the serve
+// loop never takes the registry lock.
+type agentMetrics struct {
+	on           bool
+	requests     *obs.Counter
+	denied       *obs.Counter
+	rateLimited  *obs.Counter
+	retransmits  *obs.Counter
+	configLoads  *obs.Counter
+	noSuchName   *obs.Counter
+	setsAccepted *obs.Counter
+	handle       *obs.Histogram
+}
+
+func newAgentMetrics(reg *obs.Registry) agentMetrics {
+	return agentMetrics{
+		on:           reg.Enabled(),
+		requests:     reg.Counter(MetricAgentRequests),
+		denied:       reg.Counter(MetricAgentDenied),
+		rateLimited:  reg.Counter(MetricAgentRateLimited),
+		retransmits:  reg.Counter(MetricAgentRetransmits),
+		configLoads:  reg.Counter(MetricAgentConfigLoads),
+		noSuchName:   reg.Counter(MetricAgentNoSuchName),
+		setsAccepted: reg.Counter(MetricAgentSetsAccepted),
+		handle:       reg.Histogram(MetricAgentHandle),
+	}
 }
 
 // NewAgent returns an agent serving the store with the given initial
@@ -263,8 +315,15 @@ func NewAgent(store *Store, cfg *Config) *Agent {
 		lastResp: map[string]*Message{},
 		done:     make(chan struct{}),
 		now:      time.Now,
+		om:       newAgentMetrics(obs.Default),
 	}
 }
+
+// SetMetrics redirects the agent's counters to reg (obs.Default is the
+// initial destination; obs.Disabled turns them off). Call before
+// serving traffic. Tests that assert on counts give each agent its own
+// registry.
+func (a *Agent) SetMetrics(reg *obs.Registry) { a.om = newAgentMetrics(reg) }
 
 // SetFaultInjector makes the agent's UDP loop pass traffic through inj
 // (inbound faults on received datagrams, outbound faults on responses).
@@ -293,6 +352,7 @@ func (a *Agent) ApplyConfig(cfg *Config) {
 	defer a.mu.Unlock()
 	a.cfg = cfg
 	a.stats.ConfigLoads++
+	a.om.configLoads.Inc()
 	// Cached responses were computed under the old policy; drop them so a
 	// retransmit cannot be answered with pre-reconfiguration data.
 	a.lastReq = map[string]*Message{}
@@ -427,13 +487,21 @@ func (a *Agent) Handle(req *Message) *Message {
 	default:
 		return nil
 	}
+	if a.om.on {
+		t0 := time.Now()
+		defer func() { a.om.handle.Observe(int64(time.Since(t0))) }()
+	}
+	sp := obs.StartSpan("snmp.handle", obs.Label{Key: "type", Value: fmt.Sprintf("0x%02x", req.PDU.Type)})
+	defer sp.End()
 	a.mu.Lock()
 	a.stats.Requests++
+	a.om.requests.Inc()
 	cfg := a.cfg
 	cc := cfg.Communities[req.Community]
 	isAdmin := cfg.AdminCommunity != "" && req.Community == cfg.AdminCommunity
 	if cc == nil && !isAdmin {
 		a.stats.Denied++
+		a.om.denied.Inc()
 		a.mu.Unlock()
 		return nil // unknown community: drop, per SNMPv1 practice
 	}
@@ -446,7 +514,9 @@ func (a *Agent) Handle(req *Message) *Message {
 	if cached := a.lastReq[req.Community]; cached != nil && messagesEqual(cached, req) {
 		resp := a.lastResp[req.Community]
 		a.stats.Retransmits++
+		a.om.retransmits.Inc()
 		a.mu.Unlock()
+		sp.Label("outcome", "retransmit-cache")
 		return resp
 	}
 	// Rate enforcement: NMSL's frequency clause. Admin traffic is not
@@ -458,7 +528,9 @@ func (a *Agent) Handle(req *Message) *Message {
 		now := a.now()
 		if last, ok := a.lastSeen[req.Community]; ok && now.Sub(last) < cc.MinInterval {
 			a.stats.RateLimited++
+			a.om.rateLimited.Inc()
 			a.mu.Unlock()
+			sp.Label("outcome", "rate-limited")
 			return errorResponse(req, GenErr, 0)
 		}
 		a.lastSeen[req.Community] = now
@@ -608,6 +680,7 @@ func (a *Agent) handleSet(req *Message, cc *CommunityConfig, isAdmin bool) *Mess
 		a.store.Set(b.OID, b.Value)
 		a.mu.Lock()
 		a.stats.SetsAccepted++
+		a.om.setsAccepted.Inc()
 		a.mu.Unlock()
 	}
 	return errorResponse(req, NoError, 0)
@@ -616,12 +689,14 @@ func (a *Agent) handleSet(req *Message, cc *CommunityConfig, isAdmin bool) *Mess
 func (a *Agent) bumpDenied() {
 	a.mu.Lock()
 	a.stats.Denied++
+	a.om.denied.Inc()
 	a.mu.Unlock()
 }
 
 func (a *Agent) bumpNoSuch() {
 	a.mu.Lock()
 	a.stats.NoSuchName++
+	a.om.noSuchName.Inc()
 	a.mu.Unlock()
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"nmsl/internal/mib"
+	"nmsl/internal/obs"
 )
 
 // clientConn is the transport a Client speaks over: the subset of
@@ -21,6 +22,21 @@ type clientConn interface {
 	Close() error
 }
 
+// clientMetrics holds the client's pre-resolved instruments.
+type clientMetrics struct {
+	requests    *obs.Counter
+	retransmits *obs.Counter
+	timeouts    *obs.Counter
+}
+
+func newClientMetrics(reg *obs.Registry) clientMetrics {
+	return clientMetrics{
+		requests:    reg.Counter(MetricClientRequests),
+		retransmits: reg.Counter(MetricClientRetransmits),
+		timeouts:    reg.Counter(MetricClientTimeouts),
+	}
+}
+
 // Client is a simple synchronous management client.
 type Client struct {
 	conn        clientConn
@@ -30,6 +46,7 @@ type Client struct {
 	backoffBase time.Duration
 	backoffMax  time.Duration
 	reqID       atomic.Int32
+	om          clientMetrics
 }
 
 // NewClientOn returns a client speaking over an already-connected
@@ -43,6 +60,7 @@ func NewClientOn(conn clientConn, community string) *Client {
 		retries:     2,
 		backoffBase: 50 * time.Millisecond,
 		backoffMax:  2 * time.Second,
+		om:          newClientMetrics(obs.Default),
 	}
 	// Start request IDs at a random point: successive short-lived clients
 	// to the same agent must not reuse IDs, or the agent's retransmit
@@ -66,6 +84,10 @@ func Dial(addr, community string) (*Client, error) {
 
 // SetTimeout adjusts the per-attempt timeout.
 func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// SetMetrics redirects the client's counters to reg (obs.Default is
+// the initial destination; obs.Disabled turns them off).
+func (c *Client) SetMetrics(reg *obs.Registry) { c.om = newClientMetrics(reg) }
 
 // SetRetries adjusts how many times a request is retransmitted after the
 // first attempt times out. Negative counts mean zero.
@@ -130,6 +152,9 @@ func (c *Client) roundTrip(ctx context.Context, pduType byte, bindings []Binding
 	if err != nil {
 		return nil, err
 	}
+	c.om.requests.Inc()
+	sp := obs.StartSpan("snmp.roundtrip", obs.Label{Key: "type", Value: fmt.Sprintf("0x%02x", pduType)})
+	defer sp.End()
 	buf := make([]byte, 64*1024)
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
@@ -140,6 +165,9 @@ func (c *Client) roundTrip(ctx context.Context, pduType byte, bindings []Binding
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if attempt > 0 {
+			c.om.retransmits.Inc()
 		}
 		if _, err := c.conn.Write(out); err != nil {
 			return nil, err
@@ -157,6 +185,7 @@ func (c *Client) roundTrip(ctx context.Context, pduType byte, bindings []Binding
 				if ctxErr := ctx.Err(); ctxErr != nil {
 					return nil, ctxErr
 				}
+				c.om.timeouts.Inc()
 				lastErr = fmt.Errorf("snmp: timeout waiting for response: %w", err)
 				break
 			}

@@ -5,6 +5,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"nmsl/internal/obs"
 )
 
 // Faults describes the misbehavior injected on one traffic direction.
@@ -51,6 +53,22 @@ type FaultInjector struct {
 	rng   *rand.Rand
 	seen  map[*Faults]int
 	stats FaultStats
+	om    faultMetrics
+}
+
+// faultMetrics holds the injector's pre-resolved counters, one per
+// fault kind (the MetricFaults family, split by label).
+type faultMetrics struct {
+	dropped, duplicated, truncated, delayed *obs.Counter
+}
+
+func newFaultMetrics(reg *obs.Registry) faultMetrics {
+	return faultMetrics{
+		dropped:    reg.Counter(obs.L(MetricFaults, "kind", "drop")),
+		duplicated: reg.Counter(obs.L(MetricFaults, "kind", "dup")),
+		truncated:  reg.Counter(obs.L(MetricFaults, "kind", "truncate")),
+		delayed:    reg.Counter(obs.L(MetricFaults, "kind", "delay")),
+	}
 }
 
 // NewFaultInjector returns an injector drawing from the given seed.
@@ -58,7 +76,16 @@ func NewFaultInjector(seed int64) *FaultInjector {
 	return &FaultInjector{
 		rng:  rand.New(rand.NewSource(seed)),
 		seen: map[*Faults]int{},
+		om:   newFaultMetrics(obs.Default),
 	}
+}
+
+// SetMetrics redirects the injector's counters to reg (obs.Default is
+// the initial destination; obs.Disabled turns them off).
+func (f *FaultInjector) SetMetrics(reg *obs.Registry) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.om = newFaultMetrics(reg)
 }
 
 // Stats returns a snapshot of the injected-fault counters.
@@ -85,24 +112,29 @@ func (f *FaultInjector) decide(dir *Faults) effects {
 	if f.seen[dir] <= dir.DropFirst {
 		fx.drop = true
 		f.stats.Dropped++
+		f.om.dropped.Inc()
 		return fx
 	}
 	if dir.Drop > 0 && f.rng.Float64() < dir.Drop {
 		fx.drop = true
 		f.stats.Dropped++
+		f.om.dropped.Inc()
 		return fx
 	}
 	if dir.Duplicate > 0 && f.rng.Float64() < dir.Duplicate {
 		fx.dup = true
 		f.stats.Duplicated++
+		f.om.duplicated.Inc()
 	}
 	if dir.Truncate > 0 && f.rng.Float64() < dir.Truncate {
 		fx.truncate = true
 		f.stats.Truncated++
+		f.om.truncated.Inc()
 	}
 	if dir.Delay > 0 && dir.MaxDelay > 0 && f.rng.Float64() < dir.Delay {
 		fx.delay = time.Duration(f.rng.Int63n(int64(dir.MaxDelay)))
 		f.stats.Delayed++
+		f.om.delayed.Inc()
 	}
 	return fx
 }

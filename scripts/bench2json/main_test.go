@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	const in = `goos: linux
+goarch: amd64
+pkg: nmsl
+cpu: Example CPU @ 2.00GHz
+BenchmarkCheckParallel8-16    	      90	  13210450 ns/op	    1734 B/op	      21 allocs/op
+BenchmarkDistributeSerial     	    1000	    701234 ns/op
+PASS
+ok  	nmsl	3.456s
+`
+	doc, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "nmsl" {
+		t.Errorf("header: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("benchmarks: %+v", doc.Benchmarks)
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "CheckParallel8" || b.Procs != 16 || b.Iterations != 90 ||
+		b.NsPerOp != 13210450 || b.BytesPerOp != 1734 || b.AllocsPerOp != 21 {
+		t.Errorf("first: %+v", b)
+	}
+	if doc.Benchmarks[1].Name != "DistributeSerial" || doc.Benchmarks[1].Procs != 0 {
+		t.Errorf("second: %+v", doc.Benchmarks[1])
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("BenchmarkBroken notanumber ns/op\n"))); err == nil {
+		t.Fatal("want error")
+	}
+}
