@@ -9,7 +9,7 @@ GO ?= go
 # below it.
 COVER_FLOOR ?= 70
 
-.PHONY: all build test vet race ci bench bench-parallel bench-rollout cover bench-ci
+.PHONY: all build test vet race ci chaos bench bench-parallel bench-rollout cover bench-ci
 
 all: build test
 
@@ -25,7 +25,14 @@ vet:
 race:
 	$(GO) test -race -shuffle=on ./...
 
-ci: vet race
+ci: vet race chaos
+
+# Chaos gate: the crash-resume tests re-run several times under the race
+# detector, each run killing the journaled rollout at a different offset
+# (see chaosRun in internal/configgen/chaos_test.go). NMSL_CHAOS_SEED
+# pins a failing offset for replay.
+chaos:
+	$(GO) test -run 'TestRolloutResumesAfterCrash|TestChaosKillResume' -count=5 -race ./internal/configgen
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

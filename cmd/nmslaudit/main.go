@@ -12,30 +12,46 @@
 //
 //	nmslaudit -instance id -addr host:port [-writes]
 //	          [-metrics-addr a] [-trace-out f] spec.nmsl ...
+//	nmslaudit -reconcile -targets fleet.txt [-interval 30s] [-once]
+//	          [-breaker-threshold 3] [-breaker-cooldown 2m] spec.nmsl ...
+//
+// With -reconcile, nmslaudit becomes a drift reconciler: a jittered
+// periodic loop that fetches every fleet agent's live configuration,
+// compares its digest against the model's, re-installs on drift, and
+// quarantines targets that keep failing or flapping behind a per-target
+// circuit breaker (open after -breaker-threshold consecutive strikes; a
+// half-open probe after -breaker-cooldown decides readmission). -once
+// runs a single sweep and exits. SIGINT or SIGTERM stops the loop
+// cleanly after the sweep in progress.
 //
 // -metrics-addr serves the observability endpoint (/metrics,
 // /debug/vars, /debug/pprof) while the audit runs; -trace-out appends
 // tracing spans to a file as JSON lines.
 //
-// Exit status: 0 adherent, 1 divergent, 2 usage or compile error.
+// Exit status: 0 adherent, 1 divergent, 2 usage or compile error. In
+// -reconcile -once mode a sweep with check or heal failures exits 1.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"nmsl"
 	"nmsl/internal/audit"
+	"nmsl/internal/configgen"
 	"nmsl/internal/obs"
+	"nmsl/internal/reconcile"
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -51,10 +67,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	backoff := fs.Duration("backoff", 0, "base delay between probe retransmits (0 keeps the client default)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	traceOut := fs.String("trace-out", "", "append tracing spans to this file as JSON lines")
+	reconcileMode := fs.Bool("reconcile", false, "run the drift reconciler over the fleet in -targets instead of a one-shot audit")
+	targetsFile := fs.String("targets", "", "reconciler fleet file: one \"instanceID addr [admin]\" per line")
+	adminDefault := fs.String("admin", "nmsl-admin", "default admin community for fleet targets that omit one")
+	interval := fs.Duration("interval", 30*time.Second, "reconciler: pause between sweeps")
+	jitter := fs.Float64("reconcile-jitter", 0.1, "reconciler: fractional jitter on the sweep interval")
+	once := fs.Bool("once", false, "reconciler: run a single sweep and exit")
+	breakerThreshold := fs.Int("breaker-threshold", 3, "reconciler: consecutive failures before a target is quarantined")
+	breakerCooldown := fs.Duration("breaker-cooldown", 2*time.Minute, "reconciler: quarantine time before a half-open probe")
+	seed := fs.Int64("seed", 0, "reconciler: seed for the sweep jitter (0 = random)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if fs.NArg() == 0 || *instance == "" || *addr == "" {
+	if *reconcileMode {
+		if fs.NArg() == 0 || *targetsFile == "" {
+			fmt.Fprintln(stderr, "nmslaudit: -reconcile needs -targets and specification files")
+			return 2
+		}
+	} else if fs.NArg() == 0 || *instance == "" || *addr == "" {
 		fmt.Fprintln(stderr, "nmslaudit: need -instance, -addr and specification files")
 		return 2
 	}
@@ -86,6 +116,63 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "nmslaudit: %v\n", err)
 		return 2
+	}
+
+	if *reconcileMode {
+		f, err := os.Open(*targetsFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "nmslaudit: %v\n", err)
+			return 2
+		}
+		targets, err := configgen.ParseTargets(f, *adminDefault)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "nmslaudit: %v\n", err)
+			return 2
+		}
+		ropts := []reconcile.Option{
+			reconcile.WithInterval(*interval),
+			reconcile.WithJitter(*jitter),
+			reconcile.WithRetries(*retries),
+			reconcile.WithAttemptTimeout(*timeout),
+			reconcile.WithBreaker(*breakerThreshold, *breakerCooldown),
+			reconcile.WithOnEvent(func(e reconcile.Event) {
+				fmt.Fprintf(stdout, "nmslaudit: %s\n", e)
+			}),
+		}
+		if *seed != 0 {
+			ropts = append(ropts, reconcile.WithSeed(*seed))
+		}
+		r, err := reconcile.New(spec.Model(), targets, ropts...)
+		if err != nil {
+			fmt.Fprintf(stderr, "nmslaudit: %v\n", err)
+			return 2
+		}
+		if *once {
+			sw, err := r.RunOnce(ctx)
+			if sw != nil {
+				fmt.Fprintf(stdout, "nmslaudit: %s\n", sw)
+			}
+			if err != nil {
+				fmt.Fprintf(stderr, "nmslaudit: %v\n", err)
+				return 1
+			}
+			if sw.CheckFailures > 0 || sw.HealFailures > 0 {
+				return 1
+			}
+			return 0
+		}
+		err = r.Run(ctx, func(sw *reconcile.Sweep) {
+			fmt.Fprintf(stdout, "nmslaudit: %s\n", sw)
+		})
+		// The loop only ends on a signal or parent cancellation: that is a
+		// clean shutdown, not a failure.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			fmt.Fprintf(stderr, "nmslaudit: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "nmslaudit: reconciler stopped")
+		return 0
 	}
 
 	rep, err := audit.AgentContext(ctx, spec.Model(), *instance, *addr, audit.Options{

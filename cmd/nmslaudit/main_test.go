@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"nmsl"
 	"nmsl/internal/mib"
@@ -88,5 +89,101 @@ func TestUsageErrors(t *testing.T) {
 	}
 	if code := run(context.Background(), []string{"-instance", "ghost", "-addr", "127.0.0.1:1", specFile(t)}, &out, &errb); code != 2 {
 		t.Errorf("unknown instance: exit %d", code)
+	}
+}
+
+// startDriftedAgent runs an agent honoring the admin community but with
+// an empty (drifted) configuration, returning the agent for state
+// assertions.
+func startDriftedAgent(t *testing.T) (*snmp.Agent, string) {
+	t.Helper()
+	store := snmp.NewStore()
+	snmp.PopulateFromMIB(store, mib.NewStandard(), "mgmt.mib")
+	agent := snmp.NewAgent(store, &snmp.Config{
+		Communities:    map[string]*snmp.CommunityConfig{},
+		AdminCommunity: "nmsl-admin",
+	})
+	addr, err := agent.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { agent.Close() })
+	return agent, addr.String()
+}
+
+// TestReconcileOnceHealsDrift: -reconcile -once detects the drifted
+// agent, heals it, exits 0, and a second sweep finds the fleet in sync.
+func TestReconcileOnceHealsDrift(t *testing.T) {
+	agent, addr := startDriftedAgent(t)
+	fleet := filepath.Join(t.TempDir(), "fleet.txt")
+	if err := os.WriteFile(fleet, []byte(instID+" "+addr+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := specFile(t)
+
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{
+		"-reconcile", "-once", "-targets", fleet, spec}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "[drift]") || !strings.Contains(out.String(), "[healed]") {
+		t.Fatalf("events missing from output: %q", out.String())
+	}
+	if agent.ConfigSnapshot().Communities["public"] == nil {
+		t.Fatal("reconciler did not install the desired config")
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = run(context.Background(), []string{
+		"-reconcile", "-once", "-targets", fleet, spec}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("second sweep exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "1 in-sync") {
+		t.Fatalf("second sweep output: %q", out.String())
+	}
+}
+
+// TestReconcileLoopStopsOnCancel: the -reconcile loop exits 0 when its
+// context is canceled (the SIGINT/SIGTERM path).
+func TestReconcileLoopStopsOnCancel(t *testing.T) {
+	_, addr := startDriftedAgent(t)
+	fleet := filepath.Join(t.TempDir(), "fleet.txt")
+	if err := os.WriteFile(fleet, []byte(instID+" "+addr+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		cancel()
+	}()
+	var out, errb strings.Builder
+	code := run(ctx, []string{
+		"-reconcile", "-targets", fleet, "-interval", "50ms", "-seed", "1",
+		specFile(t)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "reconciler stopped") {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+// TestReconcileUsageErrors: -reconcile without a fleet is a usage error,
+// and an unreachable fleet member fails a -once sweep.
+func TestReconcileUsageErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(context.Background(), []string{"-reconcile", specFile(t)}, &out, &errb); code != 2 {
+		t.Errorf("-reconcile without -targets: exit %d", code)
+	}
+	fleet := filepath.Join(t.TempDir(), "fleet.txt")
+	if err := os.WriteFile(fleet, []byte(instID+" 127.0.0.1:1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run(context.Background(), []string{
+		"-reconcile", "-once", "-targets", fleet, "-timeout", "50ms", specFile(t)}, &out, &errb); code != 1 {
+		t.Errorf("unreachable fleet member: exit %d", code)
 	}
 }

@@ -11,33 +11,62 @@
 //	nmslgen -install host:port -admin community -instance id \
 //	    [-retries n] [-backoff d] [-timeout d] [-failfast] \
 //	    [-metrics-addr a] [-trace-out f] spec.nmsl ...
+//	nmslgen -targets fleet.txt [-journal run.journal] [-canary 0.1,0.5] \
+//	    [-max-failure-rate 0.05] [-gate-audit] spec.nmsl ...
+//	nmslgen -journal run.journal -resume spec.nmsl ...
+//	nmslgen -journal run.journal -rollback
 //
 // The live install is a fault-tolerant rollout: each target is retried
-// with jittered exponential backoff, and Ctrl-C cancels cleanly, leaving
-// a report of what was and was not installed. -metrics-addr serves the
-// observability endpoint (/metrics, /debug/vars, /debug/pprof) for the
-// duration of the run; -trace-out appends tracing spans to a file as
-// JSON lines.
+// with jittered exponential backoff, and Ctrl-C or SIGTERM cancels
+// cleanly, leaving a report of what was and was not installed. With
+// -journal the rollout is transactional: the plan, every pre-image and
+// every outcome are fsync'd to a write-ahead journal, so a killed run
+// restarts idempotently with -resume and an aborted one reverts with
+// -rollback. -canary splits the fleet into health-gated waves (the
+// cumulative fractions installed by each wave's end); a wave whose
+// failure rate exceeds -max-failure-rate, or that -gate-audit finds
+// diverging from the specification, is rolled back to its pre-images
+// and the rollout aborts. -metrics-addr serves the observability
+// endpoint (/metrics, /debug/vars, /debug/pprof) for the duration of
+// the run; -trace-out appends tracing spans to a file as JSON lines.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"nmsl"
+	"nmsl/internal/audit"
 	"nmsl/internal/configgen"
 	"nmsl/internal/obs"
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// parseCanary converts "0.1,0.5" into stage fractions.
+func parseCanary(s string) ([]float64, error) {
+	var fracs []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad canary fraction %q: %v", part, err)
+		}
+		fracs = append(fracs, f)
+	}
+	return fracs, nil
 }
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
@@ -55,9 +84,52 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	failfast := fs.Bool("failfast", false, "live install: cancel remaining targets after the first failure")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	traceOut := fs.String("trace-out", "", "append tracing spans to this file as JSON lines")
+	targetsFile := fs.String("targets", "", "rollout fleet file: one \"instanceID addr [admin]\" per line")
+	journal := fs.String("journal", "", "record the rollout into a crash-safe write-ahead journal at this path")
+	resume := fs.Bool("resume", false, "resume the journaled rollout at -journal (idempotent: already-installed targets are skipped)")
+	rollback := fs.Bool("rollback", false, "restore every target the journaled rollout at -journal touched to its pre-image")
+	canary := fs.String("canary", "", "comma-separated cumulative canary fractions, e.g. 0.1,0.5: install in health-gated waves")
+	maxFailRate := fs.Float64("max-failure-rate", -1, "abort and roll back a wave whose failure rate exceeds this (0 tolerates none; negative disables)")
+	gateAudit := fs.Bool("gate-audit", false, "after each wave, audit the installed canaries against the specification; divergence rolls the wave back")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	// -rollback needs only the journal (the pre-images it restores are in
+	// there), so it is handled before any specification is compiled.
+	if *rollback {
+		if *journal == "" {
+			fmt.Fprintln(stderr, "nmslgen: -rollback requires -journal")
+			return 2
+		}
+		ocli, err := obs.StartCLI(*metricsAddr, *traceOut, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "nmslgen: %v\n", err)
+			return 2
+		}
+		defer ocli.Close()
+		report, rerr := configgen.Rollback(ctx, *journal,
+			configgen.WithRetries(*retries),
+			configgen.WithBackoff(*backoff, 0),
+			configgen.WithAttemptTimeout(*timeout),
+			configgen.WithOnResult(func(r configgen.TargetResult) {
+				if r.Err != nil {
+					fmt.Fprintf(stderr, "nmslgen: %s: %s: %v\n", r.Target.InstanceID, r.Status, r.Err)
+				}
+			}),
+		)
+		if rerr != nil {
+			fmt.Fprintf(stderr, "nmslgen: rollback: %v\n", rerr)
+			return 1
+		}
+		fmt.Fprintln(stdout, report.Summary())
+		if report.Failed > 0 || report.Canceled > 0 {
+			return 1
+		}
+		fmt.Fprintf(stdout, "restored %d target(s) to their pre-rollout configuration\n", report.RolledBack)
+		return 0
+	}
+
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "nmslgen: no specification files")
 		return 2
@@ -105,18 +177,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	if *install != "" {
-		if *instance == "" {
-			fmt.Fprintln(stderr, "nmslgen: -install requires -instance")
-			return 2
-		}
-		if configs[*instance] == nil {
-			fmt.Fprintf(stderr, "nmslgen: no configuration for instance %q; have:\n", *instance)
-			for id := range configs {
-				fmt.Fprintf(stderr, "  %s\n", id)
-			}
-			return 1
-		}
+	if *install != "" || *targetsFile != "" || *resume {
 		opts := []configgen.RolloutOption{
 			configgen.WithRetries(*retries),
 			configgen.WithBackoff(*backoff, 0),
@@ -131,17 +192,101 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if *failfast {
 			opts = append(opts, configgen.WithFailFast())
 		}
-		targets := []configgen.Target{{InstanceID: *instance, Addr: *install, AdminCommunity: *admin}}
-		report, cerr := configgen.DistributeContext(ctx, spec.Model(), targets, opts...)
+		if *canary != "" {
+			fracs, err := parseCanary(*canary)
+			if err != nil {
+				fmt.Fprintf(stderr, "nmslgen: %v\n", err)
+				return 2
+			}
+			opts = append(opts, configgen.WithStages(fracs...))
+		}
+		if *maxFailRate >= 0 {
+			opts = append(opts, configgen.WithMaxFailureRate(*maxFailRate))
+		}
+		if *gateAudit {
+			opts = append(opts, configgen.WithGate(audit.Gate(spec.Model(), audit.Options{
+				Timeout: *timeout,
+				Retries: *retries,
+				Backoff: *backoff,
+			})))
+		}
+
+		var report *configgen.RolloutReport
+		var cerr error
+		switch {
+		case *resume:
+			if *journal == "" {
+				fmt.Fprintln(stderr, "nmslgen: -resume requires -journal")
+				return 2
+			}
+			report, cerr = configgen.ResumeRollout(ctx, spec.Model(), *journal, opts...)
+		default:
+			var targets []configgen.Target
+			if *targetsFile != "" {
+				f, err := os.Open(*targetsFile)
+				if err != nil {
+					fmt.Fprintf(stderr, "nmslgen: %v\n", err)
+					return 2
+				}
+				targets, err = configgen.ParseTargets(f, *admin)
+				f.Close()
+				if err != nil {
+					fmt.Fprintf(stderr, "nmslgen: %v\n", err)
+					return 2
+				}
+				for _, tgt := range targets {
+					if configs[tgt.InstanceID] == nil {
+						fmt.Fprintf(stderr, "nmslgen: no configuration for instance %q in %s\n", tgt.InstanceID, *targetsFile)
+						return 1
+					}
+				}
+			} else {
+				if *instance == "" {
+					fmt.Fprintln(stderr, "nmslgen: -install requires -instance")
+					return 2
+				}
+				if configs[*instance] == nil {
+					fmt.Fprintf(stderr, "nmslgen: no configuration for instance %q; have:\n", *instance)
+					for id := range configs {
+						fmt.Fprintf(stderr, "  %s\n", id)
+					}
+					return 1
+				}
+				targets = []configgen.Target{{InstanceID: *instance, Addr: *install, AdminCommunity: *admin}}
+			}
+			if *journal != "" {
+				opts = append(opts, configgen.WithJournal(*journal))
+			}
+			report, cerr = configgen.DistributeContext(ctx, spec.Model(), targets, opts...)
+		}
+		if report == nil {
+			fmt.Fprintf(stderr, "nmslgen: rollout: %v\n", cerr)
+			return 1
+		}
 		fmt.Fprintln(stdout, report.Summary())
-		if cerr != nil {
+		var gerr *configgen.GateError
+		switch {
+		case errors.As(cerr, &gerr):
+			fmt.Fprintf(stderr, "nmslgen: %v\n", gerr)
+			if *journal != "" {
+				fmt.Fprintf(stderr, "nmslgen: pre-images are journaled in %s (nmslgen -journal %s -rollback reverts the rest)\n", *journal, *journal)
+			}
+			return 1
+		case cerr != nil:
 			fmt.Fprintf(stderr, "nmslgen: rollout canceled: %v\n", cerr)
+			if *journal != "" {
+				fmt.Fprintf(stderr, "nmslgen: resume with: nmslgen -journal %s -resume <specs>\n", *journal)
+			}
 			return 1
 		}
 		if !report.OK() {
 			return 1
 		}
-		fmt.Fprintf(stdout, "installed configuration for %s into %s\n", *instance, *install)
+		if *instance != "" && *install != "" {
+			fmt.Fprintf(stdout, "installed configuration for %s into %s\n", *instance, *install)
+		} else {
+			fmt.Fprintf(stdout, "installed %d target(s)\n", report.Installed)
+		}
 		return 0
 	}
 

@@ -121,3 +121,106 @@ func TestInstallErrors(t *testing.T) {
 		t.Errorf("no files: exit %d", code)
 	}
 }
+
+// TestJournaledInstallAndRollback drives the transactional flags end to
+// end: a journaled install lands the config, -rollback restores the
+// agent's pre-image from the journal.
+func TestJournaledInstallAndRollback(t *testing.T) {
+	store := snmp.NewStore()
+	snmp.PopulateFromMIB(store, mib.NewStandard(), "mgmt.mib")
+	agent := snmp.NewAgent(store, &snmp.Config{
+		Communities:    map[string]*snmp.CommunityConfig{},
+		AdminCommunity: "adm",
+	})
+	addr, err := agent.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	preDigest := agent.ConfigSnapshot().Digest()
+	journal := filepath.Join(t.TempDir(), "run.journal")
+
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{
+		"-install", addr.String(), "-admin", "adm",
+		"-instance", "snmpdReadOnly@romano.cs.wisc.edu#0",
+		"-journal", journal,
+		specFile(t, paperspec.Combined)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("journaled install exit %d: %s", code, errb.String())
+	}
+	if agent.ConfigSnapshot().Communities["public"] == nil {
+		t.Fatal("config not installed")
+	}
+	if _, err := os.Stat(journal); err != nil {
+		t.Fatalf("journal not written: %v", err)
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = run(context.Background(), []string{"-journal", journal, "-rollback"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("rollback exit %d: %s", code, errb.String())
+	}
+	if got := agent.ConfigSnapshot().Digest(); got != preDigest {
+		t.Fatalf("rollback left digest %.12s, want pre-image %.12s", got, preDigest)
+	}
+	if !strings.Contains(out.String(), "restored 1 target") {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+// TestTargetsFileInstall rolls out to a fleet described by -targets.
+func TestTargetsFileInstall(t *testing.T) {
+	store := snmp.NewStore()
+	snmp.PopulateFromMIB(store, mib.NewStandard(), "mgmt.mib")
+	agent := snmp.NewAgent(store, &snmp.Config{
+		Communities:    map[string]*snmp.CommunityConfig{},
+		AdminCommunity: "adm",
+	})
+	addr, err := agent.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	fleet := filepath.Join(t.TempDir(), "fleet.txt")
+	line := "snmpdReadOnly@romano.cs.wisc.edu#0 " + addr.String() + " adm\n"
+	if err := os.WriteFile(fleet, []byte("# fleet\n"+line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{
+		"-targets", fleet,
+		specFile(t, paperspec.Combined)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if agent.ConfigSnapshot().Communities["public"] == nil {
+		t.Fatal("config not installed via targets file")
+	}
+	if !strings.Contains(out.String(), "installed 1 target") {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+// TestTransactionalFlagErrors pins the usage errors of the new flags.
+func TestTransactionalFlagErrors(t *testing.T) {
+	path := specFile(t, paperspec.Combined)
+	var out, errb strings.Builder
+	if code := run(context.Background(), []string{"-rollback"}, &out, &errb); code != 2 {
+		t.Errorf("-rollback without -journal: exit %d", code)
+	}
+	if code := run(context.Background(), []string{"-resume", path}, &out, &errb); code != 2 {
+		t.Errorf("-resume without -journal: exit %d", code)
+	}
+	if code := run(context.Background(), []string{
+		"-install", "127.0.0.1:1", "-instance", "x", "-canary", "bogus", path}, &out, &errb); code != 2 {
+		t.Errorf("bad -canary: exit %d", code)
+	}
+	if code := run(context.Background(), []string{
+		"-install", "127.0.0.1:1", "-instance", "snmpdReadOnly@romano.cs.wisc.edu#0",
+		"-canary", "0.9,0.2", path}, &out, &errb); code != 1 {
+		t.Errorf("decreasing -canary fractions: exit %d", code)
+	}
+}

@@ -1,0 +1,45 @@
+package audit
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"nmsl/internal/configgen"
+	"nmsl/internal/consistency"
+)
+
+// Gate adapts the adherence auditor into a rollout health gate
+// (configgen.WithGate): after each canary wave it audits every target
+// the wave installed and fails the gate if any of them diverges from
+// the specification. A failed gate makes the rollout revert the wave
+// to its pre-images and abort — the canary pattern of section 5's
+// distributed configuration phase, with the paper's second verification
+// method ("verifying that these specifications are actually being
+// adhered to in the network") as the health check.
+//
+// Gate lives here rather than in configgen because audit already
+// imports configgen for the expected per-instance configurations; the
+// rollout only ever sees the closure.
+func Gate(m *consistency.Model, opts Options) func(ctx context.Context, wave []configgen.TargetResult) error {
+	return func(ctx context.Context, wave []configgen.TargetResult) error {
+		var bad []string
+		for _, r := range wave {
+			if r.Status != configgen.StatusInstalled {
+				continue
+			}
+			rep, err := AgentContext(ctx, m, r.Target.InstanceID, r.Target.Addr, opts)
+			if err != nil {
+				return fmt.Errorf("audit of %s at %s: %w", r.Target.InstanceID, r.Target.Addr, err)
+			}
+			if !rep.Adheres() {
+				bad = append(bad, fmt.Sprintf("%s (%d findings)", r.Target.InstanceID, len(rep.Findings)))
+			}
+		}
+		if len(bad) > 0 {
+			return fmt.Errorf("%d of %d canary targets diverge from the specification: %s",
+				len(bad), len(wave), strings.Join(bad, ", "))
+		}
+		return nil
+	}
+}

@@ -1,0 +1,45 @@
+package audit
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"nmsl/internal/configgen"
+)
+
+// TestGate: the audit-backed health gate passes a wave of adherent
+// canaries, fails a wave containing a diverging one, and ignores
+// targets the wave did not install.
+func TestGate(t *testing.T) {
+	m := model(t)
+	opts := Options{Timeout: 300 * time.Millisecond, Backoff: time.Millisecond}
+	gate := Gate(m, opts)
+
+	goodAddr := startAgent(t, m, configgen.Generate(m)[instID])
+	badAddr := startAgent(t, m, misconfigured(m))
+	good := configgen.TargetResult{
+		Target: configgen.Target{InstanceID: instID, Addr: goodAddr, AdminCommunity: "nmsl-admin"},
+		Status: configgen.StatusInstalled,
+	}
+	bad := configgen.TargetResult{
+		Target: configgen.Target{InstanceID: instID, Addr: badAddr, AdminCommunity: "nmsl-admin"},
+		Status: configgen.StatusInstalled,
+	}
+	notInstalled := configgen.TargetResult{
+		Target: configgen.Target{InstanceID: instID, Addr: "127.0.0.1:1", AdminCommunity: "nmsl-admin"},
+		Status: configgen.StatusFailed,
+	}
+
+	if err := gate(context.Background(), []configgen.TargetResult{good, notInstalled}); err != nil {
+		t.Fatalf("gate failed an adherent wave: %v", err)
+	}
+	err := gate(context.Background(), []configgen.TargetResult{good, bad})
+	if err == nil {
+		t.Fatal("gate passed a wave with a diverging canary")
+	}
+	if !strings.Contains(err.Error(), "diverge") {
+		t.Errorf("gate error: %v", err)
+	}
+}

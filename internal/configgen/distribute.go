@@ -1,7 +1,11 @@
 package configgen
 
 import (
+	"bufio"
 	"context"
+	"fmt"
+	"io"
+	"strings"
 	"time"
 
 	"nmsl/internal/consistency"
@@ -57,6 +61,39 @@ func Distribute(m *consistency.Model, targets []Target, opts DistributeOptions) 
 		results[i] = InstallResult{Target: r.Target, Err: r.Err, Duration: r.Duration}
 	}
 	return results
+}
+
+// ParseTargets reads a rollout target list, one target per line:
+//
+//	instanceID addr [adminCommunity]
+//
+// Blank lines and #-comments are ignored. Targets omitting the admin
+// community get defaultAdmin. This is the fleet-description format the
+// nmslgen -targets flag consumes.
+func ParseTargets(r io.Reader, defaultAdmin string) ([]Target, error) {
+	var targets []Target
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("configgen: targets line %d: want \"instanceID addr [admin]\", got %q", line, text)
+		}
+		tgt := Target{InstanceID: fields[0], Addr: fields[1], AdminCommunity: defaultAdmin}
+		if len(fields) == 3 {
+			tgt.AdminCommunity = fields[2]
+		}
+		targets = append(targets, tgt)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return targets, nil
 }
 
 // Failed filters the results with errors.

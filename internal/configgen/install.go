@@ -98,3 +98,23 @@ func InstallLiveContext(ctx context.Context, addr, adminCommunity string, cfg *s
 	}
 	return client.InstallConfigContext(ctx, cfg)
 }
+
+// FetchLiveContext retrieves an agent's current configuration over the
+// management protocol — the read half of the live install path. The
+// transactional rollout uses it to capture a pre-image before replacing
+// a configuration; the drift reconciler uses it to compare a live
+// agent's digest against the model's. timeout bounds each attempt's wait
+// (zero keeps the client default); retries is how many times a timed-out
+// fetch is retransmitted.
+func FetchLiveContext(ctx context.Context, addr, adminCommunity string, timeout time.Duration, retries int) (*snmp.Config, error) {
+	client, err := snmp.Dial(addr, adminCommunity)
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+	client.SetRetries(retries)
+	if timeout > 0 {
+		client.SetTimeout(timeout)
+	}
+	return client.FetchConfigContext(ctx)
+}

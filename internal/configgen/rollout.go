@@ -4,14 +4,23 @@
 // treats each install as a fallible distributed operation — bounded
 // workers, per-target retries with jittered exponential backoff, optional
 // per-target deadlines, streamed results, and a report that distinguishes
-// installed, failed, skipped and canceled targets instead of collapsing
-// them into one error.
+// installed, failed, skipped, canceled and rolled-back targets instead of
+// collapsing them into one error.
+//
+// On top of the retry layer the rollout is transactional: WithJournal
+// records the plan, every pre-image and every outcome into a crash-safe
+// write-ahead journal (journal.go) so a killed process resumes
+// idempotently with ResumeRollout and an aborted run reverts with
+// Rollback; WithStages splits the targets into canary waves whose health
+// gates (WithMaxFailureRate, WithGate) abort the rollout and roll the
+// offending wave back to its pre-images automatically.
 
 package configgen
 
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -25,7 +34,8 @@ import (
 
 // Metric names recorded by DistributeContext. Durations are
 // nanoseconds; MetricRolloutTargets and MetricRolloutTargetDuration
-// carry a status label (installed, failed, skipped, canceled).
+// carry a status label (installed, failed, skipped, canceled,
+// rolled-back).
 const (
 	MetricRolloutRuns           = "nmsl_rollout_runs_total"
 	MetricRolloutTargets        = "nmsl_rollout_targets_total"
@@ -34,14 +44,22 @@ const (
 	MetricRolloutBackoffSleep   = "nmsl_rollout_backoff_sleep_ns_total"
 	MetricRolloutDuration       = "nmsl_rollout_duration_ns"
 	MetricRolloutTargetDuration = "nmsl_rollout_target_duration_ns"
+	MetricRolloutGateFails      = "nmsl_rollout_gate_failures_total"
+	MetricRolloutResumed        = "nmsl_rollout_resumed_total"
 )
+
+// maxRolloutBackoff clamps an overflowed exponential delay when no
+// explicit cap is configured: without it, base << k wraps negative at
+// large k and the delay collapses to an immediate, tight-looping retry.
+const maxRolloutBackoff = time.Hour
 
 // RolloutStatus classifies one target's outcome.
 type RolloutStatus int
 
 const (
 	// StatusInstalled means the configuration was acknowledged by the
-	// agent.
+	// agent (or, on resume, the journal or the agent's live digest showed
+	// it already in place).
 	StatusInstalled RolloutStatus = iota
 	// StatusFailed means every attempt errored (or the per-target
 	// deadline expired).
@@ -49,9 +67,14 @@ const (
 	// StatusSkipped means no configuration was generated for the
 	// target's instance, so nothing was sent.
 	StatusSkipped
-	// StatusCanceled means the rollout was canceled (context or
-	// fail-fast) before the target succeeded.
+	// StatusCanceled means the rollout was canceled (context, fail-fast
+	// or an earlier wave's failed health gate) before the target
+	// succeeded.
 	StatusCanceled
+	// StatusRolledBack means the target had been installed but was
+	// restored to its pre-image after its wave failed a health gate (or
+	// by an explicit Rollback of the journal).
+	StatusRolledBack
 )
 
 // String returns the lowercase status name.
@@ -65,8 +88,20 @@ func (s RolloutStatus) String() string {
 		return "skipped"
 	case StatusCanceled:
 		return "canceled"
+	case StatusRolledBack:
+		return "rolled-back"
 	}
 	return fmt.Sprintf("RolloutStatus(%d)", int(s))
+}
+
+// parseRolloutStatus is the inverse of String, used by journal replay.
+func parseRolloutStatus(s string) (RolloutStatus, error) {
+	for _, st := range []RolloutStatus{StatusInstalled, StatusFailed, StatusSkipped, StatusCanceled, StatusRolledBack} {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown rollout status %q", s)
 }
 
 // TargetResult reports one target's rollout outcome.
@@ -77,14 +112,23 @@ type TargetResult struct {
 	// Err is the last error observed (nil when installed).
 	Err      error
 	Duration time.Duration
+	// Digest identifies the configuration now on the agent as far as the
+	// rollout knows: the installed config's digest, or the restored
+	// pre-image's after a rollback. Empty when nothing was applied.
+	Digest string
+	// Resumed marks a target satisfied without an install: the journal
+	// (or the agent's live digest) showed the desired configuration
+	// already in place.
+	Resumed bool
 }
 
 // RolloutReport aggregates a rollout.
 type RolloutReport struct {
 	// Results holds every target's outcome, sorted by instance ID.
 	Results []TargetResult
-	// Installed, Failed, Skipped and Canceled count targets by status.
-	Installed, Failed, Skipped, Canceled int
+	// Installed, Failed, Skipped, Canceled and RolledBack count targets
+	// by status.
+	Installed, Failed, Skipped, Canceled, RolledBack int
 	// Attempts is the total number of install attempts across targets.
 	Attempts int
 	// Duration is the wall-clock time of the whole rollout.
@@ -96,16 +140,35 @@ type RolloutReport struct {
 	Metrics obs.Snapshot
 }
 
-// OK reports whether every target was installed.
+// OK reports whether every target was installed: a reverted wave
+// (rolled-back targets) is NOT success, so callers cannot mistake an
+// auto-rollback for a converged rollout.
 func (r *RolloutReport) OK() bool {
-	return r.Failed == 0 && r.Skipped == 0 && r.Canceled == 0
+	return r.Failed == 0 && r.Skipped == 0 && r.Canceled == 0 && r.RolledBack == 0
 }
 
 // Summary renders a one-line account of the rollout.
 func (r *RolloutReport) Summary() string {
-	return fmt.Sprintf("rollout: %d/%d installed, %d failed, %d skipped, %d canceled (%d attempts in %v)",
-		r.Installed, len(r.Results), r.Failed, r.Skipped, r.Canceled, r.Attempts, r.Duration.Round(time.Millisecond))
+	return fmt.Sprintf("rollout: %d/%d installed, %d failed, %d skipped, %d canceled, %d rolled-back (%d attempts in %v)",
+		r.Installed, len(r.Results), r.Failed, r.Skipped, r.Canceled, r.RolledBack, r.Attempts, r.Duration.Round(time.Millisecond))
 }
+
+// GateError is returned by DistributeContext when a canary health gate
+// failed: the offending wave was rolled back to its pre-images and the
+// remaining waves were never attempted.
+type GateError struct {
+	// Wave is the zero-based index of the wave that failed its gate.
+	Wave int
+	// Err is what the gate observed.
+	Err error
+}
+
+func (e *GateError) Error() string {
+	return fmt.Sprintf("configgen: wave %d failed its health gate: %v (wave rolled back, rollout aborted)", e.Wave, e.Err)
+}
+
+// Unwrap exposes the gate's observation to errors.Is/As.
+func (e *GateError) Unwrap() error { return e.Err }
 
 // rolloutRunMetrics carries the run-scoped instruments the attempt
 // loop updates; the zero value (on=false) makes every update a no-op.
@@ -126,6 +189,18 @@ type rolloutOptions struct {
 	failFast         bool
 	metrics          *obs.Registry
 	om               rolloutRunMetrics
+
+	// Transactional layer.
+	stages         []float64
+	maxFailureRate float64 // negative = gate disarmed
+	gate           func(context.Context, []TargetResult) error
+	journalPath    string
+	journal        *Journal          // pre-opened on resume/rollback
+	resumed        map[string]string // targetKey -> digest installed per the journal
+
+	// Jitter source; nil selects the global generator.
+	jitterMu  sync.Mutex
+	jitterRng *rand.Rand
 }
 
 // RolloutOption tunes DistributeContext, mirroring the checker's
@@ -190,40 +265,242 @@ func WithMetrics(reg *obs.Registry) RolloutOption {
 	return func(o *rolloutOptions) { o.metrics = reg }
 }
 
+// WithJitterSeed makes the rollout's backoff jitter deterministic: every
+// jitter draw comes from one source seeded with seed instead of the
+// global generator, so tests can assert exact sleep accounting instead
+// of ranges. Workers share the source under a lock; with one worker the
+// draw sequence is fully reproducible.
+func WithJitterSeed(seed int64) RolloutOption {
+	return func(o *rolloutOptions) { o.jitterRng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithStages splits the rollout into canary waves: each fraction is the
+// cumulative share of targets installed by the end of that wave, and a
+// final implicit wave covers the remainder. WithStages(0.1, 0.5) rolls
+// to 10%, gates, rolls to 50%, gates, then finishes. Fractions must be
+// strictly increasing in (0, 1]. After each wave the health gate runs
+// (WithMaxFailureRate, WithGate); a failed gate rolls the wave back to
+// its pre-images and the remaining waves are never attempted.
+func WithStages(fractions ...float64) RolloutOption {
+	return func(o *rolloutOptions) { o.stages = fractions }
+}
+
+// WithMaxFailureRate arms the per-wave health gate: when more than rate
+// (0 <= rate < 1) of a wave's targets fail or skip, the rollout aborts,
+// the wave's installed targets are rolled back to their pre-images, and
+// the remaining waves are never attempted. Zero tolerates no failures.
+func WithMaxFailureRate(rate float64) RolloutOption {
+	return func(o *rolloutOptions) {
+		if rate < 0 {
+			rate = 0
+		}
+		o.maxFailureRate = rate
+	}
+}
+
+// WithGate installs a health-gate callback run after each wave with the
+// wave's results (and after the final wave). A non-nil error fails the
+// gate: the wave's installed targets are rolled back to their pre-images
+// and DistributeContext returns a *GateError. audit.Gate adapts the
+// adherence auditor into this shape.
+func WithGate(fn func(ctx context.Context, wave []TargetResult) error) RolloutOption {
+	return func(o *rolloutOptions) { o.gate = fn }
+}
+
+// WithJournal records the rollout into a crash-safe write-ahead journal
+// at path: the plan (targets and their config digests) up front, each
+// target's pre-image before it is touched, and each outcome as it lands,
+// every line fsync'd before the rollout proceeds. A rollout killed
+// mid-flight restarts idempotently with ResumeRollout; an aborted one
+// reverts with Rollback. The file must not already exist (an existing
+// journal is evidence of an unfinished run — resume or remove it).
+func WithJournal(path string) RolloutOption {
+	return func(o *rolloutOptions) { o.journalPath = path }
+}
+
+// gated reports whether a health gate is armed.
+func (o *rolloutOptions) gated() bool {
+	return o.gate != nil || o.maxFailureRate >= 0
+}
+
+// capturePre reports whether pre-images must be captured before
+// installing: always when journaling (resume and Rollback need them) and
+// whenever a gate could demand a rollback.
+func (o *rolloutOptions) capturePre() bool {
+	return o.journal != nil || o.journalPath != "" || o.gated()
+}
+
+// validate rejects malformed stage fractions and failure rates.
+func (o *rolloutOptions) validate() error {
+	last := 0.0
+	for _, f := range o.stages {
+		if f <= 0 || f > 1 || f <= last {
+			return fmt.Errorf("configgen: stage fractions must be strictly increasing in (0, 1], got %v", o.stages)
+		}
+		last = f
+	}
+	if o.maxFailureRate >= 1 {
+		return fmt.Errorf("configgen: max failure rate must be in [0, 1), got %g", o.maxFailureRate)
+	}
+	return nil
+}
+
+// applyRolloutOptions resolves the defaults and the caller's options.
+func applyRolloutOptions(opts []RolloutOption) (*rolloutOptions, error) {
+	opt := &rolloutOptions{
+		workers:        8,
+		retries:        2,
+		backoffBase:    50 * time.Millisecond,
+		backoffMax:     2 * time.Second,
+		maxFailureRate: -1,
+	}
+	for _, fn := range opts {
+		fn(opt)
+	}
+	if opt.workers <= 0 {
+		opt.workers = 8
+	}
+	return opt, opt.validate()
+}
+
+// jitterInt63n draws from the seeded source when one is installed
+// (serialized — workers share it), the global generator otherwise.
+func (o *rolloutOptions) jitterInt63n(n int64) int64 {
+	if o.jitterRng == nil {
+		return rand.Int63n(n)
+	}
+	o.jitterMu.Lock()
+	defer o.jitterMu.Unlock()
+	return o.jitterRng.Int63n(n)
+}
+
 // rolloutBackoff computes the jittered exponential delay before retry k.
 func (o *rolloutOptions) rolloutBackoff(k int) time.Duration {
 	if o.backoffBase <= 0 {
 		return 0
 	}
 	d := o.backoffBase << uint(k)
-	if o.backoffMax > 0 && (d > o.backoffMax || d <= 0) {
+	// Detect shift overflow regardless of whether a cap was configured
+	// (shifting back must recover the base exactly); the old guard only
+	// clamped under a positive backoffMax, so an uncapped rollout
+	// retried with no delay at all once k grew past 62.
+	if d <= 0 || d>>uint(k) != o.backoffBase {
+		d = maxRolloutBackoff
+	}
+	if o.backoffMax > 0 && d > o.backoffMax {
 		d = o.backoffMax
 	}
 	half := int64(d / 2)
 	if half <= 0 {
 		return d
 	}
-	return time.Duration(half + rand.Int63n(2*half))
+	return time.Duration(half + o.jitterInt63n(2*half))
+}
+
+// targetKey identifies a target within a rollout and its journal.
+func targetKey(instanceID, addr string) string { return instanceID + "|" + addr }
+
+// DesiredConfig returns the exact configuration a rollout installs at
+// tgt: the instance's generated config with the target's admin community
+// applied. Digest comparisons against a live agent must use this form,
+// not the raw generated config.
+func DesiredConfig(cfg *snmp.Config, tgt Target) *snmp.Config {
+	if cfg == nil {
+		return nil
+	}
+	cp := cfg.Clone()
+	cp.AdminCommunity = tgt.AdminCommunity
+	return cp
+}
+
+// waveSpan is one wave's half-open [start, end) slice of the targets.
+type waveSpan struct{ start, end int }
+
+// splitWaves cuts n targets into canary waves at the cumulative
+// fractions (empty fractions mean one wave of everything).
+func splitWaves(n int, fracs []float64) []waveSpan {
+	if n == 0 {
+		return nil
+	}
+	var waves []waveSpan
+	prev := 0
+	for _, f := range fracs {
+		end := int(math.Ceil(f * float64(n)))
+		if end > n {
+			end = n
+		}
+		if end <= prev {
+			continue // a fraction too small to add a target at this n
+		}
+		waves = append(waves, waveSpan{prev, end})
+		prev = end
+	}
+	if prev < n {
+		waves = append(waves, waveSpan{prev, n})
+	}
+	return waves
+}
+
+// preStore holds the pre-images captured this run, for gate-triggered
+// rollbacks (the journal holds them durably for explicit Rollback).
+type preStore struct {
+	mu sync.Mutex
+	m  map[string]*snmp.Config
+}
+
+func (p *preStore) put(key string, cfg *snmp.Config) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.m[key]; !ok { // first capture is the true pre-image
+		p.m[key] = cfg
+	}
+}
+
+func (p *preStore) get(key string) *snmp.Config {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.m[key]
 }
 
 // DistributeContext derives every agent's configuration from the model
 // and installs each one at its target over a bounded worker pool,
-// retrying failures with backoff. It returns the report along with the
+// retrying failures with backoff. With stages or gates configured the
+// rollout is transactional: waves install in order, each wave's health
+// gate may abort the run and roll the wave back to its pre-images (the
+// error is then a *GateError). It returns the report along with the
 // context's error when the rollout was cut short; the report is complete
 // either way (unfinished targets appear as canceled).
 func DistributeContext(ctx context.Context, m *consistency.Model, targets []Target, opts ...RolloutOption) (*RolloutReport, error) {
-	opt := rolloutOptions{
-		workers:     8,
-		retries:     2,
-		backoffBase: 50 * time.Millisecond,
-		backoffMax:  2 * time.Second,
+	opt, err := applyRolloutOptions(opts)
+	if err != nil {
+		return nil, err
 	}
-	for _, fn := range opts {
-		fn(&opt)
+	return rolloutRun(ctx, Generate(m), targets, opt)
+}
+
+// rolloutRun executes the wave/gate state machine over pre-generated
+// configs. ResumeRollout enters here with a re-opened journal and the
+// journal's plan as targets.
+func rolloutRun(ctx context.Context, configs map[string]*snmp.Config, targets []Target, opt *rolloutOptions) (*RolloutReport, error) {
+	// Journal creation (fresh runs): the plan record must be durable
+	// before the first datagram leaves, or a crash forgets the targets.
+	if opt.journalPath != "" && opt.journal == nil {
+		plan := make([]PlannedTarget, len(targets))
+		for i, tgt := range targets {
+			plan[i] = PlannedTarget{
+				Instance: tgt.InstanceID,
+				Addr:     tgt.Addr,
+				Admin:    tgt.AdminCommunity,
+				Digest:   DesiredConfig(configs[tgt.InstanceID], tgt).Digest(),
+			}
+		}
+		j, err := CreateJournal(opt.journalPath, plan)
+		if err != nil {
+			return nil, err
+		}
+		opt.journal = j
 	}
-	if opt.workers <= 0 {
-		opt.workers = 8
-	}
+	defer opt.journal.Close()
 
 	// Observability: run-scoped registry merged into the shared one at
 	// the end, so overlapping rollouts keep exact per-run snapshots.
@@ -241,7 +518,6 @@ func DistributeContext(ctx context.Context, m *consistency.Model, targets []Targ
 		obs.Label{Key: "targets", Value: strconv.Itoa(len(targets))},
 		obs.Label{Key: "workers", Value: strconv.Itoa(opt.workers)})
 
-	configs := Generate(m)
 	start := time.Now()
 
 	// rctx carries both external cancellation and fail-fast.
@@ -249,37 +525,86 @@ func DistributeContext(ctx context.Context, m *consistency.Model, targets []Targ
 	defer cancel()
 
 	report := &RolloutReport{Results: make([]TargetResult, len(targets))}
-	var mu sync.Mutex // serializes onResult and failFast bookkeeping
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opt.workers)
-	for i, tgt := range targets {
-		wg.Add(1)
-		go func(i int, tgt Target) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res := installTarget(rctx, configs[tgt.InstanceID], tgt, &opt)
-			mu.Lock()
-			report.Results[i] = res
-			if opt.onResult != nil {
-				opt.onResult(res)
-			}
-			if opt.failFast && (res.Status == StatusFailed || res.Status == StatusSkipped) {
-				cancel()
-			}
-			mu.Unlock()
-		}(i, tgt)
+	pre := &preStore{m: map[string]*snmp.Config{}}
+	var mu sync.Mutex // serializes onResult, failFast and journal errors
+	var journalErr error
+	record := func(i int, res TargetResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		report.Results[i] = res
+		if err := opt.journal.recordResult(res); err != nil && journalErr == nil {
+			journalErr = err
+			cancel() // a journal that stopped persisting voids the crash-safety contract
+		}
+		if opt.onResult != nil {
+			opt.onResult(res)
+		}
+		if opt.failFast && (res.Status == StatusFailed || res.Status == StatusSkipped) {
+			cancel()
+		}
 	}
-	wg.Wait()
+
+	waves := splitWaves(len(targets), opt.stages)
+	var gateErr *GateError
+	for wi, w := range waves {
+		if gateErr != nil || rctx.Err() != nil {
+			// Aborted before this wave: mark its targets canceled without
+			// touching the network.
+			for i := w.start; i < w.end; i++ {
+				err := rctx.Err()
+				if err == nil {
+					err = gateErr
+				}
+				record(i, TargetResult{Target: targets[i], Status: StatusCanceled, Err: err})
+			}
+			continue
+		}
+
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, opt.workers)
+		for i := w.start; i < w.end; i++ {
+			wg.Add(1)
+			go func(i int, tgt Target) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				record(i, installTarget(rctx, configs[tgt.InstanceID], tgt, opt, pre))
+			}(i, targets[i])
+		}
+		wg.Wait()
+
+		if rctx.Err() != nil || !opt.gated() {
+			continue
+		}
+		wave := append([]TargetResult(nil), report.Results[w.start:w.end]...)
+		gerr := evalGate(rctx, wave, opt)
+		if gerr == nil {
+			continue
+		}
+		gateErr = &GateError{Wave: wi, Err: gerr}
+		if mon {
+			run.Counter(MetricRolloutGateFails).Inc()
+		}
+		mu.Lock()
+		if err := opt.journal.recordGate(wi, gerr); err != nil && journalErr == nil {
+			journalErr = err
+		}
+		mu.Unlock()
+		rollbackWave(rctx, w, targets, report, pre, opt, record)
+	}
 
 	sort.Slice(report.Results, func(i, j int) bool {
 		return report.Results[i].Target.InstanceID < report.Results[j].Target.InstanceID
 	})
 	retries := 0
+	resumed := 0
 	for _, r := range report.Results {
 		report.Attempts += r.Attempts
 		if r.Attempts > 1 {
 			retries += r.Attempts - 1
+		}
+		if r.Resumed {
+			resumed++
 		}
 		switch r.Status {
 		case StatusInstalled:
@@ -290,6 +615,8 @@ func DistributeContext(ctx context.Context, m *consistency.Model, targets []Targ
 			report.Skipped++
 		case StatusCanceled:
 			report.Canceled++
+		case StatusRolledBack:
+			report.RolledBack++
 		}
 		if mon {
 			run.Histogram(obs.L(MetricRolloutTargetDuration, "status", r.Status.String())).Observe(int64(r.Duration))
@@ -300,12 +627,14 @@ func DistributeContext(ctx context.Context, m *consistency.Model, targets []Targ
 		run.Counter(MetricRolloutRuns).Inc()
 		run.Counter(MetricRolloutAttempts).Add(int64(report.Attempts))
 		run.Counter(MetricRolloutRetries).Add(int64(retries))
+		run.Counter(MetricRolloutResumed).Add(int64(resumed))
 		run.Histogram(MetricRolloutDuration).Observe(int64(report.Duration))
 		for s, n := range map[RolloutStatus]int{
-			StatusInstalled: report.Installed,
-			StatusFailed:    report.Failed,
-			StatusSkipped:   report.Skipped,
-			StatusCanceled:  report.Canceled,
+			StatusInstalled:  report.Installed,
+			StatusFailed:     report.Failed,
+			StatusSkipped:    report.Skipped,
+			StatusCanceled:   report.Canceled,
+			StatusRolledBack: report.RolledBack,
 		} {
 			// Counter() first so zero-count statuses still appear in the
 			// snapshot with an explicit 0.
@@ -316,43 +645,98 @@ func DistributeContext(ctx context.Context, m *consistency.Model, targets []Targ
 	}
 	sp.Label("installed", strconv.Itoa(report.Installed))
 	sp.Label("failed", strconv.Itoa(report.Failed))
+	sp.Label("rolled_back", strconv.Itoa(report.RolledBack))
 	sp.End()
-	return report, ctx.Err()
+	switch {
+	case journalErr != nil:
+		return report, fmt.Errorf("configgen: journal: %w", journalErr)
+	case gateErr != nil:
+		return report, gateErr
+	default:
+		return report, ctx.Err()
+	}
 }
 
-// installTarget runs one target's attempt loop. cfg is the shared
-// generated configuration (nil when the instance has none); the target
-// gets its own deep copy before any mutation.
-func installTarget(rctx context.Context, cfg *snmp.Config, tgt Target, opt *rolloutOptions) TargetResult {
+// evalGate runs the wave's health checks: the failure-rate threshold
+// first, then the caller's gate callback.
+func evalGate(ctx context.Context, wave []TargetResult, opt *rolloutOptions) error {
+	if opt.maxFailureRate >= 0 {
+		failed := 0
+		for _, r := range wave {
+			if r.Status == StatusFailed || r.Status == StatusSkipped {
+				failed++
+			}
+		}
+		if rate := float64(failed) / float64(len(wave)); rate > opt.maxFailureRate {
+			return fmt.Errorf("failure rate %.2f exceeds %.2f (%d of %d targets)", rate, opt.maxFailureRate, failed, len(wave))
+		}
+	}
+	if opt.gate != nil {
+		return opt.gate(ctx, wave)
+	}
+	return nil
+}
+
+// rollbackWave restores every installed target of the wave to its
+// captured pre-image, rewriting the wave's results in place.
+func rollbackWave(rctx context.Context, w waveSpan, targets []Target, report *RolloutReport, pre *preStore, opt *rolloutOptions, record func(int, TargetResult)) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.workers)
+	for i := w.start; i < w.end; i++ {
+		if report.Results[i].Status != StatusInstalled {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, tgt Target) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			record(i, restoreTarget(rctx, tgt, pre.get(targetKey(tgt.InstanceID, tgt.Addr)), opt))
+		}(i, targets[i])
+	}
+	wg.Wait()
+}
+
+// restoreTarget re-installs a captured pre-image at tgt, reporting
+// StatusRolledBack on success.
+func restoreTarget(rctx context.Context, tgt Target, prev *snmp.Config, opt *rolloutOptions) TargetResult {
 	start := time.Now()
 	res := TargetResult{Target: tgt}
-	sp := obs.StartSpan("rollout.target", obs.Label{Key: "instance", Value: tgt.InstanceID})
+	sp := obs.StartSpan("rollout.rollback", obs.Label{Key: "instance", Value: tgt.InstanceID})
 	defer func() {
 		res.Duration = time.Since(start)
 		sp.Label("status", res.Status.String())
-		sp.Label("attempts", strconv.Itoa(res.Attempts))
 		sp.End()
 	}()
-
-	if cfg == nil {
-		res.Status = StatusSkipped
-		res.Err = fmt.Errorf("configgen: no configuration for instance %q", tgt.InstanceID)
+	if prev == nil {
+		res.Status = StatusFailed
+		res.Err = fmt.Errorf("configgen: no pre-image captured for %s, cannot roll back", tgt.InstanceID)
 		return res
 	}
-
 	tctx := rctx
 	if opt.perTargetTimeout > 0 {
 		var tcancel context.CancelFunc
 		tctx, tcancel = context.WithTimeout(rctx, opt.perTargetTimeout)
 		defer tcancel()
 	}
+	attempts, err := attemptLoop(tctx, prev, tgt, opt)
+	res.Attempts = attempts
+	if err == nil {
+		res.Status = StatusRolledBack
+		res.Digest = prev.Digest()
+		return res
+	}
+	res.Status = StatusFailed
+	res.Err = fmt.Errorf("rollback: %w", err)
+	return res
+}
 
-	// Deep copy: the generated config (and its Communities map) is shared
-	// by every worker; the shallow copy this used to take let concurrent
-	// installs race on one map.
-	cp := cfg.Clone()
-	cp.AdminCommunity = tgt.AdminCommunity
-
+// attemptLoop is the shared retry engine: it ships cp to tgt until an
+// attempt is acknowledged, the retry budget runs out, or tctx is done,
+// spacing attempts with jittered exponential backoff. It returns the
+// attempts consumed and the final error (nil on success).
+func attemptLoop(tctx context.Context, cp *snmp.Config, tgt Target, opt *rolloutOptions) (int, error) {
+	attempts := 0
 	var lastErr error
 	for attempt := 0; attempt <= opt.retries; attempt++ {
 		if attempt > 0 {
@@ -371,30 +755,112 @@ func installTarget(rctx context.Context, cfg *snmp.Config, tgt Target, opt *roll
 		if tctx.Err() != nil {
 			break
 		}
-		res.Attempts++
+		attempts++
 		err := InstallLiveContext(tctx, tgt.Addr, tgt.AdminCommunity, cp, opt.attemptTimeout)
 		if err == nil {
-			res.Status = StatusInstalled
-			res.Err = nil
-			return res
+			return attempts, nil
 		}
 		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = tctx.Err()
+	}
+	return attempts, lastErr
+}
+
+// installTarget runs one target's install. cfg is the shared generated
+// configuration (nil when the instance has none); the target gets its
+// own deep copy before any mutation. When pre-images are being captured
+// it snapshots the agent's current config first (journaled before the
+// install so a crash can always revert), and skips the install entirely
+// when the live digest already matches the desired one.
+func installTarget(rctx context.Context, cfg *snmp.Config, tgt Target, opt *rolloutOptions, pre *preStore) TargetResult {
+	start := time.Now()
+	res := TargetResult{Target: tgt}
+	sp := obs.StartSpan("rollout.target", obs.Label{Key: "instance", Value: tgt.InstanceID})
+	defer func() {
+		res.Duration = time.Since(start)
+		sp.Label("status", res.Status.String())
+		sp.Label("attempts", strconv.Itoa(res.Attempts))
+		sp.End()
+	}()
+
+	if cfg == nil {
+		res.Status = StatusSkipped
+		res.Err = fmt.Errorf("configgen: no configuration for instance %q", tgt.InstanceID)
+		return res
+	}
+
+	// Deep copy: the generated config (and its Communities map) is shared
+	// by every worker; the shallow copy this used to take let concurrent
+	// installs race on one map.
+	cp := DesiredConfig(cfg, tgt)
+	key := targetKey(tgt.InstanceID, tgt.Addr)
+
+	// Resume fast path: the journal already recorded this target
+	// installed at the digest we are about to install — nothing to do,
+	// no datagram sent.
+	if d, ok := opt.resumed[key]; ok && d == cp.Digest() {
+		res.Status = StatusInstalled
+		res.Resumed = true
+		res.Digest = d
+		return res
+	}
+
+	tctx := rctx
+	if opt.perTargetTimeout > 0 {
+		var tcancel context.CancelFunc
+		tctx, tcancel = context.WithTimeout(rctx, opt.perTargetTimeout)
+		defer tcancel()
+	}
+
+	if opt.capturePre() {
+		prev, err := FetchLiveContext(tctx, tgt.Addr, tgt.AdminCommunity, opt.attemptTimeout, opt.retries)
+		if err != nil {
+			res.Err = fmt.Errorf("pre-image capture: %w", err)
+			if rctx.Err() != nil {
+				res.Status = StatusCanceled
+			} else {
+				res.Status = StatusFailed
+			}
+			return res
+		}
+		pre.put(key, prev)
+		if jerr := opt.journal.recordPreImage(tgt, prev); jerr != nil {
+			// An unjournaled pre-image voids the rollback guarantee:
+			// refuse to install over it.
+			res.Status = StatusFailed
+			res.Err = fmt.Errorf("journal pre-image: %w", jerr)
+			return res
+		}
+		// Idempotency: the agent already runs the desired configuration
+		// (a crashed run installed it after its last journal write, or an
+		// operator re-ran a converged rollout). Installing again would
+		// double-apply.
+		if prev.Digest() == cp.Digest() {
+			res.Status = StatusInstalled
+			res.Resumed = true
+			res.Digest = cp.Digest()
+			return res
+		}
+	}
+
+	attempts, err := attemptLoop(tctx, cp, tgt, opt)
+	res.Attempts = attempts
+	if err == nil {
+		res.Status = StatusInstalled
+		res.Digest = cp.Digest()
+		return res
 	}
 
 	switch {
 	case rctx.Err() != nil:
 		res.Status = StatusCanceled
-		if lastErr == nil {
-			lastErr = rctx.Err()
-		}
 	default:
 		// exhausted retries, or the per-target deadline expired
 		res.Status = StatusFailed
-		if lastErr == nil && tctx.Err() != nil {
-			lastErr = tctx.Err()
-		}
 	}
-	res.Err = lastErr
+	res.Err = err
 	return res
 }
 

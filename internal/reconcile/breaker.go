@@ -1,0 +1,86 @@
+package reconcile
+
+import "time"
+
+// BreakerState is a quarantine circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: the target is reconciled normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the target is quarantined — no probes, no heals —
+	// until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; the next sweep sends one
+	// probe. Success closes the breaker, any failure re-opens it.
+	BreakerHalfOpen
+)
+
+// String returns the lowercase state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is one target's quarantine state. A target that keeps failing
+// (unreachable, heals that do not stick, flapping between configs) is
+// quarantined so the reconciler stops hammering it and the fleet sweep
+// stays cheap; after the cooldown a single half-open probe decides
+// whether it rejoins.
+type breaker struct {
+	state    BreakerState
+	failures int
+	openedAt time.Time
+}
+
+// allow reports whether the target may be probed this sweep, promoting
+// Open to HalfOpen once the cooldown has elapsed.
+func (b *breaker) allow(now time.Time, cooldown time.Duration) bool {
+	switch b.state {
+	case BreakerOpen:
+		if now.Sub(b.openedAt) >= cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// strike records a failure; it returns true when the strike opened the
+// breaker. A half-open probe that fails re-opens immediately; a closed
+// breaker opens at the threshold of consecutive failures.
+func (b *breaker) strike(now time.Time, threshold int) bool {
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.failures = 0
+		return true
+	}
+	b.failures++
+	if b.failures >= threshold {
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.failures = 0
+		return true
+	}
+	return false
+}
+
+// success records a healthy observation, closing the breaker; it
+// returns true when the state actually changed (a quarantined target
+// rejoined).
+func (b *breaker) success() bool {
+	changed := b.state != BreakerClosed
+	b.state = BreakerClosed
+	b.failures = 0
+	return changed
+}

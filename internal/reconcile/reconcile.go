@@ -1,0 +1,455 @@
+// Package reconcile closes the loop the paper leaves open between its
+// two verification methods: consistency checking tells us what every
+// agent's configuration must be, the adherence audit tells us what a
+// live agent actually does — the reconciler runs the comparison
+// continuously and repairs the difference. A jittered periodic sweep
+// fetches each agent's live configuration, compares its digest against
+// the model's desired configuration (optionally corroborated by audit
+// probes), and re-installs on drift. Targets that keep failing or keep
+// flapping are quarantined behind a per-target circuit breaker so a
+// broken element cannot monopolize the sweep; after a cooldown a single
+// half-open probe decides whether it rejoins the fleet.
+package reconcile
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"nmsl/internal/audit"
+	"nmsl/internal/configgen"
+	"nmsl/internal/consistency"
+	"nmsl/internal/obs"
+	"nmsl/internal/snmp"
+)
+
+// Metric names recorded by the reconciler.
+const (
+	MetricSweeps        = "nmsl_reconcile_sweeps_total"
+	MetricDrift         = "nmsl_reconcile_drift_total"
+	MetricHeals         = "nmsl_reconcile_heals_total"
+	MetricHealFailures  = "nmsl_reconcile_heal_failures_total"
+	MetricCheckFailures = "nmsl_reconcile_check_failures_total"
+	// MetricBreakerOpen is a gauge: how many targets are currently
+	// quarantined (open or half-open breaker).
+	MetricBreakerOpen = "nmsl_reconcile_breaker_open"
+)
+
+// EventKind classifies a reconciler event.
+type EventKind string
+
+// Event kinds, in rough lifecycle order.
+const (
+	// EventDrift: a target's live configuration diverged from the model.
+	EventDrift EventKind = "drift"
+	// EventHealed: a drifted target was re-installed successfully.
+	EventHealed EventKind = "healed"
+	// EventHealFailed: the re-install did not land.
+	EventHealFailed EventKind = "heal-failed"
+	// EventCheckFailed: the target could not be observed at all.
+	EventCheckFailed EventKind = "check-failed"
+	// EventQuarantined: the target's breaker opened.
+	EventQuarantined EventKind = "quarantined"
+	// EventRestored: a quarantined target passed its half-open probe and
+	// rejoined the fleet.
+	EventRestored EventKind = "restored"
+)
+
+// Event is one notable observation during a sweep.
+type Event struct {
+	Kind     EventKind
+	Instance string
+	Addr     string
+	// Detail carries the error or digest information behind the event.
+	Detail string
+}
+
+func (e Event) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("[%s] %s at %s", e.Kind, e.Instance, e.Addr)
+	}
+	return fmt.Sprintf("[%s] %s at %s: %s", e.Kind, e.Instance, e.Addr, e.Detail)
+}
+
+// Sweep summarizes one reconciliation pass over the fleet.
+type Sweep struct {
+	// Index counts sweeps since the reconciler started, from 1.
+	Index int
+	// Checked is how many targets were actually probed (not skipped).
+	Checked int
+	// InSync, Drifted, Healed, HealFailures and CheckFailures partition
+	// the checked targets' outcomes (a drifted target is also counted
+	// healed or heal-failed).
+	InSync, Drifted, Healed, HealFailures, CheckFailures int
+	// Skipped is how many targets an open breaker quarantined.
+	Skipped int
+	// Open is how many breakers are not closed after the sweep.
+	Open int
+}
+
+// String renders the sweep summary.
+func (s *Sweep) String() string {
+	return fmt.Sprintf("sweep %d: %d checked, %d in-sync, %d drifted (%d healed, %d heal-failed), %d check-failed, %d quarantined-skip, %d breakers open",
+		s.Index, s.Checked, s.InSync, s.Drifted, s.Healed, s.HealFailures, s.CheckFailures, s.Skipped, s.Open)
+}
+
+type options struct {
+	interval         time.Duration
+	jitterFrac       float64
+	seed             int64
+	seeded           bool
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	retries          int
+	attemptTimeout   time.Duration
+	metrics          *obs.Registry
+	onEvent          func(Event)
+	auditOn          bool
+	auditOpts        audit.Options
+	now              func() time.Time
+}
+
+// Option tunes a Reconciler.
+type Option func(*options)
+
+// WithInterval sets the pause between sweeps (default 30s).
+func WithInterval(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.interval = d
+		}
+	}
+}
+
+// WithJitter sets the fractional jitter applied to each pause: the
+// actual sleep is interval ± frac·interval, so a fleet of reconcilers
+// does not sweep in lockstep. Default 0.1; zero disables jitter.
+func WithJitter(frac float64) Option {
+	return func(o *options) {
+		if frac >= 0 && frac < 1 {
+			o.jitterFrac = frac
+		}
+	}
+}
+
+// WithSeed makes the sleep jitter deterministic for tests.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.seed, o.seeded = seed, true }
+}
+
+// WithBreaker tunes the quarantine circuit breaker: threshold
+// consecutive failures open it (default 3), and an open breaker admits
+// a half-open probe after cooldown (default 2m).
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(o *options) {
+		if threshold > 0 {
+			o.breakerThreshold = threshold
+		}
+		if cooldown > 0 {
+			o.breakerCooldown = cooldown
+		}
+	}
+}
+
+// WithRetries sets how many times an unanswered probe or heal is
+// retransmitted (default 2; negative means zero).
+func WithRetries(n int) Option {
+	return func(o *options) {
+		if n < 0 {
+			n = 0
+		}
+		o.retries = n
+	}
+}
+
+// WithAttemptTimeout bounds each probe or heal attempt's wait for the
+// agent's answer (default 500ms).
+func WithAttemptTimeout(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.attemptTimeout = d
+		}
+	}
+}
+
+// WithMetrics selects where the reconciler's counters land: nil (the
+// default) records into obs.Default, obs.Disabled turns them off.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(o *options) { o.metrics = reg }
+}
+
+// WithOnEvent streams drift, heal, quarantine and restore events as
+// they happen (called from the sweep goroutine, serialized).
+func WithOnEvent(fn func(Event)) Option {
+	return func(o *options) { o.onEvent = fn }
+}
+
+// WithAuditProbes corroborates each digest comparison with the
+// adherence auditor: a target whose digest matches but whose observable
+// behaviour diverges from the specification still counts as drifted and
+// is re-installed.
+func WithAuditProbes(opts audit.Options) Option {
+	return func(o *options) { o.auditOn, o.auditOpts = true, opts }
+}
+
+// WithClock injects the time source the breaker cooldown reads,
+// for tests (default time.Now).
+func WithClock(now func() time.Time) Option {
+	return func(o *options) {
+		if now != nil {
+			o.now = now
+		}
+	}
+}
+
+// target is one fleet member with its cached desired configuration.
+type target struct {
+	tgt     configgen.Target
+	desired *snmp.Config
+	digest  string
+}
+
+// Reconciler drives the drift-detection and self-healing loop. It is
+// not safe for concurrent use; run one loop per Reconciler.
+type Reconciler struct {
+	m        *consistency.Model
+	targets  []target
+	opt      options
+	breakers map[string]*breaker
+	// lastDrift marks targets that drifted on the previous observation:
+	// a target that drifts again immediately after a heal is flapping —
+	// something else keeps rewriting it — and collects a strike.
+	lastDrift map[string]bool
+	rng       *rand.Rand
+	sweeps    int
+}
+
+// New builds a reconciler for the fleet. Every target must name an
+// agent instance the model generates a configuration for.
+func New(m *consistency.Model, targets []configgen.Target, opts ...Option) (*Reconciler, error) {
+	opt := options{
+		interval:         30 * time.Second,
+		jitterFrac:       0.1,
+		breakerThreshold: 3,
+		breakerCooldown:  2 * time.Minute,
+		retries:          2,
+		attemptTimeout:   500 * time.Millisecond,
+		now:              time.Now,
+	}
+	for _, fn := range opts {
+		fn(&opt)
+	}
+	configs := configgen.Generate(m)
+	r := &Reconciler{
+		m:         m,
+		opt:       opt,
+		breakers:  make(map[string]*breaker, len(targets)),
+		lastDrift: make(map[string]bool, len(targets)),
+	}
+	for _, tgt := range targets {
+		cfg := configs[tgt.InstanceID]
+		if cfg == nil {
+			return nil, fmt.Errorf("reconcile: no configuration generated for instance %q", tgt.InstanceID)
+		}
+		desired := configgen.DesiredConfig(cfg, tgt)
+		r.targets = append(r.targets, target{tgt: tgt, desired: desired, digest: desired.Digest()})
+		r.breakers[key(tgt)] = &breaker{}
+	}
+	if opt.seeded {
+		r.rng = rand.New(rand.NewSource(opt.seed))
+	} else {
+		r.rng = rand.New(rand.NewSource(rand.Int63()))
+	}
+	return r, nil
+}
+
+func key(tgt configgen.Target) string { return tgt.InstanceID + "|" + tgt.Addr }
+
+// emit streams an event to the configured sink.
+func (r *Reconciler) emit(kind EventKind, tgt configgen.Target, detail string) {
+	if r.opt.onEvent != nil {
+		r.opt.onEvent(Event{Kind: kind, Instance: tgt.InstanceID, Addr: tgt.Addr, Detail: detail})
+	}
+}
+
+// BreakerStates reports every target's current breaker position, keyed
+// by "instanceID|addr".
+func (r *Reconciler) BreakerStates() map[string]BreakerState {
+	out := make(map[string]BreakerState, len(r.breakers))
+	for k, b := range r.breakers {
+		out[k] = b.state
+	}
+	return out
+}
+
+// observe fetches the target's live configuration and decides whether
+// it matches the desired one. drifted is meaningful only when err is
+// nil.
+func (r *Reconciler) observe(ctx context.Context, t target) (drifted bool, detail string, err error) {
+	live, err := configgen.FetchLiveContext(ctx, t.tgt.Addr, t.tgt.AdminCommunity, r.opt.attemptTimeout, r.opt.retries)
+	if err != nil {
+		return false, "", err
+	}
+	if d := live.Digest(); d != t.digest {
+		return true, fmt.Sprintf("live digest %.12s.. != desired %.12s..", d, t.digest), nil
+	}
+	if r.opt.auditOn {
+		rep, aerr := audit.AgentContext(ctx, r.m, t.tgt.InstanceID, t.tgt.Addr, r.opt.auditOpts)
+		if aerr != nil {
+			return false, "", fmt.Errorf("audit: %w", aerr)
+		}
+		if !rep.Adheres() {
+			return true, fmt.Sprintf("digest matches but %d audit findings", len(rep.Findings)), nil
+		}
+	}
+	return false, "", nil
+}
+
+// heal re-installs the desired configuration at the target.
+func (r *Reconciler) heal(ctx context.Context, t target) error {
+	client, err := snmp.Dial(t.tgt.Addr, t.tgt.AdminCommunity)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	client.SetRetries(r.opt.retries)
+	client.SetTimeout(r.opt.attemptTimeout)
+	return client.InstallConfigContext(ctx, t.desired)
+}
+
+// RunOnce performs a single reconciliation sweep over the fleet and
+// returns its summary. The context cancels the sweep mid-fleet; the
+// partial summary is returned with the context's error.
+func (r *Reconciler) RunOnce(ctx context.Context) (*Sweep, error) {
+	reg := r.opt.metrics
+	if reg == nil {
+		reg = obs.Default
+	}
+	mon := reg.Enabled()
+	r.sweeps++
+	sw := &Sweep{Index: r.sweeps}
+	sp := obs.StartSpan("reconcile.sweep")
+	defer sp.End()
+
+	for _, t := range r.targets {
+		if err := ctx.Err(); err != nil {
+			return sw, err
+		}
+		k := key(t.tgt)
+		b := r.breakers[k]
+		if !b.allow(r.opt.now(), r.opt.breakerCooldown) {
+			sw.Skipped++
+			continue
+		}
+		sw.Checked++
+
+		drifted, detail, err := r.observe(ctx, t)
+		if err != nil {
+			if ctx.Err() != nil {
+				return sw, ctx.Err()
+			}
+			sw.CheckFailures++
+			if mon {
+				reg.Counter(MetricCheckFailures).Inc()
+			}
+			r.emit(EventCheckFailed, t.tgt, err.Error())
+			if b.strike(r.opt.now(), r.opt.breakerThreshold) {
+				r.emit(EventQuarantined, t.tgt, fmt.Sprintf("check failures reached %d", r.opt.breakerThreshold))
+			}
+			continue
+		}
+
+		if !drifted {
+			sw.InSync++
+			r.lastDrift[k] = false
+			if b.success() {
+				r.emit(EventRestored, t.tgt, "in sync after quarantine")
+			}
+			continue
+		}
+
+		// Drift: heal by re-installing the desired configuration.
+		sw.Drifted++
+		if mon {
+			reg.Counter(MetricDrift).Inc()
+		}
+		r.emit(EventDrift, t.tgt, detail)
+		// A target that drifts again right after being reconciled is
+		// flapping — something else keeps rewriting it — and collects a
+		// strike even though each individual heal succeeds. Only closed
+		// breakers take flap strikes: in half-open the single probe's own
+		// outcome decides.
+		flapping := r.lastDrift[k] && b.state == BreakerClosed
+		r.lastDrift[k] = true
+
+		if err := r.heal(ctx, t); err != nil {
+			if ctx.Err() != nil {
+				return sw, ctx.Err()
+			}
+			sw.HealFailures++
+			if mon {
+				reg.Counter(MetricHealFailures).Inc()
+			}
+			r.emit(EventHealFailed, t.tgt, err.Error())
+			if b.strike(r.opt.now(), r.opt.breakerThreshold) {
+				r.emit(EventQuarantined, t.tgt, "heal failed")
+			}
+			continue
+		}
+		sw.Healed++
+		if mon {
+			reg.Counter(MetricHeals).Inc()
+		}
+		r.emit(EventHealed, t.tgt, detail)
+		if flapping {
+			if b.strike(r.opt.now(), r.opt.breakerThreshold) {
+				r.emit(EventQuarantined, t.tgt, "flapping: drifted again immediately after a heal")
+			}
+		} else if b.success() {
+			r.emit(EventRestored, t.tgt, "healed after quarantine")
+		}
+	}
+
+	for _, b := range r.breakers {
+		if b.state != BreakerClosed {
+			sw.Open++
+		}
+	}
+	if mon {
+		reg.Counter(MetricSweeps).Inc()
+		reg.Gauge(MetricBreakerOpen).Set(int64(sw.Open))
+	}
+	sp.Label("checked", fmt.Sprint(sw.Checked))
+	sp.Label("drifted", fmt.Sprint(sw.Drifted))
+	return sw, nil
+}
+
+// Run sweeps the fleet until ctx is done, pausing interval ± jitter
+// between sweeps, and returns ctx.Err(). Sweep summaries stream through
+// fn (nil is allowed).
+func (r *Reconciler) Run(ctx context.Context, fn func(*Sweep)) error {
+	for {
+		sw, err := r.RunOnce(ctx)
+		if fn != nil && sw != nil {
+			fn(sw)
+		}
+		if err != nil {
+			return err
+		}
+		d := r.opt.interval
+		if r.opt.jitterFrac > 0 {
+			span := int64(float64(d) * r.opt.jitterFrac)
+			if span > 0 {
+				d += time.Duration(r.rng.Int63n(2*span+1) - span)
+			}
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}

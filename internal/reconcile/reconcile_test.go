@@ -1,0 +1,349 @@
+package reconcile
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"nmsl/internal/configgen"
+	"nmsl/internal/consistency"
+	"nmsl/internal/netsim"
+	"nmsl/internal/obs"
+	"nmsl/internal/snmp"
+)
+
+// startFleet starts one live agent per generated config, initially
+// running cfg (built per instance by initial), and returns the targets
+// plus the agents keyed by instance ID.
+func startFleet(t *testing.T, m *consistency.Model, initial func(id string) *snmp.Config) ([]configgen.Target, map[string]*snmp.Agent) {
+	t.Helper()
+	configs := configgen.Generate(m)
+	var targets []configgen.Target
+	agents := make(map[string]*snmp.Agent, len(configs))
+	for id := range configs {
+		store := snmp.NewStore()
+		snmp.PopulateFromMIB(store, m.Spec.MIB, "mgmt.mib")
+		agent := snmp.NewAgent(store, initial(id))
+		addr, err := agent.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { agent.Close() })
+		agents[id] = agent
+		targets = append(targets, configgen.Target{InstanceID: id, Addr: addr.String(), AdminCommunity: "adm"})
+	}
+	return targets, agents
+}
+
+func emptyConfig(string) *snmp.Config {
+	return &snmp.Config{
+		Communities:    map[string]*snmp.CommunityConfig{},
+		AdminCommunity: "adm",
+	}
+}
+
+// collectEvents returns an event sink safe for the sweep goroutine and
+// a getter for the events so far.
+func collectEvents() (func(Event), func(kind EventKind) int) {
+	var mu sync.Mutex
+	var events []Event
+	sink := func(e Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		events = append(events, e)
+	}
+	count := func(kind EventKind) int {
+		mu.Lock()
+		defer mu.Unlock()
+		n := 0
+		for _, e := range events {
+			if e.Kind == kind {
+				n++
+			}
+		}
+		return n
+	}
+	return sink, count
+}
+
+// TestReconcilerHealsDrift: a fleet whose agents run an empty (drifted)
+// configuration converges to the model in one sweep and stays in sync.
+func TestReconcilerHealsDrift(t *testing.T) {
+	m, err := netsim.Model(netsim.Params{Domains: 1, SystemsPerDomain: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, agents := startFleet(t, m, emptyConfig)
+
+	sink, count := collectEvents()
+	reg := obs.NewRegistry()
+	r, err := New(m, targets,
+		WithRetries(1),
+		WithAttemptTimeout(200*time.Millisecond),
+		WithMetrics(reg),
+		WithOnEvent(sink),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sw, err := r.RunOnce(context.Background())
+	if err != nil {
+		t.Fatalf("sweep 1: %v", err)
+	}
+	if sw.Checked != len(targets) || sw.Drifted != len(targets) || sw.Healed != len(targets) {
+		t.Fatalf("sweep 1: %s", sw)
+	}
+	if count(EventDrift) != len(targets) || count(EventHealed) != len(targets) {
+		t.Fatalf("events: %d drift, %d healed, want %d each", count(EventDrift), count(EventHealed), len(targets))
+	}
+
+	// Every agent now runs exactly the desired configuration, applied
+	// exactly once.
+	configs := configgen.Generate(m)
+	for _, tgt := range targets {
+		want := configgen.DesiredConfig(configs[tgt.InstanceID], tgt).Digest()
+		if got := agents[tgt.InstanceID].ConfigSnapshot().Digest(); got != want {
+			t.Errorf("%s: live digest %.12s != desired %.12s", tgt.InstanceID, got, want)
+		}
+		if loads := agents[tgt.InstanceID].Stats().ConfigLoads; loads != 1 {
+			t.Errorf("%s: %d config loads, want 1", tgt.InstanceID, loads)
+		}
+	}
+
+	sw2, err := r.RunOnce(context.Background())
+	if err != nil {
+		t.Fatalf("sweep 2: %v", err)
+	}
+	if sw2.InSync != len(targets) || sw2.Drifted != 0 {
+		t.Fatalf("sweep 2 not converged: %s", sw2)
+	}
+
+	s := reg.Snapshot()
+	if s.Value(MetricSweeps) != 2 || s.Value(MetricDrift) != int64(len(targets)) || s.Value(MetricHeals) != int64(len(targets)) {
+		t.Errorf("metrics: sweeps=%d drift=%d heals=%d", s.Value(MetricSweeps), s.Value(MetricDrift), s.Value(MetricHeals))
+	}
+}
+
+// TestReconcilerQuarantineAndRestore drives the full breaker lifecycle:
+// an unreachable target collects strikes until quarantined, a half-open
+// probe after the cooldown re-opens while it stays broken, and once the
+// agent is fixed the next half-open probe heals it and closes the
+// breaker.
+func TestReconcilerQuarantineAndRestore(t *testing.T) {
+	m, err := netsim.Model(netsim.Params{Domains: 1, SystemsPerDomain: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The agent honors a different admin community, so the reconciler's
+	// probes are silently dropped: the target is "down" without any
+	// port juggling, and fixable by applying a config that honors "adm".
+	locked := func(string) *snmp.Config {
+		return &snmp.Config{
+			Communities:    map[string]*snmp.CommunityConfig{},
+			AdminCommunity: "locked",
+		}
+	}
+	targets, agents := startFleet(t, m, locked)
+	tgt := targets[0]
+	agent := agents[tgt.InstanceID]
+
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	sink, count := collectEvents()
+	r, err := New(m, targets,
+		WithRetries(0),
+		WithAttemptTimeout(50*time.Millisecond),
+		WithBreaker(2, time.Minute),
+		WithClock(clock),
+		WithMetrics(obs.Disabled),
+		WithOnEvent(sink),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	k := tgt.InstanceID + "|" + tgt.Addr
+
+	// Strikes 1 and 2: the second opens the breaker.
+	for i := 0; i < 2; i++ {
+		sw, err := r.RunOnce(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sw.CheckFailures != 1 {
+			t.Fatalf("sweep %d: %s", i+1, sw)
+		}
+	}
+	if got := r.BreakerStates()[k]; got != BreakerOpen {
+		t.Fatalf("breaker %s after 2 strikes, want open", got)
+	}
+	if count(EventQuarantined) != 1 {
+		t.Fatalf("quarantined events %d, want 1", count(EventQuarantined))
+	}
+
+	// Within the cooldown the target is skipped entirely.
+	sw, err := r.RunOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Skipped != 1 || sw.Checked != 0 {
+		t.Fatalf("quarantined sweep: %s", sw)
+	}
+
+	// Past the cooldown one half-open probe goes out; still broken, so
+	// the breaker re-opens on the spot (no threshold in half-open).
+	now = now.Add(61 * time.Second)
+	sw, err = r.RunOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Checked != 1 || sw.CheckFailures != 1 {
+		t.Fatalf("half-open probe sweep: %s", sw)
+	}
+	if got := r.BreakerStates()[k]; got != BreakerOpen {
+		t.Fatalf("breaker %s after failed half-open probe, want open", got)
+	}
+	if count(EventQuarantined) != 2 {
+		t.Fatalf("quarantined events %d, want 2", count(EventQuarantined))
+	}
+
+	// Fix the agent (it now honors the admin community, but with a
+	// drifted config) and let the next half-open probe heal it.
+	agent.ApplyConfig(emptyConfig(""))
+	now = now.Add(61 * time.Second)
+	sw, err = r.RunOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Drifted != 1 || sw.Healed != 1 {
+		t.Fatalf("restore sweep: %s", sw)
+	}
+	if got := r.BreakerStates()[k]; got != BreakerClosed {
+		t.Fatalf("breaker %s after successful heal, want closed", got)
+	}
+	if count(EventRestored) != 1 {
+		t.Fatalf("restored events %d, want 1", count(EventRestored))
+	}
+
+	// And the fleet is genuinely converged now.
+	sw, err = r.RunOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.InSync != 1 || sw.Open != 0 {
+		t.Fatalf("final sweep: %s", sw)
+	}
+}
+
+// TestReconcilerFlapQuarantine: a target that drifts again immediately
+// after every successful heal is flapping and gets quarantined even
+// though each individual operation succeeds.
+func TestReconcilerFlapQuarantine(t *testing.T) {
+	m, err := netsim.Model(netsim.Params{Domains: 1, SystemsPerDomain: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, agents := startFleet(t, m, emptyConfig)
+	agent := agents[targets[0].InstanceID]
+
+	sink, count := collectEvents()
+	r, err := New(m, targets,
+		WithRetries(1),
+		WithAttemptTimeout(200*time.Millisecond),
+		WithBreaker(2, time.Minute),
+		WithMetrics(obs.Disabled),
+		WithOnEvent(sink),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Sweep 1 heals the initial drift; no flap strike (first drift).
+	if sw, err := r.RunOnce(ctx); err != nil || sw.Healed != 1 {
+		t.Fatalf("sweep 1: sw=%v err=%v", sw, err)
+	}
+	// An outside actor rewrites the config after every heal: two more
+	// drift-heal-drift cycles are two flap strikes, opening the breaker.
+	for i := 0; i < 2; i++ {
+		agent.ApplyConfig(emptyConfig(""))
+		sw, err := r.RunOnce(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sw.Healed != 1 {
+			t.Fatalf("flap sweep %d: %s", i+1, sw)
+		}
+	}
+	states := r.BreakerStates()
+	if got := states[targets[0].InstanceID+"|"+targets[0].Addr]; got != BreakerOpen {
+		t.Fatalf("breaker %s after flapping, want open", got)
+	}
+	if count(EventQuarantined) != 1 {
+		t.Fatalf("quarantined events %d, want 1", count(EventQuarantined))
+	}
+}
+
+// TestReconcilerRunLoopCancel: Run returns promptly with the context's
+// error and sweeps keep streaming until then.
+func TestReconcilerRunLoopCancel(t *testing.T) {
+	m, err := netsim.Model(netsim.Params{Domains: 1, SystemsPerDomain: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, _ := startFleet(t, m, emptyConfig)
+	r, err := New(m, targets,
+		WithInterval(5*time.Millisecond),
+		WithJitter(0.5),
+		WithSeed(42),
+		WithRetries(0),
+		WithAttemptTimeout(100*time.Millisecond),
+		WithMetrics(obs.Disabled),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	sweeps := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- r.Run(ctx, func(*Sweep) {
+			mu.Lock()
+			sweeps++
+			if sweeps >= 3 {
+				cancel()
+			}
+			mu.Unlock()
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if sweeps < 3 {
+		t.Fatalf("only %d sweeps before cancel", sweeps)
+	}
+}
+
+// TestReconcilerRejectsUnknownInstance: every target must have a
+// generated configuration.
+func TestReconcilerRejectsUnknownInstance(t *testing.T) {
+	m, err := netsim.Model(netsim.Params{Domains: 1, SystemsPerDomain: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(m, []configgen.Target{{InstanceID: "ghost@nowhere#0", Addr: "127.0.0.1:1", AdminCommunity: "adm"}})
+	if err == nil {
+		t.Fatal("New accepted a target with no generated configuration")
+	}
+}

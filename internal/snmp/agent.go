@@ -540,7 +540,7 @@ func (a *Agent) Handle(req *Message) *Message {
 	var resp *Message
 	switch req.PDU.Type {
 	case TagGetRequest:
-		resp = a.handleGet(req, cc)
+		resp = a.handleGet(req, cc, isAdmin)
 	case TagGetNextRequest:
 		resp = a.handleGetNext(req, cc)
 	case TagSetRequest:
@@ -595,14 +595,26 @@ func errorResponse(req *Message, status ErrorStatus, index int) *Message {
 	}
 }
 
-func (a *Agent) handleGet(req *Message, cc *CommunityConfig) *Message {
-	if cc == nil {
-		a.bumpDenied()
-		return errorResponse(req, NoSuchName, 1)
-	}
+func (a *Agent) handleGet(req *Message, cc *CommunityConfig, isAdmin bool) *Message {
 	out := errorResponse(req, NoError, 0)
 	out.PDU.Bindings = nil
 	for i, b := range req.PDU.Bindings {
+		// The admin community may read the reserved config object back:
+		// the inverse of the live install path, used by transactional
+		// rollouts to capture a pre-image before replacing a
+		// configuration (and by the drift reconciler to compare digests).
+		if isAdmin && b.OID.Compare(ConfigOID) == 0 {
+			blob, err := MarshalConfig(a.ConfigSnapshot())
+			if err != nil {
+				return errorResponse(req, GenErr, i+1)
+			}
+			out.PDU.Bindings = append(out.PDU.Bindings, Binding{OID: b.OID, Value: Opaque(blob)})
+			continue
+		}
+		if cc == nil {
+			a.bumpDenied()
+			return errorResponse(req, NoSuchName, i+1)
+		}
 		if !cc.Allows(b.OID, mib.AccessReadOnly) {
 			a.bumpDenied()
 			return errorResponse(req, NoSuchName, i+1)

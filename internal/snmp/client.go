@@ -119,6 +119,11 @@ func (e *RequestError) Error() string {
 	return fmt.Sprintf("snmp: agent returned %s (index %d)", e.Status, e.Index)
 }
 
+// maxBackoff clamps an overflowed exponential delay when no explicit cap
+// is configured: without it, base << k wraps negative at large k and the
+// delay collapses to an immediate, tight-looping retry.
+const maxBackoff = time.Hour
+
 // backoffDelay computes the jittered exponential delay before retry
 // attempt k (k = 0 for the first retransmit).
 func (c *Client) backoffDelay(k int) time.Duration {
@@ -126,7 +131,14 @@ func (c *Client) backoffDelay(k int) time.Duration {
 		return 0
 	}
 	d := c.backoffBase << uint(k)
-	if c.backoffMax > 0 && (d > c.backoffMax || d <= 0) {
+	// Detect shift overflow regardless of whether a cap was configured
+	// (shifting back must recover the base exactly); the old guard only
+	// clamped under a positive backoffMax, so an uncapped client
+	// retransmitted with no delay at all once k grew past 62.
+	if d <= 0 || d>>uint(k) != c.backoffBase {
+		d = maxBackoff
+	}
+	if c.backoffMax > 0 && d > c.backoffMax {
 		d = c.backoffMax
 	}
 	// Jitter uniformly in [d/2, 3d/2) so a fleet of retrying installers
@@ -314,6 +326,32 @@ func (c *Client) InstallConfigContext(ctx context.Context, cfg *Config) error {
 // admin community's reserved config object.
 func (c *Client) InstallConfig(cfg *Config) error {
 	return c.InstallConfigContext(context.Background(), cfg)
+}
+
+// FetchConfigContext retrieves the agent's current configuration via the
+// admin community's reserved config object — the read half of the live
+// install path. Transactional rollouts use it to capture a pre-image
+// before replacing a configuration; the drift reconciler uses it to
+// compare a live agent's digest against the model's.
+func (c *Client) FetchConfigContext(ctx context.Context) (*Config, error) {
+	binds, err := c.GetContext(ctx, ConfigOID)
+	if err != nil {
+		return nil, err
+	}
+	if len(binds) != 1 {
+		return nil, fmt.Errorf("snmp: config fetch returned %d bindings, want 1", len(binds))
+	}
+	v := binds[0].Value
+	if v.Tag != TagOpaque && v.Tag != TagOctets {
+		return nil, fmt.Errorf("snmp: config fetch returned tag 0x%02x, not an opaque blob", v.Tag)
+	}
+	return UnmarshalConfig(v.Bytes)
+}
+
+// FetchConfig retrieves the agent's current configuration via the admin
+// community's reserved config object.
+func (c *Client) FetchConfig() (*Config, error) {
+	return c.FetchConfigContext(context.Background())
 }
 
 // asRequestError unwraps a *RequestError.

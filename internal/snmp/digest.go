@@ -1,0 +1,31 @@
+package snmp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Digest returns a deterministic content hash of the configuration: the
+// hex SHA-256 of its canonical JSON wire form (encoding/json emits map
+// keys sorted, and view lists are kept ordered by the generator, so two
+// semantically identical configurations digest identically).
+//
+// Digests are the identity the transactional rollout machinery reasons
+// with: the journal records the digest planned for each target, resume
+// skips targets whose installed digest already matches, and the drift
+// reconciler compares a live agent's digest against the model's. A nil
+// configuration digests to "".
+func (c *Config) Digest() string {
+	if c == nil {
+		return ""
+	}
+	blob, err := MarshalConfig(c)
+	if err != nil {
+		// A Config is plain data; Marshal cannot fail in practice. An
+		// empty digest never matches a real one, which fails safe (the
+		// rollout re-installs rather than skips).
+		return ""
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
