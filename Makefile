@@ -9,7 +9,7 @@ GO ?= go
 # below it.
 COVER_FLOOR ?= 70
 
-.PHONY: all build test vet race ci chaos bench bench-parallel bench-rollout cover bench-ci
+.PHONY: all build test vet race ci chaos bench bench-parallel bench-rollout cover bench-ci bench-guard
 
 all: build test
 
@@ -56,7 +56,22 @@ cover:
 		 if ($$3 + 0 < floor) exit 1 }'
 
 # Bench smoke for CI: one iteration of every benchmark — a compile-and-
-# run sanity pass, not a measurement — archived as BENCH_ci.json.
+# run sanity pass, not a measurement — plus properly-sampled runs of the
+# guarded benchmarks (bench-guard only trusts multi-iteration entries),
+# archived as BENCH_ci.json.
 bench-ci:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' . | tee BENCH_ci.txt
+	$(GO) test -bench='^(BenchmarkCheckParallel8|BenchmarkCheckWarmCache)$$' \
+		-benchtime=20x -count=3 -run='^$$' . | tee -a BENCH_ci.txt
 	$(GO) run ./scripts/bench2json < BENCH_ci.txt > BENCH_ci.json
+
+# Regression guard over the perf-critical benchmarks: measure the
+# sharded check and the warm-cache incremental re-check (min of three
+# short runs), then compare against the committed baseline BENCH_5.json
+# with a +-20% tolerance. Skips cleanly when the baseline was recorded
+# on different hardware (the guard compares CPU strings).
+bench-guard:
+	$(GO) test -bench='^(BenchmarkCheckParallel8|BenchmarkCheckWarmCache)$$' \
+		-benchtime=20x -count=3 -run='^$$' . | tee BENCH_guard.txt
+	$(GO) run ./scripts/bench2json < BENCH_guard.txt > BENCH_guard.json
+	$(GO) run ./scripts/benchguard -baseline BENCH_5.json -current BENCH_guard.json

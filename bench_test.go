@@ -85,6 +85,33 @@ func BenchmarkCheckParallel16(b *testing.B) { benchCheckParallel(b, 16, nil) }
 // instrumented default above regresses < 3% against this.
 func BenchmarkCheckParallel8NoObs(b *testing.B) { benchCheckParallel(b, 8, obs.Disabled) }
 
+// ---- Tentpole: incremental re-check with a warm result cache.
+// One instance edited out of a 1000-domain internet; everything else
+// replays from the dependency-fingerprinted cache (acceptance: >= 10x
+// over the cold BenchmarkCheckDomains1000). ----
+
+func BenchmarkCheckWarmCache(b *testing.B) {
+	m, err := netsim.Model(netsim.Params{Domains: 1000, SystemsPerDomain: 2, NestingDepth: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	chk := consistency.NewChecker(m)
+	chk.Cache = consistency.NewResultCache()
+	prev := chk.Check()
+	if !prev.Consistent() {
+		b.Fatal("unexpected inconsistency")
+	}
+	delta := &consistency.ModelDelta{Instances: []string{m.Refs[0].Source.ID}}
+	b.ReportMetric(float64(len(m.Refs)), "refs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := chk.CheckDelta(prev, delta)
+		if !rep.Consistent() {
+			b.Fatal("unexpected inconsistency")
+		}
+	}
+}
+
 // ---- T-SCALE-2: compile+check vs number of network elements ----
 
 func benchCheckSystems(b *testing.B, systemsPerDomain int) {

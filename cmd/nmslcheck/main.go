@@ -10,9 +10,15 @@
 // Usage:
 //
 //	nmslcheck [-ext f ...] [-logic] [-workers n] [-stream] [-failfast]
-//	          [-timeout d] [-load] [-program]
+//	          [-timeout d] [-load] [-program] [-cache dir]
 //	          [-metrics-addr a] [-trace-out f] spec.nmsl ...
 //	nmslcheck -solve src,tgt,var,access spec.nmsl ...
+//
+// -cache dir persists per-reference verdicts (keyed by dependency
+// fingerprints) under dir across runs, so re-checking a large
+// specification after a small edit replays unchanged verdicts instead
+// of re-proving them. A missing cache file is a cold start; a corrupt
+// one is reported and ignored.
 //
 // -metrics-addr serves the observability endpoint (/metrics in
 // Prometheus text form, /debug/vars as JSON, /debug/pprof for
@@ -36,6 +42,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 
 	"nmsl"
@@ -67,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	load := fs.Bool("load", false, "also print the estimated management load")
 	program := fs.Bool("program", false, "also print the logic program (facts + rules)")
 	solve := fs.String("solve", "", "reverse-solve admissible periods: src,tgt,var,access")
+	cacheDir := fs.String("cache", "", "persist per-reference verdicts under this directory across runs")
 	simulate := fs.Duration("simulate", 0, "also simulate this much virtual operation (e.g. 24h)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	traceOut := fs.String("trace-out", "", "append tracing spans to this file as JSON lines")
@@ -148,6 +156,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *useLogic {
 		copts = append(copts, nmsl.WithEngine(nmsl.EngineLogic))
 	}
+	var cache *nmsl.CheckCache
+	var cachePath string
+	if *cacheDir != "" {
+		if *useLogic {
+			fmt.Fprintln(stderr, "nmslcheck: -cache requires the indexed engine (drop -logic)")
+			return 2
+		}
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "nmslcheck: %v\n", err)
+			return 2
+		}
+		cache = nmsl.NewCheckCache()
+		cachePath = filepath.Join(*cacheDir, "nmslcheck.cache.json")
+		if err := cache.LoadFile(cachePath); err != nil && !os.IsNotExist(err) {
+			fmt.Fprintf(stderr, "nmslcheck: ignoring cache: %v\n", err)
+		}
+		copts = append(copts, nmsl.WithCache(cache))
+	}
 	if *stream {
 		copts = append(copts, nmsl.WithOnViolation(func(v nmsl.Violation) {
 			fmt.Fprintf(stdout, "  %s\n", v)
@@ -166,6 +192,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, rep.Summary())
 	} else {
 		fmt.Fprint(stdout, rep.String())
+	}
+	if cache != nil {
+		if err := cache.SaveFile(cachePath); err != nil {
+			fmt.Fprintf(stderr, "nmslcheck: saving cache: %v\n", err)
+		}
+		st := cache.Stats()
+		fmt.Fprintf(stdout, "cache: %d hits, %d misses, %d invalidated (%d entries)\n",
+			st.Hits, st.Misses, st.Invalidations, st.Entries)
 	}
 	if *load {
 		fmt.Fprint(stdout, spec.EstimateLoad(nmsl.LoadOptions{}).String())

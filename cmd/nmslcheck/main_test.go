@@ -204,3 +204,54 @@ func TestSimulateFlag(t *testing.T) {
 		t.Fatalf("output: %q", out.String())
 	}
 }
+
+func TestCacheFlag(t *testing.T) {
+	path := specFile(t, paperspec.Combined)
+	dir := filepath.Join(t.TempDir(), "cache")
+
+	// Cold run: the cache directory is created and every verdict misses.
+	var cold, errb strings.Builder
+	if code := run([]string{"-cache", dir, path}, &cold, &errb); code != 0 {
+		t.Fatalf("cold exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(cold.String(), "cache: 0 hits") {
+		t.Fatalf("cold output: %q", cold.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "nmslcheck.cache.json")); err != nil {
+		t.Fatalf("cache file not written: %v", err)
+	}
+
+	// Warm run: every verdict replays; the verdict itself is unchanged.
+	var warm strings.Builder
+	errb.Reset()
+	if code := run([]string{"-cache", dir, path}, &warm, &errb); code != 0 {
+		t.Fatalf("warm exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(warm.String(), "hits, 0 misses") || strings.Contains(warm.String(), "cache: 0 hits") {
+		t.Fatalf("warm output: %q", warm.String())
+	}
+	coldVerdict := cold.String()[:strings.Index(cold.String(), "cache:")]
+	warmVerdict := warm.String()[:strings.Index(warm.String(), "cache:")]
+	if coldVerdict != warmVerdict {
+		t.Fatalf("warm verdict diverges:\n%q\nvs\n%q", warmVerdict, coldVerdict)
+	}
+
+	// A corrupt cache file warns and degrades to a cold start.
+	if err := os.WriteFile(filepath.Join(dir, "nmslcheck.cache.json"), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out3 strings.Builder
+	errb.Reset()
+	if code := run([]string{"-cache", dir, path}, &out3, &errb); code != 0 {
+		t.Fatalf("corrupt-cache exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "ignoring cache") {
+		t.Fatalf("stderr: %q", errb.String())
+	}
+
+	// -cache is indexed-engine only.
+	errb.Reset()
+	if code := run([]string{"-cache", dir, "-logic", path}, &out3, &errb); code != 2 {
+		t.Fatalf("-cache -logic exit %d, want 2", code)
+	}
+}

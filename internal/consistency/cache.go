@@ -1,0 +1,200 @@
+package consistency
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// ResultCache memoizes per-reference verdicts across checker runs, keyed
+// by Ref.Key and guarded by the dependency fingerprint (fingerprint.go):
+// a hit replays the cached violations only when the fingerprint of
+// everything the verdict depends on is unchanged. Safe for concurrent use
+// by the sharded checker's workers. Caches survive process restarts
+// through SaveFile/LoadFile (the nmslcheck -cache flag).
+type ResultCache struct {
+	mu      sync.RWMutex
+	entries map[string]*cacheEntry
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	invalidations atomic.Int64
+}
+
+// cachedViolation is the persisted slice of a Violation: the kind and
+// rendered message. Ref/NearMiss pointers are rebound on replay (the
+// in-memory path) or dropped (the persisted path only feeds warm starts,
+// where a fingerprint match guarantees the re-rendered message would be
+// identical).
+type cachedViolation struct {
+	Kind    Kind   `json:"kind"`
+	Message string `json:"message"`
+}
+
+type cacheEntry struct {
+	fp [32]byte
+	vs []cachedViolation
+}
+
+// NewResultCache returns an empty cache.
+func NewResultCache() *ResultCache {
+	return &ResultCache{entries: map[string]*cacheEntry{}}
+}
+
+// lookup returns the cached violations for the key when the fingerprint
+// matches, counting hit/miss/invalidation.
+func (rc *ResultCache) lookup(key string, fp [32]byte) ([]cachedViolation, bool) {
+	rc.mu.RLock()
+	ent := rc.entries[key]
+	rc.mu.RUnlock()
+	if ent == nil {
+		rc.misses.Add(1)
+		return nil, false
+	}
+	if ent.fp != fp {
+		rc.invalidations.Add(1)
+		return nil, false
+	}
+	rc.hits.Add(1)
+	return ent.vs, true
+}
+
+// store records the verdict for the key under the fingerprint.
+func (rc *ResultCache) store(key string, fp [32]byte, vs []cachedViolation) {
+	rc.mu.Lock()
+	rc.entries[key] = &cacheEntry{fp: fp, vs: vs}
+	rc.mu.Unlock()
+}
+
+// Len returns the number of cached verdicts.
+func (rc *ResultCache) Len() int {
+	rc.mu.RLock()
+	defer rc.mu.RUnlock()
+	return len(rc.entries)
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Hits, Misses, Invalidations int64
+	Entries                     int
+}
+
+// Stats snapshots the counters.
+func (rc *ResultCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:          rc.hits.Load(),
+		Misses:        rc.misses.Load(),
+		Invalidations: rc.invalidations.Load(),
+		Entries:       rc.Len(),
+	}
+}
+
+// cacheFile is the persisted JSON form.
+type cacheFile struct {
+	Version int                       `json:"version"`
+	Entries map[string]cacheFileEntry `json:"entries"`
+}
+
+type cacheFileEntry struct {
+	FP         string            `json:"fp"`
+	Violations []cachedViolation `json:"violations,omitempty"`
+}
+
+// SaveFile persists the cache as JSON.
+func (rc *ResultCache) SaveFile(path string) error {
+	rc.mu.RLock()
+	out := cacheFile{Version: 1, Entries: make(map[string]cacheFileEntry, len(rc.entries))}
+	for k, ent := range rc.entries {
+		out.Entries[k] = cacheFileEntry{
+			FP:         hex.EncodeToString(ent.fp[:]),
+			Violations: ent.vs,
+		}
+	}
+	rc.mu.RUnlock()
+	data, err := json.Marshal(out)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadFile reads a cache persisted by SaveFile, replacing the current
+// entries. A malformed file or unknown version is an error; the cache is
+// left empty in that case (callers degrade to a cold start).
+func (rc *ResultCache) LoadFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var in cacheFile
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("cache %s: %w", path, err)
+	}
+	if in.Version != 1 {
+		return fmt.Errorf("cache %s: unsupported version %d", path, in.Version)
+	}
+	entries := make(map[string]*cacheEntry, len(in.Entries))
+	for k, fe := range in.Entries {
+		fp, err := hex.DecodeString(fe.FP)
+		if err != nil || len(fp) != 32 {
+			return fmt.Errorf("cache %s: bad fingerprint for %q", path, k)
+		}
+		ent := &cacheEntry{vs: fe.Violations}
+		copy(ent.fp[:], fp)
+		entries[k] = ent
+	}
+	rc.mu.Lock()
+	rc.entries = entries
+	rc.mu.Unlock()
+	return nil
+}
+
+// checkRefWith dispatches one reference through the cache when one is
+// attached, and plain checkRef otherwise.
+func (c *Checker) checkRefWith(ref *Ref, out *[]Violation, sc *scratch) {
+	if c.Cache == nil {
+		c.checkRef(ref, out, sc)
+		return
+	}
+	c.checkRefCached(ref, out, sc)
+}
+
+// checkRefCached consults the result cache before evaluating. Replayed
+// violations carry the cached message with the Ref pointer rebound to
+// this model's reference; NearMiss is not recoverable from a persisted
+// entry and is left nil on replay (the rendered message already embeds
+// the near-miss description).
+func (c *Checker) checkRefCached(ref *Ref, out *[]Violation, sc *scratch) {
+	key := ref.Key()
+	fp := c.fingerprint(ref, sc)
+	if vs, ok := c.Cache.lookup(key, fp); ok {
+		for _, v := range vs {
+			*out = append(*out, Violation{Kind: v.Kind, Ref: ref, Message: v.Message})
+		}
+		return
+	}
+	before := len(*out)
+	c.checkRef(ref, out, sc)
+	fresh := (*out)[before:]
+	var vs []cachedViolation
+	if len(fresh) > 0 {
+		vs = make([]cachedViolation, len(fresh))
+		for i, v := range fresh {
+			vs[i] = cachedViolation{Kind: v.Kind, Message: v.Message}
+		}
+	}
+	c.Cache.store(key, fp, vs)
+}
+
+// Cache metric names, recorded into the run registry by CheckContext and
+// CheckDelta when a cache is attached.
+const (
+	MetricCheckCacheHits          = "nmsl_check_cache_hits_total"
+	MetricCheckCacheMisses        = "nmsl_check_cache_misses_total"
+	MetricCheckCacheInvalidations = "nmsl_check_cache_invalidations_total"
+	MetricCheckDeltaDirty         = "nmsl_check_delta_dirty_total"
+	MetricCheckDeltaReplayed      = "nmsl_check_delta_replayed_total"
+)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"nmsl/internal/obs"
 )
@@ -147,6 +148,34 @@ type Checker struct {
 	restricters map[string][]int
 	// DisableIndex forces full permission scans (the DESIGN.md ablation).
 	DisableIndex bool
+	// Cache, when non-nil, memoizes per-reference verdicts keyed by a
+	// dependency fingerprint (cache.go). Concurrent-safe.
+	Cache *ResultCache
+	// indexHits counts candidate lookups answered through the grantor
+	// indexes. Workers batch into per-scratch counters and flush once, so
+	// the hot loop stays atomic-free.
+	indexHits atomic.Int64
+}
+
+// IndexHits reports how many candidate-permission lookups were served by
+// the grantor indexes (0 under DisableIndex).
+func (c *Checker) IndexHits() int64 { return c.indexHits.Load() }
+
+// scratch is per-worker reusable state: the candidate-permission buffer,
+// the fingerprint encoding buffer, and the batched index-hit count. One
+// scratch is owned by exactly one worker (or the serial loop) at a time.
+type scratch struct {
+	perms []int
+	enc   []byte
+	hits  int
+}
+
+// flush folds the scratch's batched counters into the checker.
+func (c *Checker) flush(sc *scratch) {
+	if sc.hits != 0 {
+		c.indexHits.Add(int64(sc.hits))
+		sc.hits = 0
+	}
 }
 
 // NewChecker builds a Checker (and its indexes) for the model.
@@ -194,10 +223,11 @@ func (c *Checker) permCovers(p *Perm, ref *Ref) int {
 }
 
 // candidatePerms returns the permission indexes whose grantor covers the
-// reference's target.
-func (c *Checker) candidatePerms(ref *Ref) []int {
+// reference's target. The result is written into (and aliases) the
+// scratch buffer, valid until the next call on the same scratch.
+func (c *Checker) candidatePerms(ref *Ref, sc *scratch) []int {
+	out := sc.perms[:0]
 	if c.DisableIndex {
-		var out []int
 		for i := range c.m.Perms {
 			p := &c.m.Perms[i]
 			if p.GrantorInst == ref.Target.ID ||
@@ -205,18 +235,21 @@ func (c *Checker) candidatePerms(ref *Ref) []int {
 				out = append(out, i)
 			}
 		}
+		sc.perms = out
 		return out
 	}
-	out := append([]int(nil), c.byGrantorInst[ref.Target.ID]...)
+	sc.hits++
+	out = append(out, c.byGrantorInst[ref.Target.ID]...)
 	for dom := range c.m.partyDomains[ref.Target.ID] {
 		out = append(out, c.byGrantorDomain[dom]...)
 	}
 	sort.Ints(out)
+	sc.perms = out
 	return out
 }
 
 // checkRef evaluates one reference and appends violations.
-func (c *Checker) checkRef(ref *Ref, out *[]Violation) {
+func (c *Checker) checkRef(ref *Ref, out *[]Violation, sc *scratch) {
 	// Rule 3: support.
 	if !c.m.effectiveSupports(ref.Target, ref.Var) {
 		*out = append(*out, Violation{
@@ -229,7 +262,7 @@ func (c *Checker) checkRef(ref *Ref, out *[]Violation) {
 	// Rule 1: permission.
 	best := 0
 	var bestPerm *Perm
-	for _, pi := range c.candidatePerms(ref) {
+	for _, pi := range c.candidatePerms(ref, sc) {
 		p := &c.m.Perms[pi]
 		level := c.permCovers(p, ref)
 		if level > best {
@@ -307,9 +340,11 @@ func unresolvedViolation(u *UnresolvedTarget) Violation {
 // Check runs the full consistency check.
 func (c *Checker) Check() *Report {
 	rep := &Report{Model: c.m}
+	var sc scratch
 	for i := range c.m.Refs {
-		c.checkRef(&c.m.Refs[i], &rep.Violations)
+		c.checkRefWith(&c.m.Refs[i], &rep.Violations, &sc)
 	}
+	c.flush(&sc)
 	rep.RefsChecked = len(c.m.Refs)
 	c.checkProxies(&rep.Violations)
 	for i := range c.m.Unresolved {

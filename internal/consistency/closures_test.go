@@ -1,0 +1,213 @@
+package consistency
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nmsl/internal/logic"
+	"nmsl/internal/mib"
+)
+
+// randomEdges draws a directed graph over n nodes with roughly density
+// edges per node, including self-loops and cycles (the closures must be
+// robust to both even though well-formed specifications are acyclic).
+func randomEdges(rng *rand.Rand, n int, density float64) map[string][]string {
+	edges := map[string][]string{}
+	nodeName := func(i int) string { return fmt.Sprintf("n%d", i) }
+	total := int(float64(n) * density)
+	for e := 0; e < total; e++ {
+		x, y := nodeName(rng.Intn(n)), nodeName(rng.Intn(n))
+		edges[x] = append(edges[x], y)
+	}
+	return edges
+}
+
+// reachDFS is the independent oracle for transitiveClosure: plain
+// depth-first reachability.
+func reachDFS(edges map[string][]string) map[string]map[string]bool {
+	reach := map[string]map[string]bool{}
+	for x := range edges {
+		seen := map[string]bool{}
+		stack := append([]string(nil), edges[x]...)
+		for len(stack) > 0 {
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[y] {
+				continue
+			}
+			seen[y] = true
+			stack = append(stack, edges[y]...)
+		}
+		if len(seen) > 0 {
+			reach[x] = seen
+		}
+	}
+	return reach
+}
+
+func TestTransitiveClosureRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(20)
+		edges := randomEdges(rng, n, 1.5)
+		got := transitiveClosure(edges)
+		want := reachDFS(edges)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d sources reachable, want %d", trial, len(got), len(want))
+		}
+		for x, ys := range want {
+			for y := range ys {
+				if !got[x][y] {
+					t.Fatalf("trial %d: missing %s -> %s", trial, x, y)
+				}
+			}
+			if len(got[x]) != len(ys) {
+				t.Fatalf("trial %d: %s reaches %d nodes, want %d", trial, x, len(got[x]), len(ys))
+			}
+		}
+	}
+}
+
+// TestMaterializedContainmentMatchesRecursiveEngine is the property test
+// of the tentpole: on random graphs (cycles and self-containment
+// included), the materialized contains_tr/covers fact tables prove
+// exactly what the recursive prolog rules prove.
+func TestMaterializedContainmentMatchesRecursiveEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(10)
+		edges := randomEdges(rng, n, 1.2)
+
+		// Recursive rule base, as BuildDBRecursive asserts it.
+		rec := logic.NewDB()
+		for x, ys := range edges {
+			for _, y := range ys {
+				rec.Assert(logic.Comp("contains", logic.Atom(x), logic.Atom(y)))
+			}
+		}
+		X, Y := logic.NewVar("X"), logic.NewVar("Y")
+		rec.Assert(logic.Comp("contains_tr", X, Y), logic.Call(logic.Comp("contains", X, Y)))
+		X2, Y2, Z2 := logic.NewVar("X"), logic.NewVar("Y"), logic.NewVar("Z")
+		rec.Assert(logic.Comp("contains_tr", X2, Z2),
+			logic.Call(logic.Comp("contains", X2, Y2)),
+			logic.Call(logic.Comp("contains_tr", Y2, Z2)))
+		A := logic.NewVar("A")
+		rec.Assert(logic.Comp("covers", A, A))
+		B, C := logic.NewVar("B"), logic.NewVar("C")
+		rec.Assert(logic.Comp("covers", B, C), logic.Call(logic.Comp("contains_tr", B, C)))
+
+		// Materialized fact tables, as BuildDB asserts them.
+		mat := logic.NewDB()
+		cl := transitiveClosure(edges)
+		uni := map[string]bool{}
+		for x, ys := range edges {
+			uni[x] = true
+			for _, y := range ys {
+				uni[y] = true
+			}
+		}
+		for x := range uni {
+			mat.Assert(logic.Comp("covers", logic.Atom(x), logic.Atom(x)))
+		}
+		for x, ys := range cl {
+			for y := range ys {
+				mat.Assert(logic.Comp("contains_tr", logic.Atom(x), logic.Atom(y)))
+				mat.Assert(logic.Comp("covers", logic.Atom(x), logic.Atom(y)))
+			}
+		}
+
+		// On cyclic graphs the recursive rules enumerate paths, which
+		// explodes under the default depth bound; a simple path needs at
+		// most n calls, so 2n+4 suffices for every positive proof.
+		rs := logic.NewSolver(rec)
+		rs.MaxDepth = 2*n + 4
+		ms := logic.NewSolver(mat)
+		for x := range uni {
+			for y := range uni {
+				ct := logic.Call(logic.Comp("contains_tr", logic.Atom(x), logic.Atom(y)))
+				if rg, mg := rs.Prove(ct), ms.Prove(ct); rg != mg {
+					t.Fatalf("trial %d: contains_tr(%s, %s): recursive %v, materialized %v", trial, x, y, rg, mg)
+				}
+				cv := logic.Call(logic.Comp("covers", logic.Atom(x), logic.Atom(y)))
+				if rg, mg := rs.Prove(cv), ms.Prove(cv); rg != mg {
+					t.Fatalf("trial %d: covers(%s, %s): recursive %v, materialized %v", trial, x, y, rg, mg)
+				}
+			}
+		}
+	}
+}
+
+// TestMaterializedDataCoversMatchesRecursiveEngine checks the MIB
+// covering closure on random trees: the materialized (ancestor-or-self,
+// node) facts prove exactly what the recursive mib_contains walk proves.
+func TestMaterializedDataCoversMatchesRecursiveEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		tree := mib.NewEmpty()
+		root, err := tree.RegisterRoot("root", mib.OID{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := []*mib.Node{root}
+		for i := 0; i < 5+rng.Intn(20); i++ {
+			parent := nodes[rng.Intn(len(nodes))]
+			n, err := tree.Register(fmt.Sprintf("%s.v%d", parent.Path(), i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes = append(nodes, n)
+		}
+
+		rec := logic.NewDB()
+		mat := logic.NewDB()
+		for _, db := range []*logic.DB{rec, mat} {
+			for _, r := range tree.Roots() {
+				var walk func(n *mib.Node)
+				walk = func(n *mib.Node) {
+					for _, c := range n.Children() {
+						db.Assert(logic.Comp("mib_contains", logic.Atom(n.Path()), logic.Atom(c.Path())))
+						walk(c)
+					}
+				}
+				walk(r)
+			}
+		}
+		V := logic.NewVar("V")
+		rec.Assert(logic.Comp("data_covers", V, V))
+		X, Y, Z := logic.NewVar("X"), logic.NewVar("Y"), logic.NewVar("Z")
+		rec.Assert(logic.Comp("data_covers", X, Y),
+			logic.Call(logic.Comp("mib_contains", X, Z)),
+			logic.Call(logic.Comp("data_covers", Z, Y)))
+		for _, r := range tree.Roots() {
+			var walk func(n *mib.Node, anc []logic.Term)
+			walk = func(n *mib.Node, anc []logic.Term) {
+				self := logic.Atom(n.Path())
+				anc = append(anc, self)
+				for _, a := range anc {
+					mat.Assert(logic.Comp("data_covers", a, self))
+				}
+				for _, c := range n.Children() {
+					walk(c, anc)
+				}
+			}
+			walk(r, nil)
+		}
+
+		rs, ms := logic.NewSolver(rec), logic.NewSolver(mat)
+		for _, a := range nodes {
+			for _, b := range nodes {
+				g := logic.Call(logic.Comp("data_covers", logic.Atom(a.Path()), logic.Atom(b.Path())))
+				rg, mg := rs.Prove(g), ms.Prove(g)
+				if rg != mg {
+					t.Fatalf("trial %d: data_covers(%s, %s): recursive %v, materialized %v",
+						trial, a.Path(), b.Path(), rg, mg)
+				}
+				if rg != a.Contains(b) {
+					t.Fatalf("trial %d: data_covers(%s, %s) = %v disagrees with Node.Contains",
+						trial, a.Path(), b.Path(), rg)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package consistency
+
+import (
+	"nmsl/internal/ast"
+	"nmsl/internal/obs"
+	"nmsl/internal/sema"
+)
+
+// Incremental re-checking (the tentpole, layer 3). An edit to a large
+// specification touches a handful of declarations; CheckDelta re-verifies
+// only the references those declarations can influence and replays the
+// previous report's verdicts for the rest. The dirtiness test is
+// conservative: it consults the containment ancestry of both the old and
+// the new model, so removed edges invalidate as reliably as added ones.
+
+// ModelDelta names the model-level entities an edit touched. The zero
+// value means "nothing changed"; Full or MIBChanged force a full
+// re-check (every fingerprint depends on MIB paths, so a MIB edit
+// invalidates globally).
+type ModelDelta struct {
+	// Full forces a complete re-check.
+	Full bool
+	// MIBChanged reports a change to the MIB name tree (type decls).
+	MIBChanged bool
+	// Domains, Systems, Processes name changed declarations; Instances
+	// names changed instance IDs directly (e.g. from rollout plans).
+	Domains   []string
+	Systems   []string
+	Processes []string
+	Instances []string
+}
+
+// DeltaFromSpecs diffs two linked specifications into a ModelDelta. Type
+// declaration changes mark the MIB changed (types extend the name tree),
+// forcing a full re-check.
+func DeltaFromSpecs(old, new *ast.Spec) *ModelDelta {
+	sd := sema.DiffSpecs(old, new)
+	return &ModelDelta{
+		MIBChanged: len(sd.Types) > 0,
+		Domains:    sd.Domains,
+		Systems:    sd.Systems,
+		Processes:  sd.Processes,
+	}
+}
+
+// deltaSets is the delta in set form, plus the old model for ancestry
+// lookups on removed containment edges.
+type deltaSets struct {
+	domains, systems, processes, instances map[string]bool
+	oldModel                               *Model
+}
+
+func toSet(names []string) map[string]bool {
+	if len(names) == 0 {
+		return nil
+	}
+	s := make(map[string]bool, len(names))
+	for _, n := range names {
+		s[n] = true
+	}
+	return s
+}
+
+// partyTouched reports whether the party (an instance) is influenced by
+// the delta: its own declaration site changed, or a changed domain
+// contains it in either the old or the new model.
+func (ds *deltaSets) partyTouched(m *Model, in *Instance) bool {
+	if ds.instances[in.ID] || ds.processes[in.Proc.Name] {
+		return true
+	}
+	if in.System != "" && ds.systems[in.System] {
+		return true
+	}
+	if in.Domain != "" && ds.domains[in.Domain] {
+		return true
+	}
+	for d := range ds.domains {
+		if m.partyDomains[in.ID][d] {
+			return true
+		}
+		if ds.oldModel != nil && ds.oldModel.partyDomains[in.ID][d] {
+			return true
+		}
+	}
+	return false
+}
+
+// dirtyInstances materializes the set of touched parties. Deltas are
+// tiny relative to the model, so directly-named instances resolve
+// through the ID index; only name-level changes (processes, systems,
+// domains) require a sweep over the instance table. Per-reference
+// dirtiness then costs two pointer probes instead of repeated
+// string-set membership tests.
+func (ds *deltaSets) dirtyInstances(m *Model) map[*Instance]bool {
+	out := map[*Instance]bool{}
+	for id := range ds.instances {
+		if in := m.byID[id]; in != nil {
+			out[in] = true
+		}
+	}
+	if len(ds.processes) == 0 && len(ds.systems) == 0 && len(ds.domains) == 0 {
+		return out
+	}
+	for _, in := range m.Instances {
+		if !out[in] && ds.partyTouched(m, in) {
+			out[in] = true
+		}
+	}
+	return out
+}
+
+// CheckDelta re-checks the model after an edit described by delta,
+// reusing prev (the previous full report) for references the edit cannot
+// have influenced. Dirty references — and references that did not exist
+// before — are evaluated afresh (through the result cache when one is
+// attached); clean references replay their previous verdicts with the Ref
+// pointer rebound to the current model. Proxy and unresolved-target
+// violations are always recomputed (they are cheap and global). The
+// returned report is identical to a full Check of the current model.
+//
+// CheckDelta falls back to a full Check when prev is unusable (nil,
+// truncated, from a cancelled or FailFast run) or the delta forces it
+// (Full, or a MIB change, which shifts fingerprints globally).
+func (c *Checker) CheckDelta(prev *Report, delta *ModelDelta) *Report {
+	if prev == nil || delta == nil || delta.Full || delta.MIBChanged ||
+		prev.Model == nil || prev.RefsChecked != len(prev.Model.Refs) {
+		return c.Check()
+	}
+	ds := &deltaSets{
+		domains:   toSet(delta.Domains),
+		systems:   toSet(delta.Systems),
+		processes: toSet(delta.Processes),
+		instances: toSet(delta.Instances),
+	}
+	if prev.Model != c.m {
+		ds.oldModel = prev.Model
+	}
+
+	// Group the previous report's reference-level violations by
+	// reference. Violations are appended per reference in a contiguous
+	// run, so grouping by consecutive Ref pointer reconstructs each
+	// reference's verdict. When the models differ, groups queue up FIFO
+	// per reference key (duplicate references share a key and, by
+	// construction, a verdict).
+	sameModel := prev.Model == c.m
+	var prevByRef map[*Ref][]Violation
+	var prevByKey map[string][][]Violation
+	prevKeys := map[string]bool{}
+	if sameModel {
+		prevByRef = map[*Ref][]Violation{}
+	} else {
+		prevByKey = map[string][][]Violation{}
+		for i := range prev.Model.Refs {
+			prevKeys[prev.Model.Refs[i].Key()] = true
+		}
+	}
+	for i := 0; i < len(prev.Violations); {
+		v := prev.Violations[i]
+		if v.Ref == nil {
+			i++ // proxy/unresolved tail, recomputed below
+			continue
+		}
+		j := i
+		for j < len(prev.Violations) && prev.Violations[j].Ref == v.Ref {
+			j++
+		}
+		group := prev.Violations[i:j]
+		if sameModel {
+			prevByRef[v.Ref] = group
+		} else {
+			k := v.Ref.Key()
+			prevByKey[k] = append(prevByKey[k], group)
+		}
+		i = j
+	}
+
+	rep := &Report{Model: c.m}
+	var sc scratch
+	var dirty, replayed int64
+	dirtySet := ds.dirtyInstances(c.m)
+	for i := range c.m.Refs {
+		ref := &c.m.Refs[i]
+		var group []Violation
+		clean := !dirtySet[ref.Source] && !dirtySet[ref.Target]
+		if clean {
+			if sameModel {
+				group = prevByRef[ref]
+			} else if key := ref.Key(); prevKeys[key] {
+				if gs := prevByKey[key]; len(gs) > 0 {
+					group = gs[0]
+					prevByKey[key] = gs[1:]
+				}
+			} else {
+				clean = false // reference did not exist before
+			}
+		}
+		if !clean {
+			dirty++
+			c.checkRefWith(ref, &rep.Violations, &sc)
+			continue
+		}
+		replayed++
+		for _, v := range group {
+			v.Ref = ref
+			rep.Violations = append(rep.Violations, v)
+		}
+	}
+	c.flush(&sc)
+	rep.RefsChecked = len(c.m.Refs)
+	c.checkProxies(&rep.Violations)
+	for i := range c.m.Unresolved {
+		rep.Violations = append(rep.Violations, unresolvedViolation(&c.m.Unresolved[i]))
+	}
+	if obs.Default.Enabled() {
+		obs.Default.Counter(MetricCheckDeltaDirty).Add(dirty)
+		obs.Default.Counter(MetricCheckDeltaReplayed).Add(replayed)
+	}
+	return rep
+}

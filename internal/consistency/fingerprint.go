@@ -1,0 +1,142 @@
+package consistency
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"strconv"
+
+	"nmsl/internal/mib"
+)
+
+// Dependency fingerprints (the incremental-checking tentpole, layer 3).
+// A reference's verdict depends on a small, enumerable slice of the model:
+// the reference tuple itself, the target's support views, the containment
+// ancestry of both parties, and the candidate permissions reachable
+// through the grantor indexes (which subsume the restriction rule's
+// export lists). The fingerprint hashes a canonical encoding of exactly
+// that slice, so a cached verdict may be replayed iff the fingerprint is
+// unchanged. MIB nodes are encoded by their full dotted path — a path
+// names the node's entire ancestor chain, so any re-parenting or rename
+// in the touched subtree changes the encoding.
+
+// Key returns a stable identity for the reference across model rebuilds:
+// the reference tuple, without any of the model state the verdict depends
+// on. Duplicate references (identical queries) share a key — and, by
+// construction, a fingerprint and a verdict — so sharing a cache entry is
+// sound.
+func (r *Ref) Key() string {
+	t, strict, infreq := r.guarantee()
+	return r.Source.ID + "\x00" + r.Target.ID + "\x00" + r.Var.Path() + "\x00" +
+		strconv.Itoa(int(r.Access)) + "\x00" +
+		strconv.FormatUint(math.Float64bits(t), 16) + "\x00" +
+		boolByte(strict) + boolByte(infreq) + "\x00" + string(r.Resolution)
+}
+
+func boolByte(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// encoder appends NUL-separated fields into a reusable scratch buffer.
+type encoder struct{ b []byte }
+
+func (e *encoder) str(s string) {
+	e.b = append(e.b, s...)
+	e.b = append(e.b, 0)
+}
+
+func (e *encoder) f64(f float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+	e.b = append(e.b, buf[:]...)
+	e.b = append(e.b, 0)
+}
+
+func (e *encoder) bool(v bool) {
+	if v {
+		e.b = append(e.b, 1, 0)
+	} else {
+		e.b = append(e.b, 0, 0)
+	}
+}
+
+func (e *encoder) access(a mib.Access) { e.b = append(e.b, byte(a), 0) }
+
+// view encodes a support view: each declared pattern together with the
+// full path of the node it currently resolves to (or a miss marker), so
+// both view edits and MIB restructurings under an unchanged pattern are
+// visible.
+func (e *encoder) view(m *Model, view []string) {
+	for _, v := range view {
+		e.str(v)
+		if n := m.resolveVar(v); n != nil {
+			e.str(n.Path())
+		} else {
+			e.str("\x01unresolved")
+		}
+	}
+	e.str("\x02end-view")
+}
+
+// fingerprint hashes everything checkRef consults for the reference. The
+// scratch's encoding buffer is reused across calls.
+func (c *Checker) fingerprint(ref *Ref, sc *scratch) [32]byte {
+	e := encoder{b: sc.enc[:0]}
+	m := c.m
+
+	// The reference tuple (guarantee covers Freq's verdict-relevant
+	// content; Freq.String appears in messages, so encode its parts too).
+	e.str(ref.Source.ID)
+	e.str(ref.Target.ID)
+	e.str(ref.Var.Path())
+	e.access(ref.Access)
+	e.str(ref.Freq.Op)
+	e.f64(ref.Freq.Seconds)
+	e.bool(ref.Freq.Infrequent)
+	e.str(string(ref.Resolution))
+
+	// Rule 3: the target's effective support — its process view and, for
+	// system-hosted instances, the element view.
+	e.str(ref.Target.Proc.Name)
+	e.view(m, ref.Target.Proc.Supports)
+	e.str(ref.Target.System)
+	if ref.Target.System != "" {
+		if ss := m.Spec.Systems[ref.Target.System]; ss != nil {
+			e.view(m, ss.Supports)
+		}
+	}
+
+	// Containment ancestry of both parties (sorted, cached): grantee
+	// cover checks for the source, grantor/restriction domains for the
+	// target.
+	for _, d := range m.sortedPartyDomains(ref.Source.ID) {
+		e.str(d)
+	}
+	e.str("\x02end-src")
+	for _, d := range m.sortedPartyDomains(ref.Target.ID) {
+		e.str(d)
+	}
+	e.str("\x02end-tgt")
+
+	// The candidate permissions, in index order. These subsume the
+	// restriction rule: a restricting domain's export list is exactly its
+	// grantor-domain permissions, all of which are candidates for any
+	// target the domain contains.
+	for _, pi := range c.candidatePerms(ref, sc) {
+		p := &m.Perms[pi]
+		e.str(p.Grantee)
+		e.str(p.GrantorInst)
+		e.str(p.GrantorDomain)
+		e.str(p.DeclaredBy)
+		e.str(p.Var.Path())
+		e.access(p.Access)
+		e.f64(p.MinPeriod)
+		e.bool(p.Strict)
+	}
+
+	sc.enc = e.b
+	return sha256.Sum256(e.b)
+}

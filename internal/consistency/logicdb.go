@@ -36,8 +36,22 @@ func freqTerms(minPeriod float64, strict, infrequent bool) (logic.Term, logic.Te
 
 // BuildDB compiles the model into the logic fact/rule base the paper's
 // Consistency Checker hands to CLP(R): the Figure 4.9 relations as facts,
-// plus the transitivity, distribution and reduction rules of section 4.2.
-func BuildDB(m *Model) *logic.DB {
+// plus the distribution and reduction rules of section 4.2. The recursive
+// transitivity rules are pre-evaluated: the containment and MIB-covering
+// closures are materialized bottom-up (closures.go) and asserted as
+// indexed fact tables, so covers/contains_tr/data_covers goals resolve by
+// hash lookup instead of recursive search. BuildDBRecursive keeps the
+// original recursive rule base as the parity oracle.
+func BuildDB(m *Model) *logic.DB { return buildDB(m, true) }
+
+// BuildDBRecursive compiles the model with the paper's recursive
+// transitivity rules instead of materialized closure tables. It proves
+// exactly the same relations as BuildDB (property-tested on random
+// graphs) and exists as the independent oracle behind
+// EngineLogicRecursive.
+func BuildDBRecursive(m *Model) *logic.DB { return buildDB(m, false) }
+
+func buildDB(m *Model, materialize bool) *logic.DB {
 	db := logic.NewDB()
 
 	// contains/2 facts: administrative containment.
@@ -60,8 +74,25 @@ func BuildDB(m *Model) *logic.DB {
 		db.Assert(logic.Comp("instan", logic.Atom(host), logic.Atom(in.Proc.Name), logic.Atom(in.ID)))
 	}
 
-	// contains_tr: transitive closure (the transitivity rule).
-	{
+	// contains_tr and covers: the transitive (and, for covers, reflexive)
+	// containment closure. Materialized: asserted as ground fact tables
+	// from the semi-naive closure; recursive: the paper's transitivity
+	// rules, evaluated top-down per query.
+	if materialize {
+		cl := m.closures()
+		// covers is reflexive over every party a permission or containment
+		// edge can name — the recursive covers(A, A) clause restricted to
+		// the constants that can actually reach it.
+		for _, x := range cl.universe {
+			db.Assert(logic.Comp("covers", logic.Atom(x), logic.Atom(x)))
+		}
+		for _, x := range cl.order {
+			for _, y := range cl.downSorted[x] {
+				db.Assert(logic.Comp("contains_tr", logic.Atom(x), logic.Atom(y)))
+				db.Assert(logic.Comp("covers", logic.Atom(x), logic.Atom(y)))
+			}
+		}
+	} else {
 		X, Y := logic.NewVar("X"), logic.NewVar("Y")
 		db.Assert(logic.Comp("contains_tr", X, Y), logic.Call(logic.Comp("contains", X, Y)))
 		X2, Y2, Z2 := logic.NewVar("X"), logic.NewVar("Y"), logic.NewVar("Z")
@@ -77,7 +108,9 @@ func BuildDB(m *Model) *logic.DB {
 		db.Assert(logic.Comp("covers", B, C), logic.Call(logic.Comp("contains_tr", B, C)))
 	}
 
-	// MIB tree edges and the data-covering closure.
+	// MIB tree edges and the data-covering closure. A MIB path names its
+	// whole ancestor chain, so the closure of the tree is every
+	// (ancestor-or-self, node) pair — O(nodes × depth) facts.
 	for _, root := range m.Spec.MIB.Roots() {
 		var walk func(n *mib.Node)
 		walk = func(n *mib.Node) {
@@ -88,7 +121,22 @@ func BuildDB(m *Model) *logic.DB {
 		}
 		walk(root)
 	}
-	{
+	if materialize {
+		for _, root := range m.Spec.MIB.Roots() {
+			var walk func(n *mib.Node, anc []logic.Term)
+			walk = func(n *mib.Node, anc []logic.Term) {
+				self := logic.Atom(n.Path())
+				anc = append(anc, self)
+				for _, a := range anc {
+					db.Assert(logic.Comp("data_covers", a, self))
+				}
+				for _, c := range n.Children() {
+					walk(c, anc)
+				}
+			}
+			walk(root, nil)
+		}
+	} else {
 		V := logic.NewVar("V")
 		db.Assert(logic.Comp("data_covers", V, V))
 		X, Y, Z := logic.NewVar("X"), logic.NewVar("Y"), logic.NewVar("Z")
@@ -291,6 +339,24 @@ func logicCheckRef(m *Model, s *logic.Solver, r *Ref, out *[]Violation) {
 // EngineLogic, a background context and one worker.
 func CheckLogic(m *Model) *Report {
 	db := BuildDB(m)
+	s := logic.NewSolver(db)
+	rep := &Report{Model: m}
+	for i := range m.Refs {
+		logicCheckRef(m, s, &m.Refs[i], &rep.Violations)
+	}
+	rep.RefsChecked = len(m.Refs)
+	for i := range m.Unresolved {
+		rep.Violations = append(rep.Violations, unresolvedViolation(&m.Unresolved[i]))
+	}
+	return rep
+}
+
+// CheckLogicRecursive is CheckLogic over the recursive rule base
+// (BuildDBRecursive) — the paper's transitivity rules evaluated top-down
+// per query instead of the materialized closure tables. It is the parity
+// oracle: its Report must be byte-identical to CheckLogic's.
+func CheckLogicRecursive(m *Model) *Report {
+	db := BuildDBRecursive(m)
 	s := logic.NewSolver(db)
 	rep := &Report{Model: m}
 	for i := range m.Refs {

@@ -40,6 +40,7 @@ package consistency
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"nmsl/internal/ast"
 	"nmsl/internal/mib"
@@ -195,6 +196,16 @@ type Model struct {
 	byProc       map[string][]*Instance
 	bySystem     map[string][]*Instance
 	byID         map[string]*Instance
+
+	// closOnce/clos lazily materialize the containment closures shared by
+	// the logic DB compiler and the result-cache fingerprints
+	// (closures.go); the model itself is read-only after BuildModel.
+	closOnce sync.Once
+	clos     *closures
+	// varCache memoizes MIB name resolution (Tree.LookupSuffix splits the
+	// path on every call); the same few view patterns resolve on every
+	// reference, so the check's steady state stays allocation-free.
+	varCache sync.Map
 }
 
 // UnresolvedTarget describes a query whose target resolved to nothing.
@@ -325,8 +336,14 @@ func (m *Model) buildInstances() {
 }
 
 // resolveVar resolves a dotted MIB name, which linking already validated.
+// Resolutions are memoized (the MIB is immutable after linking).
 func (m *Model) resolveVar(path string) *mib.Node {
-	return m.Spec.MIB.LookupSuffix(path)
+	if v, ok := m.varCache.Load(path); ok {
+		return v.(*mib.Node)
+	}
+	n := m.Spec.MIB.LookupSuffix(path)
+	m.varCache.Store(path, n)
+	return n
 }
 
 func permFromExport(ex ast.Export, node *mib.Node) (minPeriod float64, strict bool) {

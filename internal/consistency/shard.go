@@ -31,9 +31,15 @@ const (
 	EngineIndexed Engine = iota
 	// EngineLogic proves each reference through the CLP(R)-style logic
 	// engine (the paper's reference semantics; slower but independent).
-	// Workers share the compiled fact/rule base, each with its own
+	// Workers share the compiled fact/rule base — with the containment
+	// and MIB closures materialized as fact tables — each with its own
 	// solver.
 	EngineLogic
+	// EngineLogicRecursive is EngineLogic over the original recursive
+	// transitivity rules (no materialized closures). It exists as the
+	// parity oracle for the materialization; expect it to be much slower
+	// on deep containment hierarchies.
+	EngineLogicRecursive
 )
 
 // Options configure CheckContext. The zero value runs the indexed
@@ -55,6 +61,10 @@ type Options struct {
 	// DisableIndex forces full permission scans in the indexed engine
 	// (the DESIGN.md ablation).
 	DisableIndex bool
+	// Cache, when non-nil, memoizes per-reference verdicts across runs
+	// keyed by dependency fingerprints (indexed engine only; the logic
+	// engines ignore it). Safe to share across concurrent checks.
+	Cache *ResultCache
 	// Metrics selects where the run's observability counters land: nil
 	// records into obs.Default, obs.Disabled turns instrumentation off
 	// (including its clock reads). The run's own numbers are embedded
@@ -64,8 +74,11 @@ type Options struct {
 
 // engineName names the engine for span labels.
 func engineName(e Engine) string {
-	if e == EngineLogic {
+	switch e {
+	case EngineLogic:
 		return "logic"
+	case EngineLogicRecursive:
+		return "logic-recursive"
 	}
 	return "indexed"
 }
@@ -111,7 +124,9 @@ func shardRefs(refs []Ref, nshards int) [][2]int {
 
 // refChecker evaluates one reference, appending violations in rule
 // order. Implementations must be safe for concurrent use by the worker
-// that owns them over a read-only Model.
+// that owns them over a read-only Model. The accompanying flush (from
+// newWorker) folds the worker's batched counters into shared state and
+// must be called once when the worker exits.
 type refChecker func(ref *Ref, out *[]Violation)
 
 // Metric names recorded by CheckContext. Durations are nanoseconds.
@@ -159,17 +174,27 @@ func CheckContext(ctx context.Context, m *Model, opts Options) (*Report, error) 
 	sp := obs.StartSpan("check",
 		obs.Label{Key: "engine", Value: engineName(opts.Engine)},
 		obs.Label{Key: "workers", Value: strconv.Itoa(workers)})
+	var cs0 CacheStats
 	if mon {
 		start = time.Now()
 		run = obs.NewRegistry()
 		shardDur = run.Histogram(MetricCheckShardDuration)
 		workerBusy = run.Histogram(MetricCheckWorkerBusy)
 		shardsDone = run.Counter(MetricCheckShards)
+		if opts.Cache != nil {
+			cs0 = opts.Cache.Stats()
+		}
 	}
 	defer func() {
 		if !mon {
 			sp.End()
 			return
+		}
+		if opts.Cache != nil {
+			cs1 := opts.Cache.Stats()
+			run.Counter(MetricCheckCacheHits).Add(cs1.Hits - cs0.Hits)
+			run.Counter(MetricCheckCacheMisses).Add(cs1.Misses - cs0.Misses)
+			run.Counter(MetricCheckCacheInvalidations).Add(cs1.Invalidations - cs0.Invalidations)
 		}
 		run.Counter(MetricCheckRuns).Inc()
 		run.Counter(MetricCheckRefs).Add(int64(rep.RefsChecked))
@@ -187,18 +212,29 @@ func CheckContext(ctx context.Context, m *Model, opts Options) (*Report, error) 
 	// and shared (read-only after construction); the logic engine
 	// shares the fact/rule base and gives each worker a private solver.
 	var chk *Checker
-	var newWorker func() refChecker
+	var newWorker func() (refChecker, func())
+	noFlush := func() {}
 	switch opts.Engine {
-	case EngineLogic:
-		db := BuildDB(m)
-		newWorker = func() refChecker {
+	case EngineLogic, EngineLogicRecursive:
+		var db *logic.DB
+		if opts.Engine == EngineLogic {
+			db = BuildDB(m)
+		} else {
+			db = BuildDBRecursive(m)
+		}
+		newWorker = func() (refChecker, func()) {
 			s := logic.NewSolver(db)
-			return func(ref *Ref, out *[]Violation) { logicCheckRef(m, s, ref, out) }
+			return func(ref *Ref, out *[]Violation) { logicCheckRef(m, s, ref, out) }, noFlush
 		}
 	default:
 		chk = NewChecker(m)
 		chk.DisableIndex = opts.DisableIndex
-		newWorker = func() refChecker { return chk.checkRef }
+		chk.Cache = opts.Cache
+		newWorker = func() (refChecker, func()) {
+			sc := &scratch{}
+			return func(ref *Ref, out *[]Violation) { chk.checkRefWith(ref, out, sc) },
+				func() { chk.flush(sc) }
+		}
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -230,7 +266,8 @@ func CheckContext(ctx context.Context, m *Model, opts Options) (*Report, error) 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			checkRef := newWorker()
+			checkRef, flush := newWorker()
+			defer flush()
 			var busy time.Duration
 			// Workers drain the channel even after cancellation (each
 			// shard is then skipped immediately), so the feeder below
@@ -295,7 +332,7 @@ func CheckContext(ctx context.Context, m *Model, opts Options) (*Report, error) 
 	// Tail phase, serial and cheap: proxy relationships (indexed engine
 	// only, matching the serial checkers) and unresolved targets.
 	before := len(rep.Violations)
-	if opts.Engine != EngineLogic {
+	if chk != nil {
 		chk.checkProxies(&rep.Violations)
 	}
 	for i := range m.Unresolved {

@@ -1,0 +1,117 @@
+package logic
+
+import "sync"
+
+// Atom interning. Every atom name is assigned a small process-wide id;
+// Atom() stamps it into the otherwise-unused Ref field of KAtom terms, so
+// unification compares atoms by a single integer instead of their bytes
+// and compound terms hash in O(arity). The table only ever grows: ids
+// stay valid for the life of the process, so clause databases built from
+// different models (and different checker runs) share one namespace and
+// may be queried with each other's atoms.
+type interner struct {
+	// reads are the hot path (one Load per Atom call); sync.Map keeps
+	// them lock-free. alloc serializes id assignment only.
+	m     sync.Map // string -> int
+	alloc sync.Mutex
+	n     int
+}
+
+// atoms is the process-wide intern table.
+var atoms interner
+
+// id returns the stable id for name, assigning the next one on first use.
+// Ids start at 1; 0 marks an un-interned atom (built as a raw struct
+// literal), for which all paths fall back to string comparison.
+func (in *interner) id(name string) int {
+	if v, ok := in.m.Load(name); ok {
+		return v.(int)
+	}
+	in.alloc.Lock()
+	defer in.alloc.Unlock()
+	if v, ok := in.m.Load(name); ok {
+		return v.(int)
+	}
+	in.n++
+	in.m.Store(name, in.n)
+	return in.n
+}
+
+// internID returns the process-wide intern id of an atom name.
+func internID(name string) int { return atoms.id(name) }
+
+// atomID returns the intern id of an atom term, interning on demand for
+// atoms that were built without Atom().
+func atomID(t Term) int {
+	if t.Ref != 0 {
+		return t.Ref
+	}
+	return internID(t.Str)
+}
+
+// InternedAtoms returns how many distinct atom names the process-wide
+// table holds (diagnostics and tests).
+func InternedAtoms() int {
+	atoms.alloc.Lock()
+	defer atoms.alloc.Unlock()
+	return atoms.n
+}
+
+// FNV-1a constants for term hashing.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h *= fnvPrime
+	return h
+}
+
+func mixString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = mix(h, uint64(s[i]))
+	}
+	return h
+}
+
+// hashWalk hashes t, walking variables through b (when non-nil), and
+// reports whether the term is ground. Atoms hash by intern id, so equal
+// atoms hash equal regardless of how they were constructed; numbers hash
+// by their exact rational rendering. Non-ground terms still get a hash
+// (variables by Ref) for the public Hash, but ground=false tells the
+// solver's fact index not to trust it.
+func hashWalk(t Term, b *Bindings) (uint64, bool) {
+	if b != nil {
+		t = b.Walk(t)
+	}
+	h := mix(fnvOffset, uint64(t.Kind))
+	switch t.Kind {
+	case KAtom:
+		return mix(h, uint64(atomID(t))), true
+	case KNum:
+		return mixString(h, t.Rat.RatString()), true
+	case KVar:
+		return mix(h, uint64(t.Ref)), false
+	case KComp:
+		h = mix(h, uint64(internID(t.Str)))
+		h = mix(h, uint64(len(t.Args)))
+		ground := true
+		for _, a := range t.Args {
+			ah, ag := hashWalk(a, b)
+			h = mix(h, ah)
+			ground = ground && ag
+		}
+		return h, ground
+	}
+	return h, false
+}
+
+// Hash returns a cheap structural hash of the term: atoms by intern id,
+// compounds in O(size). Equal ground terms hash equal; variables hash by
+// identity (Ref), without walking any binding store.
+func (t Term) Hash() uint64 {
+	h, _ := hashWalk(t, nil)
+	return h
+}

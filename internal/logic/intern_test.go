@@ -1,0 +1,111 @@
+package logic
+
+import "testing"
+
+func TestAtomInterning(t *testing.T) {
+	a1, a2 := Atom("intern-test-x"), Atom("intern-test-x")
+	if a1.Ref == 0 || a1.Ref != a2.Ref {
+		t.Fatalf("same name, ids %d and %d", a1.Ref, a2.Ref)
+	}
+	if b := Atom("intern-test-y"); b.Ref == a1.Ref {
+		t.Fatalf("distinct names share id %d", b.Ref)
+	}
+	if InternedAtoms() == 0 {
+		t.Fatal("intern table empty after Atom calls")
+	}
+}
+
+func TestUnifyMixedInternedAndRawAtoms(t *testing.T) {
+	b := NewBindings()
+	raw := Term{Kind: KAtom, Str: "raw-atom"} // no intern id
+	if !b.Unify(raw, Atom("raw-atom")) {
+		t.Error("raw literal should unify with interned atom of same name")
+	}
+	if b.Unify(raw, Atom("other")) {
+		t.Error("distinct atoms unified")
+	}
+	if !b.Unify(Atom("a"), Atom("a")) || b.Unify(Atom("a"), Atom("b")) {
+		t.Error("interned atom unification broken")
+	}
+}
+
+func TestTermHash(t *testing.T) {
+	x := Comp("f", Atom("a"), Int(3), Comp("g", Atom("b")))
+	y := Comp("f", Atom("a"), Int(3), Comp("g", Atom("b")))
+	if x.Hash() != y.Hash() {
+		t.Error("equal ground terms hash differently")
+	}
+	// A raw literal atom must hash like its interned twin (the fact index
+	// relies on it).
+	if Atom("hash-twin").Hash() != (Term{Kind: KAtom, Str: "hash-twin"}).Hash() {
+		t.Error("raw and interned atoms hash differently")
+	}
+	for _, other := range []Term{
+		Comp("f", Atom("a"), Int(4), Comp("g", Atom("b"))),
+		Comp("f", Atom("c"), Int(3), Comp("g", Atom("b"))),
+		Comp("h", Atom("a"), Int(3), Comp("g", Atom("b"))),
+		Atom("f"),
+	} {
+		if x.Hash() == other.Hash() {
+			t.Errorf("%s and %s hash equal", x, other)
+		}
+	}
+	if _, ground := hashWalk(Comp("f", NewVar("V")), nil); ground {
+		t.Error("term with unbound variable reported ground")
+	}
+	// A bound variable makes the term ground under its bindings.
+	b := NewBindings()
+	v := NewVar("V")
+	if !b.Unify(v, Atom("a")) {
+		t.Fatal("bind failed")
+	}
+	h1, ground := hashWalk(Comp("f", v), b)
+	if !ground {
+		t.Error("bound variable not ground under bindings")
+	}
+	if h2, _ := hashWalk(Comp("f", Atom("a")), nil); h1 != h2 {
+		t.Error("walked hash differs from direct hash")
+	}
+}
+
+func TestGroundFactFastPath(t *testing.T) {
+	db := NewDB()
+	db.Assert(Comp("edge", Atom("a"), Atom("b")))
+	db.Assert(Comp("edge", Atom("a"), Atom("c")))
+	db.Assert(Comp("edge", Atom("b"), Atom("c")))
+	s := NewSolver(db)
+	if !s.Prove(Call(Comp("edge", Atom("a"), Atom("b")))) {
+		t.Error("ground fact not proved")
+	}
+	if s.Prove(Call(Comp("edge", Atom("a"), Atom("d")))) {
+		t.Error("absent ground fact proved")
+	}
+	// Non-ground calls still enumerate through the regular index.
+	n := 0
+	s.Solve([]Goal{Call(Comp("edge", Atom("a"), NewVar("X")))}, func(*Solution) bool {
+		n++
+		return true
+	})
+	if n != 2 {
+		t.Errorf("edge(a, X) yielded %d solutions, want 2", n)
+	}
+	// A rule on the predicate disables the fact-only path but not
+	// correctness.
+	x, y, z := NewVar("X"), NewVar("Y"), NewVar("Z")
+	db.Assert(Comp("path", x, y), Call(Comp("edge", x, y)))
+	db.Assert(Comp("path", x, z), Call(Comp("edge", x, y)), Call(Comp("path", y, z)))
+	if !s.Prove(Call(Comp("path", Atom("a"), Atom("c")))) {
+		t.Error("path(a, c) not proved")
+	}
+	// Duplicate facts keep their multiplicity.
+	db.Assert(Comp("dup", Atom("k")))
+	db.Assert(Comp("dup", Atom("k")))
+	n = 0
+	s.Solve([]Goal{Call(Comp("dup", Atom("k")))}, func(*Solution) bool {
+		n++
+		return true
+	})
+	if n != 2 {
+		t.Errorf("dup(k) yielded %d solutions, want 2", n)
+	}
+}

@@ -103,11 +103,20 @@ func (c *Clause) String() string {
 // rest of the database. This is what keeps consistency checking of large
 // specifications near-linear (DESIGN.md ablation: BenchmarkCheckIndexedVsScan).
 type bucket struct {
-	all    []*Clause
-	byAtom map[string][]*Clause
+	all []*Clause
+	// byAtom is keyed by the intern id of the head's first argument, so
+	// lookups hash one machine word instead of the atom's bytes.
+	byAtom map[int][]*Clause
 	// mixed are clauses whose first argument is not a ground atom (or
 	// arity is 0); they apply to every call.
 	mixed []*Clause
+	// ground indexes fact clauses with fully ground heads by structural
+	// hash. When the predicate consists only of such facts (factsOnly), a
+	// ground call is answered straight from this index — the O(1) lookup
+	// that makes the materialized closure tables (contains_tr/2, covers/2,
+	// data_covers/2) cheap to consult.
+	ground    map[uint64][]*Clause
+	factsOnly bool
 }
 
 // DB is a clause database.
@@ -132,15 +141,25 @@ func (db *DB) Assert(head Term, body ...Goal) {
 	}
 	bk, ok := db.preds[ind]
 	if !ok {
-		bk = &bucket{byAtom: map[string][]*Clause{}}
+		bk = &bucket{byAtom: map[int][]*Clause{}, ground: map[uint64][]*Clause{}, factsOnly: true}
 		db.preds[ind] = bk
 	}
 	c := &Clause{Head: head, Body: body}
 	bk.all = append(bk.all, c)
 	if head.Kind == KComp && len(head.Args) > 0 && head.Args[0].Kind == KAtom {
-		bk.byAtom[head.Args[0].Str] = append(bk.byAtom[head.Args[0].Str], c)
+		id := atomID(head.Args[0])
+		bk.byAtom[id] = append(bk.byAtom[id], c)
 	} else {
 		bk.mixed = append(bk.mixed, c)
+	}
+	if len(body) == 0 {
+		if h, grnd := hashWalk(head, nil); grnd {
+			bk.ground[h] = append(bk.ground[h], c)
+		} else {
+			bk.factsOnly = false
+		}
+	} else {
+		bk.factsOnly = false
 	}
 	db.size++
 }
@@ -158,7 +177,7 @@ func (db *DB) candidates(goal Term, b *Bindings) []*Clause {
 	if goal.Kind == KComp && len(goal.Args) > 0 {
 		first := b.Walk(goal.Args[0])
 		if first.Kind == KAtom {
-			indexed := bk.byAtom[first.Str]
+			indexed := bk.byAtom[atomID(first)]
 			if len(bk.mixed) == 0 {
 				return indexed
 			}
@@ -379,6 +398,29 @@ func (s *Solver) solveCall(t Term, rest []Goal, depth int, k func() bool) bool {
 	}
 	if t.Kind != KAtom && t.Kind != KComp {
 		return true // unbound or numeric call: no clauses can match
+	}
+	// Fact-table fast path: a ground call against a predicate that is
+	// nothing but ground facts is a hash lookup. The matching clauses are
+	// exactly the facts equal to the call (verified by unification below,
+	// so hash collisions stay sound), in assert order — identical
+	// solutions, identical order, no scan.
+	if !s.db.DisableIndex {
+		if bk := s.db.preds[t.Indicator()]; bk != nil && bk.factsOnly {
+			if h, grnd := hashWalk(t, s.b); grnd {
+				for _, c := range bk.ground[h] {
+					mark := s.b.Mark()
+					smark := s.st.mark()
+					if s.unifyCLP(t, c.Head) {
+						if !s.solve(rest, depth+1, k) {
+							return false
+						}
+					}
+					s.b.Undo(mark)
+					s.st.undo(smark)
+				}
+				return true
+			}
+		}
 	}
 	for _, c := range s.db.candidates(t, s.b) {
 		mark := s.b.Mark()

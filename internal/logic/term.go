@@ -29,7 +29,9 @@ type Term struct {
 	// Str is the atom name, the compound functor, or the variable's
 	// display name.
 	Str string
-	// Ref is the variable id (KVar only). Ids are unique per NewVar call.
+	// Ref is the variable id (KVar; unique per NewVar call) or the
+	// process-wide intern id of the atom name (KAtom; stamped by Atom,
+	// 0 for atoms built as raw struct literals).
 	Ref int
 	// Rat is the numeric value (KNum only).
 	Rat *big.Rat
@@ -44,8 +46,9 @@ func NewVar(name string) Term {
 	return Term{Kind: KVar, Str: name, Ref: int(varCtr.Add(1))}
 }
 
-// Atom returns an atom term.
-func Atom(name string) Term { return Term{Kind: KAtom, Str: name} }
+// Atom returns an atom term. The name is interned process-wide so that
+// unification compares atoms by id rather than by bytes.
+func Atom(name string) Term { return Term{Kind: KAtom, Str: name, Ref: internID(name)} }
 
 // Int returns a numeric term with integer value.
 func Int(v int64) Term { return Term{Kind: KNum, Rat: big.NewRat(v, 1)} }
@@ -221,7 +224,16 @@ func (b *Bindings) unify(x, y Term) bool {
 	}
 	switch x.Kind {
 	case KAtom:
-		return y.Kind == KAtom && x.Str == y.Str
+		if y.Kind != KAtom {
+			return false
+		}
+		// Interned atoms (the common case: everything built via Atom)
+		// compare by id; atoms assembled as raw struct literals fall back
+		// to the string comparison.
+		if x.Ref != 0 && y.Ref != 0 {
+			return x.Ref == y.Ref
+		}
+		return x.Str == y.Str
 	case KNum:
 		return y.Kind == KNum && x.Rat.Cmp(y.Rat) == 0
 	case KComp:

@@ -118,8 +118,37 @@ const (
 	EngineIndexed = consistency.EngineIndexed
 	// EngineLogic proves every reference through the CLP(R)-style logic
 	// engine (the paper's reference semantics; slower but independent).
+	// The containment and MIB closures are materialized as indexed fact
+	// tables before solving.
 	EngineLogic = consistency.EngineLogic
+	// EngineLogicRecursive is EngineLogic over the paper's recursive
+	// transitivity rules, without materialized closures — the parity
+	// oracle; expect it to be much slower on deep hierarchies.
+	EngineLogicRecursive = consistency.EngineLogicRecursive
 )
+
+// Incremental checking re-exports.
+type (
+	// CheckCache memoizes per-reference verdicts across runs, keyed by
+	// dependency fingerprints. Attach with WithCache or pass to
+	// CheckDelta; persist with its SaveFile/LoadFile.
+	CheckCache = consistency.ResultCache
+	// CacheStats is a snapshot of a CheckCache's counters.
+	CacheStats = consistency.CacheStats
+	// ModelDelta names the declarations an edit touched, for CheckDelta.
+	ModelDelta = consistency.ModelDelta
+)
+
+// NewCheckCache returns an empty verdict cache.
+func NewCheckCache() *CheckCache { return consistency.NewResultCache() }
+
+// DiffSpecs diffs two compiled specifications into a ModelDelta for
+// CheckDelta. Position-only differences (reformatting) yield an empty
+// delta; type-declaration changes mark the MIB changed, which forces a
+// full re-check.
+func DiffSpecs(old, new *Specification) *ModelDelta {
+	return consistency.DeltaFromSpecs(old.spec, new.spec)
+}
 
 // CheckOption configures Specification.CheckContext.
 type CheckOption func(*consistency.Options)
@@ -149,6 +178,15 @@ func WithOnViolation(fn func(Violation)) CheckOption {
 // The Report then holds at least one violation but is partial.
 func WithFailFast() CheckOption {
 	return func(o *consistency.Options) { o.FailFast = true }
+}
+
+// WithCache memoizes per-reference verdicts in c across runs (indexed
+// engine only). A verdict is replayed only when the SHA-256 fingerprint
+// of everything it depends on — the reference tuple, the target's
+// support views, both parties' containment ancestry and the candidate
+// permissions — is unchanged, so replays are always sound.
+func WithCache(c *CheckCache) CheckOption {
+	return func(o *consistency.Options) { o.Cache = c }
 }
 
 // Output tags built into the compiler.
@@ -276,6 +314,19 @@ func (s *Specification) CheckContext(ctx context.Context, opts ...CheckOption) (
 // compatibility wrapper for CheckContext(context.Background()) with one
 // worker and produces an identical Report.
 func (s *Specification) Check() *Report { return consistency.Check(s.model) }
+
+// CheckDelta re-checks the specification after an edit described by
+// delta (typically from DiffSpecs against the previous revision),
+// reusing prev — the previous revision's full Report — for references
+// the edit cannot have influenced. cache, when non-nil, additionally
+// memoizes the re-evaluated references by dependency fingerprint. The
+// returned Report is identical to a full Check; on a one-declaration
+// edit of a large specification it arrives an order of magnitude faster.
+func (s *Specification) CheckDelta(prev *Report, delta *ModelDelta, cache *CheckCache) *Report {
+	chk := consistency.NewChecker(s.model)
+	chk.Cache = cache
+	return chk.CheckDelta(prev, delta)
+}
 
 // CheckLogic runs the consistency check through the CLP(R)-style logic
 // engine (the paper's reference semantics; slower but independent).

@@ -1,0 +1,156 @@
+// benchguard compares a fresh benchmark run against the committed
+// baseline (BENCH_5.json and successors) and fails when a guarded
+// benchmark regresses beyond the tolerance. It reads the JSON documents
+// produced by scripts/bench2json; with -count > 1 the same benchmark
+// appears several times and the minimum ns/op is used on both sides,
+// which discounts scheduler noise without hiding real regressions.
+//
+// Benchmark timings only compare within one machine class, so when the
+// baseline and current documents report different CPU strings the guard
+// prints a warning and exits 0 rather than failing on hardware drift.
+//
+// Usage:
+//
+//	go run ./scripts/benchguard -baseline BENCH_5.json -current BENCH_guard.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Benchmark and Document mirror the fields of scripts/bench2json that
+// the guard consumes.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op,omitempty"`
+}
+
+type Document struct {
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// result is one guarded benchmark's verdict.
+type result struct {
+	name      string
+	base, cur float64 // min ns/op on each side
+	delta     float64 // (cur-base)/base
+	status    string  // "ok", "regression", "improvement", "no-baseline"
+}
+
+// minNs returns the minimum ns/op over every multi-iteration entry
+// named name. Single-iteration entries come from the -benchtime=1x
+// smoke sweep, where warmup effects dominate the timing; mixing them
+// into a min would bias the comparison, so they are skipped.
+func minNs(d *Document, name string) (float64, bool) {
+	best, ok := 0.0, false
+	for _, b := range d.Benchmarks {
+		if b.Name != name || b.NsPerOp <= 0 || b.Iterations < 2 {
+			continue
+		}
+		if !ok || b.NsPerOp < best {
+			best, ok = b.NsPerOp, true
+		}
+	}
+	return best, ok
+}
+
+// compare evaluates the guarded benchmarks. A non-empty skip string
+// means the comparison is meaningless (different hardware) and the
+// caller should exit 0. failed reports a regression beyond tol, or a
+// guarded benchmark missing from the current run.
+func compare(base, cur *Document, names []string, tol float64) (results []result, failed bool, skip string) {
+	if base.CPU != cur.CPU {
+		return nil, false, fmt.Sprintf("baseline CPU %q != current CPU %q; cross-machine timings do not compare", base.CPU, cur.CPU)
+	}
+	for _, name := range names {
+		c, okC := minNs(cur, name)
+		if !okC {
+			results = append(results, result{name: name, status: "missing from current run"})
+			failed = true
+			continue
+		}
+		b, okB := minNs(base, name)
+		if !okB {
+			results = append(results, result{name: name, cur: c, status: "no-baseline"})
+			continue
+		}
+		r := result{name: name, base: b, cur: c, delta: (c - b) / b}
+		switch {
+		case r.delta > tol:
+			r.status = "regression"
+			failed = true
+		case r.delta < -tol:
+			r.status = "improvement"
+		default:
+			r.status = "ok"
+		}
+		results = append(results, r)
+	}
+	return results, failed, ""
+}
+
+func render(results []result, tol float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-24s %14s %14s %8s  %s\n", "benchmark", "baseline ns/op", "current ns/op", "delta", "verdict")
+	for _, r := range results {
+		if r.base == 0 {
+			fmt.Fprintf(&sb, "%-24s %14s %14.0f %8s  %s\n", r.name, "-", r.cur, "-", r.status)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-24s %14.0f %14.0f %+7.1f%%  %s\n", r.name, r.base, r.cur, 100*r.delta, r.status)
+	}
+	fmt.Fprintf(&sb, "tolerance: +-%.0f%%\n", 100*tol)
+	return sb.String()
+}
+
+func load(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Document
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_5.json", "committed baseline document (bench2json format)")
+	current := flag.String("current", "BENCH_guard.json", "fresh run to compare (bench2json format)")
+	tol := flag.Float64("tolerance", 0.20, "allowed fractional ns/op drift before failing")
+	bench := flag.String("bench", "CheckParallel8,CheckWarmCache", "comma-separated guarded benchmark names (bench2json names, no Benchmark prefix)")
+	flag.Parse()
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+	names := strings.Split(*bench, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	results, failed, skip := compare(base, cur, names, *tol)
+	if skip != "" {
+		fmt.Printf("benchguard: skipped: %s\n", skip)
+		return
+	}
+	fmt.Print(render(results, *tol))
+	if failed {
+		fmt.Println("benchguard: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: ok")
+}

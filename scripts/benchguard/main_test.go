@@ -1,0 +1,113 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func doc(cpu string, entries ...Benchmark) *Document {
+	for i := range entries {
+		if entries[i].Iterations == 0 {
+			entries[i].Iterations = 20
+		}
+	}
+	return &Document{CPU: cpu, Benchmarks: entries}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := doc("xeon", Benchmark{Name: "CheckParallel8", NsPerOp: 1000})
+	cur := doc("xeon", Benchmark{Name: "CheckParallel8", NsPerOp: 1150})
+	results, failed, skip := compare(base, cur, []string{"CheckParallel8"}, 0.20)
+	if skip != "" || failed {
+		t.Fatalf("failed=%v skip=%q, want pass", failed, skip)
+	}
+	if results[0].status != "ok" {
+		t.Errorf("status = %q, want ok", results[0].status)
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	base := doc("xeon", Benchmark{Name: "CheckWarmCache", NsPerOp: 1000})
+	cur := doc("xeon", Benchmark{Name: "CheckWarmCache", NsPerOp: 1201})
+	results, failed, _ := compare(base, cur, []string{"CheckWarmCache"}, 0.20)
+	if !failed || results[0].status != "regression" {
+		t.Fatalf("results = %+v failed=%v, want regression", results, failed)
+	}
+	out := render(results, 0.20)
+	if !strings.Contains(out, "regression") || !strings.Contains(out, "CheckWarmCache") {
+		t.Errorf("render output not readable:\n%s", out)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	base := doc("xeon", Benchmark{Name: "CheckWarmCache", NsPerOp: 1000})
+	cur := doc("xeon", Benchmark{Name: "CheckWarmCache", NsPerOp: 500})
+	results, failed, _ := compare(base, cur, []string{"CheckWarmCache"}, 0.20)
+	if failed || results[0].status != "improvement" {
+		t.Fatalf("results = %+v failed=%v, want passing improvement", results, failed)
+	}
+}
+
+func TestCompareUsesMinOverCounts(t *testing.T) {
+	// -count=3 emits the same name three times; min discounts the noisy
+	// outliers on both sides.
+	base := doc("xeon",
+		Benchmark{Name: "CheckParallel8", NsPerOp: 1300},
+		Benchmark{Name: "CheckParallel8", NsPerOp: 1000},
+		Benchmark{Name: "CheckParallel8", NsPerOp: 1900})
+	cur := doc("xeon",
+		Benchmark{Name: "CheckParallel8", NsPerOp: 2000},
+		Benchmark{Name: "CheckParallel8", NsPerOp: 1100})
+	results, failed, _ := compare(base, cur, []string{"CheckParallel8"}, 0.20)
+	if failed {
+		t.Fatalf("results = %+v, want pass (min 1100 vs min 1000)", results)
+	}
+	if results[0].base != 1000 || results[0].cur != 1100 {
+		t.Errorf("min selection wrong: %+v", results[0])
+	}
+}
+
+func TestCompareIgnoresSmokeEntries(t *testing.T) {
+	// The 1x smoke sweep's single-iteration timings are warmup-biased;
+	// only multi-iteration samples participate in the min.
+	base := doc("xeon",
+		Benchmark{Name: "CheckParallel8", Iterations: 1, NsPerOp: 100},
+		Benchmark{Name: "CheckParallel8", Iterations: 20, NsPerOp: 1000})
+	cur := doc("xeon", Benchmark{Name: "CheckParallel8", NsPerOp: 1100})
+	results, failed, _ := compare(base, cur, []string{"CheckParallel8"}, 0.20)
+	if failed || results[0].base != 1000 {
+		t.Fatalf("results = %+v failed=%v, want smoke entry ignored", results, failed)
+	}
+	smokeOnly := doc("xeon", Benchmark{Name: "CheckParallel8", Iterations: 1, NsPerOp: 100})
+	results, failed, _ = compare(smokeOnly, cur, []string{"CheckParallel8"}, 0.20)
+	if failed || results[0].status != "no-baseline" {
+		t.Fatalf("results = %+v failed=%v, want passing no-baseline for smoke-only doc", results, failed)
+	}
+}
+
+func TestCompareSkipsOnCPUMismatch(t *testing.T) {
+	base := doc("xeon", Benchmark{Name: "CheckParallel8", NsPerOp: 1000})
+	cur := doc("epyc", Benchmark{Name: "CheckParallel8", NsPerOp: 9000})
+	_, failed, skip := compare(base, cur, []string{"CheckParallel8"}, 0.20)
+	if failed || skip == "" {
+		t.Fatalf("failed=%v skip=%q, want clean skip", failed, skip)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := doc("xeon", Benchmark{Name: "CheckParallel8", NsPerOp: 1000})
+	cur := doc("xeon")
+	results, failed, _ := compare(base, cur, []string{"CheckParallel8"}, 0.20)
+	if !failed {
+		t.Fatalf("results = %+v, want failure when guarded benchmark vanishes", results)
+	}
+}
+
+func TestCompareNoBaselineWarnsButPasses(t *testing.T) {
+	base := doc("xeon")
+	cur := doc("xeon", Benchmark{Name: "CheckWarmCache", NsPerOp: 900})
+	results, failed, _ := compare(base, cur, []string{"CheckWarmCache"}, 0.20)
+	if failed || results[0].status != "no-baseline" {
+		t.Fatalf("results = %+v failed=%v, want passing no-baseline", results, failed)
+	}
+}
