@@ -9,7 +9,7 @@ GO ?= go
 # below it.
 COVER_FLOOR ?= 70
 
-.PHONY: all build test vet race ci chaos bench bench-parallel bench-rollout cover bench-ci bench-guard
+.PHONY: all build test vet race ci chaos bench bench-parallel bench-rollout cover bench-ci bench-guard svc-smoke svc-bench
 
 all: build test
 
@@ -25,7 +25,7 @@ vet:
 race:
 	$(GO) test -race -shuffle=on ./...
 
-ci: vet race chaos
+ci: vet race chaos svc-smoke
 
 # Chaos gate: the crash-resume tests re-run several times under the race
 # detector, each run killing the journaled rollout at a different offset
@@ -54,6 +54,21 @@ cover:
 	@$(GO) tool cover -func=cover.out | awk -v floor=$(COVER_FLOOR) \
 		'/^total:/ { sub(/%/, "", $$3); printf "coverage: %.1f%% (floor %d%%)\n", $$3, floor; \
 		 if ($$3 + 0 < floor) exit 1 }'
+
+# Service smoke + latency SLO gate: drive an in-process nmsld with the
+# synthetic many-tenant load generator (16 tenants, short burst), write
+# BENCH_svc.json, then fail the build when the warm delta-check p99
+# exceeds the budget or throughput collapses. The budgets in
+# scripts/slogate default an order of magnitude above the measured
+# numbers, so this catches accidental cold paths, not CI jitter.
+svc-smoke:
+	$(GO) run ./cmd/nmslload -tenants 16 -duration 2s -out BENCH_svc.json
+	$(GO) run ./scripts/slogate -in BENCH_svc.json
+
+# The full E-SVC-1 measurement: 64 tenants, longer sustained phase.
+svc-bench:
+	$(GO) run ./cmd/nmslload -tenants 64 -duration 10s -conc 8 -out BENCH_svc.json
+	$(GO) run ./scripts/slogate -in BENCH_svc.json
 
 # Bench smoke for CI: one iteration of every benchmark — a compile-and-
 # run sanity pass, not a measurement — plus properly-sampled runs of the

@@ -1,0 +1,131 @@
+package apiv1
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"nmsl/internal/configgen"
+	"nmsl/internal/consistency"
+)
+
+// Converters from the library's result types onto the wire. These are
+// the only place the internal shapes and the frozen wire shapes meet:
+// the daemon and every CLI -json flag go through them, so the two can
+// never drift apart.
+
+// FromViolation converts one checker violation.
+func FromViolation(v consistency.Violation) Violation {
+	out := Violation{Kind: string(v.Kind), Message: v.Message}
+	if v.Ref != nil {
+		out.Source = v.Ref.Source.ID
+		out.Target = v.Ref.Target.ID
+		out.Var = v.Ref.Var.Path()
+		out.Access = v.Ref.Access.String()
+	}
+	return out
+}
+
+// FromReport converts a consistency report.
+func FromReport(r *consistency.Report) Report {
+	out := Report{
+		APIVersion:  Version,
+		Consistent:  r.Consistent(),
+		RefsChecked: r.RefsChecked,
+		Summary:     r.Summary(),
+	}
+	if n := len(r.Violations); n > 0 {
+		out.Violations = make([]Violation, n)
+		for i, v := range r.Violations {
+			out.Violations[i] = FromViolation(v)
+		}
+	}
+	return out
+}
+
+// FromDelta converts a model delta summary. A nil delta converts to
+// nil.
+func FromDelta(d *consistency.ModelDelta) *ModelDelta {
+	if d == nil {
+		return nil
+	}
+	return &ModelDelta{
+		Full:       d.Full,
+		MIBChanged: d.MIBChanged,
+		Domains:    append([]string(nil), d.Domains...),
+		Systems:    append([]string(nil), d.Systems...),
+		Processes:  append([]string(nil), d.Processes...),
+		Instances:  append([]string(nil), d.Instances...),
+	}
+}
+
+// FromCacheStats converts result-cache counters. A nil receiver-side
+// cache is represented by a nil pointer at the call sites, not here.
+func FromCacheStats(s consistency.CacheStats) CacheStats {
+	return CacheStats{
+		Hits:          s.Hits,
+		Misses:        s.Misses,
+		Invalidations: s.Invalidations,
+		Evictions:     s.Evictions,
+		Entries:       s.Entries,
+	}
+}
+
+// FromRolloutReport converts a rollout report.
+func FromRolloutReport(r *configgen.RolloutReport) RolloutReport {
+	out := RolloutReport{
+		APIVersion: Version,
+		OK:         r.OK(),
+		Installed:  r.Installed,
+		Failed:     r.Failed,
+		Skipped:    r.Skipped,
+		Canceled:   r.Canceled,
+		RolledBack: r.RolledBack,
+		Attempts:   r.Attempts,
+		DurationNS: int64(r.Duration),
+		Summary:    r.Summary(),
+	}
+	if n := len(r.Results); n > 0 {
+		out.Targets = make([]RolloutTarget, n)
+		for i, t := range r.Results {
+			wt := RolloutTarget{
+				Instance:   t.Target.InstanceID,
+				Addr:       t.Target.Addr,
+				Status:     t.Status.String(),
+				Attempts:   t.Attempts,
+				Digest:     t.Digest,
+				Resumed:    t.Resumed,
+				DurationNS: int64(t.Duration),
+			}
+			if t.Err != nil {
+				wt.Error = t.Err.Error()
+			}
+			out.Targets[i] = wt
+		}
+	}
+	return out
+}
+
+// NewError builds the uniform error envelope.
+func NewError(code int, message string) *Error {
+	return &Error{APIVersion: Version, Code: code, Message: message}
+}
+
+// StatusFromErr is the shared context-error mapping: both the checker
+// (CheckContext) and the rollout (DistributeContext) return their
+// partial result together with ctx.Err() when cut short, and every
+// HTTP surface maps those errors the same way — cancellation is the
+// client's doing (499, nginx's convention), a deadline is a timeout
+// (504), anything else is a server error (500). nil maps to 200.
+func StatusFromErr(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, context.Canceled):
+		return 499
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,229 @@
+// Package apiv1 defines the versioned wire types of the NMSL service
+// API. Every JSON document the nmsld daemon emits or accepts — and the
+// -json output of the CLIs — is one of these types, tagged with the API
+// version so clients can detect incompatible servers.
+//
+// The wire format is FROZEN: field names, types and omitempty behavior
+// are covered by golden round-trip tests (testdata/*.golden.json).
+// Additive evolution (new optional fields) is allowed within v1;
+// renaming or retyping a field requires a v2 package served alongside
+// this one. Durations travel as integer nanoseconds (suffix _ns),
+// matching the observability layer's histogram units; periods from the
+// specification language travel as float seconds (suffix _s), matching
+// NMSL's frequency clauses.
+package apiv1
+
+import "encoding/json"
+
+// Version identifies this wire format. Servers echo it in every
+// response; clients should reject documents with a different version.
+const Version = "nmsl/v1"
+
+// Source is one named NMSL source text (a specification or extension
+// file shipped to the daemon).
+type Source struct {
+	Name string `json:"name"`
+	Text string `json:"text"`
+}
+
+// Violation is one immediate cause of inconsistency on the wire.
+type Violation struct {
+	// Kind is the violation class (no-permission, access-violation,
+	// frequency-violation, domain-restriction, no-support,
+	// unresolved-target).
+	Kind string `json:"kind"`
+	// Source and Target are the failing reference's instance IDs; empty
+	// for unresolved-target and proxy causes, which have no resolved
+	// reference.
+	Source string `json:"source,omitempty"`
+	Target string `json:"target,omitempty"`
+	// Var is the referenced MIB name (dotted path).
+	Var string `json:"var,omitempty"`
+	// Access is the access mode the reference needs.
+	Access string `json:"access,omitempty"`
+	// Message is the rendered human-readable cause.
+	Message string `json:"message"`
+}
+
+// Report is a consistency-check result on the wire.
+type Report struct {
+	APIVersion string `json:"api_version"`
+	// Consistent is true when no violations were found.
+	Consistent bool `json:"consistent"`
+	// RefsChecked counts the references examined.
+	RefsChecked int `json:"refs_checked"`
+	// Violations lists every immediate cause, in the checker's
+	// deterministic order.
+	Violations []Violation `json:"violations,omitempty"`
+	// Summary is the one-line digest (Report.Summary of the library).
+	Summary string `json:"summary"`
+}
+
+// ModelDelta summarizes which declarations an edit touched (the input
+// to a delta re-check).
+type ModelDelta struct {
+	// Full forces a complete re-check.
+	Full bool `json:"full,omitempty"`
+	// MIBChanged reports a type-tree change, which invalidates globally.
+	MIBChanged bool     `json:"mib_changed,omitempty"`
+	Domains    []string `json:"domains,omitempty"`
+	Systems    []string `json:"systems,omitempty"`
+	Processes  []string `json:"processes,omitempty"`
+	Instances  []string `json:"instances,omitempty"`
+}
+
+// CacheStats snapshots a tenant's result-cache counters.
+type CacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Invalidations int64 `json:"invalidations"`
+	Evictions     int64 `json:"evictions"`
+	Entries       int   `json:"entries"`
+}
+
+// RolloutTarget is one target's outcome on the wire.
+type RolloutTarget struct {
+	Instance string `json:"instance"`
+	Addr     string `json:"addr"`
+	// Status is installed, failed, skipped, canceled or rolled-back.
+	Status   string `json:"status"`
+	Attempts int    `json:"attempts"`
+	// Error is the last error observed (empty when installed).
+	Error string `json:"error,omitempty"`
+	// Digest identifies the configuration now on the agent, as far as
+	// the rollout knows.
+	Digest string `json:"digest,omitempty"`
+	// Resumed marks a target satisfied without an install.
+	Resumed    bool  `json:"resumed,omitempty"`
+	DurationNS int64 `json:"duration_ns"`
+}
+
+// RolloutReport aggregates a rollout on the wire.
+type RolloutReport struct {
+	APIVersion string `json:"api_version"`
+	// OK is true when every target was installed (a rolled-back wave is
+	// not success).
+	OK         bool            `json:"ok"`
+	Installed  int             `json:"installed"`
+	Failed     int             `json:"failed"`
+	Skipped    int             `json:"skipped"`
+	Canceled   int             `json:"canceled"`
+	RolledBack int             `json:"rolled_back"`
+	Attempts   int             `json:"attempts"`
+	DurationNS int64           `json:"duration_ns"`
+	Summary    string          `json:"summary"`
+	Targets    []RolloutTarget `json:"targets,omitempty"`
+}
+
+// Error is the uniform error envelope: every non-2xx response from the
+// daemon carries exactly this document.
+type Error struct {
+	APIVersion string `json:"api_version"`
+	// Code mirrors the HTTP status code.
+	Code int `json:"code"`
+	// Message describes what failed.
+	Message string `json:"message"`
+}
+
+// SpecRequest replaces (or creates) a tenant's specification.
+type SpecRequest struct {
+	// Sources are the specification files, compiled in order.
+	Sources []Source `json:"sources"`
+	// Extensions are NMSL/EXT extension files, installed before the
+	// sources are compiled.
+	Extensions []Source `json:"extensions,omitempty"`
+}
+
+// SpecResponse acknowledges a spec update.
+type SpecResponse struct {
+	APIVersion string `json:"api_version"`
+	Tenant     string `json:"tenant"`
+	// Generation counts this tenant's accepted spec revisions,
+	// starting at 1.
+	Generation int64 `json:"generation"`
+	// Delta summarizes what changed relative to the previous generation
+	// (nil on the first upload).
+	Delta *ModelDelta `json:"delta,omitempty"`
+	// Instances, Refs and Perms size the compiled model.
+	Instances int `json:"instances"`
+	Refs      int `json:"refs"`
+	Perms     int `json:"perms"`
+}
+
+// CheckRequest tunes a check or delta-check run. The zero value asks
+// for the service defaults.
+type CheckRequest struct {
+	// Workers bounds the check's worker pool; 0 selects the service
+	// default.
+	Workers int `json:"workers,omitempty"`
+	// FailFast stops the check at the first violation.
+	FailFast bool `json:"fail_fast,omitempty"`
+}
+
+// CheckResponse is the result of a check or delta-check.
+type CheckResponse struct {
+	APIVersion string `json:"api_version"`
+	Tenant     string `json:"tenant"`
+	Generation int64  `json:"generation"`
+	Report     Report `json:"report"`
+	// Delta reports whether the run was an incremental delta-check
+	// (replaying the previous report for untouched references) rather
+	// than a full check.
+	Delta bool `json:"delta,omitempty"`
+	// Cache snapshots the tenant's result cache after the run.
+	Cache      *CacheStats `json:"cache,omitempty"`
+	DurationNS int64       `json:"duration_ns"`
+}
+
+// GenerateResponse carries the derived per-agent configurations. Each
+// config is the snmp.Config JSON used by the live install path.
+type GenerateResponse struct {
+	APIVersion string `json:"api_version"`
+	Tenant     string `json:"tenant"`
+	Generation int64  `json:"generation"`
+	// Configs maps instance IDs to their configurations.
+	Configs map[string]json.RawMessage `json:"configs"`
+}
+
+// RolloutRequestTarget names one agent to install at.
+type RolloutRequestTarget struct {
+	Instance string `json:"instance"`
+	Addr     string `json:"addr"`
+	Admin    string `json:"admin,omitempty"`
+}
+
+// RolloutRequest asks the daemon to roll the tenant's generated
+// configuration out to a fleet.
+type RolloutRequest struct {
+	Targets []RolloutRequestTarget `json:"targets"`
+	// Workers bounds concurrent installs; 0 selects the default.
+	Workers int `json:"workers,omitempty"`
+	// Retries is the per-target retry budget; 0 selects the default.
+	Retries int `json:"retries,omitempty"`
+	// FailFast cancels remaining targets after the first failure.
+	FailFast bool `json:"fail_fast,omitempty"`
+}
+
+// RolloutResponse wraps the rollout report.
+type RolloutResponse struct {
+	APIVersion string        `json:"api_version"`
+	Tenant     string        `json:"tenant"`
+	Generation int64         `json:"generation"`
+	Report     RolloutReport `json:"report"`
+}
+
+// TenantInfo summarizes one resident tenant (the list endpoint).
+type TenantInfo struct {
+	ID         string `json:"id"`
+	Generation int64  `json:"generation"`
+	// Consistent reflects the last completed check; nil when the tenant
+	// has never been checked.
+	Consistent *bool       `json:"consistent,omitempty"`
+	Cache      *CacheStats `json:"cache,omitempty"`
+}
+
+// TenantsResponse lists the resident tenants.
+type TenantsResponse struct {
+	APIVersion string       `json:"api_version"`
+	Tenants    []TenantInfo `json:"tenants"`
+}

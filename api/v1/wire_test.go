@@ -1,0 +1,186 @@
+package apiv1
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden wire files")
+
+// goldenDocs is one representative instance of every wire type, with
+// every field populated, so a renamed/retyped/dropped JSON tag shows
+// up as a golden diff. Freezing these documents freezes the v1 wire
+// format.
+func goldenDocs() map[string]any {
+	yes := true
+	return map[string]any{
+		"report": Report{
+			APIVersion:  Version,
+			Consistent:  false,
+			RefsChecked: 42,
+			Violations: []Violation{{
+				Kind:    "frequency-violation",
+				Source:  "noc.poller",
+				Target:  "edge.agent",
+				Var:     "system.ifTable",
+				Access:  "ReadOnly",
+				Message: "poll period 5s exceeds permitted 30s",
+			}},
+			Summary: "INCONSISTENT: 42 references checked, 1 violation",
+		},
+		"delta": ModelDelta{
+			Full:       false,
+			MIBChanged: true,
+			Domains:    []string{"core"},
+			Systems:    []string{"core.sw1"},
+			Processes:  []string{"poller"},
+			Instances:  []string{"core.sw1.agent"},
+		},
+		"rollout_report": RolloutReport{
+			APIVersion: Version,
+			OK:         false,
+			Installed:  3,
+			Failed:     1,
+			Skipped:    0,
+			Canceled:   1,
+			RolledBack: 2,
+			Attempts:   7,
+			DurationNS: 1500000,
+			Summary:    "rollout: 3 installed, 1 failed",
+			Targets: []RolloutTarget{{
+				Instance:   "core.sw1.agent",
+				Addr:       "10.0.0.1:161",
+				Status:     "failed",
+				Attempts:   3,
+				Error:      "timeout",
+				Digest:     "ab12",
+				Resumed:    true,
+				DurationNS: 250000,
+			}},
+		},
+		"error": Error{APIVersion: Version, Code: 429, Message: "tenant rate limit exceeded"},
+		"spec_request": SpecRequest{
+			Sources:    []Source{{Name: "net.nmsl", Text: "domain public { }"}},
+			Extensions: []Source{{Name: "ext.nmslext", Text: "extension x"}},
+		},
+		"spec_response": SpecResponse{
+			APIVersion: Version,
+			Tenant:     "acme",
+			Generation: 2,
+			Delta:      &ModelDelta{Systems: []string{"core.sw1"}},
+			Instances:  12,
+			Refs:       30,
+			Perms:      18,
+		},
+		"check_request": CheckRequest{Workers: 4, FailFast: true},
+		"check_response": CheckResponse{
+			APIVersion: Version,
+			Tenant:     "acme",
+			Generation: 2,
+			Report:     Report{APIVersion: Version, Consistent: true, RefsChecked: 30, Summary: "CONSISTENT"},
+			Delta:      true,
+			Cache:      &CacheStats{Hits: 28, Misses: 2, Invalidations: 1, Evictions: 3, Entries: 30},
+			DurationNS: 31337,
+		},
+		"generate_response": GenerateResponse{
+			APIVersion: Version,
+			Tenant:     "acme",
+			Generation: 2,
+			Configs:    map[string]json.RawMessage{"core.sw1.agent": json.RawMessage(`{"community":"public"}`)},
+		},
+		"rollout_request": RolloutRequest{
+			Targets:  []RolloutRequestTarget{{Instance: "core.sw1.agent", Addr: "10.0.0.1:161", Admin: "admin"}},
+			Workers:  4,
+			Retries:  2,
+			FailFast: true,
+		},
+		"tenants_response": TenantsResponse{
+			APIVersion: Version,
+			Tenants: []TenantInfo{{
+				ID:         "acme",
+				Generation: 2,
+				Consistent: &yes,
+				Cache:      &CacheStats{Hits: 28, Misses: 2, Entries: 30},
+			}},
+		},
+	}
+}
+
+// TestGoldenWireFormat freezes the JSON encoding of every wire type.
+// A failing diff means the v1 wire format changed: either revert the
+// change or introduce a v2 package (see the package comment).
+func TestGoldenWireFormat(t *testing.T) {
+	for name, doc := range goldenDocs() {
+		t.Run(name, func(t *testing.T) {
+			got, err := json.MarshalIndent(doc, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", name+".golden.json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("wire format drifted from %s:\n--- want ---\n%s--- got ---\n%s", path, want, got)
+			}
+		})
+	}
+}
+
+// TestGoldenRoundTrip proves every golden document decodes back to the
+// value it was encoded from — no field is silently dropped on either
+// direction.
+func TestGoldenRoundTrip(t *testing.T) {
+	for name, doc := range goldenDocs() {
+		t.Run(name, func(t *testing.T) {
+			blob, err := json.Marshal(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back := reflect.New(reflect.TypeOf(doc))
+			if err := json.Unmarshal(blob, back.Interface()); err != nil {
+				t.Fatal(err)
+			}
+			if got := back.Elem().Interface(); !reflect.DeepEqual(got, doc) {
+				t.Errorf("round trip changed the document:\nsent %#v\ngot  %#v", doc, got)
+			}
+		})
+	}
+}
+
+// TestStatusFromErr pins the shared context-error mapping.
+func TestStatusFromErr(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 200},
+		{context.Canceled, 499},
+		{fmt.Errorf("check aborted: %w", context.Canceled), 499},
+		{context.DeadlineExceeded, 504},
+		{os.ErrPermission, 500},
+	}
+	for _, c := range cases {
+		if got := StatusFromErr(c.err); got != c.want {
+			t.Errorf("StatusFromErr(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	apiv1 "nmsl/api/v1"
+	"nmsl/internal/netsim"
+	"nmsl/internal/paperspec"
+)
+
+// TestJSONReport proves -json emits the api/v1 report document — the
+// same shape nmsld serves — instead of the prose report.
+func TestJSONReport(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-json", specFile(t, paperspec.Combined)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	var rep apiv1.Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("stdout is not an api/v1 report: %v\n%s", err, out.String())
+	}
+	if rep.APIVersion != apiv1.Version || !rep.Consistent || rep.RefsChecked == 0 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+}
+
+// TestJSONReportInconsistent keeps the violation payload and the exit
+// code aligned with the text mode.
+func TestJSONReportInconsistent(t *testing.T) {
+	p := netsim.Params{Domains: 2, SystemsPerDomain: 2, InconsistencyRate: 1, Seed: 3}
+	want := netsim.ExpectedViolations(p)
+	if want == 0 {
+		t.Fatal("test wants violations")
+	}
+	var out, errb strings.Builder
+	code := run([]string{"-json", specFile(t, netsim.Source(p))}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1: %s", code, errb.String())
+	}
+	var rep apiv1.Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Consistent || len(rep.Violations) != want {
+		t.Fatalf("report: consistent=%v violations=%d want %d", rep.Consistent, len(rep.Violations), want)
+	}
+	for _, v := range rep.Violations {
+		if v.Kind == "" || v.Message == "" {
+			t.Fatalf("violation missing fields: %+v", v)
+		}
+	}
+}
+
+// TestCacheMaxFlag caps the CLI cache and checks the persisted file
+// honors it across runs.
+func TestCacheMaxFlag(t *testing.T) {
+	p := netsim.Params{Domains: 3, SystemsPerDomain: 3, Seed: 5}
+	spec := specFile(t, netsim.Source(p))
+	dir := filepath.Join(t.TempDir(), "cache")
+	var out, errb strings.Builder
+	if code := run([]string{"-cache", dir, "-cache-max", "2", spec}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "(2 entries)") {
+		t.Fatalf("cache not capped: %q", out.String())
+	}
+}

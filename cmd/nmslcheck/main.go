@@ -10,15 +10,21 @@
 // Usage:
 //
 //	nmslcheck [-ext f ...] [-logic] [-workers n] [-stream] [-failfast]
-//	          [-timeout d] [-load] [-program] [-cache dir]
-//	          [-metrics-addr a] [-trace-out f] spec.nmsl ...
+//	          [-timeout d] [-load] [-program] [-cache dir] [-cache-max n]
+//	          [-json] [-metrics-addr a] [-trace-out f] spec.nmsl ...
 //	nmslcheck -solve src,tgt,var,access spec.nmsl ...
 //
 // -cache dir persists per-reference verdicts (keyed by dependency
 // fingerprints) under dir across runs, so re-checking a large
 // specification after a small edit replays unchanged verdicts instead
 // of re-proving them. A missing cache file is a cold start; a corrupt
-// one is reported and ignored.
+// one is reported and ignored. -cache-max caps the cache at n entries,
+// evicting least-recently-used verdicts first (the same cap nmsld
+// applies per tenant).
+//
+// -json prints the report as the api/v1 wire document — byte-for-byte
+// the Report shape nmsld serves — so scripts consume one format
+// whether they shell out to nmslcheck or curl the daemon.
 //
 // -metrics-addr serves the observability endpoint (/metrics in
 // Prometheus text form, /debug/vars as JSON, /debug/pprof for
@@ -37,6 +43,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +53,7 @@ import (
 	"strings"
 
 	"nmsl"
+	apiv1 "nmsl/api/v1"
 	"nmsl/internal/obs"
 )
 
@@ -75,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	program := fs.Bool("program", false, "also print the logic program (facts + rules)")
 	solve := fs.String("solve", "", "reverse-solve admissible periods: src,tgt,var,access")
 	cacheDir := fs.String("cache", "", "persist per-reference verdicts under this directory across runs")
+	cacheMax := fs.Int("cache-max", 0, "cap the verdict cache at this many entries, LRU-evicted (0 = unbounded)")
+	jsonOut := fs.Bool("json", false, "print the check report as api/v1 JSON (the nmsld wire format)")
 	simulate := fs.Duration("simulate", 0, "also simulate this much virtual operation (e.g. 24h)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	traceOut := fs.String("trace-out", "", "append tracing spans to this file as JSON lines")
@@ -168,6 +178,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		cache = nmsl.NewCheckCache()
+		if *cacheMax > 0 {
+			cache.SetMaxEntries(*cacheMax)
+		}
 		cachePath = filepath.Join(*cacheDir, "nmslcheck.cache.json")
 		if err := cache.LoadFile(cachePath); err != nil && !os.IsNotExist(err) {
 			fmt.Fprintf(stderr, "nmslcheck: ignoring cache: %v\n", err)
@@ -188,18 +201,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 			cerr, rep.RefsChecked, len(rep.Violations))
 		return 2
 	}
-	if *stream {
+	switch {
+	case *jsonOut:
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(apiv1.FromReport(rep)); err != nil {
+			fmt.Fprintf(stderr, "nmslcheck: %v\n", err)
+			return 2
+		}
+	case *stream:
 		fmt.Fprintln(stdout, rep.Summary())
-	} else {
+	default:
 		fmt.Fprint(stdout, rep.String())
 	}
 	if cache != nil {
 		if err := cache.SaveFile(cachePath); err != nil {
 			fmt.Fprintf(stderr, "nmslcheck: saving cache: %v\n", err)
 		}
-		st := cache.Stats()
-		fmt.Fprintf(stdout, "cache: %d hits, %d misses, %d invalidated (%d entries)\n",
-			st.Hits, st.Misses, st.Invalidations, st.Entries)
+		if !*jsonOut {
+			st := cache.Stats()
+			fmt.Fprintf(stdout, "cache: %d hits, %d misses, %d invalidated (%d entries)\n",
+				st.Hits, st.Misses, st.Invalidations, st.Entries)
+		}
 	}
 	if *load {
 		fmt.Fprint(stdout, spec.EstimateLoad(nmsl.LoadOptions{}).String())

@@ -1,0 +1,140 @@
+// nmsld is the resident NMSL network-manager daemon: a multi-tenant
+// check/rollout service with a versioned JSON API.
+//
+// Where nmslcheck compiles, checks and exits, nmsld keeps each
+// tenant's compiled specification and warm result cache resident, so
+// the incremental machinery (delta checks over fingerprinted verdict
+// caches) pays off across requests instead of being rebuilt per
+// invocation.
+//
+// Usage:
+//
+//	nmsld [-addr a] [-state dir] [-max-tenants n] [-rate rps] [-burst n]
+//	      [-admission n] [-queue n] [-workers n] [-cache-max n]
+//	      [-flush d] [-trace-out f]
+//
+// The API is versioned under /v1 (see api/v1 for the frozen wire
+// types):
+//
+//	GET    /v1/tenants                  list tenants
+//	GET    /v1/tenants/{id}             tenant summary
+//	PUT    /v1/tenants/{id}/spec        install/replace a specification
+//	DELETE /v1/tenants/{id}             evict a tenant
+//	POST   /v1/tenants/{id}/check       full consistency check
+//	POST   /v1/tenants/{id}/delta-check incremental re-check
+//	POST   /v1/tenants/{id}/generate    derive per-agent configurations
+//	POST   /v1/tenants/{id}/rollout     install configs at a fleet
+//
+// plus /healthz, /metrics (Prometheus text), /debug/vars and
+// /debug/pprof on the same listener.
+//
+// -state dir makes tenant state (accepted spec sources and result
+// caches) durable with fsync'd atomic replacement; on restart tenants
+// recompile and their caches reload, so the first post-restart check
+// is already warm. SIGINT/SIGTERM drain in-flight requests and flush
+// dirty caches before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nmsl/internal/obs"
+	"nmsl/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run starts the daemon; ready (when non-nil) receives the bound
+// address once listening — tests use it with -addr 127.0.0.1:0.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("nmsld", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:9380", "listen address")
+	state := fs.String("state", "", "persist tenant state under this directory")
+	maxTenants := fs.Int("max-tenants", 0, "cap on resident tenants (0 = unlimited)")
+	rate := fs.Float64("rate", 0, "per-tenant sustained requests/sec (0 = unlimited)")
+	burst := fs.Int("burst", 8, "per-tenant burst size")
+	admission := fs.Int("admission", 0, "concurrently executing checks (0 = default 8)")
+	queue := fs.Int("queue", 64, "admission wait-queue length")
+	workers := fs.Int("workers", 1, "default worker pool per check")
+	cacheMax := fs.Int("cache-max", 0, "per-tenant result-cache entry cap (0 = unbounded)")
+	flush := fs.Duration("flush", 2*time.Second, "background cache-flush interval (0 = on demand only)")
+	traceOut := fs.String("trace-out", "", "append tracing spans to this file as JSON lines")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	ocli, err := obs.StartCLI("", *traceOut, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "nmsld: %v\n", err)
+		return 2
+	}
+	if ocli != nil {
+		defer ocli.Close()
+	}
+
+	svc, err := service.New(
+		service.WithStateDir(*state),
+		service.WithMaxTenants(*maxTenants),
+		service.WithRateLimit(*rate, *burst),
+		service.WithAdmission(*admission, *queue),
+		service.WithCheckWorkers(*workers),
+		service.WithCacheMaxEntries(*cacheMax),
+		service.WithFlushInterval(*flush),
+	)
+	if err != nil {
+		fmt.Fprintf(stderr, "nmsld: %v\n", err)
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "nmsld: %v\n", err)
+		return 2
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	fmt.Fprintf(stdout, "nmsld: listening on http://%s (%d tenants resident)\n",
+		ln.Addr(), len(svc.TenantIDs()))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	code := 0
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "nmsld: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(stderr, "nmsld: shutdown: %v\n", err)
+			code = 1
+		}
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "nmsld: %v\n", err)
+			code = 1
+		}
+	}
+	if err := svc.Close(); err != nil {
+		fmt.Fprintf(stderr, "nmsld: flushing state: %v\n", err)
+		code = 1
+	}
+	return code
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	apiv1 "nmsl/api/v1"
+	"nmsl/internal/mib"
+	"nmsl/internal/paperspec"
+	"nmsl/internal/snmp"
+)
+
+// TestJSONRolloutReport proves -json emits the api/v1 rollout document
+// — the same shape nmsld serves — instead of the prose summary.
+func TestJSONRolloutReport(t *testing.T) {
+	store := snmp.NewStore()
+	snmp.PopulateFromMIB(store, mib.NewStandard(), "mgmt.mib")
+	agent := snmp.NewAgent(store, &snmp.Config{
+		Communities:    map[string]*snmp.CommunityConfig{},
+		AdminCommunity: "adm",
+	})
+	addr, err := agent.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{
+		"-install", addr.String(), "-admin", "adm",
+		"-instance", "snmpdReadOnly@romano.cs.wisc.edu#0",
+		"-json",
+		specFile(t, paperspec.Combined)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	var rep apiv1.RolloutReport
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("stdout is not an api/v1 rollout report: %v\n%s", err, out.String())
+	}
+	if rep.APIVersion != apiv1.Version || !rep.OK || rep.Installed != 1 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	if len(rep.Targets) != 1 || rep.Targets[0].Status != "installed" {
+		t.Fatalf("bad targets: %+v", rep.Targets)
+	}
+}

@@ -9,7 +9,7 @@
 //
 //	nmslgen [-target BartsSnmpd|nvp] [-dir outdir] spec.nmsl ...
 //	nmslgen -install host:port -admin community -instance id \
-//	    [-retries n] [-backoff d] [-timeout d] [-failfast] \
+//	    [-retries n] [-backoff d] [-timeout d] [-failfast] [-json] \
 //	    [-metrics-addr a] [-trace-out f] spec.nmsl ...
 //	nmslgen -targets fleet.txt [-journal run.journal] [-canary 0.1,0.5] \
 //	    [-max-failure-rate 0.05] [-gate-audit] spec.nmsl ...
@@ -33,6 +33,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -45,6 +46,7 @@ import (
 	"time"
 
 	"nmsl"
+	apiv1 "nmsl/api/v1"
 	"nmsl/internal/audit"
 	"nmsl/internal/configgen"
 	"nmsl/internal/obs"
@@ -91,6 +93,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	canary := fs.String("canary", "", "comma-separated cumulative canary fractions, e.g. 0.1,0.5: install in health-gated waves")
 	maxFailRate := fs.Float64("max-failure-rate", -1, "abort and roll back a wave whose failure rate exceeds this (0 tolerates none; negative disables)")
 	gateAudit := fs.Bool("gate-audit", false, "after each wave, audit the installed canaries against the specification; divergence rolls the wave back")
+	jsonOut := fs.Bool("json", false, "print the rollout report as api/v1 JSON (the nmsld wire format)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -263,7 +266,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "nmslgen: rollout: %v\n", cerr)
 			return 1
 		}
-		fmt.Fprintln(stdout, report.Summary())
+		if *jsonOut {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(apiv1.FromRolloutReport(report)); err != nil {
+				fmt.Fprintf(stderr, "nmslgen: %v\n", err)
+				return 2
+			}
+		} else {
+			fmt.Fprintln(stdout, report.Summary())
+		}
 		var gerr *configgen.GateError
 		switch {
 		case errors.As(cerr, &gerr):
@@ -282,10 +294,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if !report.OK() {
 			return 1
 		}
-		if *instance != "" && *install != "" {
-			fmt.Fprintf(stdout, "installed configuration for %s into %s\n", *instance, *install)
-		} else {
-			fmt.Fprintf(stdout, "installed %d target(s)\n", report.Installed)
+		if !*jsonOut {
+			if *instance != "" && *install != "" {
+				fmt.Fprintf(stdout, "installed configuration for %s into %s\n", *instance, *install)
+			} else {
+				fmt.Fprintf(stdout, "installed %d target(s)\n", report.Installed)
+			}
 		}
 		return 0
 	}

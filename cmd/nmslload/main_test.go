@@ -1,0 +1,49 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nmsl/internal/service"
+)
+
+// TestLoadRunWritesBench drives a small in-process load run and checks
+// the BENCH_svc.json contract.
+func TestLoadRunWritesBench(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_svc.json")
+	var stdout, stderr strings.Builder
+	code := run([]string{
+		"-tenants", "4", "-domains", "2", "-systems", "2",
+		"-duration", "300ms", "-conc", "2", "-out", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res service.LoadResult
+	if err := json.Unmarshal(blob, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Tenants != 4 || res.ColdChecks != 4 || res.DeltaChecks == 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if !res.ViolationsOK || res.Errors != 0 {
+		t.Fatalf("load run unhealthy: %+v", res)
+	}
+	if !strings.Contains(stdout.String(), "checks/s") {
+		t.Fatalf("summary missing: %q", stdout.String())
+	}
+}
+
+func TestLoadBadFlags(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -18,10 +19,20 @@ import (
 type ResultCache struct {
 	mu      sync.RWMutex
 	entries map[string]*cacheEntry
+	// maxEntries caps the cache size; 0 means unbounded. When set, the
+	// least-recently-used entries beyond the cap are evicted — eagerly
+	// (with hysteresis) as entries are stored, and always before the
+	// cache is persisted, so a long-lived daemon's cache file cannot
+	// grow without bound.
+	maxEntries int
 
 	hits          atomic.Int64
 	misses        atomic.Int64
 	invalidations atomic.Int64
+	evictions     atomic.Int64
+	// tick is the recency clock: every hit or store stamps the entry,
+	// and eviction drops the lowest stamps first.
+	tick atomic.Int64
 }
 
 // cachedViolation is the persisted slice of a Violation: the kind and
@@ -37,6 +48,8 @@ type cachedViolation struct {
 type cacheEntry struct {
 	fp [32]byte
 	vs []cachedViolation
+	// used is the entry's last-touched recency stamp (see ResultCache.tick).
+	used atomic.Int64
 }
 
 // NewResultCache returns an empty cache.
@@ -58,15 +71,72 @@ func (rc *ResultCache) lookup(key string, fp [32]byte) ([]cachedViolation, bool)
 		rc.invalidations.Add(1)
 		return nil, false
 	}
+	ent.used.Store(rc.tick.Add(1))
 	rc.hits.Add(1)
 	return ent.vs, true
 }
 
-// store records the verdict for the key under the fingerprint.
+// store records the verdict for the key under the fingerprint. When a
+// max-entries cap is set and the cache has outgrown it by 25%, the
+// least-recently-used overflow is trimmed in the same critical section
+// (the hysteresis amortizes the O(n log n) sort across many stores).
 func (rc *ResultCache) store(key string, fp [32]byte, vs []cachedViolation) {
+	ent := &cacheEntry{fp: fp, vs: vs}
+	ent.used.Store(rc.tick.Add(1))
 	rc.mu.Lock()
-	rc.entries[key] = &cacheEntry{fp: fp, vs: vs}
+	rc.entries[key] = ent
+	if rc.maxEntries > 0 && len(rc.entries) > rc.maxEntries+rc.maxEntries/4 {
+		rc.trimLocked(rc.maxEntries)
+	}
 	rc.mu.Unlock()
+}
+
+// SetMaxEntries caps the cache at n entries (0 restores unbounded
+// growth) and immediately trims any existing overflow, LRU first.
+func (rc *ResultCache) SetMaxEntries(n int) {
+	if n < 0 {
+		n = 0
+	}
+	rc.mu.Lock()
+	rc.maxEntries = n
+	if n > 0 {
+		rc.trimLocked(n)
+	}
+	rc.mu.Unlock()
+}
+
+// Trim evicts the least-recently-used entries beyond the configured
+// cap and returns how many were dropped (always 0 when no cap is set).
+func (rc *ResultCache) Trim() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.maxEntries <= 0 {
+		return 0
+	}
+	return rc.trimLocked(rc.maxEntries)
+}
+
+// trimLocked drops all but the keep most-recently-used entries. Caller
+// holds the write lock.
+func (rc *ResultCache) trimLocked(keep int) int {
+	over := len(rc.entries) - keep
+	if over <= 0 {
+		return 0
+	}
+	type aged struct {
+		key  string
+		used int64
+	}
+	all := make([]aged, 0, len(rc.entries))
+	for k, ent := range rc.entries {
+		all = append(all, aged{k, ent.used.Load()})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].used < all[j].used })
+	for _, a := range all[:over] {
+		delete(rc.entries, a.key)
+	}
+	rc.evictions.Add(int64(over))
+	return over
 }
 
 // Len returns the number of cached verdicts.
@@ -79,7 +149,9 @@ func (rc *ResultCache) Len() int {
 // CacheStats is a point-in-time snapshot of the cache counters.
 type CacheStats struct {
 	Hits, Misses, Invalidations int64
-	Entries                     int
+	// Evictions counts entries dropped by the LRU cap.
+	Evictions int64
+	Entries   int
 }
 
 // Stats snapshots the counters.
@@ -88,6 +160,7 @@ func (rc *ResultCache) Stats() CacheStats {
 		Hits:          rc.hits.Load(),
 		Misses:        rc.misses.Load(),
 		Invalidations: rc.invalidations.Load(),
+		Evictions:     rc.evictions.Load(),
 		Entries:       rc.Len(),
 	}
 }
@@ -103,8 +176,10 @@ type cacheFileEntry struct {
 	Violations []cachedViolation `json:"violations,omitempty"`
 }
 
-// SaveFile persists the cache as JSON.
+// SaveFile persists the cache as JSON. A configured max-entries cap is
+// enforced first (LRU trim), so the file on disk never exceeds it.
 func (rc *ResultCache) SaveFile(path string) error {
+	rc.Trim()
 	rc.mu.RLock()
 	out := cacheFile{Version: 1, Entries: make(map[string]cacheFileEntry, len(rc.entries))}
 	for k, ent := range rc.entries {
@@ -144,10 +219,14 @@ func (rc *ResultCache) LoadFile(path string) error {
 		}
 		ent := &cacheEntry{vs: fe.Violations}
 		copy(ent.fp[:], fp)
+		ent.used.Store(rc.tick.Add(1))
 		entries[k] = ent
 	}
 	rc.mu.Lock()
 	rc.entries = entries
+	if rc.maxEntries > 0 {
+		rc.trimLocked(rc.maxEntries)
+	}
 	rc.mu.Unlock()
 	return nil
 }

@@ -1,0 +1,210 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	apiv1 "nmsl/api/v1"
+	"nmsl/internal/netsim"
+)
+
+func newTestServer(t *testing.T, opts ...Option) (*Service, *httptest.Server) {
+	t.Helper()
+	s := newTestService(t, opts...)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// do performs one request and decodes the response into out (skipped
+// when out is nil), asserting the status code.
+func do(t *testing.T, ts *httptest.Server, method, path string, body, out any, wantCode int) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(blob)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, ts.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		var e apiv1.Error
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("%s %s = %d (%s), want %d", method, path, resp.StatusCode, e.Message, wantCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestHTTPEndToEnd walks the whole versioned surface: install a spec,
+// check, delta-check, generate, list, delete.
+func TestHTTPEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t)
+	p := netsim.Params{Domains: 2, SystemsPerDomain: 2, Seed: 9}
+
+	var up apiv1.SpecResponse
+	do(t, ts, http.MethodPut, "/v1/tenants/acme/spec", specReqFor(p), &up, http.StatusOK)
+	if up.APIVersion != apiv1.Version || up.Generation != 1 || up.Refs == 0 {
+		t.Fatalf("bad spec response: %+v", up)
+	}
+
+	var chk apiv1.CheckResponse
+	do(t, ts, http.MethodPost, "/v1/tenants/acme/check", nil, &chk, http.StatusOK)
+	if !chk.Report.Consistent || chk.Report.RefsChecked == 0 {
+		t.Fatalf("bad check response: %+v", chk.Report)
+	}
+
+	var dchk apiv1.CheckResponse
+	do(t, ts, http.MethodPost, "/v1/tenants/acme/delta-check", nil, &dchk, http.StatusOK)
+	if !dchk.Delta {
+		t.Fatal("delta-check did not take the delta path")
+	}
+
+	var gen apiv1.GenerateResponse
+	do(t, ts, http.MethodPost, "/v1/tenants/acme/generate", nil, &gen, http.StatusOK)
+	if len(gen.Configs) == 0 {
+		t.Fatal("no configs on the wire")
+	}
+
+	var list apiv1.TenantsResponse
+	do(t, ts, http.MethodGet, "/v1/tenants", nil, &list, http.StatusOK)
+	if len(list.Tenants) != 1 || list.Tenants[0].ID != "acme" {
+		t.Fatalf("bad tenant list: %+v", list)
+	}
+	if list.Tenants[0].Consistent == nil || !*list.Tenants[0].Consistent {
+		t.Fatalf("tenant not marked consistent: %+v", list.Tenants[0])
+	}
+
+	var info apiv1.TenantInfo
+	do(t, ts, http.MethodGet, "/v1/tenants/acme", nil, &info, http.StatusOK)
+	if info.ID != "acme" || info.Generation != 1 {
+		t.Fatalf("bad tenant info: %+v", info)
+	}
+
+	do(t, ts, http.MethodDelete, "/v1/tenants/acme", nil, nil, http.StatusNoContent)
+	do(t, ts, http.MethodGet, "/v1/tenants/acme", nil, nil, http.StatusNotFound)
+}
+
+// TestHTTPErrorMapping pins every typed error's status code and the
+// uniform envelope shape.
+func TestHTTPErrorMapping(t *testing.T) {
+	_, ts := newTestServer(t, WithMaxTenants(1))
+	p := netsim.Params{Domains: 1, SystemsPerDomain: 1, Seed: 1}
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+		want   int
+	}{
+		{"unknown tenant", http.MethodPost, "/v1/tenants/ghost/check", nil, http.StatusNotFound},
+		{"bad id", http.MethodPut, "/v1/tenants/bad%2Fid/spec", specReqFor(p), http.StatusBadRequest},
+		{"bad body", http.MethodPut, "/v1/tenants/ok/spec", "not a spec", http.StatusBadRequest},
+		{"compile error", http.MethodPut, "/v1/tenants/ok/spec",
+			&apiv1.SpecRequest{Sources: []apiv1.Source{{Name: "x", Text: "domain {"}}}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var e apiv1.Error
+			do(t, ts, c.method, c.path, c.body, &e, c.want)
+			if e.APIVersion != apiv1.Version || e.Code != c.want || e.Message == "" {
+				t.Fatalf("bad error envelope: %+v", e)
+			}
+		})
+	}
+
+	// Tenant cap → 503 with the envelope.
+	do(t, ts, http.MethodPut, "/v1/tenants/one/spec", specReqFor(p), nil, http.StatusOK)
+	var e apiv1.Error
+	do(t, ts, http.MethodPut, "/v1/tenants/two/spec", specReqFor(p), &e, http.StatusServiceUnavailable)
+	if !strings.Contains(e.Message, "tenant limit") {
+		t.Fatalf("wrong 503 cause: %q", e.Message)
+	}
+
+	// No spec yet (resident tenant without one is unreachable over HTTP,
+	// so exercise inconsistent → 409 instead).
+	bad := netsim.Params{Domains: 2, SystemsPerDomain: 2, InconsistencyRate: 1, Seed: 3}
+	do(t, ts, http.MethodDelete, "/v1/tenants/one", nil, nil, http.StatusNoContent)
+	do(t, ts, http.MethodPut, "/v1/tenants/one/spec", specReqFor(bad), nil, http.StatusOK)
+	do(t, ts, http.MethodPost, "/v1/tenants/one/generate", nil, &e, http.StatusConflict)
+}
+
+// TestHTTPRateLimited maps ErrRateLimited to 429 over the wire.
+func TestHTTPRateLimited(t *testing.T) {
+	now := time.Unix(0, 0)
+	_, ts := newTestServer(t,
+		WithRateLimit(0.001, 1),
+		WithClock(func() time.Time { return now }))
+	p := netsim.Params{Domains: 1, SystemsPerDomain: 1, Seed: 1}
+	do(t, ts, http.MethodPut, "/v1/tenants/acme/spec", specReqFor(p), nil, http.StatusOK)
+	var e apiv1.Error
+	do(t, ts, http.MethodPost, "/v1/tenants/acme/check", nil, &e, http.StatusTooManyRequests)
+	if e.Code != http.StatusTooManyRequests {
+		t.Fatalf("bad envelope: %+v", e)
+	}
+}
+
+// TestHTTPObservabilityMounted asserts /metrics and /healthz live on
+// the same mux as the API.
+func TestHTTPObservabilityMounted(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, path := range []string{"/healthz", "/metrics", "/debug/vars"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestRunLoadSmoke drives the load generator against an in-process
+// server — the same path make svc-smoke takes, shrunk for test time.
+func TestRunLoadSmoke(t *testing.T) {
+	_, ts := newTestServer(t)
+	res, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:          ts.URL,
+		Client:           ts.Client(),
+		Tenants:          6,
+		DomainsPerTenant: 2,
+		SystemsPerDomain: 2,
+		Duration:         300 * time.Millisecond,
+		Conc:             3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ViolationsOK {
+		t.Fatal("load run saw wrong violation counts")
+	}
+	if res.ColdChecks != 6 || res.DeltaChecks == 0 || res.Errors != 0 {
+		t.Fatalf("bad load result: %+v", res)
+	}
+	if res.WarmP99NS <= 0 || res.WarmP50NS > res.WarmP99NS {
+		t.Fatalf("bad percentiles: p50=%d p99=%d", res.WarmP50NS, res.WarmP99NS)
+	}
+}

@@ -1,0 +1,181 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	apiv1 "nmsl/api/v1"
+)
+
+// Crash-safe tenant persistence, borrowing the configgen journal's
+// durability discipline: nothing is considered saved until it is
+// fsync'd, and files are replaced by write-temp → fsync → rename →
+// fsync(dir), so a kill at any instant leaves either the complete old
+// file or the complete new one, never a torn mix. Two files per
+// tenant:
+//
+//	tenants/<id>/spec.json   the accepted wire sources (SpecRequest)
+//	                         plus the generation — enough to recompile
+//	                         the exact acknowledged specification
+//	tenants/<id>/cache.json  the result cache (ResultCache SaveFile
+//	                         format), LRU-trimmed to the configured cap
+//
+// The last check report is deliberately NOT persisted: after a restart
+// the first check re-proves every reference, but through the reloaded
+// cache — fingerprint hits replay verdicts without re-solving, which
+// is what keeps the post-restart check warm (TestRestartKeepsWarm).
+
+// specFileVersion guards the on-disk spec envelope.
+const specFileVersion = 1
+
+// specFile is the persisted per-tenant spec document.
+type specFile struct {
+	Version    int            `json:"version"`
+	Generation int64          `json:"generation"`
+	Sources    []apiv1.Source `json:"sources"`
+	Extensions []apiv1.Source `json:"extensions,omitempty"`
+}
+
+// syncedRename fsyncs tmp, renames it over dst and fsyncs the parent
+// directory, making the replacement durable.
+func syncedRename(tmp, dst string) error {
+	f, err := os.OpenFile(tmp, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		return err
+	}
+	dir, err := os.Open(filepath.Dir(dst))
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	return dir.Sync()
+}
+
+// writeFileDurable atomically replaces path with data.
+func writeFileDurable(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := syncedRename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// persistSpec makes a tenant's accepted sources durable.
+func (s *Service) persistSpec(t *Tenant, gen int64, req *apiv1.SpecRequest) error {
+	dir := s.tenantDir(t.id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	doc := specFile{Version: specFileVersion, Generation: gen, Sources: req.Sources, Extensions: req.Extensions}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	return writeFileDurable(filepath.Join(dir, "spec.json"), data)
+}
+
+// flush persists the tenant's result cache when dirty. The cache is
+// snapshotted to a temp file by SaveFile (which also enforces the LRU
+// cap) and then durably renamed into place.
+func (t *Tenant) flush(s *Service) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.cacheDirty || t.cache == nil {
+		return nil
+	}
+	dir := s.tenantDir(t.id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	dst := filepath.Join(dir, "cache.json")
+	tmp := dst + ".tmp"
+	if err := t.cache.SaveFile(tmp); err != nil {
+		return err
+	}
+	if err := syncedRename(tmp, dst); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	t.cacheDirty = false
+	if s.reg.Enabled() {
+		s.reg.Counter(MetricCacheFlushes).Inc()
+	}
+	return nil
+}
+
+// loadState reloads every persisted tenant: recompile the accepted
+// sources, reload the result cache. A tenant whose spec no longer
+// compiles (or whose files are torn beyond the atomic-replace
+// guarantee) fails loudly — silently dropping a tenant's state would
+// masquerade as an empty daemon.
+func (s *Service) loadState() error {
+	root := filepath.Join(s.opt.stateDir, "tenants")
+	entries, err := os.ReadDir(root)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("service: state dir: %w", err)
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() || !tenantIDPat.MatchString(ent.Name()) {
+			continue
+		}
+		if err := s.loadTenant(ent.Name()); err != nil {
+			return fmt.Errorf("service: reloading tenant %q: %w", ent.Name(), err)
+		}
+	}
+	return nil
+}
+
+// loadTenant restores one tenant from its state directory.
+func (s *Service) loadTenant(id string) error {
+	dir := s.tenantDir(id)
+	data, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+	if os.IsNotExist(err) {
+		return nil // directory without an accepted spec: nothing to restore
+	}
+	if err != nil {
+		return err
+	}
+	var doc specFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("spec.json: %w", err)
+	}
+	if doc.Version != specFileVersion {
+		return fmt.Errorf("spec.json: unsupported version %d", doc.Version)
+	}
+	spec, err := compile(&apiv1.SpecRequest{Sources: doc.Sources, Extensions: doc.Extensions})
+	if err != nil {
+		return err
+	}
+	t := newTenant(id, &s.opt)
+	t.spec = spec
+	t.gen = doc.Generation
+	t.sources = doc.Sources
+	t.exts = doc.Extensions
+	cachePath := filepath.Join(dir, "cache.json")
+	if err := t.cache.LoadFile(cachePath); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("cache.json: %w", err)
+	}
+	s.mu.Lock()
+	s.tenants[id] = t
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request admission and per-tenant rate limiting.
+//
+// The rate limiter is a token bucket with the SNMP agent's rate-window
+// discipline (internal/snmp agent.go): a rejected request consumes no
+// budget — the bucket only pays for requests it admits — so a tenant
+// that always polls too early is delayed, never locked out. The
+// admission gate bounds how many checks execute at once (a check is
+// CPU-bound; unbounded concurrency just thrashes) plus how many may
+// wait, rejecting the rest immediately so overload degrades into fast
+// 503s instead of unbounded queueing.
+
+// bucket is a token bucket refilled continuously at rps up to burst.
+type bucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// allow admits one request when a full token is available, spending
+// it; a rejected request spends nothing.
+func (b *bucket) allow(now time.Time, rps float64, burst int) bool {
+	if rps <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.last.IsZero() {
+		b.tokens = float64(burst)
+	} else if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * rps
+		if max := float64(burst); b.tokens > max {
+			b.tokens = max
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// admission is the global concurrency gate: slots checks may run,
+// queue more may wait, the rest bounce with ErrBusy.
+type admission struct {
+	slots   chan struct{}
+	waiters atomic.Int64
+	queue   int64
+}
+
+func newAdmission(slots, queue int) *admission {
+	if queue < 0 {
+		queue = 0
+	}
+	return &admission{slots: make(chan struct{}, slots), queue: int64(queue)}
+}
+
+// acquire takes a slot, waiting in the bounded queue; it returns
+// ErrBusy when the queue is full and ctx.Err() when the caller gave up
+// first. release with the returned func.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots }, nil
+	default:
+	}
+	if a.waiters.Add(1) > a.queue {
+		a.waiters.Add(-1)
+		return nil, ErrBusy
+	}
+	defer a.waiters.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"nmsl/internal/extension"
 	"nmsl/internal/logic"
 	"nmsl/internal/mib"
+	"nmsl/internal/obs"
 	"nmsl/internal/parser"
 	"nmsl/internal/printer"
 	"nmsl/internal/sema"
@@ -184,9 +185,38 @@ func WithFailFast() CheckOption {
 // engine only). A verdict is replayed only when the SHA-256 fingerprint
 // of everything it depends on — the reference tuple, the target's
 // support views, both parties' containment ancestry and the candidate
-// permissions — is unchanged, so replays are always sound.
+// permissions — is unchanged, so replays are always sound. Long-lived
+// callers should bound the cache with CheckCache.SetMaxEntries, which
+// trims least-recently-used verdicts past the cap (always enforced
+// before SaveFile persists it).
 func WithCache(c *CheckCache) CheckOption {
 	return func(o *consistency.Options) { o.Cache = c }
+}
+
+// Observability re-exports, mirroring configgen's WithMetrics so the
+// checker and the rollout share one convention: nil (the default)
+// records into the process-wide default registry, MetricsDisabled turns
+// instrumentation off entirely.
+type (
+	// MetricsRegistry collects counters, gauges and histograms
+	// (internal/obs.Registry).
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time registry snapshot, embedded in
+	// Report.Metrics and RolloutReport.Metrics.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// MetricsDisabled is the sentinel registry that disables
+// instrumentation (including its clock reads).
+var MetricsDisabled = obs.Disabled
+
+// WithMetrics selects where the check's observability counters land:
+// nil (the default) records into the default registry, MetricsDisabled
+// turns instrumentation off. The run's own numbers are embedded in
+// Report.Metrics unless disabled. This is the checker-side twin of
+// configgen.WithMetrics.
+func WithMetrics(reg *MetricsRegistry) CheckOption {
+	return func(o *consistency.Options) { o.Metrics = reg }
 }
 
 // Output tags built into the compiler.
@@ -310,10 +340,17 @@ func (s *Specification) CheckContext(ctx context.Context, opts ...CheckOption) (
 	return consistency.CheckContext(ctx, s.model, o)
 }
 
-// Check runs the indexed consistency checker serially. It is the
-// compatibility wrapper for CheckContext(context.Background()) with one
-// worker and produces an identical Report.
-func (s *Specification) Check() *Report { return consistency.Check(s.model) }
+// Check runs the indexed consistency checker serially: one worker, no
+// cancellation, metrics off. The Report is identical to
+// CheckContext's.
+//
+// Deprecated: use CheckContext, which adds cancellation, streaming,
+// parallelism and caching; Check remains as a thin shim over it.
+func (s *Specification) Check() *Report {
+	rep, _ := s.CheckContext(context.Background(),
+		WithWorkers(1), WithMetrics(MetricsDisabled))
+	return rep
+}
 
 // CheckDelta re-checks the specification after an edit described by
 // delta (typically from DiffSpecs against the previous revision),
@@ -333,8 +370,23 @@ func (s *Specification) CheckDelta(prev *Report, delta *ModelDelta, cache *Check
 //
 // Deprecated: use CheckContext with WithEngine(EngineLogic), which adds
 // cancellation, streaming and parallelism; CheckLogic remains as a thin
-// compatibility wrapper.
-func (s *Specification) CheckLogic() *Report { return consistency.CheckLogic(s.model) }
+// shim over it.
+func (s *Specification) CheckLogic() *Report {
+	rep, _ := s.CheckContext(context.Background(),
+		WithWorkers(1), WithEngine(EngineLogic), WithMetrics(MetricsDisabled))
+	return rep
+}
+
+// CheckLogicRecursive runs the logic engine over the paper's recursive
+// transitivity rules without materialized closures — the parity oracle.
+//
+// Deprecated: use CheckContext with WithEngine(EngineLogicRecursive);
+// CheckLogicRecursive remains as a thin shim over it.
+func (s *Specification) CheckLogicRecursive() *Report {
+	rep, _ := s.CheckContext(context.Background(),
+		WithWorkers(1), WithEngine(EngineLogicRecursive), WithMetrics(MetricsDisabled))
+	return rep
+}
 
 // Generate runs the output-specific compiler actions for tag into w
 // (paper section 6.2).

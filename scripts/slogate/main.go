@@ -1,0 +1,78 @@
+// slogate is the CI latency SLO gate: it reads the BENCH_svc.json
+// written by nmslload and fails when the measured warm delta-check
+// latency or throughput breaks budget.
+//
+// Usage:
+//
+//	slogate [-in BENCH_svc.json] [-max-warm-p99 d] [-min-checks-per-sec n]
+//
+// The defaults are deliberately loose — an order of magnitude above
+// the measured numbers on the development machine — so the gate
+// catches a real regression (an accidental cold path, a lock added to
+// the warm loop) rather than scheduler noise on shared CI runners.
+//
+// Exit status: 0 within budget, 1 over budget or load-run errors,
+// 2 usage/read errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"nmsl/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slogate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "BENCH_svc.json", "load result to gate on")
+	maxP99 := fs.Duration("max-warm-p99", 250*time.Millisecond, "warm delta-check p99 budget")
+	minRate := fs.Float64("min-checks-per-sec", 50, "sustained delta-check throughput floor")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	blob, err := os.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintf(stderr, "slogate: %v\n", err)
+		return 2
+	}
+	var res service.LoadResult
+	if err := json.Unmarshal(blob, &res); err != nil {
+		fmt.Fprintf(stderr, "slogate: %s: %v\n", *in, err)
+		return 2
+	}
+
+	ok := true
+	p99 := time.Duration(res.WarmP99NS)
+	if p99 > *maxP99 {
+		fmt.Fprintf(stderr, "slogate: FAIL warm p99 %s > budget %s\n", p99, *maxP99)
+		ok = false
+	}
+	if res.ChecksPerSec < *minRate {
+		fmt.Fprintf(stderr, "slogate: FAIL %.0f checks/s < floor %.0f\n", res.ChecksPerSec, *minRate)
+		ok = false
+	}
+	if !res.ViolationsOK {
+		fmt.Fprintln(stderr, "slogate: FAIL load run reported violation-count mismatches")
+		ok = false
+	}
+	if res.Errors > 0 {
+		fmt.Fprintf(stderr, "slogate: FAIL load run reported %d request errors\n", res.Errors)
+		ok = false
+	}
+	if !ok {
+		return 1
+	}
+	fmt.Fprintf(stdout, "slogate: OK warm p99 %s <= %s, %.0f checks/s >= %.0f\n",
+		p99, *maxP99, res.ChecksPerSec, *minRate)
+	return 0
+}

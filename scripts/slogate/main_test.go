@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nmsl/internal/service"
+)
+
+func benchFile(t *testing.T, res service.LoadResult) string {
+	t.Helper()
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_svc.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func healthy() service.LoadResult {
+	return service.LoadResult{
+		Tenants:      64,
+		DeltaChecks:  10000,
+		ChecksPerSec: 5000,
+		WarmP99NS:    3_000_000, // 3ms
+		ViolationsOK: true,
+	}
+}
+
+func TestGatePasses(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-in", benchFile(t, healthy())}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+func TestGateFailsOnSlowP99(t *testing.T) {
+	res := healthy()
+	res.WarmP99NS = 400_000_000 // 400ms > 250ms budget
+	var out, errb strings.Builder
+	if code := run([]string{"-in", benchFile(t, res)}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "warm p99") {
+		t.Fatalf("stderr: %q", errb.String())
+	}
+}
+
+func TestGateFailsOnLowThroughput(t *testing.T) {
+	res := healthy()
+	res.ChecksPerSec = 3
+	var out, errb strings.Builder
+	if code := run([]string{"-in", benchFile(t, res)}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+func TestGateFailsOnBadCounts(t *testing.T) {
+	res := healthy()
+	res.ViolationsOK = false
+	var out, errb strings.Builder
+	if code := run([]string{"-in", benchFile(t, res)}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+func TestGateFailsOnErrors(t *testing.T) {
+	res := healthy()
+	res.Errors = 7
+	var out, errb strings.Builder
+	if code := run([]string{"-in", benchFile(t, res)}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+func TestGateCustomBudget(t *testing.T) {
+	res := healthy() // p99 = 3ms
+	var out, errb strings.Builder
+	if code := run([]string{"-in", benchFile(t, res), "-max-warm-p99", "1ms"}, &out, &errb); code != 1 {
+		t.Fatalf("tightened budget should fail: exit %d", code)
+	}
+}
+
+func TestGateMissingFile(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-in", filepath.Join(t.TempDir(), "nope.json")}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
