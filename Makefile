@@ -9,7 +9,13 @@ GO ?= go
 # below it.
 COVER_FLOOR ?= 70
 
-.PHONY: all build test vet race ci chaos bench bench-parallel bench-rollout cover bench-ci bench-guard svc-smoke svc-bench
+.PHONY: all build test vet race ci chaos bench bench-parallel bench-rollout cover bench-ci bench-guard bench-mutex svc-smoke svc-bench
+
+# The perf-critical benchmarks bench-guard compares against the
+# committed baseline: the 1k-domain worker-sweep endpoints, the warm-
+# cache incremental re-check, and the paper-scale 10k-domain cold check
+# (serial and 1/8-worker parallel).
+GUARDED_BENCH = ^(BenchmarkCheckParallel1|BenchmarkCheckParallel8|BenchmarkCheckWarmCache|BenchmarkCheckDomains10000|BenchmarkCheckParallel10k1|BenchmarkCheckParallel10k8)$$
 
 all: build test
 
@@ -38,9 +44,18 @@ bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 # The tentpole sweep: parallel sharded checking vs worker count on the
-# 1k-domain netsim workload (meaningful on multi-core hosts).
+# 1k- and 10k-domain netsim workloads (meaningful on multi-core hosts).
 bench-parallel:
 	$(GO) test -bench='BenchmarkCheckParallel' -run='^$$' .
+
+# Mutex-contention profile of the parallel check hot path: runs repeated
+# 8-worker checks of the 1k-domain internet with the runtime mutex
+# profiler at fraction 1, prints the most-contended call sites, and
+# writes mutex.pb.gz for `go tool pprof`. A healthy run reports zero
+# contended sites on the check path; cache-mutex or obs-registry frames
+# reappearing here means the per-worker batching regressed.
+bench-mutex:
+	$(GO) run ./scripts/benchmutex -domains 1000 -workers 8 -iters 10 -out mutex.pb.gz
 
 # Rollout sweep: wall-clock and attempts/target vs worker count and
 # injected packet loss (E-ROLL in EXPERIMENTS.md).
@@ -74,9 +89,9 @@ svc-bench:
 # run sanity pass, not a measurement — plus properly-sampled runs of the
 # guarded benchmarks (bench-guard only trusts multi-iteration entries),
 # archived as BENCH_ci.json.
-bench-ci:
+bench-ci: bench-mutex
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' . | tee BENCH_ci.txt
-	$(GO) test -bench='^(BenchmarkCheckParallel8|BenchmarkCheckWarmCache)$$' \
+	$(GO) test -bench='$(GUARDED_BENCH)' \
 		-benchtime=20x -count=3 -run='^$$' . | tee -a BENCH_ci.txt
 	$(GO) run ./scripts/bench2json < BENCH_ci.txt > BENCH_ci.json
 
@@ -86,7 +101,7 @@ bench-ci:
 # with a +-20% tolerance. Skips cleanly when the baseline was recorded
 # on different hardware (the guard compares CPU strings).
 bench-guard:
-	$(GO) test -bench='^(BenchmarkCheckParallel8|BenchmarkCheckWarmCache)$$' \
+	$(GO) test -bench='$(GUARDED_BENCH)' \
 		-benchtime=20x -count=3 -run='^$$' . | tee BENCH_guard.txt
 	$(GO) run ./scripts/bench2json < BENCH_guard.txt > BENCH_guard.json
 	$(GO) run ./scripts/benchguard -baseline BENCH_5.json -current BENCH_guard.json

@@ -514,9 +514,12 @@ func rolloutRun(ctx context.Context, configs map[string]*snmp.Config, targets []
 		run = obs.NewRegistry()
 		opt.om = rolloutRunMetrics{on: true, sleep: run.Counter(MetricRolloutBackoffSleep)}
 	}
-	sp := obs.StartSpan("rollout",
-		obs.Label{Key: "targets", Value: strconv.Itoa(len(targets))},
-		obs.Label{Key: "workers", Value: strconv.Itoa(opt.workers)})
+	var sp obs.Span
+	if obs.TracingEnabled() {
+		sp = obs.StartSpan("rollout",
+			obs.Label{Key: "targets", Value: strconv.Itoa(len(targets))},
+			obs.Label{Key: "workers", Value: strconv.Itoa(opt.workers)})
+	}
 
 	start := time.Now()
 
@@ -643,9 +646,11 @@ func rolloutRun(ctx context.Context, configs map[string]*snmp.Config, targets []
 		reg.Merge(run)
 		report.Metrics = run.Snapshot()
 	}
-	sp.Label("installed", strconv.Itoa(report.Installed))
-	sp.Label("failed", strconv.Itoa(report.Failed))
-	sp.Label("rolled_back", strconv.Itoa(report.RolledBack))
+	if sp.Active() {
+		sp.Label("installed", strconv.Itoa(report.Installed))
+		sp.Label("failed", strconv.Itoa(report.Failed))
+		sp.Label("rolled_back", strconv.Itoa(report.RolledBack))
+	}
 	sp.End()
 	switch {
 	case journalErr != nil:
@@ -702,7 +707,10 @@ func rollbackWave(rctx context.Context, w waveSpan, targets []Target, report *Ro
 func restoreTarget(rctx context.Context, tgt Target, prev *snmp.Config, opt *rolloutOptions) TargetResult {
 	start := time.Now()
 	res := TargetResult{Target: tgt}
-	sp := obs.StartSpan("rollout.rollback", obs.Label{Key: "instance", Value: tgt.InstanceID})
+	var sp obs.Span
+	if obs.TracingEnabled() {
+		sp = obs.StartSpan("rollout.rollback", obs.Label{Key: "instance", Value: tgt.InstanceID})
+	}
 	defer func() {
 		res.Duration = time.Since(start)
 		sp.Label("status", res.Status.String())
@@ -777,11 +785,17 @@ func attemptLoop(tctx context.Context, cp *snmp.Config, tgt Target, opt *rollout
 func installTarget(rctx context.Context, cfg *snmp.Config, tgt Target, opt *rolloutOptions, pre *preStore) TargetResult {
 	start := time.Now()
 	res := TargetResult{Target: tgt}
-	sp := obs.StartSpan("rollout.target", obs.Label{Key: "instance", Value: tgt.InstanceID})
+	// Per-target span: only pay for the label slice when traced.
+	var sp obs.Span
+	if obs.TracingEnabled() {
+		sp = obs.StartSpan("rollout.target", obs.Label{Key: "instance", Value: tgt.InstanceID})
+	}
 	defer func() {
 		res.Duration = time.Since(start)
-		sp.Label("status", res.Status.String())
-		sp.Label("attempts", strconv.Itoa(res.Attempts))
+		if sp.Active() {
+			sp.Label("status", res.Status.String())
+			sp.Label("attempts", strconv.Itoa(res.Attempts))
+		}
 		sp.End()
 	}()
 

@@ -10,21 +10,43 @@ import (
 	"sync/atomic"
 )
 
+// cacheStripes is the stripe count of the ResultCache map. Keys spread
+// across stripes by hash, so concurrent workers contend on a stripe's
+// lock with probability ~1/64 instead of always (the single-mutex map
+// this replaces serialized every worker of the sharded checker).
+const cacheStripes = 64
+
+// cacheStripe is one lock-plus-map shard of the cache, padded out so
+// two stripes' locks never share a cache line.
+type cacheStripe struct {
+	mu      sync.RWMutex
+	entries map[string]*cacheEntry
+	_       [32]byte
+}
+
 // ResultCache memoizes per-reference verdicts across checker runs, keyed
 // by Ref.Key and guarded by the dependency fingerprint (fingerprint.go):
 // a hit replays the cached violations only when the fingerprint of
 // everything the verdict depends on is unchanged. Safe for concurrent use
-// by the sharded checker's workers. Caches survive process restarts
+// by the sharded checker's workers: the entry map is striped, the
+// counters are atomics, and the checker batches its hit/miss counts
+// per worker (cacheBatch) so the hot path touches no shared line per
+// lookup beyond the recency clock. Caches survive process restarts
 // through SaveFile/LoadFile (the nmslcheck -cache flag).
 type ResultCache struct {
-	mu      sync.RWMutex
-	entries map[string]*cacheEntry
+	stripes [cacheStripes]cacheStripe
+	// count tracks the total entries across stripes (Len without taking
+	// 64 locks).
+	count atomic.Int64
 	// maxEntries caps the cache size; 0 means unbounded. When set, the
 	// least-recently-used entries beyond the cap are evicted — eagerly
 	// (with hysteresis) as entries are stored, and always before the
 	// cache is persisted, so a long-lived daemon's cache file cannot
 	// grow without bound.
-	maxEntries int
+	maxEntries atomic.Int64
+	// confMu serializes whole-cache operations: trims, cap changes, and
+	// bulk load. Per-key lookups and stores never take it.
+	confMu sync.Mutex
 
 	hits          atomic.Int64
 	misses        atomic.Int64
@@ -33,6 +55,29 @@ type ResultCache struct {
 	// tick is the recency clock: every hit or store stamps the entry,
 	// and eviction drops the lowest stamps first.
 	tick atomic.Int64
+}
+
+// cacheBatch accumulates a worker's hit/miss/invalidation counts
+// locally; Checker.flush folds it into the cache's shared counters once
+// per worker instead of once per reference.
+type cacheBatch struct {
+	hits, misses, invalidations int64
+}
+
+// merge folds a worker's batched counters in and resets the batch.
+func (rc *ResultCache) merge(b *cacheBatch) {
+	if b.hits != 0 {
+		rc.hits.Add(b.hits)
+		b.hits = 0
+	}
+	if b.misses != 0 {
+		rc.misses.Add(b.misses)
+		b.misses = 0
+	}
+	if b.invalidations != 0 {
+		rc.invalidations.Add(b.invalidations)
+		b.invalidations = 0
+	}
 }
 
 // cachedViolation is the persisted slice of a Violation: the kind and
@@ -54,41 +99,95 @@ type cacheEntry struct {
 
 // NewResultCache returns an empty cache.
 func NewResultCache() *ResultCache {
-	return &ResultCache{entries: map[string]*cacheEntry{}}
+	rc := &ResultCache{}
+	for i := range rc.stripes {
+		rc.stripes[i].entries = map[string]*cacheEntry{}
+	}
+	return rc
+}
+
+// stripe picks the stripe for a key.
+func (rc *ResultCache) stripe(key string) *cacheStripe {
+	return &rc.stripes[rc.stripeIndex(key)]
+}
+
+// get returns the live entry for the key, or nil.
+func (rc *ResultCache) get(key string) *cacheEntry {
+	s := rc.stripe(key)
+	s.mu.RLock()
+	ent := s.entries[key]
+	s.mu.RUnlock()
+	return ent
+}
+
+// probe resolves a key/fingerprint pair against the entry map and
+// stamps the recency clock on a hit; the caller accounts the outcome
+// (+1 = hit, 0 = miss, -1 = stale fingerprint).
+func (rc *ResultCache) probe(key string, fp [32]byte) ([]cachedViolation, int) {
+	ent := rc.get(key)
+	if ent == nil {
+		return nil, 0
+	}
+	if ent.fp != fp {
+		return nil, -1
+	}
+	ent.used.Store(rc.tick.Add(1))
+	return ent.vs, 1
 }
 
 // lookup returns the cached violations for the key when the fingerprint
-// matches, counting hit/miss/invalidation.
+// matches, counting hit/miss/invalidation on the shared counters. The
+// sharded checker uses lookupBatched instead.
 func (rc *ResultCache) lookup(key string, fp [32]byte) ([]cachedViolation, bool) {
-	rc.mu.RLock()
-	ent := rc.entries[key]
-	rc.mu.RUnlock()
-	if ent == nil {
-		rc.misses.Add(1)
-		return nil, false
-	}
-	if ent.fp != fp {
+	vs, outcome := rc.probe(key, fp)
+	switch outcome {
+	case 1:
+		rc.hits.Add(1)
+		return vs, true
+	case -1:
 		rc.invalidations.Add(1)
-		return nil, false
+	default:
+		rc.misses.Add(1)
 	}
-	ent.used.Store(rc.tick.Add(1))
-	rc.hits.Add(1)
-	return ent.vs, true
+	return nil, false
+}
+
+// lookupBatched is lookup with the counter updates deferred to the
+// worker-local batch (folded in by Checker.flush).
+func (rc *ResultCache) lookupBatched(key string, fp [32]byte, b *cacheBatch) ([]cachedViolation, bool) {
+	vs, outcome := rc.probe(key, fp)
+	switch outcome {
+	case 1:
+		b.hits++
+		return vs, true
+	case -1:
+		b.invalidations++
+	default:
+		b.misses++
+	}
+	return nil, false
 }
 
 // store records the verdict for the key under the fingerprint. When a
 // max-entries cap is set and the cache has outgrown it by 25%, the
-// least-recently-used overflow is trimmed in the same critical section
-// (the hysteresis amortizes the O(n log n) sort across many stores).
+// least-recently-used overflow across all stripes is trimmed (the
+// hysteresis amortizes the O(n log n) sort across many stores).
 func (rc *ResultCache) store(key string, fp [32]byte, vs []cachedViolation) {
 	ent := &cacheEntry{fp: fp, vs: vs}
 	ent.used.Store(rc.tick.Add(1))
-	rc.mu.Lock()
-	rc.entries[key] = ent
-	if rc.maxEntries > 0 && len(rc.entries) > rc.maxEntries+rc.maxEntries/4 {
-		rc.trimLocked(rc.maxEntries)
+	s := rc.stripe(key)
+	s.mu.Lock()
+	_, existed := s.entries[key]
+	s.entries[key] = ent
+	s.mu.Unlock()
+	if !existed {
+		n := rc.count.Add(1)
+		if max := rc.maxEntries.Load(); max > 0 && n > max+max/4 {
+			rc.confMu.Lock()
+			rc.trimTo(int(max))
+			rc.confMu.Unlock()
+		}
 	}
-	rc.mu.Unlock()
 }
 
 // SetMaxEntries caps the cache at n entries (0 restores unbounded
@@ -97,54 +196,67 @@ func (rc *ResultCache) SetMaxEntries(n int) {
 	if n < 0 {
 		n = 0
 	}
-	rc.mu.Lock()
-	rc.maxEntries = n
+	rc.maxEntries.Store(int64(n))
 	if n > 0 {
-		rc.trimLocked(n)
+		rc.confMu.Lock()
+		rc.trimTo(n)
+		rc.confMu.Unlock()
 	}
-	rc.mu.Unlock()
 }
 
 // Trim evicts the least-recently-used entries beyond the configured
 // cap and returns how many were dropped (always 0 when no cap is set).
 func (rc *ResultCache) Trim() int {
-	rc.mu.Lock()
-	defer rc.mu.Unlock()
-	if rc.maxEntries <= 0 {
+	max := rc.maxEntries.Load()
+	if max <= 0 {
 		return 0
 	}
-	return rc.trimLocked(rc.maxEntries)
+	rc.confMu.Lock()
+	defer rc.confMu.Unlock()
+	return rc.trimTo(int(max))
 }
 
-// trimLocked drops all but the keep most-recently-used entries. Caller
-// holds the write lock.
-func (rc *ResultCache) trimLocked(keep int) int {
-	over := len(rc.entries) - keep
+// trimTo drops all but the keep most-recently-used entries across every
+// stripe. Caller holds confMu; stripe locks are taken briefly per
+// stripe. An entry touched between the snapshot and the delete (its
+// recency stamp moved) is spared — it is recent by definition.
+func (rc *ResultCache) trimTo(keep int) int {
+	type aged struct {
+		stripe int
+		key    string
+		used   int64
+	}
+	all := make([]aged, 0, rc.count.Load())
+	for i := range rc.stripes {
+		s := &rc.stripes[i]
+		s.mu.RLock()
+		for k, ent := range s.entries {
+			all = append(all, aged{i, k, ent.used.Load()})
+		}
+		s.mu.RUnlock()
+	}
+	over := len(all) - keep
 	if over <= 0 {
 		return 0
 	}
-	type aged struct {
-		key  string
-		used int64
-	}
-	all := make([]aged, 0, len(rc.entries))
-	for k, ent := range rc.entries {
-		all = append(all, aged{k, ent.used.Load()})
-	}
 	sort.Slice(all, func(i, j int) bool { return all[i].used < all[j].used })
+	dropped := 0
 	for _, a := range all[:over] {
-		delete(rc.entries, a.key)
+		s := &rc.stripes[a.stripe]
+		s.mu.Lock()
+		if ent := s.entries[a.key]; ent != nil && ent.used.Load() == a.used {
+			delete(s.entries, a.key)
+			dropped++
+		}
+		s.mu.Unlock()
 	}
-	rc.evictions.Add(int64(over))
-	return over
+	rc.count.Add(int64(-dropped))
+	rc.evictions.Add(int64(dropped))
+	return dropped
 }
 
 // Len returns the number of cached verdicts.
-func (rc *ResultCache) Len() int {
-	rc.mu.RLock()
-	defer rc.mu.RUnlock()
-	return len(rc.entries)
-}
+func (rc *ResultCache) Len() int { return int(rc.count.Load()) }
 
 // CacheStats is a point-in-time snapshot of the cache counters.
 type CacheStats struct {
@@ -180,15 +292,18 @@ type cacheFileEntry struct {
 // enforced first (LRU trim), so the file on disk never exceeds it.
 func (rc *ResultCache) SaveFile(path string) error {
 	rc.Trim()
-	rc.mu.RLock()
-	out := cacheFile{Version: 1, Entries: make(map[string]cacheFileEntry, len(rc.entries))}
-	for k, ent := range rc.entries {
-		out.Entries[k] = cacheFileEntry{
-			FP:         hex.EncodeToString(ent.fp[:]),
-			Violations: ent.vs,
+	out := cacheFile{Version: 1, Entries: make(map[string]cacheFileEntry, rc.Len())}
+	for i := range rc.stripes {
+		s := &rc.stripes[i]
+		s.mu.RLock()
+		for k, ent := range s.entries {
+			out.Entries[k] = cacheFileEntry{
+				FP:         hex.EncodeToString(ent.fp[:]),
+				Violations: ent.vs,
+			}
 		}
+		s.mu.RUnlock()
 	}
-	rc.mu.RUnlock()
 	data, err := json.Marshal(out)
 	if err != nil {
 		return err
@@ -198,7 +313,7 @@ func (rc *ResultCache) SaveFile(path string) error {
 
 // LoadFile reads a cache persisted by SaveFile, replacing the current
 // entries. A malformed file or unknown version is an error; the cache is
-// left empty in that case (callers degrade to a cold start).
+// left unchanged in that case (callers degrade to a cold start).
 func (rc *ResultCache) LoadFile(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -211,7 +326,10 @@ func (rc *ResultCache) LoadFile(path string) error {
 	if in.Version != 1 {
 		return fmt.Errorf("cache %s: unsupported version %d", path, in.Version)
 	}
-	entries := make(map[string]*cacheEntry, len(in.Entries))
+	fresh := make([]map[string]*cacheEntry, cacheStripes)
+	for i := range fresh {
+		fresh[i] = map[string]*cacheEntry{}
+	}
 	for k, fe := range in.Entries {
 		fp, err := hex.DecodeString(fe.FP)
 		if err != nil || len(fp) != 32 {
@@ -220,15 +338,33 @@ func (rc *ResultCache) LoadFile(path string) error {
 		ent := &cacheEntry{vs: fe.Violations}
 		copy(ent.fp[:], fp)
 		ent.used.Store(rc.tick.Add(1))
-		entries[k] = ent
+		fresh[rc.stripeIndex(k)][k] = ent
 	}
-	rc.mu.Lock()
-	rc.entries = entries
-	if rc.maxEntries > 0 {
-		rc.trimLocked(rc.maxEntries)
+	rc.confMu.Lock()
+	total := 0
+	for i := range rc.stripes {
+		s := &rc.stripes[i]
+		s.mu.Lock()
+		s.entries = fresh[i]
+		total += len(fresh[i])
+		s.mu.Unlock()
 	}
-	rc.mu.Unlock()
+	rc.count.Store(int64(total))
+	if max := rc.maxEntries.Load(); max > 0 {
+		rc.trimTo(int(max))
+	}
+	rc.confMu.Unlock()
 	return nil
+}
+
+// stripeIndex hashes the key (FNV-1a) onto a stripe index.
+func (rc *ResultCache) stripeIndex(key string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % cacheStripes)
 }
 
 // checkRefWith dispatches one reference through the cache when one is
@@ -245,11 +381,12 @@ func (c *Checker) checkRefWith(ref *Ref, out *[]Violation, sc *scratch) {
 // violations carry the cached message with the Ref pointer rebound to
 // this model's reference; NearMiss is not recoverable from a persisted
 // entry and is left nil on replay (the rendered message already embeds
-// the near-miss description).
+// the near-miss description). Counter updates batch into the scratch
+// and reach the cache at the owner's flush.
 func (c *Checker) checkRefCached(ref *Ref, out *[]Violation, sc *scratch) {
 	key := ref.Key()
 	fp := c.fingerprint(ref, sc)
-	if vs, ok := c.Cache.lookup(key, fp); ok {
+	if vs, ok := c.Cache.lookupBatched(key, fp, &sc.cache); ok {
 		for _, v := range vs {
 			*out = append(*out, Violation{Kind: v.Kind, Ref: ref, Message: v.Message})
 		}

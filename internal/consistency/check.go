@@ -2,6 +2,7 @@ package consistency
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -136,16 +137,15 @@ func (r *Report) ByKind(k Kind) []Violation {
 	return out
 }
 
-// Checker evaluates consistency over a Model with Go-side indexes.
+// Checker evaluates consistency over a Model through its columnar
+// tables (columns.go): dense instance/domain/permission ids instead of
+// string-keyed maps, so the per-reference hot path is map-free,
+// lock-free and allocation-free. The tables are built once per Model
+// and shared, which also makes NewChecker itself cheap — callers may
+// construct a Checker per run without rebuilding any index.
 type Checker struct {
-	m *Model
-	// byGrantorInst/byGrantorDomain index permissions by grantor, the key
-	// lookup on the reference's target side.
-	byGrantorInst   map[string][]int
-	byGrantorDomain map[string][]int
-	// restricters are domains that declare exports, with their
-	// domain-level permission indexes.
-	restricters map[string][]int
+	m  *Model
+	co *columns
 	// DisableIndex forces full permission scans (the DESIGN.md ablation).
 	DisableIndex bool
 	// Cache, when non-nil, memoizes per-reference verdicts keyed by a
@@ -162,52 +162,47 @@ type Checker struct {
 func (c *Checker) IndexHits() int64 { return c.indexHits.Load() }
 
 // scratch is per-worker reusable state: the candidate-permission buffer,
-// the fingerprint encoding buffer, and the batched index-hit count. One
-// scratch is owned by exactly one worker (or the serial loop) at a time.
+// the fingerprint encoding buffer, and the batched index-hit and cache
+// counters. It carries no pointers into the model, and one scratch is
+// owned by exactly one worker (or the serial loop) at a time.
 type scratch struct {
-	perms []int
+	perms []int32
 	enc   []byte
 	hits  int
+	cache cacheBatch
 }
 
-// flush folds the scratch's batched counters into the checker.
+// flush folds the scratch's batched counters into the checker (and the
+// attached result cache). Called once per worker, not per reference, so
+// workers never contend on the shared counters mid-check.
 func (c *Checker) flush(sc *scratch) {
 	if sc.hits != 0 {
 		c.indexHits.Add(int64(sc.hits))
 		sc.hits = 0
 	}
+	if c.Cache != nil {
+		c.Cache.merge(&sc.cache)
+	}
 }
 
-// NewChecker builds a Checker (and its indexes) for the model.
+// NewChecker builds a Checker for the model. The columnar tables it
+// checks over are memoized on the Model, so repeated construction (one
+// Checker per CheckContext run, per delta re-check, per service
+// request) costs nothing after the first.
 func NewChecker(m *Model) *Checker {
-	c := &Checker{
-		m:               m,
-		byGrantorInst:   map[string][]int{},
-		byGrantorDomain: map[string][]int{},
-		restricters:     map[string][]int{},
-	}
-	for i := range m.Perms {
-		p := &m.Perms[i]
-		if p.GrantorInst != "" {
-			c.byGrantorInst[p.GrantorInst] = append(c.byGrantorInst[p.GrantorInst], i)
-		}
-		if p.GrantorDomain != "" {
-			c.byGrantorDomain[p.GrantorDomain] = append(c.byGrantorDomain[p.GrantorDomain], i)
-			c.restricters[p.GrantorDomain] = append(c.restricters[p.GrantorDomain], i)
-		}
-	}
-	return c
+	return &Checker{m: m, co: m.columns()}
 }
 
-// permCovers checks the non-frequency conditions of the permission rule.
-// It returns how far the permission got: 0 = wrong parties/data,
-// 1 = parties+data ok but access denied, 2 = access ok but frequency
-// fails, 3 = full cover.
-func (c *Checker) permCovers(p *Perm, ref *Ref) int {
+// permLevel checks permission pi against the reference, whose guarantee
+// (t, strict, infreq) the caller hoisted. It returns how far the
+// permission got: 0 = wrong parties/data, 1 = parties+data ok but
+// access denied, 2 = access ok but frequency fails, 3 = full cover.
+func (c *Checker) permLevel(pi int32, srcIdx int32, ref *Ref, t float64, strict, infreq bool) int {
 	// grantee must contain the source party
-	if !c.m.partyInDomain(ref.Source.ID, p.Grantee) {
+	if !c.co.instHasDom(srcIdx, c.co.permGrantee[pi]) {
 		return 0
 	}
+	p := &c.m.Perms[pi]
 	// data subtree
 	if !p.Var.Contains(ref.Var) {
 		return 0
@@ -215,7 +210,6 @@ func (c *Checker) permCovers(p *Perm, ref *Ref) int {
 	if !p.Access.Allows(ref.Access) {
 		return 1
 	}
-	t, strict, infreq := ref.guarantee()
 	if !freqImplies(t, strict, infreq, p.MinPeriod, p.Strict) {
 		return 2
 	}
@@ -223,35 +217,38 @@ func (c *Checker) permCovers(p *Perm, ref *Ref) int {
 }
 
 // candidatePerms returns the permission indexes whose grantor covers the
-// reference's target. The result is written into (and aliases) the
-// scratch buffer, valid until the next call on the same scratch.
-func (c *Checker) candidatePerms(ref *Ref, sc *scratch) []int {
+// reference's target, in ascending index order (the order the
+// fingerprint encoder hashes). The result is written into (and aliases)
+// the scratch buffer, valid until the next call on the same scratch.
+func (c *Checker) candidatePerms(ref *Ref, sc *scratch) []int32 {
 	out := sc.perms[:0]
+	co := c.co
+	ti := ref.Target.idx
 	if c.DisableIndex {
-		for i := range c.m.Perms {
-			p := &c.m.Perms[i]
-			if p.GrantorInst == ref.Target.ID ||
-				(p.GrantorDomain != "" && c.m.partyInDomain(ref.Target.ID, p.GrantorDomain)) {
-				out = append(out, i)
+		for pi := range c.m.Perms {
+			if co.permGrantorInst[pi] == ti || co.instHasDom(ti, co.permGrantorDom[pi]) {
+				out = append(out, int32(pi))
 			}
 		}
 		sc.perms = out
 		return out
 	}
 	sc.hits++
-	out = append(out, c.byGrantorInst[ref.Target.ID]...)
-	for dom := range c.m.partyDomains[ref.Target.ID] {
-		out = append(out, c.byGrantorDomain[dom]...)
+	out = append(out, co.permsByInst[ti]...)
+	for _, d := range co.instDoms(ti) {
+		out = append(out, co.permsByDom[d]...)
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	sc.perms = out
 	return out
 }
 
 // checkRef evaluates one reference and appends violations.
 func (c *Checker) checkRef(ref *Ref, out *[]Violation, sc *scratch) {
+	co := c.co
+	si, ti := ref.Source.idx, ref.Target.idx
 	// Rule 3: support.
-	if !c.m.effectiveSupports(ref.Target, ref.Var) {
+	if !co.supports(ti, ref.Var) {
 		*out = append(*out, Violation{
 			Kind: KindNoSupport,
 			Ref:  ref,
@@ -259,15 +256,16 @@ func (c *Checker) checkRef(ref *Ref, out *[]Violation, sc *scratch) {
 				ref, ref.Target.ID, ref.Target.Hosted(), ref.Var.Path()),
 		})
 	}
-	// Rule 1: permission.
+	// Rule 1: permission. The guarantee is constant across every
+	// permission probe for the reference, so hoist it.
+	t, strict, infreq := ref.guarantee()
 	best := 0
 	var bestPerm *Perm
 	for _, pi := range c.candidatePerms(ref, sc) {
-		p := &c.m.Perms[pi]
-		level := c.permCovers(p, ref)
+		level := c.permLevel(pi, si, ref, t, strict, infreq)
 		if level > best {
 			best = level
-			bestPerm = p
+			bestPerm = &c.m.Perms[pi]
 		}
 		if best == 3 {
 			break
@@ -294,33 +292,35 @@ func (c *Checker) checkRef(ref *Ref, out *[]Violation, sc *scratch) {
 			Message: fmt.Sprintf("%s: no permission covers this reference", ref),
 		})
 	}
-	// Rule 2: domain restrictions.
-	for dom := range c.m.partyDomains[ref.Target.ID] {
-		permIdxs, declares := c.restricters[dom]
-		if !declares {
-			continue
+	// Rule 2: domain restrictions. Domain ids ascend in sorted-name
+	// order, so multiple restriction violations on one reference emit
+	// deterministically (the map iteration this replaces did not
+	// guarantee that).
+	for _, d := range co.instDoms(ti) {
+		permIdxs := co.permsByDom[d]
+		if len(permIdxs) == 0 {
+			continue // domain declares no exports, restricts nothing
 		}
-		if c.m.partyInDomain(ref.Source.ID, dom) {
+		if co.instHasDom(si, d) {
 			continue // source inside the restricting domain
 		}
 		ok := false
 		var near *Perm
 		for _, pi := range permIdxs {
-			p := &c.m.Perms[pi]
-			level := c.permCovers(p, ref)
+			level := c.permLevel(pi, si, ref, t, strict, infreq)
 			if level == 3 {
 				ok = true
 				break
 			}
 			if level > 0 {
-				near = p
+				near = &c.m.Perms[pi]
 			}
 		}
 		if !ok {
 			*out = append(*out, Violation{
 				Kind: KindDomainRestriction, Ref: ref, NearMiss: near,
 				Message: fmt.Sprintf("%s: domain %s restricts access to its members and grants no covering export",
-					ref, dom),
+					ref, co.domName[d]),
 			})
 		}
 	}

@@ -283,6 +283,10 @@ func buildDB(m *Model, materialize bool) *logic.DB {
 				logic.Call(logic.Comp("freq_ok", T, ROp, PT, POp)),
 			))
 	}
+
+	// Everything the solvers will intern is now in the table; publish
+	// the read-only snapshot so checking never touches the alloc mutex.
+	logic.FreezeAtoms()
 	return db
 }
 

@@ -62,6 +62,10 @@ type Instance struct {
 	Domain string
 	// Args are the instantiation arguments ("*" entries are late-bound).
 	Args []ast.Arg
+
+	// idx is the instance's dense index into Model.Instances, assigned
+	// by addInstance; the columnar tables (columns.go) are keyed by it.
+	idx int32
 }
 
 // Hosted returns where the instance runs, for diagnostics.
@@ -202,6 +206,10 @@ type Model struct {
 	// (closures.go); the model itself is read-only after BuildModel.
 	closOnce sync.Once
 	clos     *closures
+	// colsOnce/cols lazily build the columnar interned tables the hot
+	// check path runs over (columns.go); immutable once built.
+	colsOnce sync.Once
+	cols     *columns
 	// varCache memoizes MIB name resolution (Tree.LookupSuffix splits the
 	// path on every call); the same few view patterns resolve on every
 	// reference, so the check's steady state stays allocation-free.
@@ -293,6 +301,7 @@ func (m *Model) domainsOfParty(hostSystem, hostDomain string) map[string]bool {
 }
 
 func (m *Model) addInstance(in *Instance) {
+	in.idx = int32(len(m.Instances))
 	m.Instances = append(m.Instances, in)
 	m.byProc[in.Proc.Name] = append(m.byProc[in.Proc.Name], in)
 	if in.System != "" {

@@ -171,9 +171,15 @@ func CheckContext(ctx context.Context, m *Model, opts Options) (*Report, error) 
 	var shardDur, workerBusy *obs.Histogram
 	var shardsDone *obs.Counter
 	var start time.Time
-	sp := obs.StartSpan("check",
-		obs.Label{Key: "engine", Value: engineName(opts.Engine)},
-		obs.Label{Key: "workers", Value: strconv.Itoa(workers)})
+	// The label structs are only built when a sink is installed: on the
+	// disabled path StartSpan with no varargs is a true no-op (no slice,
+	// no allocation — guarded by TestStartSpanDisabledZeroAlloc).
+	var sp obs.Span
+	if obs.TracingEnabled() {
+		sp = obs.StartSpan("check",
+			obs.Label{Key: "engine", Value: engineName(opts.Engine)},
+			obs.Label{Key: "workers", Value: strconv.Itoa(workers)})
+	}
 	var cs0 CacheStats
 	if mon {
 		start = time.Now()
@@ -203,8 +209,10 @@ func CheckContext(ctx context.Context, m *Model, opts Options) (*Report, error) 
 		run.Histogram(MetricCheckDuration).Observe(int64(time.Since(start)))
 		reg.Merge(run)
 		rep.Metrics = run.Snapshot()
-		sp.Label("refs", strconv.Itoa(rep.RefsChecked))
-		sp.Label("violations", strconv.Itoa(len(rep.Violations)))
+		if sp.Active() {
+			sp.Label("refs", strconv.Itoa(rep.RefsChecked))
+			sp.Label("violations", strconv.Itoa(len(rep.Violations)))
+		}
 		sp.End()
 	}()
 
@@ -253,22 +261,40 @@ func CheckContext(ctx context.Context, m *Model, opts Options) (*Report, error) 
 		}
 	}
 
+	// Shards are cut from the requested worker count (so shard geometry —
+	// and with it the merged report — is a pure function of the options),
+	// but the pool itself never exceeds GOMAXPROCS: the check is CPU
+	// bound, and goroutines beyond the core count only add scheduler
+	// churn and cross-worker cache traffic.
 	shards := shardRefs(m.Refs, workers*shardsPerWorker)
 	results := make([][]Violation, len(shards))
 	checked := make([]int, len(shards))
-	if workers > len(shards) {
-		workers = len(shards)
+	pool := workers
+	if mp := runtime.GOMAXPROCS(0); pool > mp {
+		pool = mp
+	}
+	if pool > len(shards) {
+		pool = len(shards)
 	}
 
 	work := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < pool; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			checkRef, flush := newWorker()
 			defer flush()
+			// Shard-level observations accumulate in worker-local
+			// instruments and merge into the run registry once when the
+			// worker exits, so the shard loop shares no counter lines
+			// with the other workers.
 			var busy time.Duration
+			var localShards int64
+			var localDur *obs.Histogram
+			if mon {
+				localDur = obs.NewHistogram()
+			}
 			// Workers drain the channel even after cancellation (each
 			// shard is then skipped immediately), so the feeder below
 			// never blocks on an exited pool.
@@ -299,13 +325,17 @@ func CheckContext(ctx context.Context, m *Model, opts Options) (*Report, error) 
 				if mon {
 					d := time.Since(t0)
 					busy += d
-					shardDur.Observe(int64(d))
-					shardsDone.Inc()
+					localDur.Observe(int64(d))
+					localShards++
 				}
-				ssp.Label("refs", strconv.Itoa(n))
+				if ssp.Active() {
+					ssp.Label("refs", strconv.Itoa(n))
+				}
 				ssp.End()
 			}
 			if mon {
+				shardDur.Merge(localDur)
+				shardsDone.Add(localShards)
 				workerBusy.Observe(int64(busy))
 			}
 		}()

@@ -1,6 +1,9 @@
 package logic
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Atom interning. Every atom name is assigned a small process-wide id;
 // Atom() stamps it into the otherwise-unused Ref field of KAtom terms, so
@@ -15,6 +18,13 @@ type interner struct {
 	m     sync.Map // string -> int
 	alloc sync.Mutex
 	n     int
+	// frozen is a read-only snapshot of the table published by freeze()
+	// once a model's fact base is fully interned (the end of BuildDB).
+	// Checking is read-mostly: nearly every id() call during solving
+	// resolves through this plain map — no sync.Map interface boxing,
+	// no alloc mutex — and names minted after the snapshot (rare) fall
+	// through to the growing table.
+	frozen atomic.Pointer[map[string]int]
 }
 
 // atoms is the process-wide intern table.
@@ -24,6 +34,11 @@ var atoms interner
 // Ids start at 1; 0 marks an un-interned atom (built as a raw struct
 // literal), for which all paths fall back to string comparison.
 func (in *interner) id(name string) int {
+	if fm := in.frozen.Load(); fm != nil {
+		if id, ok := (*fm)[name]; ok {
+			return id
+		}
+	}
 	if v, ok := in.m.Load(name); ok {
 		return v.(int)
 	}
@@ -36,6 +51,25 @@ func (in *interner) id(name string) int {
 	in.m.Store(name, in.n)
 	return in.n
 }
+
+// freeze publishes a read-only snapshot of the current table. Later
+// interning still works (the snapshot is a fast path, not a fence), and
+// a later freeze replaces the snapshot.
+func (in *interner) freeze() {
+	in.alloc.Lock()
+	defer in.alloc.Unlock()
+	fm := make(map[string]int, in.n)
+	in.m.Range(func(k, v any) bool {
+		fm[k.(string)] = v.(int)
+		return true
+	})
+	in.frozen.Store(&fm)
+}
+
+// FreezeAtoms snapshots the process-wide atom table into an immutable
+// read path. BuildDB calls it once a model's facts and rules are fully
+// asserted, so the sharded checker's solvers intern lock-free.
+func FreezeAtoms() { atoms.freeze() }
 
 // internID returns the process-wide intern id of an atom name.
 func internID(name string) int { return atoms.id(name) }

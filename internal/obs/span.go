@@ -81,6 +81,11 @@ func StartSpan(name string, labels ...Label) Span {
 	return Span{name: name, start: time.Now(), labels: labels, active: true}
 }
 
+// Active reports whether the span is live (a sink was installed when it
+// started). Hot paths use it to skip building label values — the
+// strconv/fmt work feeding Label — when tracing is off.
+func (s *Span) Active() bool { return s.active }
+
 // Label adds an annotation to an active span.
 func (s *Span) Label(key, value string) {
 	if s.active {

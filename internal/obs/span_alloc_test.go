@@ -1,0 +1,42 @@
+package obs
+
+import "testing"
+
+// TestStartSpanDisabledZeroAlloc pins the disabled-tracing contract the
+// sharded checker's hot loop depends on: with no sink installed, a
+// zero-label StartSpan/Label/End cycle performs zero allocations (the
+// varargs slice must not materialize and the zero Span must stay on the
+// stack). A regression here taxes every shard of every check.
+func TestStartSpanDisabledZeroAlloc(t *testing.T) {
+	prev := SetSpanSink(nil)
+	defer SetSpanSink(prev)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := StartSpan("check.shard")
+		sp.Label("refs", "12")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled StartSpan/Label/End allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// TestSpanActive pins the Active gate callers use to skip building
+// label values (strconv/fmt) when tracing is off.
+func TestSpanActive(t *testing.T) {
+	prev := SetSpanSink(nil)
+	defer SetSpanSink(prev)
+	sp := StartSpan("x")
+	if sp.Active() {
+		t.Fatal("span active with no sink installed")
+	}
+	col := &CollectorSink{}
+	SetSpanSink(col)
+	sp = StartSpan("x")
+	if !sp.Active() {
+		t.Fatal("span inactive with a sink installed")
+	}
+	sp.End()
+	if sp.Active() {
+		t.Fatal("span still active after End")
+	}
+}

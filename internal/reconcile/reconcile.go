@@ -420,8 +420,10 @@ func (r *Reconciler) RunOnce(ctx context.Context) (*Sweep, error) {
 		reg.Counter(MetricSweeps).Inc()
 		reg.Gauge(MetricBreakerOpen).Set(int64(sw.Open))
 	}
-	sp.Label("checked", fmt.Sprint(sw.Checked))
-	sp.Label("drifted", fmt.Sprint(sw.Drifted))
+	if sp.Active() {
+		sp.Label("checked", fmt.Sprint(sw.Checked))
+		sp.Label("drifted", fmt.Sprint(sw.Drifted))
+	}
 	return sw, nil
 }
 

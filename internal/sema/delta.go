@@ -40,6 +40,9 @@ func (d *SpecDelta) Empty() bool {
 // every declaration of the other is reported.
 func DiffSpecs(old, new *ast.Spec) *SpecDelta {
 	d := &SpecDelta{}
+	if old == new {
+		return d // same spec object: nothing can differ
+	}
 	if old == nil {
 		old = ast.NewSpec()
 	}
@@ -60,7 +63,9 @@ func diffMap[T any](old, new map[string]*T) []string {
 	var out []string
 	for name, ov := range old {
 		nv, ok := new[name]
-		if !ok || !declEqual(reflect.ValueOf(ov), reflect.ValueOf(nv)) {
+		// Shared declaration pointers (a spec diffed against an edited
+		// copy of itself) are equal without walking.
+		if !ok || (ov != nv && !declEqual(reflect.ValueOf(ov), reflect.ValueOf(nv))) {
 			out = append(out, name)
 		}
 	}
@@ -82,12 +87,16 @@ var (
 // token.Pos values and *parser.Decl back-pointers compare equal
 // regardless of value, so position-only differences (reformatting,
 // reordering files) do not register as changes. visited guards against
-// cycles through pointer pairs, mirroring DeepEqual.
+// cycles through pointer pairs, mirroring DeepEqual. The cycle map is
+// allocated lazily, on the first distinct pointer pair — a 10k-domain
+// diff walks hundreds of thousands of declaration pairs, and most
+// comparisons (equal scalars, shared pointers) never need it.
 func declEqual(a, b reflect.Value) bool {
-	return declEqualSeen(a, b, map[[2]uintptr]bool{})
+	var seen map[[2]uintptr]bool
+	return declEqualSeen(a, b, &seen)
 }
 
-func declEqualSeen(a, b reflect.Value, seen map[[2]uintptr]bool) bool {
+func declEqualSeen(a, b reflect.Value, seen *map[[2]uintptr]bool) bool {
 	if !a.IsValid() || !b.IsValid() {
 		return a.IsValid() == b.IsValid()
 	}
@@ -106,10 +115,13 @@ func declEqualSeen(a, b reflect.Value, seen map[[2]uintptr]bool) bool {
 			return true
 		}
 		key := [2]uintptr{a.Pointer(), b.Pointer()}
-		if seen[key] {
+		if *seen == nil {
+			*seen = make(map[[2]uintptr]bool, 8)
+		}
+		if (*seen)[key] {
 			return true
 		}
-		seen[key] = true
+		(*seen)[key] = true
 		return declEqualSeen(a.Elem(), b.Elem(), seen)
 	case reflect.Struct:
 		for i := 0; i < a.NumField(); i++ {

@@ -491,7 +491,12 @@ func (a *Agent) Handle(req *Message) *Message {
 		t0 := time.Now()
 		defer func() { a.om.handle.Observe(int64(time.Since(t0))) }()
 	}
-	sp := obs.StartSpan("snmp.handle", obs.Label{Key: "type", Value: fmt.Sprintf("0x%02x", req.PDU.Type)})
+	// Tracing off (the default) must cost nothing on the datagram path:
+	// the Sprintf and the label slice only exist when a sink is installed.
+	var sp obs.Span
+	if obs.TracingEnabled() {
+		sp = obs.StartSpan("snmp.handle", obs.Label{Key: "type", Value: fmt.Sprintf("0x%02x", req.PDU.Type)})
+	}
 	defer sp.End()
 	a.mu.Lock()
 	a.stats.Requests++

@@ -165,7 +165,11 @@ func (c *Client) roundTrip(ctx context.Context, pduType byte, bindings []Binding
 		return nil, err
 	}
 	c.om.requests.Inc()
-	sp := obs.StartSpan("snmp.roundtrip", obs.Label{Key: "type", Value: fmt.Sprintf("0x%02x", pduType)})
+	// Only build the label (a Sprintf) when a sink will see it.
+	var sp obs.Span
+	if obs.TracingEnabled() {
+		sp = obs.StartSpan("snmp.roundtrip", obs.Label{Key: "type", Value: fmt.Sprintf("0x%02x", pduType)})
+	}
 	defer sp.End()
 	buf := make([]byte, 64*1024)
 	var lastErr error

@@ -1,0 +1,180 @@
+// benchmutex profiles mutex contention on the parallel consistency-
+// checking hot path. It switches on the runtime's mutex profiler
+// (runtime.SetMutexProfileFraction), runs repeated parallel checks of a
+// netsim-generated internet, then reports the most-contended call sites
+// and writes the full profile in pprof format for offline inspection
+// (`go tool pprof mutex.pb.gz`).
+//
+// This is the measurement harness behind the contention fix of the
+// sharded checker (DESIGN.md, "Concurrency and contention"). Before the
+// fix, an 8-worker run over the 1k-domain internet showed nearly every
+// sampled wait inside ResultCache.lookup / ResultCache.store (workers
+// serializing on one cache mutex) and obs.(*Registry) counter updates
+// per reference. After striping the cache, batching hit/miss counters
+// per worker and merging observability per shard, the remaining waits
+// sit in the shard fan-out channel and the final report merge — both
+// once-per-shard, not once-per-reference.
+//
+// Usage:
+//
+//	go run ./scripts/benchmutex -domains 1000 -workers 8 -iters 10 -out mutex.pb.gz
+//
+// The tool always exits 0; it measures, it does not gate. Wire the
+// output file into CI artifacts so any PR can be diffed against the
+// previous run.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+
+	"nmsl/internal/consistency"
+	"nmsl/internal/netsim"
+)
+
+// site is one contended call site aggregated from the profile records.
+type site struct {
+	frames []string
+	count  int64 // number of sampled waits
+	cycles int64 // total sampled delay, in runtime cycle units
+}
+
+// summarize folds raw mutex-profile records by their innermost
+// non-runtime frame and returns the sites sorted by total delay.
+func summarize(records []runtime.BlockProfileRecord, top int) []site {
+	bySite := map[string]*site{}
+	for _, r := range records {
+		frames := symbolize(r.Stack())
+		key := "unknown"
+		if len(frames) > 0 {
+			key = frames[0]
+		}
+		s, ok := bySite[key]
+		if !ok {
+			s = &site{frames: frames}
+			bySite[key] = s
+		}
+		s.count += r.Count
+		s.cycles += r.Cycles
+	}
+	out := make([]site, 0, len(bySite))
+	for _, s := range bySite {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].cycles > out[j].cycles })
+	if top > 0 && len(out) > top {
+		out = out[:top]
+	}
+	return out
+}
+
+// symbolize resolves a profile stack to function names, skipping the
+// runtime's own lock plumbing so the first frame names the caller that
+// actually contended.
+func symbolize(stack []uintptr) []string {
+	var frames []string
+	cf := runtime.CallersFrames(stack)
+	for {
+		f, more := cf.Next()
+		if f.Function != "" && !isLockInternal(f.Function) {
+			frames = append(frames, f.Function)
+		}
+		if !more {
+			break
+		}
+	}
+	return frames
+}
+
+func isLockInternal(fn string) bool {
+	switch fn {
+	case "sync.(*Mutex).Unlock", "sync.(*RWMutex).Unlock",
+		"sync.(*RWMutex).RUnlock", "runtime.unlock":
+		return true
+	}
+	return false
+}
+
+func main() {
+	domains := flag.Int("domains", 1000, "netsim internet size in domains")
+	workers := flag.Int("workers", 8, "parallel check workers")
+	iters := flag.Int("iters", 10, "number of full checks to run under the profiler")
+	fraction := flag.Int("fraction", 1, "mutex profile sampling fraction (1 = every contended event)")
+	out := flag.String("out", "mutex.pb.gz", "pprof mutex profile output path (empty to skip)")
+	top := flag.Int("top", 10, "contended sites to print")
+	flag.Parse()
+
+	m, err := netsim.Model(netsim.Params{
+		Domains: *domains, SystemsPerDomain: 2, NestingDepth: 1, Seed: 1,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchmutex: %v\n", err)
+		os.Exit(1)
+	}
+	// One unprofiled warm-up check so per-model memoization (transitive
+	// closures, columnar tables) is built outside the measured region.
+	if rep := consistency.Check(m); !rep.Consistent() {
+		fmt.Fprintln(os.Stderr, "benchmutex: model unexpectedly inconsistent")
+		os.Exit(1)
+	}
+
+	runtime.SetMutexProfileFraction(*fraction)
+	defer runtime.SetMutexProfileFraction(0)
+	for i := 0; i < *iters; i++ {
+		if _, err := consistency.CheckContext(context.Background(), m,
+			consistency.Options{Workers: *workers}); err != nil {
+			fmt.Fprintf(os.Stderr, "benchmutex: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	// Snapshot the records before any more machinery (file I/O below)
+	// can contend.
+	var records []runtime.BlockProfileRecord
+	for {
+		n, ok := runtime.MutexProfile(records)
+		if ok {
+			records = records[:n]
+			break
+		}
+		records = make([]runtime.BlockProfileRecord, n+50)
+	}
+
+	fmt.Printf("benchmutex: %d domains, %d workers, %d checks, %d contended sites sampled\n",
+		*domains, *workers, *iters, len(records))
+	sites := summarize(records, *top)
+	if len(sites) == 0 {
+		fmt.Println("no mutex contention sampled on the check path")
+	}
+	for i, s := range sites {
+		fmt.Printf("#%d  %d waits, %d cycles delay\n", i+1, s.count, s.cycles)
+		for j, f := range s.frames {
+			if j >= 4 {
+				break
+			}
+			fmt.Printf("      %s\n", f)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchmutex: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "benchmutex: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchmutex: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("profile written to %s (inspect with `go tool pprof %s`)\n", *out, *out)
+	}
+}
