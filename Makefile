@@ -9,13 +9,18 @@ GO ?= go
 # below it.
 COVER_FLOOR ?= 70
 
-.PHONY: all build test vet race ci chaos bench bench-parallel bench-rollout cover bench-ci bench-guard bench-mutex svc-smoke svc-bench
+.PHONY: all build test vet race ci chaos bench bench-parallel bench-rollout cover bench-ci bench-guard bench-nightly bench-mutex svc-smoke svc-bench
 
 # The perf-critical benchmarks bench-guard compares against the
 # committed baseline: the 1k-domain worker-sweep endpoints, the warm-
-# cache incremental re-check, and the paper-scale 10k-domain cold check
-# (serial and 1/8-worker parallel).
-GUARDED_BENCH = ^(BenchmarkCheckParallel1|BenchmarkCheckParallel8|BenchmarkCheckWarmCache|BenchmarkCheckDomains10000|BenchmarkCheckParallel10k1|BenchmarkCheckParallel10k8)$$
+# cache incremental re-check (bare, and with the change-contract
+# pre-gate on top), and the paper-scale 10k-domain cold check (serial
+# and 1/8-worker parallel).
+GUARDED_BENCH = ^(BenchmarkCheckParallel1|BenchmarkCheckParallel8|BenchmarkCheckWarmCache|BenchmarkChangeContractCheck|BenchmarkCheckDomains10000|BenchmarkCheckParallel10k1|BenchmarkCheckParallel10k8)$$
+
+# How many times the chaos crash-resume tests repeat; the nightly CI job
+# raises this to 10.
+CHAOS_COUNT ?= 5
 
 all: build test
 
@@ -38,7 +43,7 @@ ci: vet race chaos svc-smoke
 # (see chaosRun in internal/configgen/chaos_test.go). NMSL_CHAOS_SEED
 # pins a failing offset for replay.
 chaos:
-	$(GO) test -run 'TestRolloutResumesAfterCrash|TestChaosKillResume' -count=5 -race ./internal/configgen
+	$(GO) test -run 'TestRolloutResumesAfterCrash|TestChaosKillResume' -count=$(CHAOS_COUNT) -race ./internal/configgen
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
@@ -105,3 +110,11 @@ bench-guard:
 		-benchtime=20x -count=3 -run='^$$' . | tee BENCH_guard.txt
 	$(GO) run ./scripts/bench2json < BENCH_guard.txt > BENCH_guard.json
 	$(GO) run ./scripts/benchguard -baseline BENCH_5.json -current BENCH_guard.json
+
+# Nightly measurement of the guarded benchmarks (the scheduled CI job):
+# same sampling as bench-guard, archived rather than compared, so a
+# regression can be bisected to the night it appeared.
+bench-nightly:
+	$(GO) test -bench='$(GUARDED_BENCH)' \
+		-benchtime=20x -count=3 -run='^$$' . | tee BENCH_nightly.txt
+	$(GO) run ./scripts/bench2json < BENCH_nightly.txt > BENCH_nightly.json

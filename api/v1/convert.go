@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 
+	"nmsl/internal/changespec"
 	"nmsl/internal/configgen"
 	"nmsl/internal/consistency"
 )
@@ -101,6 +102,23 @@ func FromRolloutReport(r *configgen.RolloutReport) RolloutReport {
 				wt.Error = t.Err.Error()
 			}
 			out.Targets[i] = wt
+		}
+	}
+	return out
+}
+
+// FromContractViolations converts change-contract violations.
+func FromContractViolations(vs []changespec.ContractViolation) []ContractViolation {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]ContractViolation, len(vs))
+	for i, v := range vs {
+		out[i] = ContractViolation{
+			Contract: v.Contract,
+			Clause:   v.Clause,
+			Entry:    v.Entry,
+			Message:  v.Message,
 		}
 	}
 	return out

@@ -212,6 +212,61 @@ type RolloutResponse struct {
 	Report     RolloutReport `json:"report"`
 }
 
+// ContractViolation is one violated change-contract clause on the
+// wire.
+type ContractViolation struct {
+	// Contract is the violated contract's name.
+	Contract string `json:"contract"`
+	// Clause is the violated clause's slug (scope, widen-access,
+	// relax-frequency, max-added-instances, max-removed-instances,
+	// max-added-permissions, max-removed-permissions).
+	Clause string `json:"clause"`
+	// Entry is the offending delta entry (an instance ID, a domain, or
+	// a rendered permission); empty for whole-edit violations.
+	Entry string `json:"entry,omitempty"`
+	// Message is the rendered human-readable cause.
+	Message string `json:"message"`
+}
+
+// VerifyChangeRequest verifies a proposed specification revision
+// against change contracts, relative to the tenant's current
+// generation. Nothing is installed either way.
+type VerifyChangeRequest struct {
+	// Contract is change-contract source text (one or more contract
+	// declarations; the .ncs language).
+	Contract string `json:"contract"`
+	// Sources are the proposed specification files, compiled in order.
+	Sources []Source `json:"sources"`
+	// Extensions are NMSL/EXT extension files, installed before the
+	// sources are compiled.
+	Extensions []Source `json:"extensions,omitempty"`
+}
+
+// VerifyChangeResponse reports the contract verdict for a proposed
+// revision.
+type VerifyChangeResponse struct {
+	APIVersion string `json:"api_version"`
+	Tenant     string `json:"tenant"`
+	// Generation is the tenant generation the proposal was verified
+	// against (the pre-edit revision).
+	Generation int64 `json:"generation"`
+	// OK is true when every contract was satisfied.
+	OK bool `json:"ok"`
+	// Delta summarizes what the proposal changes.
+	Delta *ModelDelta `json:"delta,omitempty"`
+	// DirtyInstances counts the instances the edit touches; the
+	// added/removed pairs count instance and permission churn.
+	DirtyInstances     int `json:"dirty_instances"`
+	AddedInstances     int `json:"added_instances"`
+	RemovedInstances   int `json:"removed_instances"`
+	AddedPermissions   int `json:"added_permissions"`
+	RemovedPermissions int `json:"removed_permissions"`
+	// Violations lists every violated clause across all contracts, in
+	// evaluation order.
+	Violations []ContractViolation `json:"violations,omitempty"`
+	DurationNS int64               `json:"duration_ns"`
+}
+
 // TenantInfo summarizes one resident tenant (the list endpoint).
 type TenantInfo struct {
 	ID         string `json:"id"`

@@ -101,6 +101,30 @@ func goldenDocs() map[string]any {
 			Retries:  2,
 			FailFast: true,
 		},
+		"verify_change_request": VerifyChangeRequest{
+			Contract:   "contract small ::=\n    scope core;\nend contract small.",
+			Sources:    []Source{{Name: "net.nmsl", Text: "domain public { }"}},
+			Extensions: []Source{{Name: "ext.nmslext", Text: "extension x"}},
+		},
+		"verify_change_response": VerifyChangeResponse{
+			APIVersion:         Version,
+			Tenant:             "acme",
+			Generation:         2,
+			OK:                 false,
+			Delta:              &ModelDelta{Systems: []string{"core.sw1"}},
+			DirtyInstances:     3,
+			AddedInstances:     1,
+			RemovedInstances:   0,
+			AddedPermissions:   2,
+			RemovedPermissions: 1,
+			Violations: []ContractViolation{{
+				Contract: "small",
+				Clause:   "scope",
+				Entry:    "agent@core.sw2#0",
+				Message:  "edit touches instance agent@core.sw2#0 outside contract scope [core]",
+			}},
+			DurationNS: 31337,
+		},
 		"tenants_response": TenantsResponse{
 			APIVersion: Version,
 			Tenants: []TenantInfo{{

@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"nmsl/internal/changespec"
 	"nmsl/internal/consistency"
 	"nmsl/internal/lexer"
 	"nmsl/internal/logic"
@@ -152,6 +153,55 @@ func BenchmarkCheckWarmCache(b *testing.B) {
 		rep := chk.CheckDelta(prev, delta)
 		if !rep.Consistent() {
 			b.Fatal("unexpected inconsistency")
+		}
+	}
+}
+
+// ---- E-RELA: change-contract evaluation on a warm delta.
+// The rollout pre-gate's cost on top of an incremental re-check: the
+// same one-instance edit as BenchmarkCheckWarmCache, plus a fully armed
+// contract (scope + both forbids + all four churn bounds). The
+// changespec.Checker is built once, as a resident daemon or a single
+// rollout would; each iteration then pays CheckDelta plus the
+// delta-scoped contract evaluation (acceptance: < 10% over the bare
+// BenchmarkCheckWarmCache). ----
+
+func BenchmarkChangeContractCheck(b *testing.B) {
+	m, err := netsim.Model(netsim.Params{Domains: 1000, SystemsPerDomain: 2, NestingDepth: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	chk := consistency.NewChecker(m)
+	chk.Cache = consistency.NewResultCache()
+	prev := chk.Check()
+	if !prev.Consistent() {
+		b.Fatal("unexpected inconsistency")
+	}
+	delta := &consistency.ModelDelta{Instances: []string{m.Refs[0].Source.ID}}
+	contracts, err := changespec.Parse("bench.ncs", `
+contract bench-gate ::=
+    scope public;
+    forbid widen-access;
+    forbid relax-frequency;
+    max added instances 0;
+    max removed instances 0;
+    max added permissions 0;
+    max removed permissions 0;
+end contract bench-gate.
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ck := changespec.NewChecker(m, m)
+	b.ReportMetric(float64(len(m.Refs)), "refs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := chk.CheckDelta(prev, delta)
+		if !rep.Consistent() {
+			b.Fatal("unexpected inconsistency")
+		}
+		if r := ck.Check(delta, contracts[0]); !r.OK() {
+			b.Fatalf("contract violated: %s", r.Summary())
 		}
 	}
 }

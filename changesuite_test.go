@@ -1,0 +1,113 @@
+package nmsl
+
+// The generated change-suite corpus (EXPERIMENTS.md E-RELA): every edit
+// internal/changespec.Suite produces over a netsim internet is compiled,
+// diffed against the base revision, and evaluated against the committed
+// reference contract testdata/contracts/suite-guard.ncs. Each edit's
+// violated-clause set must match its label exactly — edits labelled
+// clean must pass, and edits labelled with clauses must violate exactly
+// those clauses.
+
+import (
+	"os"
+	"reflect"
+	"sort"
+	"testing"
+
+	"nmsl/internal/changespec"
+	"nmsl/internal/netsim"
+)
+
+// suiteParams sizes the suite's internet: 8 ring domains, 2 systems
+// each, no injected inconsistencies (uniform poller frequencies).
+var suiteParams = netsim.Params{Domains: 8, SystemsPerDomain: 2, Seed: 42}
+
+func compileSource(t testing.TB, name, src string) *Specification {
+	t.Helper()
+	c := NewCompiler()
+	if err := c.CompileSource(name, src); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	spec, err := c.Finish()
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return spec
+}
+
+func TestChangeSuiteAgainstReferenceContract(t *testing.T) {
+	data, err := os.ReadFile("testdata/contracts/suite-guard.ncs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	contracts, err := ParseChangeContracts("suite-guard.ncs", string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contracts) != 1 {
+		t.Fatalf("got %d contracts, want 1", len(contracts))
+	}
+	guard := contracts[0]
+
+	base, edits, err := changespec.Suite(suiteParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSpec := compileSource(t, "base.nmsl", base)
+
+	var pass, violate int
+	for _, e := range edits {
+		t.Run(e.Name, func(t *testing.T) {
+			edited := compileSource(t, e.Name+".nmsl", e.Source)
+			_, results := edited.VerifyChange(baseSpec, guard)
+			if len(results) != 1 {
+				t.Fatalf("got %d results", len(results))
+			}
+			r := results[0]
+
+			// Collapse the violations to the set of distinct clauses.
+			set := map[string]bool{}
+			for _, v := range r.Violations {
+				if v.Contract != guard.Name {
+					t.Errorf("violation attributed to %q", v.Contract)
+				}
+				set[v.Clause] = true
+			}
+			var got []string
+			for cl := range set {
+				got = append(got, cl)
+			}
+			sort.Strings(got)
+			want := append([]string(nil), e.MustViolate...)
+			sort.Strings(want)
+			if len(got) == 0 && len(want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("violated clauses %v, want %v\nviolations: %v", got, want, r.Violations)
+			}
+		})
+		if len(e.MustViolate) == 0 {
+			pass++
+		} else {
+			violate++
+		}
+	}
+	t.Logf("suite: %d edits, %d must-pass, %d must-violate", len(edits), pass, violate)
+	if pass == 0 || violate == 0 {
+		t.Errorf("degenerate suite: pass=%d violate=%d", pass, violate)
+	}
+}
+
+// The suite's base revision must itself be consistent — otherwise the
+// must-pass edits would be rehearsing rollouts of a broken internet.
+func TestChangeSuiteBaseConsistent(t *testing.T) {
+	base, _, err := changespec.Suite(suiteParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := compileSource(t, "base.nmsl", base)
+	if rep := spec.Check(); !rep.Consistent() {
+		t.Fatalf("base internet inconsistent: %v", rep.Violations[:min(len(rep.Violations), 3)])
+	}
+}

@@ -13,6 +13,16 @@
 //	          [-timeout d] [-load] [-program] [-cache dir] [-cache-max n]
 //	          [-json] [-metrics-addr a] [-trace-out f] spec.nmsl ...
 //	nmslcheck -solve src,tgt,var,access spec.nmsl ...
+//	nmslcheck -contract gate.ncs -baseline old.nmsl [...] spec.nmsl ...
+//
+// -contract verifies the edit between the baseline specification
+// (-baseline, repeatable, compiled with the same -ext extensions) and
+// the given one against the change contracts in a .ncs file — the
+// Rela-style relational discipline: the edit's computed delta must stay
+// inside each contract's declared blast radius (scope, no widened
+// access, no relaxed frequencies, bounded instance/permission churn).
+// One summary line per contract, each violation listed under it; exit 1
+// if any contract is violated.
 //
 // -cache dir persists per-reference verdicts (keyed by dependency
 // fingerprints) under dir across runs, so re-checking a large
@@ -82,6 +92,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	load := fs.Bool("load", false, "also print the estimated management load")
 	program := fs.Bool("program", false, "also print the logic program (facts + rules)")
 	solve := fs.String("solve", "", "reverse-solve admissible periods: src,tgt,var,access")
+	contractFile := fs.String("contract", "", "verify the edit from -baseline against the change contracts in this .ncs file")
+	var baselines multiFlag
+	fs.Var(&baselines, "baseline", "pre-edit specification file for -contract (repeatable)")
 	cacheDir := fs.String("cache", "", "persist per-reference verdicts under this directory across runs")
 	cacheMax := fs.Int("cache-max", 0, "cap the verdict cache at this many entries, LRU-evicted (0 = unbounded)")
 	jsonOut := fs.Bool("json", false, "print the check report as api/v1 JSON (the nmsld wire format)")
@@ -124,6 +137,61 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "nmslcheck: %v\n", err)
 		return 2
+	}
+
+	if *contractFile != "" {
+		if len(baselines) == 0 {
+			fmt.Fprintln(stderr, "nmslcheck: -contract requires -baseline (the pre-edit specification)")
+			return 2
+		}
+		data, err := os.ReadFile(*contractFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "nmslcheck: %v\n", err)
+			return 2
+		}
+		contracts, err := nmsl.ParseChangeContracts(*contractFile, string(data))
+		if err != nil {
+			fmt.Fprintf(stderr, "nmslcheck: %v\n", err)
+			return 2
+		}
+		bc := nmsl.NewCompiler()
+		for _, path := range exts {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintf(stderr, "nmslcheck: %v\n", err)
+				return 2
+			}
+			if err := bc.AddExtensionSource(path, string(data)); err != nil {
+				fmt.Fprintf(stderr, "nmslcheck: %v\n", err)
+				return 2
+			}
+		}
+		for _, path := range baselines {
+			if err := bc.CompileFile(path); err != nil {
+				fmt.Fprintf(stderr, "nmslcheck: baseline: %v\n", err)
+				return 2
+			}
+		}
+		baseSpec, err := bc.Finish()
+		if err != nil {
+			fmt.Fprintf(stderr, "nmslcheck: baseline: %v\n", err)
+			return 2
+		}
+		_, results := spec.VerifyChange(baseSpec, contracts...)
+		violated := false
+		for _, r := range results {
+			fmt.Fprintln(stdout, r.Summary())
+			for _, v := range r.Violations {
+				fmt.Fprintf(stdout, "  %s\n", v.Message)
+			}
+			if !r.OK() {
+				violated = true
+			}
+		}
+		if violated {
+			return 1
+		}
+		return 0
 	}
 
 	if *solve != "" {

@@ -205,6 +205,60 @@ func TestSimulateFlag(t *testing.T) {
 	}
 }
 
+// TestContractFlag drives the change-contract mode: an edit outside
+// the contract's scope exits 1 with the violation listed; a ring-wide
+// contract accepts the same edit.
+func TestContractFlag(t *testing.T) {
+	p := netsim.Params{Domains: 3, SystemsPerDomain: 1, Seed: 5}
+	base := netsim.Source(p)
+	anchor := "queries agentT0\n        requests mgmt.mib.system.sysDescr\n        frequency >= 5 minutes;"
+	if strings.Count(base, anchor) != 1 {
+		t.Fatal("edit anchor not unique in netsim source")
+	}
+	edited := strings.Replace(base, anchor,
+		strings.Replace(anchor, ">= 5 minutes", ">= 10 minutes", 1), 1)
+
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	basePath := write("base.nmsl", base)
+	newPath := write("new.nmsl", edited)
+	scoped := write("gate.ncs", "contract only-dom0 ::=\n    scope dom0;\nend contract only-dom0.\n")
+	ringWide := write("wide.ncs", "contract ring-wide ::=\n    scope public;\n    forbid widen-access;\nend contract ring-wide.\n")
+
+	var out, errb strings.Builder
+	code := run([]string{"-contract", scoped, "-baseline", basePath, newPath}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "VIOLATED") || !strings.Contains(out.String(), "outside contract scope") {
+		t.Fatalf("output: %q", out.String())
+	}
+
+	out.Reset()
+	code = run([]string{"-contract", ringWide, "-baseline", basePath, newPath}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "contract ring-wide: OK") {
+		t.Fatalf("output: %q", out.String())
+	}
+
+	// Usage errors: no baseline, unparseable contract text.
+	if code := run([]string{"-contract", scoped, newPath}, &out, &errb); code != 2 {
+		t.Errorf("-contract without -baseline: exit %d", code)
+	}
+	broken := write("broken.ncs", "contract broken")
+	if code := run([]string{"-contract", broken, "-baseline", basePath, newPath}, &out, &errb); code != 2 {
+		t.Errorf("broken contract: exit %d", code)
+	}
+}
+
 func TestCacheFlag(t *testing.T) {
 	path := specFile(t, paperspec.Combined)
 	dir := filepath.Join(t.TempDir(), "cache")

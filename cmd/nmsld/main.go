@@ -24,6 +24,8 @@
 //	POST   /v1/tenants/{id}/delta-check incremental re-check
 //	POST   /v1/tenants/{id}/generate    derive per-agent configurations
 //	POST   /v1/tenants/{id}/rollout     install configs at a fleet
+//	POST   /v1/tenants/{id}/verify-change  dry-run a proposed revision
+//	                                    against change contracts
 //
 // plus /healthz, /metrics (Prometheus text), /debug/vars and
 // /debug/pprof on the same listener.

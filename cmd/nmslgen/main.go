@@ -12,7 +12,8 @@
 //	    [-retries n] [-backoff d] [-timeout d] [-failfast] [-json] \
 //	    [-metrics-addr a] [-trace-out f] spec.nmsl ...
 //	nmslgen -targets fleet.txt [-journal run.journal] [-canary 0.1,0.5] \
-//	    [-max-failure-rate 0.05] [-gate-audit] spec.nmsl ...
+//	    [-max-failure-rate 0.05] [-gate-audit] \
+//	    [-contract gate.ncs -baseline old.nmsl [...]] spec.nmsl ...
 //	nmslgen -journal run.journal -resume spec.nmsl ...
 //	nmslgen -journal run.journal -rollback
 //
@@ -29,6 +30,14 @@
 // and the rollout aborts. -metrics-addr serves the observability
 // endpoint (/metrics, /debug/vars, /debug/pprof) for the duration of
 // the run; -trace-out appends tracing spans to a file as JSON lines.
+//
+// -contract arms the change-contract pre-gate: the edit from the
+// baseline specification (-baseline, repeatable) to the one being
+// rolled out is verified against the contracts in a .ncs file before
+// any wave ships. A plan that exceeds a contract's declared blast
+// radius is refused outright — every target canceled, zero datagrams
+// sent — where -max-failure-rate and -gate-audit only catch a bad
+// change after canaries have taken it.
 package main
 
 import (
@@ -51,6 +60,14 @@ import (
 	"nmsl/internal/configgen"
 	"nmsl/internal/obs"
 )
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -94,6 +111,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	maxFailRate := fs.Float64("max-failure-rate", -1, "abort and roll back a wave whose failure rate exceeds this (0 tolerates none; negative disables)")
 	gateAudit := fs.Bool("gate-audit", false, "after each wave, audit the installed canaries against the specification; divergence rolls the wave back")
 	jsonOut := fs.Bool("json", false, "print the rollout report as api/v1 JSON (the nmsld wire format)")
+	contractFile := fs.String("contract", "", "refuse the rollout unless the edit from -baseline satisfies the change contracts in this .ncs file")
+	var baselines multiFlag
+	fs.Var(&baselines, "baseline", "pre-edit specification file for -contract (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -213,6 +233,42 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				Backoff: *backoff,
 			})))
 		}
+		if *contractFile != "" {
+			if *resume {
+				fmt.Fprintln(stderr, "nmslgen: -contract gates a fresh rollout, not -resume (the journaled plan was already gated)")
+				return 2
+			}
+			if len(baselines) == 0 {
+				fmt.Fprintln(stderr, "nmslgen: -contract requires -baseline (the pre-edit specification)")
+				return 2
+			}
+			data, err := os.ReadFile(*contractFile)
+			if err != nil {
+				fmt.Fprintf(stderr, "nmslgen: %v\n", err)
+				return 2
+			}
+			contracts, err := nmsl.ParseChangeContracts(*contractFile, string(data))
+			if err != nil {
+				fmt.Fprintf(stderr, "nmslgen: %v\n", err)
+				return 2
+			}
+			bc := nmsl.NewCompiler()
+			for _, path := range baselines {
+				if err := bc.CompileFile(path); err != nil {
+					fmt.Fprintf(stderr, "nmslgen: baseline: %v\n", err)
+					return 2
+				}
+			}
+			baseSpec, err := bc.Finish()
+			if err != nil {
+				fmt.Fprintf(stderr, "nmslgen: baseline: %v\n", err)
+				return 2
+			}
+			delta := nmsl.DiffSpecs(baseSpec, spec)
+			for _, ct := range contracts {
+				opts = append(opts, configgen.WithChangeContract(ct, baseSpec.Model(), delta))
+			}
+		}
 
 		var report *configgen.RolloutReport
 		var cerr error
@@ -276,8 +332,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		} else {
 			fmt.Fprintln(stdout, report.Summary())
 		}
+		var ctrErr *configgen.ContractError
 		var gerr *configgen.GateError
 		switch {
+		case errors.As(cerr, &ctrErr):
+			fmt.Fprintf(stderr, "nmslgen: rollout refused: %v\n", ctrErr)
+			for _, v := range ctrErr.Violations {
+				fmt.Fprintf(stderr, "nmslgen:   %s\n", v.Message)
+			}
+			return 1
 		case errors.As(cerr, &gerr):
 			fmt.Fprintf(stderr, "nmslgen: %v\n", gerr)
 			if *journal != "" {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"nmsl/internal/mib"
+	"nmsl/internal/netsim"
 	"nmsl/internal/paperspec"
 	"nmsl/internal/snmp"
 )
@@ -201,6 +202,83 @@ func TestTargetsFileInstall(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "installed 1 target") {
 		t.Fatalf("output: %q", out.String())
+	}
+}
+
+// TestContractGatesRollout arms the change-contract pre-gate on a live
+// install: an out-of-scope edit is refused before any datagram, and a
+// ring-wide contract lets the same edit through to the agent.
+func TestContractGatesRollout(t *testing.T) {
+	p := netsim.Params{Domains: 3, SystemsPerDomain: 1, Seed: 5}
+	base := netsim.Source(p)
+	anchor := "queries agentT0\n        requests mgmt.mib.system.sysDescr\n        frequency >= 5 minutes;"
+	if strings.Count(base, anchor) != 1 {
+		t.Fatal("edit anchor not unique in netsim source")
+	}
+	edited := strings.Replace(base, anchor,
+		strings.Replace(anchor, ">= 5 minutes", ">= 10 minutes", 1), 1)
+
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	basePath := write("base.nmsl", base)
+	newPath := write("new.nmsl", edited)
+	scoped := write("gate.ncs", "contract only-dom0 ::=\n    scope dom0;\nend contract only-dom0.\n")
+	ringWide := write("wide.ncs", "contract ring-wide ::=\n    scope public;\n    forbid widen-access;\nend contract ring-wide.\n")
+
+	store := snmp.NewStore()
+	snmp.PopulateFromMIB(store, mib.NewStandard(), "mgmt.mib")
+	agent := snmp.NewAgent(store, &snmp.Config{
+		Communities:    map[string]*snmp.CommunityConfig{},
+		AdminCommunity: "adm",
+	})
+	addr, err := agent.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{
+		"-install", addr.String(), "-admin", "adm", "-instance", "agentT0@sys-0-0#0",
+		"-contract", scoped, "-baseline", basePath, newPath}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "rollout refused") || !strings.Contains(errb.String(), "outside contract scope") {
+		t.Fatalf("stderr: %q", errb.String())
+	}
+	if n := agent.Stats().ConfigLoads; n != 0 {
+		t.Fatalf("refused rollout loaded %d configs, want 0", n)
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = run(context.Background(), []string{
+		"-install", addr.String(), "-admin", "adm", "-instance", "agentT0@sys-0-0#0",
+		"-contract", ringWide, "-baseline", basePath, newPath}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s%s", code, out.String(), errb.String())
+	}
+	if n := agent.Stats().ConfigLoads; n != 1 {
+		t.Fatalf("permitted rollout loaded %d configs, want 1", n)
+	}
+
+	// Usage errors: -contract without -baseline, -contract with -resume.
+	if code := run(context.Background(), []string{
+		"-install", "127.0.0.1:1", "-instance", "agentT0@sys-0-0#0",
+		"-contract", scoped, newPath}, &out, &errb); code != 2 {
+		t.Errorf("-contract without -baseline: exit %d", code)
+	}
+	if code := run(context.Background(), []string{
+		"-resume", "-journal", filepath.Join(dir, "none.journal"),
+		"-contract", scoped, "-baseline", basePath, newPath}, &out, &errb); code != 2 {
+		t.Errorf("-contract with -resume: exit %d", code)
 	}
 }
 

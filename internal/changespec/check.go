@@ -1,0 +1,419 @@
+package changespec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nmsl/internal/consistency"
+)
+
+// ContractViolation is one clause violation, carrying the offending
+// delta entry (an instance ID, a domain name, or a rendered
+// permission) so the operator sees exactly what escaped the contract.
+type ContractViolation struct {
+	// Contract is the violated contract's name.
+	Contract string
+	// Clause is the violated clause's slug (Clause* constants).
+	Clause string
+	// Entry is the offending delta entry.
+	Entry string
+	// Message is the rendered human-readable cause.
+	Message string
+}
+
+// Error implements error, so single violations compose with %w.
+func (v ContractViolation) Error() string { return v.Message }
+
+// ContractError aggregates a contract's violations; it is what the
+// rollout pre-gate and the CLIs surface.
+type ContractError struct {
+	// Contract is the violated contract's name.
+	Contract string
+	// Violations lists every clause violation, deterministically
+	// ordered.
+	Violations []ContractViolation
+}
+
+func (e *ContractError) Error() string {
+	return fmt.Sprintf("changespec: edit violates contract %s: %d violation(s), first: %s",
+		e.Contract, len(e.Violations), e.Violations[0].Message)
+}
+
+// Result is one contract evaluation over one edit. The counts are
+// properties of the delta alone (computed whether or not the related
+// clause is armed), so callers can report edit sizes uniformly.
+type Result struct {
+	// Contract is the evaluated contract's name.
+	Contract string
+	// DirtyInstances counts the instances the delta touches (in the
+	// post-edit model).
+	DirtyInstances int
+	// AddedInstances / RemovedInstances count instances that exist in
+	// exactly one of the two models.
+	AddedInstances   int
+	RemovedInstances int
+	// AddedPermissions / RemovedPermissions count grant slots
+	// (declaring site, grantee, data subtree) that exist in exactly one
+	// of the two models.
+	AddedPermissions   int
+	RemovedPermissions int
+	// Violations lists every clause violation, deterministically
+	// ordered (grant and scope clauses sorted by clause then entry,
+	// size-bound clauses last).
+	Violations []ContractViolation
+}
+
+// OK reports whether the edit satisfied the contract.
+func (r *Result) OK() bool { return len(r.Violations) == 0 }
+
+// Err returns nil for a satisfied contract, or the aggregate
+// *ContractError.
+func (r *Result) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return &ContractError{Contract: r.Contract, Violations: r.Violations}
+}
+
+// Summary renders a one-line account of the evaluation.
+func (r *Result) Summary() string {
+	verdict := "OK"
+	if !r.OK() {
+		verdict = fmt.Sprintf("VIOLATED (%d)", len(r.Violations))
+	}
+	return fmt.Sprintf("contract %s: %s — %d dirty instance(s), +%d/-%d instance(s), +%d/-%d permission(s)",
+		r.Contract, verdict, r.DirtyInstances,
+		r.AddedInstances, r.RemovedInstances, r.AddedPermissions, r.RemovedPermissions)
+}
+
+// Checker evaluates contracts against the edit from old to new. The
+// permission indexes are built once at construction (one pass over
+// each model); every Check after that is delta-scoped — proportional
+// to the edit's dirty set, not the internet — which is what keeps the
+// rollout pre-gate within a few percent of a bare CheckDelta.
+type Checker struct {
+	old, new *consistency.Model
+	// byGrantor indexes each model's permissions by granting party
+	// (instance ID or domain), the unit the dirty set names.
+	oldByGrantor map[string][]*consistency.Perm
+	newByGrantor map[string][]*consistency.Perm
+	// oldByDecl indexes the pre-edit permissions by declaring site
+	// ("process p" / "domain d"): the widen-access coverage probe, so
+	// replicating an existing export onto a new instance is not
+	// mistaken for a new grant shape.
+	oldByDecl map[string][]*consistency.Perm
+}
+
+// NewChecker builds a Checker over the pre-edit (old) and post-edit
+// (new) models. old may be nil (no baseline): every instance and
+// permission then counts as added.
+func NewChecker(old, new *consistency.Model) *Checker {
+	k := &Checker{
+		old:          old,
+		new:          new,
+		oldByGrantor: map[string][]*consistency.Perm{},
+		newByGrantor: map[string][]*consistency.Perm{},
+		oldByDecl:    map[string][]*consistency.Perm{},
+	}
+	if old != nil {
+		for i := range old.Perms {
+			p := &old.Perms[i]
+			gk := grantorKey(p)
+			k.oldByGrantor[gk] = append(k.oldByGrantor[gk], p)
+			k.oldByDecl[p.DeclaredBy] = append(k.oldByDecl[p.DeclaredBy], p)
+		}
+	}
+	if new != nil {
+		for i := range new.Perms {
+			p := &new.Perms[i]
+			gk := grantorKey(p)
+			k.newByGrantor[gk] = append(k.newByGrantor[gk], p)
+		}
+	}
+	return k
+}
+
+// grantorKey identifies a permission's granting party.
+func grantorKey(p *consistency.Perm) string {
+	if p.GrantorInst != "" {
+		return "i|" + p.GrantorInst
+	}
+	return "d|" + p.GrantorDomain
+}
+
+// slotKey identifies a grant slot within one grantor: the grantee and
+// the exported subtree. Access and frequency are the slot's mutable
+// attributes (widen/relax territory), not its identity.
+func slotKey(p *consistency.Perm) string {
+	return p.Grantee + "\x00" + p.Var.Path()
+}
+
+// fullDelta reports whether the delta forces whole-model evaluation
+// (mirroring CheckDelta's fallback-to-full conditions).
+func fullDelta(d *consistency.ModelDelta) bool {
+	return d == nil || d.Full || d.MIBChanged
+}
+
+// Check evaluates one contract against the edit described by delta.
+// The dirty set is the same conservative one CheckDelta re-verifies
+// (consulting both models' containment ancestry), so anything the
+// incremental checker would re-prove is also what the contract
+// constrains.
+func (k *Checker) Check(delta *consistency.ModelDelta, c *Contract) *Result {
+	r := &Result{Contract: c.Name}
+	full := fullDelta(delta)
+
+	dirtyNew := delta.DirtyInstances(k.new, k.old)
+	dirtyOld := delta.DirtyInstances(k.old, k.new)
+	r.DirtyInstances = len(dirtyNew)
+
+	// Instance churn: an instance is added (removed) when it is dirty
+	// and absent from the other model. On a warm delta both dirty sets
+	// are edit-sized; on a full delta this degrades to a whole-model
+	// set difference, which is still linear.
+	var added, removed []string
+	for _, in := range dirtyNew {
+		if k.old == nil || k.old.InstanceByID(in.ID) == nil {
+			added = append(added, in.ID)
+		}
+	}
+	for _, in := range dirtyOld {
+		if k.new == nil || k.new.InstanceByID(in.ID) == nil {
+			removed = append(removed, in.ID)
+		}
+	}
+	r.AddedInstances, r.RemovedInstances = len(added), len(removed)
+
+	// Scope: every dirty instance (in whichever model it exists) and
+	// every changed domain must sit under a scope domain.
+	if len(c.Scope) > 0 {
+		if full {
+			r.violate(ClauseScope, "",
+				"edit invalidates the whole model (full or MIB-level change), exceeding contract scope %v", c.Scope)
+		} else {
+			for _, in := range dirtyNew {
+				if !inScope(k.new, in.ID, c.Scope) {
+					r.violate(ClauseScope, in.ID,
+						"edit touches instance %s outside contract scope %v", in.ID, c.Scope)
+				}
+			}
+			for _, in := range dirtyOld {
+				if k.new != nil && k.new.InstanceByID(in.ID) != nil {
+					continue // already judged against the post-edit model
+				}
+				if !inScope(k.old, in.ID, c.Scope) {
+					r.violate(ClauseScope, in.ID,
+						"edit removes instance %s outside contract scope %v", in.ID, c.Scope)
+				}
+			}
+			for _, d := range delta.Domains {
+				if !domainInScope(k.new, d, c.Scope) && !domainInScope(k.old, d, c.Scope) {
+					r.violate(ClauseScope, "domain "+d,
+						"edit changes domain %s outside contract scope %v", d, c.Scope)
+				}
+			}
+		}
+	}
+
+	// Permission churn over the dirty grantors: the granting parties
+	// the delta touches in either model, plus every changed domain
+	// (domain-level exports).
+	for _, gk := range k.dirtyGrantors(delta, dirtyNew, dirtyOld, full) {
+		k.diffGrantor(gk, c, r)
+	}
+
+	sortViolations(r.Violations)
+
+	if c.MaxAddedInstances >= 0 && r.AddedInstances > c.MaxAddedInstances {
+		r.violate(ClauseMaxAddedInstances, sample(added),
+			"edit adds %d instance(s), contract allows %d", r.AddedInstances, c.MaxAddedInstances)
+	}
+	if c.MaxRemovedInstances >= 0 && r.RemovedInstances > c.MaxRemovedInstances {
+		r.violate(ClauseMaxRemovedInsts, sample(removed),
+			"edit removes %d instance(s), contract allows %d", r.RemovedInstances, c.MaxRemovedInstances)
+	}
+	if c.MaxAddedPermissions >= 0 && r.AddedPermissions > c.MaxAddedPermissions {
+		r.violate(ClauseMaxAddedPerms, "",
+			"edit adds %d permission(s), contract allows %d", r.AddedPermissions, c.MaxAddedPermissions)
+	}
+	if c.MaxRemovedPermissions >= 0 && r.RemovedPermissions > c.MaxRemovedPermissions {
+		r.violate(ClauseMaxRemovedPerms, "",
+			"edit removes %d permission(s), contract allows %d", r.RemovedPermissions, c.MaxRemovedPermissions)
+	}
+	return r
+}
+
+// dirtyGrantors collects the granting-party keys the delta touches,
+// sorted for deterministic violation order. On a full delta it is
+// every grantor of either model.
+func (k *Checker) dirtyGrantors(delta *consistency.ModelDelta, dirtyNew, dirtyOld []*consistency.Instance, full bool) []string {
+	set := map[string]bool{}
+	if full {
+		for gk := range k.oldByGrantor {
+			set[gk] = true
+		}
+		for gk := range k.newByGrantor {
+			set[gk] = true
+		}
+	} else {
+		for _, in := range dirtyNew {
+			set["i|"+in.ID] = true
+		}
+		for _, in := range dirtyOld {
+			set["i|"+in.ID] = true
+		}
+		for _, d := range delta.Domains {
+			set["d|"+d] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for gk := range set {
+		out = append(out, gk)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// diffGrantor compares one granting party's permissions across the
+// edit: slots present on exactly one side count as added/removed;
+// matched slots are checked for widened access and relaxed frequency.
+func (k *Checker) diffGrantor(gk string, c *Contract, r *Result) {
+	news := k.newByGrantor[gk]
+	olds := k.oldByGrantor[gk]
+	if len(news) == 0 && len(olds) == 0 {
+		return
+	}
+	// Multiset of the old side's slots (duplicate slots are legal —
+	// the same subtree exported twice — so counts, not booleans).
+	remaining := make(map[string][]*consistency.Perm, len(olds))
+	for _, p := range olds {
+		sk := slotKey(p)
+		remaining[sk] = append(remaining[sk], p)
+	}
+	for _, np := range news {
+		sk := slotKey(np)
+		if ops := remaining[sk]; len(ops) > 0 {
+			op := ops[0]
+			remaining[sk] = ops[1:]
+			if c.ForbidWidenAccess && !op.Access.Covers(np.Access) {
+				r.violate(ClauseWidenAccess, np.String(),
+					"edit widens access of %s from %s to %s", np.String(), op.Access, np.Access)
+			}
+			if c.ForbidRelaxFrequency && relaxes(op, np) {
+				r.violate(ClauseRelaxFrequency, np.String(),
+					"edit relaxes frequency bound of %s (was period %s %gs)",
+					np.String(), boundOp(op.Strict), op.MinPeriod)
+			}
+			continue
+		}
+		// A slot with no same-grantor predecessor: new surface. It is
+		// widening only when no pre-edit grant from the same declaring
+		// site covers it — a replica of an existing export (new
+		// instance of an old process type) is growth, not widening,
+		// and the added-permissions bound governs it.
+		r.AddedPermissions++
+		if c.ForbidWidenAccess && !k.declCovers(np) {
+			r.violate(ClauseWidenAccess, np.String(),
+				"edit grants new access %s not covered by any pre-edit grant of %s", np.String(), np.DeclaredBy)
+		}
+	}
+	for _, ops := range remaining {
+		r.RemovedPermissions += len(ops)
+	}
+}
+
+// declCovers reports whether some pre-edit permission from the same
+// declaring site covers np's grantee, data and access (and does not
+// relax its frequency bound). Data containment compares MIB paths —
+// the two models own distinct name trees, so node identity does not
+// carry across the edit.
+func (k *Checker) declCovers(np *consistency.Perm) bool {
+	for _, op := range k.oldByDecl[np.DeclaredBy] {
+		if op.Grantee == np.Grantee && pathContains(op.Var.Path(), np.Var.Path()) &&
+			op.Access.Covers(np.Access) && !relaxes(op, np) {
+			return true
+		}
+	}
+	return false
+}
+
+// pathContains reports whether the dotted MIB path inner lies in the
+// subtree rooted at outer (inclusive).
+func pathContains(outer, inner string) bool {
+	return outer == inner || strings.HasPrefix(inner, outer+".")
+}
+
+// relaxes reports whether the new permission's frequency bound is
+// weaker than the old one's: a lower minimum period, or the same
+// period with ">" weakened to ">=". A zero period means unconstrained,
+// which the comparison handles naturally (0 < anything positive).
+func relaxes(op, np *consistency.Perm) bool {
+	if np.MinPeriod < op.MinPeriod {
+		return true
+	}
+	return np.MinPeriod == op.MinPeriod && op.Strict && !np.Strict
+}
+
+func boundOp(strict bool) string {
+	if strict {
+		return ">"
+	}
+	return ">="
+}
+
+// inScope reports whether the instance sits under any scope domain.
+func inScope(m *consistency.Model, instID string, scope []string) bool {
+	if m == nil {
+		return false
+	}
+	for _, d := range scope {
+		if m.PartyInDomain(instID, d) {
+			return true
+		}
+	}
+	return false
+}
+
+// domainInScope reports whether any scope domain contains d.
+func domainInScope(m *consistency.Model, d string, scope []string) bool {
+	if m == nil {
+		return false
+	}
+	for _, s := range scope {
+		if m.DomainContains(s, d) {
+			return true
+		}
+	}
+	return false
+}
+
+// violate appends one violation.
+func (r *Result) violate(clause, entry, format string, args ...any) {
+	r.Violations = append(r.Violations, ContractViolation{
+		Contract: r.Contract,
+		Clause:   clause,
+		Entry:    entry,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// sortViolations orders violations by clause then entry, so reports
+// are deterministic regardless of map iteration.
+func sortViolations(vs []ContractViolation) {
+	sort.SliceStable(vs, func(i, j int) bool {
+		if vs[i].Clause != vs[j].Clause {
+			return vs[i].Clause < vs[j].Clause
+		}
+		return vs[i].Entry < vs[j].Entry
+	})
+}
+
+// sample renders up to five entries for a count-clause violation.
+func sample(ids []string) string {
+	sort.Strings(ids)
+	if len(ids) > 5 {
+		return strings.Join(ids[:5], ", ") + fmt.Sprintf(", … (%d total)", len(ids))
+	}
+	return strings.Join(ids, ", ")
+}

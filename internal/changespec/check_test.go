@@ -1,0 +1,332 @@
+package changespec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"nmsl/internal/ast"
+	"nmsl/internal/consistency"
+	"nmsl/internal/parser"
+	"nmsl/internal/sema"
+)
+
+// baseSrc is a two-domain internet: one agent type instantiated on a
+// system in each domain, one poller in d1 querying the agents.
+const baseSrc = `
+process agent ::=
+    supports mgmt.mib.system, mgmt.mib.ip;
+    exports mgmt.mib.system to "public"
+        access ReadOnly
+        frequency >= 5 minutes;
+end process agent.
+
+process poller ::=
+    queries agent
+        requests mgmt.mib.system.sysDescr
+        frequency >= 5 minutes;
+end process poller.
+
+system "h1" ::=
+    cpu sparc;
+    interface ie0 net lan1 type ethernet-csmacd speed 10000000 bps;
+    supports mgmt.mib.system, mgmt.mib.ip;
+    process agent;
+end system "h1".
+
+system "h2" ::=
+    cpu sparc;
+    interface ie0 net lan2 type ethernet-csmacd speed 10000000 bps;
+    supports mgmt.mib.system, mgmt.mib.ip;
+    process agent;
+end system "h2".
+
+domain d1 ::=
+    system "h1";
+    process poller;
+end domain d1.
+
+domain d2 ::=
+    system "h2";
+end domain d2.
+
+domain public ::=
+    domain d1;
+    domain d2;
+end domain public.
+`
+
+func compile(t testing.TB, src string) (*ast.Spec, *consistency.Model) {
+	t.Helper()
+	f, err := parser.Parse("test.nmsl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sema.NewAnalyzer()
+	a.AnalyzeFile(f)
+	spec, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, consistency.BuildModel(spec)
+}
+
+// edit applies a required substitution to baseSrc.
+func edit(t testing.TB, old, new string) string {
+	t.Helper()
+	if strings.Count(baseSrc, old) != 1 {
+		t.Fatalf("edit anchor not unique: %q", old)
+	}
+	return strings.Replace(baseSrc, old, new, 1)
+}
+
+// check compiles base and edited sources, diffs them, and evaluates
+// the contract over the resulting delta.
+func check(t testing.TB, newSrc string, c *Contract) *Result {
+	t.Helper()
+	oldSpec, oldModel := compile(t, baseSrc)
+	newSpec, newModel := compile(t, newSrc)
+	delta := consistency.DeltaFromSpecs(oldSpec, newSpec)
+	return NewChecker(oldModel, newModel).Check(delta, c)
+}
+
+// unbounded returns a contract with every clause disarmed.
+func unbounded(name string) *Contract {
+	return &Contract{
+		Name:                  name,
+		MaxAddedInstances:     -1,
+		MaxRemovedInstances:   -1,
+		MaxAddedPermissions:   -1,
+		MaxRemovedPermissions: -1,
+	}
+}
+
+func clauses(r *Result) []string {
+	var out []string
+	for _, v := range r.Violations {
+		out = append(out, v.Clause)
+	}
+	return out
+}
+
+func TestCheckCleanEdit(t *testing.T) {
+	c := unbounded("strict")
+	c.Scope = []string{"d1"}
+	c.ForbidWidenAccess = true
+	c.ForbidRelaxFrequency = true
+	c.MaxAddedInstances = 0
+	c.MaxRemovedInstances = 0
+	c.MaxAddedPermissions = 0
+	c.MaxRemovedPermissions = 0
+	src := edit(t, "requests mgmt.mib.system.sysDescr\n        frequency >= 5 minutes;",
+		"requests mgmt.mib.system.sysDescr\n        frequency >= 10 minutes;")
+	r := check(t, src, c)
+	if !r.OK() {
+		t.Fatalf("violations: %v", r.Violations)
+	}
+	if r.Err() != nil {
+		t.Errorf("Err = %v, want nil", r.Err())
+	}
+	if r.DirtyInstances == 0 {
+		t.Error("edit should dirty the poller instance")
+	}
+}
+
+func TestCheckWidenAccess(t *testing.T) {
+	c := unbounded("no-widen")
+	c.ForbidWidenAccess = true
+	r := check(t, edit(t, "access ReadOnly", "access Any"), c)
+	got := clauses(r)
+	// The agent runs on two systems: both replicas widen.
+	if len(got) != 2 || got[0] != ClauseWidenAccess || got[1] != ClauseWidenAccess {
+		t.Fatalf("clauses %v, want two widen-access", got)
+	}
+	var ce *ContractError
+	if !errors.As(r.Err(), &ce) || ce.Contract != "no-widen" {
+		t.Fatalf("Err = %v", r.Err())
+	}
+	if !strings.Contains(ce.Error(), "no-widen") {
+		t.Errorf("error text %q", ce.Error())
+	}
+	if r.Violations[0].Entry == "" {
+		t.Error("violation should carry the offending permission")
+	}
+}
+
+func TestCheckNarrowAccessOK(t *testing.T) {
+	c := unbounded("no-widen")
+	c.ForbidWidenAccess = true
+	r := check(t, edit(t, "access ReadOnly", "access None"), c)
+	if !r.OK() {
+		t.Fatalf("narrowing flagged as widening: %v", r.Violations)
+	}
+}
+
+func TestCheckRelaxFrequency(t *testing.T) {
+	c := unbounded("no-relax")
+	c.ForbidRelaxFrequency = true
+	r := check(t, edit(t, "access ReadOnly\n        frequency >= 5 minutes;",
+		"access ReadOnly\n        frequency >= 1 minutes;"), c)
+	got := clauses(r)
+	if len(got) != 2 || got[0] != ClauseRelaxFrequency {
+		t.Fatalf("clauses %v, want two relax-frequency", got)
+	}
+	// Tightening is fine.
+	r = check(t, edit(t, "access ReadOnly\n        frequency >= 5 minutes;",
+		"access ReadOnly\n        frequency >= 10 minutes;"), c)
+	if !r.OK() {
+		t.Fatalf("tightening flagged as relaxing: %v", r.Violations)
+	}
+}
+
+func TestCheckScope(t *testing.T) {
+	c := unbounded("scoped")
+	c.Scope = []string{"d1"}
+	// Editing d2's system is out of scope.
+	src := edit(t, `interface ie0 net lan2 type ethernet-csmacd speed 10000000 bps;`,
+		`interface ie0 net lan2 type ethernet-csmacd speed 20000000 bps;`)
+	r := check(t, src, c)
+	got := clauses(r)
+	if len(got) == 0 || got[0] != ClauseScope {
+		t.Fatalf("clauses %v, want scope", got)
+	}
+	// The same edit passes when d2 (or an ancestor) is in scope.
+	c.Scope = []string{"d1", "d2"}
+	if r := check(t, src, c); !r.OK() {
+		t.Fatalf("in-scope edit flagged: %v", r.Violations)
+	}
+	c.Scope = []string{"public"}
+	if r := check(t, src, c); !r.OK() {
+		t.Fatalf("ancestor scope should cover the edit: %v", r.Violations)
+	}
+}
+
+func TestCheckInstanceBounds(t *testing.T) {
+	c := unbounded("bounded")
+	c.MaxAddedInstances = 0
+	src := edit(t, "domain d2 ::=\n    system \"h2\";",
+		"domain d2 ::=\n    system \"h2\";\n    process poller;")
+	r := check(t, src, c)
+	if got := clauses(r); len(got) != 1 || got[0] != ClauseMaxAddedInstances {
+		t.Fatalf("clauses %v, want max-added-instances", got)
+	}
+	if r.AddedInstances != 1 {
+		t.Errorf("AddedInstances = %d, want 1", r.AddedInstances)
+	}
+	// The reverse edit (old and new swapped) counts as a removal.
+	oldSpec, oldModel := compile(t, src)
+	newSpec, newModel := compile(t, baseSrc)
+	delta := consistency.DeltaFromSpecs(oldSpec, newSpec)
+	c2 := unbounded("bounded")
+	c2.MaxRemovedInstances = 0
+	r = NewChecker(oldModel, newModel).Check(delta, c2)
+	if got := clauses(r); len(got) != 1 || got[0] != ClauseMaxRemovedInsts {
+		t.Fatalf("clauses %v, want max-removed-instances", got)
+	}
+}
+
+func TestCheckPermissionReplicaNotWidening(t *testing.T) {
+	// A third system running the existing agent adds a permission but
+	// widens nothing: the grant shape is covered by the declaration's
+	// pre-edit grants.
+	src := edit(t, "domain d1 ::=",
+		`system "h3" ::=
+    cpu sparc;
+    interface ie0 net lan1 type ethernet-csmacd speed 10000000 bps;
+    supports mgmt.mib.system, mgmt.mib.ip;
+    process agent;
+end system "h3".
+
+domain d1 ::=
+    system "h3";`)
+	c := unbounded("no-widen")
+	c.ForbidWidenAccess = true
+	r := check(t, src, c)
+	if !r.OK() {
+		t.Fatalf("replicated export flagged as widening: %v", r.Violations)
+	}
+	if r.AddedInstances != 1 || r.AddedPermissions != 1 {
+		t.Errorf("added instances/permissions = %d/%d, want 1/1", r.AddedInstances, r.AddedPermissions)
+	}
+	// But the added-permissions bound still sees it.
+	c2 := unbounded("no-new-perms")
+	c2.MaxAddedPermissions = 0
+	if got := clauses(check(t, src, c2)); len(got) != 1 || got[0] != ClauseMaxAddedPerms {
+		t.Fatalf("clauses %v, want max-added-permissions", got)
+	}
+}
+
+func TestCheckNewExportIsWidening(t *testing.T) {
+	src := edit(t, "domain d2 ::=",
+		"domain d2 ::=\n    exports mgmt.mib.ip to \"public\" access ReadOnly frequency >= 5 minutes;")
+	c := unbounded("no-widen")
+	c.ForbidWidenAccess = true
+	r := check(t, src, c)
+	if got := clauses(r); len(got) != 1 || got[0] != ClauseWidenAccess {
+		t.Fatalf("clauses %v, want widen-access", got)
+	}
+	if r.AddedPermissions != 1 {
+		t.Errorf("AddedPermissions = %d, want 1", r.AddedPermissions)
+	}
+}
+
+func TestCheckFullDeltaExceedsScope(t *testing.T) {
+	c := unbounded("scoped")
+	c.Scope = []string{"d1"}
+	_, m := compile(t, baseSrc)
+	k := NewChecker(m, m)
+	r := k.Check(&consistency.ModelDelta{MIBChanged: true}, c)
+	if got := clauses(r); len(got) != 1 || got[0] != ClauseScope {
+		t.Fatalf("clauses %v, want scope", got)
+	}
+	// Identical models under a full delta: nothing added or removed.
+	if r.AddedInstances != 0 || r.RemovedInstances != 0 ||
+		r.AddedPermissions != 0 || r.RemovedPermissions != 0 {
+		t.Errorf("counts: %+v", r)
+	}
+	// An unscoped contract tolerates the full delta.
+	if r := k.Check(&consistency.ModelDelta{MIBChanged: true}, unbounded("open")); !r.OK() {
+		t.Fatalf("unscoped full delta flagged: %v", r.Violations)
+	}
+}
+
+func TestCheckEmptyDelta(t *testing.T) {
+	_, m := compile(t, baseSrc)
+	k := NewChecker(m, m)
+	c := unbounded("strict")
+	c.Scope = []string{"d1"}
+	c.ForbidWidenAccess = true
+	c.ForbidRelaxFrequency = true
+	c.MaxAddedInstances = 0
+	r := k.Check(&consistency.ModelDelta{}, c)
+	if !r.OK() || r.DirtyInstances != 0 {
+		t.Fatalf("empty delta: dirty=%d violations=%v", r.DirtyInstances, r.Violations)
+	}
+}
+
+func TestCheckNilBaseline(t *testing.T) {
+	// No baseline: everything is new. The counts reflect that; widening
+	// fires for every grant (nothing pre-edit covers them).
+	_, m := compile(t, baseSrc)
+	k := NewChecker(nil, m)
+	c := unbounded("bounded")
+	c.MaxAddedInstances = 1
+	r := k.Check(nil, c)
+	if r.AddedInstances != len(m.Instances) {
+		t.Errorf("AddedInstances = %d, want %d", r.AddedInstances, len(m.Instances))
+	}
+	if got := clauses(r); len(got) != 1 || got[0] != ClauseMaxAddedInstances {
+		t.Fatalf("clauses %v", got)
+	}
+}
+
+func TestResultSummary(t *testing.T) {
+	r := &Result{Contract: "c", DirtyInstances: 3, AddedInstances: 1}
+	if s := r.Summary(); !strings.Contains(s, "OK") || !strings.Contains(s, "contract c") {
+		t.Errorf("summary %q", s)
+	}
+	r.Violations = []ContractViolation{{Contract: "c", Clause: ClauseScope, Message: "m"}}
+	if s := r.Summary(); !strings.Contains(s, "VIOLATED (1)") {
+		t.Errorf("summary %q", s)
+	}
+}

@@ -1,0 +1,45 @@
+package changespec
+
+import "testing"
+
+// FuzzParseChangeSpec exercises contract parsing on arbitrary input:
+// pass 2 must never panic, and a nil error must come with at least one
+// contract (FromFile rejects empty files). Run with
+//
+//	go test -fuzz=FuzzParseChangeSpec ./internal/changespec
+//
+// The seed corpus covers every clause kind plus the known tricky
+// shapes (quoted scopes, dashes in names, duplicate and malformed
+// clauses).
+func FuzzParseChangeSpec(f *testing.F) {
+	seeds := []string{
+		fullContract,
+		"contract c ::= end contract c.",
+		"contract c ::= scope dom1; end contract c.",
+		`contract c ::= scope "Computer Sciences", dom1; end contract c.`,
+		"contract c ::= forbid widen-access; forbid relax-frequency; end contract c.",
+		"contract c ::= max added instances 0; max removed permissions 10; end contract c.",
+		"contract c ::= scope dom1,; end contract c.",
+		"contract c ::= max added instances -1; end contract c.",
+		"contract c ::= max added instances 99999999999999999999; end contract c.",
+		"contract a ::= end contract a.\ncontract b ::= end contract b.",
+		"domain d ::= end domain d.",
+		"contract c(A: Process) ::= end contract c.",
+		"-- just a comment",
+		"contract c ::= scope; forbid; max; end contract c.",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		cs, err := Parse("fuzz.ncs", src)
+		if err == nil && len(cs) == 0 {
+			t.Fatal("nil error but no contracts")
+		}
+		for _, c := range cs {
+			if c.Name == "" {
+				t.Fatal("contract with empty name")
+			}
+		}
+	})
+}

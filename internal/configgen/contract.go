@@ -1,0 +1,90 @@
+package configgen
+
+import (
+	"sort"
+	"time"
+
+	"nmsl/internal/changespec"
+	"nmsl/internal/consistency"
+	"nmsl/internal/obs"
+)
+
+// Change-contract pre-gate: a rollout plan is verified against its
+// declared blast radius before any wave ships. Where WithMaxFailureRate
+// and WithGate judge a wave after it has touched the network, a change
+// contract judges the edit itself — a plan that exceeds it is refused
+// with every target canceled and zero datagrams sent.
+
+// MetricRolloutContractFails counts rollouts refused by the
+// change-contract pre-gate.
+const MetricRolloutContractFails = "nmsl_rollout_contract_failures_total"
+
+// ContractError is the changespec violation aggregate, re-exported so
+// rollout callers can match it with errors.As next to *GateError.
+type ContractError = changespec.ContractError
+
+// changeContract is one armed pre-gate: the contract, the pre-edit
+// model, and the edit's delta.
+type changeContract struct {
+	contract *changespec.Contract
+	old      *consistency.Model
+	delta    *consistency.ModelDelta
+}
+
+// WithChangeContract arms the change-contract pre-gate: before any wave
+// ships, the edit from old to the rollout's model (described by delta,
+// typically from consistency.DeltaFromSpecs) is verified against c. On
+// violation DistributeContext returns a *ContractError and a report in
+// which every target is canceled — the plan never touches the network.
+// Repeating the option stacks contracts; all are evaluated, the first
+// violated one refuses the rollout.
+//
+// A nil delta (or one marked Full/MIBChanged) is treated as a
+// whole-model edit, which any scoped contract refuses — absent an edit
+// description, the pre-gate fails closed rather than open.
+func WithChangeContract(c *changespec.Contract, old *consistency.Model, delta *consistency.ModelDelta) RolloutOption {
+	return func(o *rolloutOptions) {
+		o.contracts = append(o.contracts, changeContract{contract: c, old: old, delta: delta})
+	}
+}
+
+// evalContracts checks every armed contract against m (the post-edit
+// model the rollout would install). It returns nil when all pass.
+func evalContracts(m *consistency.Model, opt *rolloutOptions) *ContractError {
+	for _, cc := range opt.contracts {
+		r := changespec.NewChecker(cc.old, m).Check(cc.delta, cc.contract)
+		if err := r.Err(); err != nil {
+			return err.(*ContractError)
+		}
+	}
+	return nil
+}
+
+// contractRefusedReport builds the all-canceled report for a plan the
+// pre-gate refused: every target carries the contract error, nothing
+// was attempted.
+func contractRefusedReport(targets []Target, cause *ContractError, opt *rolloutOptions, start time.Time) *RolloutReport {
+	report := &RolloutReport{Results: make([]TargetResult, len(targets))}
+	for i, tgt := range targets {
+		report.Results[i] = TargetResult{Target: tgt, Status: StatusCanceled, Err: cause}
+	}
+	sort.Slice(report.Results, func(i, j int) bool {
+		return report.Results[i].Target.InstanceID < report.Results[j].Target.InstanceID
+	})
+	report.Canceled = len(targets)
+	report.Duration = time.Since(start)
+
+	reg := opt.metrics
+	if reg == nil {
+		reg = obs.Default
+	}
+	if reg.Enabled() {
+		run := obs.NewRegistry()
+		run.Counter(MetricRolloutRuns).Inc()
+		run.Counter(MetricRolloutContractFails).Inc()
+		run.Counter(obs.L(MetricRolloutTargets, "status", StatusCanceled.String())).Add(int64(len(targets)))
+		reg.Merge(run)
+		report.Metrics = run.Snapshot()
+	}
+	return report
+}

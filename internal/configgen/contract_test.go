@@ -1,0 +1,163 @@
+package configgen
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"nmsl/internal/changespec"
+	"nmsl/internal/consistency"
+	"nmsl/internal/netsim"
+	"nmsl/internal/obs"
+	"nmsl/internal/parser"
+	"nmsl/internal/sema"
+)
+
+// The E2E acceptance scenario for the change-contract pre-gate: a
+// contract-violating edit on a 50-target netsim fleet must roll back
+// before wave 1 ships — zero ConfigLoads on every agent, *ContractError
+// surfaced — while the same edit under a permissive contract installs
+// everywhere.
+
+// fleetParams sizes the integration fleet: 25 ring domains with 2
+// systems each = 50 agent instances.
+var fleetParams = netsim.Params{Domains: 25, SystemsPerDomain: 2, Seed: 7}
+
+func TestRolloutContractPreGate(t *testing.T) {
+	oldSrc := netsim.Source(fleetParams)
+	oldSpec, err := netsim.Build(fleetParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldModel := consistency.BuildModel(oldSpec)
+
+	// The edit retunes the last domain's poller — far outside the
+	// contract's scope.
+	anchor := "queries agentT0\n        requests mgmt.mib.system.sysDescr\n        frequency >= 5 minutes;"
+	if strings.Count(oldSrc, anchor) != 1 {
+		t.Fatalf("edit anchor not unique in netsim source")
+	}
+	newSrc := strings.Replace(oldSrc, anchor,
+		strings.Replace(anchor, ">= 5 minutes", ">= 10 minutes", 1), 1)
+	f, err := parser.Parse("edited.nmsl", newSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sema.NewAnalyzer()
+	a.AnalyzeFile(f)
+	newSpec, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	newModel := consistency.BuildModel(newSpec)
+	delta := consistency.DeltaFromSpecs(oldSpec, newSpec)
+
+	contracts, err := changespec.Parse("gate.ncs", `
+contract only-dom0 ::=
+    scope dom0;
+    forbid widen-access;
+    forbid relax-frequency;
+end contract only-dom0.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	targets, agents := startRolloutFleetAgents(t, newModel, "admin")
+	if len(targets) != 50 {
+		t.Fatalf("fleet has %d targets, want 50", len(targets))
+	}
+
+	report, rerr := DistributeContext(context.Background(), newModel, targets,
+		WithChangeContract(contracts[0], oldModel, delta),
+		WithMetrics(obs.Disabled))
+
+	var cerr *ContractError
+	if !errors.As(rerr, &cerr) {
+		t.Fatalf("error %v, want *ContractError", rerr)
+	}
+	if cerr.Contract != "only-dom0" || len(cerr.Violations) == 0 {
+		t.Fatalf("contract error: %+v", cerr)
+	}
+	if cerr.Violations[0].Clause != changespec.ClauseScope {
+		t.Errorf("violated clause %q, want scope", cerr.Violations[0].Clause)
+	}
+	if report.OK() {
+		t.Error("refused rollout reported OK")
+	}
+	if report.Canceled != len(targets) || report.Installed != 0 || report.Attempts != 0 {
+		t.Errorf("report: %s", report.Summary())
+	}
+	for i := 1; i < len(report.Results); i++ {
+		if report.Results[i-1].Target.InstanceID > report.Results[i].Target.InstanceID {
+			t.Fatal("results not sorted by instance ID")
+		}
+	}
+	for _, res := range report.Results {
+		if res.Status != StatusCanceled || !errors.Is(res.Err, cerr) {
+			t.Fatalf("target %s: status %s err %v", res.Target.InstanceID, res.Status, res.Err)
+		}
+	}
+	// The acceptance bar: the plan never touched the network.
+	for id, agent := range agents {
+		if n := agent.Stats().ConfigLoads; n != 0 {
+			t.Errorf("agent %s loaded %d configs, want 0", id, n)
+		}
+	}
+
+	// The same edit under a contract that covers the touched domain
+	// installs the whole fleet.
+	okContracts, err := changespec.Parse("ok.ncs", `
+contract ring-wide ::=
+    scope public;
+    forbid widen-access;
+    forbid relax-frequency;
+end contract ring-wide.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, rerr = DistributeContext(context.Background(), newModel, targets,
+		WithChangeContract(okContracts[0], oldModel, delta),
+		WithMetrics(obs.Disabled))
+	if rerr != nil {
+		t.Fatalf("permitted rollout failed: %v", rerr)
+	}
+	if !report.OK() || report.Installed != len(targets) {
+		t.Fatalf("report: %s", report.Summary())
+	}
+	for id, agent := range agents {
+		if n := agent.Stats().ConfigLoads; n != 1 {
+			t.Errorf("agent %s loaded %d configs, want 1", id, n)
+		}
+	}
+}
+
+// The pre-gate's refusal report carries the contract-failure counter.
+func TestRolloutContractMetrics(t *testing.T) {
+	m, err := netsim.Model(netsim.Params{Domains: 3, SystemsPerDomain: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &changespec.Contract{
+		Name: "nothing", Scope: []string{"dom0"},
+		MaxAddedInstances: -1, MaxRemovedInstances: -1,
+		MaxAddedPermissions: -1, MaxRemovedPermissions: -1,
+	}
+	reg := obs.NewRegistry()
+	targets := []Target{{InstanceID: "agentT0@sys-0-0#0", Addr: "127.0.0.1:1"}}
+	// A nil delta is a whole-model edit: the scoped contract fails closed.
+	report, rerr := DistributeContext(context.Background(), m, targets,
+		WithChangeContract(c, m, nil), WithMetrics(reg))
+	var cerr *ContractError
+	if !errors.As(rerr, &cerr) {
+		t.Fatalf("error %v, want *ContractError", rerr)
+	}
+	if got := report.Metrics.Value(MetricRolloutContractFails); got != 1 {
+		t.Errorf("contract-failure counter %d, want 1", got)
+	}
+	if got := reg.Snapshot().Value(MetricRolloutContractFails); got != 1 {
+		t.Errorf("merged contract-failure counter %d, want 1", got)
+	}
+}

@@ -191,6 +191,7 @@ type rolloutOptions struct {
 	om               rolloutRunMetrics
 
 	// Transactional layer.
+	contracts      []changeContract
 	stages         []float64
 	maxFailureRate float64 // negative = gate disarmed
 	gate           func(context.Context, []TargetResult) error
@@ -474,6 +475,15 @@ func DistributeContext(ctx context.Context, m *consistency.Model, targets []Targ
 	opt, err := applyRolloutOptions(opts)
 	if err != nil {
 		return nil, err
+	}
+	// Change-contract pre-gate (WithChangeContract): a plan exceeding
+	// its declared blast radius is refused here, before the journal is
+	// created and before any datagram leaves.
+	if len(opt.contracts) > 0 {
+		start := time.Now()
+		if cause := evalContracts(m, opt); cause != nil {
+			return contractRefusedReport(targets, cause, opt, start), cause
+		}
 	}
 	return rolloutRun(ctx, Generate(m), targets, opt)
 }

@@ -1,6 +1,8 @@
 package consistency
 
 import (
+	"sort"
+
 	"nmsl/internal/ast"
 	"nmsl/internal/obs"
 	"nmsl/internal/sema"
@@ -107,6 +109,44 @@ func (ds *deltaSets) dirtyInstances(m *Model) map[*Instance]bool {
 		}
 	}
 	return out
+}
+
+// DirtyInstances materializes the instances of m the delta touches,
+// sorted by ID — the same conservative dirty set CheckDelta re-checks
+// (old, when non-nil and distinct from m, supplies the pre-edit
+// containment ancestry so removed edges dirty as reliably as added
+// ones). A nil delta, Full, or MIBChanged returns every instance,
+// mirroring CheckDelta's fallback to a full re-check.
+func (d *ModelDelta) DirtyInstances(m, old *Model) []*Instance {
+	if m == nil {
+		return nil
+	}
+	if d == nil || d.Full || d.MIBChanged {
+		out := make([]*Instance, len(m.Instances))
+		copy(out, m.Instances)
+		sortInstancesByID(out)
+		return out
+	}
+	ds := &deltaSets{
+		domains:   toSet(d.Domains),
+		systems:   toSet(d.Systems),
+		processes: toSet(d.Processes),
+		instances: toSet(d.Instances),
+	}
+	if old != nil && old != m {
+		ds.oldModel = old
+	}
+	set := ds.dirtyInstances(m)
+	out := make([]*Instance, 0, len(set))
+	for in := range set {
+		out = append(out, in)
+	}
+	sortInstancesByID(out)
+	return out
+}
+
+func sortInstancesByID(ins []*Instance) {
+	sort.Slice(ins, func(i, j int) bool { return ins[i].ID < ins[j].ID })
 }
 
 // CheckDelta re-checks the model after an edit described by delta,

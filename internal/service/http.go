@@ -32,6 +32,7 @@ const maxBodyBytes = 64 << 20
 //	POST   /v1/tenants/{id}/delta-check    incremental re-check
 //	POST   /v1/tenants/{id}/generate       derive per-agent configurations
 //	POST   /v1/tenants/{id}/rollout        install configs at a fleet
+//	POST   /v1/tenants/{id}/verify-change  check a proposed revision against change contracts
 //	GET    /metrics, /debug/vars, /debug/pprof/...  (internal/obs)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -100,6 +101,18 @@ func (s *Service) Handler() http.Handler {
 			code = apiv1.StatusFromErr(err)
 		}
 		return s.writeJSON(w, code, resp)
+	}))
+
+	mux.HandleFunc("POST /v1/tenants/{id}/verify-change", s.route("verify-change", func(w http.ResponseWriter, r *http.Request) int {
+		var req apiv1.VerifyChangeRequest
+		if code := s.readJSON(w, r, &req); code != 0 {
+			return code
+		}
+		resp, err := s.VerifyChange(r.Context(), r.PathValue("id"), &req)
+		if err != nil {
+			return s.writeErr(w, err)
+		}
+		return s.writeJSON(w, http.StatusOK, resp)
 	}))
 
 	obsHandler := obs.Handler(s.reg)
@@ -198,7 +211,7 @@ func statusFromServiceErr(err error) int {
 	switch {
 	case errors.Is(err, ErrNoTenant):
 		return http.StatusNotFound
-	case errors.Is(err, ErrBadTenantID), errors.Is(err, ErrCompile):
+	case errors.Is(err, ErrBadTenantID), errors.Is(err, ErrCompile), errors.Is(err, ErrBadContract):
 		return http.StatusBadRequest
 	case errors.Is(err, ErrNoSpec), errors.Is(err, ErrInconsistent):
 		return http.StatusConflict

@@ -182,6 +182,72 @@ func TestHTTPObservabilityMounted(t *testing.T) {
 	}
 }
 
+// TestHTTPVerifyChange walks the change-contract pre-gate endpoint: a
+// proposed edit outside the contract's scope is refused with typed
+// violations, the same edit under a ring-wide contract passes, and
+// neither verdict touches the resident generation (a verify is a dry
+// run).
+func TestHTTPVerifyChange(t *testing.T) {
+	_, ts := newTestServer(t)
+	p := netsim.Params{Domains: 3, SystemsPerDomain: 1, Seed: 5}
+	do(t, ts, http.MethodPut, "/v1/tenants/acme/spec", specReqFor(p), nil, http.StatusOK)
+
+	// The edit retunes the last domain's poller (the one querying
+	// agentT0) — an instance well outside dom0.
+	base := netsim.Source(p)
+	anchor := "queries agentT0\n        requests mgmt.mib.system.sysDescr\n        frequency >= 5 minutes;"
+	if strings.Count(base, anchor) != 1 {
+		t.Fatalf("edit anchor not unique in netsim source")
+	}
+	edited := strings.Replace(base, anchor,
+		strings.Replace(anchor, ">= 5 minutes", ">= 10 minutes", 1), 1)
+	verifyReq := func(contract string) *apiv1.VerifyChangeRequest {
+		return &apiv1.VerifyChangeRequest{
+			Contract: contract,
+			Sources:  []apiv1.Source{{Name: "net.nmsl", Text: edited}},
+		}
+	}
+	scoped := "contract only-dom0 ::=\n    scope dom0;\nend contract only-dom0.\n"
+	ringWide := "contract ring-wide ::=\n    scope public;\n    forbid widen-access;\nend contract ring-wide.\n"
+
+	var vr apiv1.VerifyChangeResponse
+	do(t, ts, http.MethodPost, "/v1/tenants/acme/verify-change", verifyReq(scoped), &vr, http.StatusOK)
+	if vr.OK || len(vr.Violations) == 0 {
+		t.Fatalf("out-of-scope edit passed: %+v", vr)
+	}
+	if v := vr.Violations[0]; v.Contract != "only-dom0" || v.Clause != "scope" || v.Entry == "" {
+		t.Fatalf("bad violation: %+v", v)
+	}
+	if vr.Generation != 1 || vr.DirtyInstances == 0 {
+		t.Fatalf("bad verdict envelope: %+v", vr)
+	}
+
+	var ok apiv1.VerifyChangeResponse
+	do(t, ts, http.MethodPost, "/v1/tenants/acme/verify-change", verifyReq(ringWide), &ok, http.StatusOK)
+	if !ok.OK || len(ok.Violations) != 0 {
+		t.Fatalf("ring-wide contract refused a clean retune: %+v", ok)
+	}
+
+	// Error surface: malformed contract text → 400, a proposal that
+	// does not compile → 400, an unknown tenant → 404. None of it may
+	// advance the generation.
+	var e apiv1.Error
+	do(t, ts, http.MethodPost, "/v1/tenants/acme/verify-change", verifyReq("contract broken"), &e, http.StatusBadRequest)
+	if !strings.Contains(e.Message, "contract") {
+		t.Fatalf("wrong 400 cause: %q", e.Message)
+	}
+	do(t, ts, http.MethodPost, "/v1/tenants/acme/verify-change",
+		&apiv1.VerifyChangeRequest{Contract: scoped, Sources: []apiv1.Source{{Name: "x", Text: "domain {"}}},
+		nil, http.StatusBadRequest)
+	do(t, ts, http.MethodPost, "/v1/tenants/ghost/verify-change", verifyReq(scoped), nil, http.StatusNotFound)
+
+	var info apiv1.TenantInfo
+	do(t, ts, http.MethodGet, "/v1/tenants/acme", nil, &info, http.StatusOK)
+	if info.Generation != 1 {
+		t.Fatalf("verify-change moved the generation to %d", info.Generation)
+	}
+}
+
 // TestRunLoadSmoke drives the load generator against an in-process
 // server — the same path make svc-smoke takes, shrunk for test time.
 func TestRunLoadSmoke(t *testing.T) {

@@ -65,6 +65,9 @@ var (
 	ErrTenantLimit = errors.New("service: tenant limit reached")
 	// ErrCompile wraps compilation failures (syntax or semantic).
 	ErrCompile = errors.New("service: specification does not compile")
+	// ErrBadContract wraps change-contract parse failures
+	// (verify-change requests with malformed .ncs text).
+	ErrBadContract = errors.New("service: change contract does not parse")
 	// ErrInconsistent: the operation requires a consistent
 	// specification (generate/rollout refuse on a failing check).
 	ErrInconsistent = errors.New("service: specification is inconsistent")

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"nmsl"
+	apiv1 "nmsl/api/v1"
+)
+
+// VerifyChange evaluates a proposed specification revision against
+// change contracts, relative to the tenant's resident generation —
+// the service face of the Rela-style pre-gate. It is a dry run:
+// whatever the verdict, the tenant's spec, generation, cache and
+// delta-replay state are untouched. A client gates its rollout by
+// requiring ok before PUT /spec.
+//
+// Compilation of the proposal runs outside the tenant lock (like
+// UpdateSpec); only the delta diff and contract evaluation — both
+// delta-scoped and cheap — hold it.
+func (s *Service) VerifyChange(ctx context.Context, id string, req *apiv1.VerifyChangeRequest) (*apiv1.VerifyChangeResponse, error) {
+	t, err := s.tenant(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.allow(t); err != nil {
+		return nil, err
+	}
+	if len(req.Sources) == 0 {
+		return nil, fmt.Errorf("%w: no sources", ErrCompile)
+	}
+	contracts, err := nmsl.ParseChangeContracts("contract.ncs", req.Contract)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadContract, err)
+	}
+	release, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	proposed, err := compile(&apiv1.SpecRequest{Sources: req.Sources, Extensions: req.Extensions})
+	if err != nil {
+		return nil, err
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.spec == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoSpec, t.id)
+	}
+	start := time.Now()
+	delta, results := proposed.VerifyChange(t.spec, contracts...)
+	dur := time.Since(start)
+
+	resp := &apiv1.VerifyChangeResponse{
+		APIVersion: apiv1.Version,
+		Tenant:     t.id,
+		Generation: t.gen,
+		OK:         true,
+		Delta:      apiv1.FromDelta(delta),
+		DurationNS: int64(dur),
+	}
+	for i, r := range results {
+		if i == 0 {
+			// The churn counters describe the edit, not the contract:
+			// every result reports the same numbers.
+			resp.DirtyInstances = r.DirtyInstances
+			resp.AddedInstances = r.AddedInstances
+			resp.RemovedInstances = r.RemovedInstances
+			resp.AddedPermissions = r.AddedPermissions
+			resp.RemovedPermissions = r.RemovedPermissions
+		}
+		if !r.OK() {
+			resp.OK = false
+			resp.Violations = append(resp.Violations, apiv1.FromContractViolations(r.Violations)...)
+		}
+	}
+	return resp, nil
+}

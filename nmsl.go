@@ -44,6 +44,7 @@ import (
 
 	"nmsl/internal/ast"
 	"nmsl/internal/audit"
+	"nmsl/internal/changespec"
 	"nmsl/internal/configgen"
 	"nmsl/internal/consistency"
 	"nmsl/internal/extension"
@@ -142,6 +143,49 @@ type (
 
 // NewCheckCache returns an empty verdict cache.
 func NewCheckCache() *CheckCache { return consistency.NewResultCache() }
+
+// Change-contract re-exports (Rela-style relational change
+// verification; see internal/changespec).
+type (
+	// ChangeContract bounds what a specification edit may do: scope,
+	// no widened access, no relaxed frequency bounds, instance and
+	// permission churn limits.
+	ChangeContract = changespec.Contract
+	// ChangeViolation is one violated contract clause with the
+	// offending delta entry.
+	ChangeViolation = changespec.ContractViolation
+	// ChangeResult is one contract evaluation over one edit.
+	ChangeResult = changespec.Result
+	// ChangeContractError aggregates a contract's violations; rollout
+	// and CLI callers match it with errors.As.
+	ChangeContractError = changespec.ContractError
+)
+
+// ParseChangeContracts parses change-contract source text
+// (conventionally a .ncs file) into contracts for VerifyChange and
+// configgen.WithChangeContract.
+func ParseChangeContracts(name, src string) ([]*ChangeContract, error) {
+	return changespec.Parse(name, src)
+}
+
+// VerifyChange evaluates contracts against the edit from old to s (the
+// proposed revision), returning the computed delta and one result per
+// contract. The evaluation is delta-scoped: on a small edit of a large
+// internet it costs about as much as an incremental re-check.
+func (s *Specification) VerifyChange(old *Specification, contracts ...*ChangeContract) (*ModelDelta, []*ChangeResult) {
+	var oldModel *consistency.Model
+	var delta *ModelDelta
+	if old != nil {
+		oldModel = old.model
+		delta = DiffSpecs(old, s)
+	}
+	k := changespec.NewChecker(oldModel, s.model)
+	results := make([]*ChangeResult, 0, len(contracts))
+	for _, c := range contracts {
+		results = append(results, k.Check(delta, c))
+	}
+	return delta, results
+}
 
 // DiffSpecs diffs two compiled specifications into a ModelDelta for
 // CheckDelta. Position-only differences (reformatting) yield an empty
