@@ -9,14 +9,24 @@ GO ?= go
 # below it.
 COVER_FLOOR ?= 70
 
-.PHONY: all build test vet race ci chaos bench bench-parallel bench-rollout cover bench-ci bench-guard bench-nightly bench-mutex svc-smoke svc-bench
+.PHONY: all build test vet race ci chaos chaos-matrix mega-smoke bench bench-parallel bench-rollout cover bench-ci bench-guard bench-nightly bench-mutex svc-smoke svc-bench
+
+# Scenario matrix for `make chaos`: every topology shape the scenario
+# library knows, each run under the full chaos matrix.
+CHAOS_SCENARIOS ?= campus isp datacenter iot
+# Agents per scenario run in the matrix; small enough for the PR gate.
+CHAOS_AGENTS ?= 200
+# Agents for the mega smoke (the nightly CI job runs 1000 under -race;
+# E-MEGA in EXPERIMENTS.md was recorded at 10000).
+MEGA_AGENTS ?= 1000
 
 # The perf-critical benchmarks bench-guard compares against the
 # committed baseline: the 1k-domain worker-sweep endpoints, the warm-
 # cache incremental re-check (bare, and with the change-contract
-# pre-gate on top), and the paper-scale 10k-domain cold check (serial
-# and 1/8-worker parallel).
-GUARDED_BENCH = ^(BenchmarkCheckParallel1|BenchmarkCheckParallel8|BenchmarkCheckWarmCache|BenchmarkChangeContractCheck|BenchmarkCheckDomains10000|BenchmarkCheckParallel10k1|BenchmarkCheckParallel10k8)$$
+# pre-gate on top), the paper-scale 10k-domain cold check (serial and
+# 1/8-worker parallel), and the mega-fleet agent path (one in-memory
+# round-trip, and a 512-agent fleet install).
+GUARDED_BENCH = ^(BenchmarkCheckParallel1|BenchmarkCheckParallel8|BenchmarkCheckWarmCache|BenchmarkChangeContractCheck|BenchmarkCheckDomains10000|BenchmarkCheckParallel10k1|BenchmarkCheckParallel10k8|BenchmarkMemAgentRoundTrip|BenchmarkMegaFleetInstall)$$
 
 # How many times the chaos crash-resume tests repeat; the nightly CI job
 # raises this to 10.
@@ -41,9 +51,25 @@ ci: vet race chaos svc-smoke
 # Chaos gate: the crash-resume tests re-run several times under the race
 # detector, each run killing the journaled rollout at a different offset
 # (see chaosRun in internal/configgen/chaos_test.go). NMSL_CHAOS_SEED
-# pins a failing offset for replay.
-chaos:
+# pins a failing offset for replay. The scenario matrix then drives a
+# chaos rollout over every topology shape end to end via nmslsim.
+chaos: chaos-matrix
 	$(GO) test -run 'TestRolloutResumesAfterCrash|TestChaosKillResume' -count=$(CHAOS_COUNT) -race ./internal/configgen
+
+# One chaos rollout per scenario: $(CHAOS_AGENTS) in-memory agents,
+# staged waves, the full fault matrix, exit non-zero unless the fleet
+# converges. `make chaos-matrix CHAOS_AGENTS=2000` scales it up.
+chaos-matrix:
+	@for s in $(CHAOS_SCENARIOS); do \
+		echo "== chaos $$s ($(CHAOS_AGENTS) agents) =="; \
+		$(GO) run ./cmd/nmslsim -scenario $$s -agents $(CHAOS_AGENTS) -chaos -seed 1 || exit 1; \
+	done
+
+# The nightly mega-fleet smoke: a $(MEGA_AGENTS)-agent staged rollout
+# under the chaos matrix, with the race detector watching the whole
+# in-process stack (rollout workers, chaos engine, 1k agents).
+mega-smoke:
+	NMSL_MEGA=1 NMSL_MEGA_AGENTS=$(MEGA_AGENTS) $(GO) test -race -v -run TestMegaSmoke -timeout 20m ./internal/megafleet
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

@@ -22,6 +22,7 @@ import (
 	"nmsl/internal/consistency"
 	"nmsl/internal/lexer"
 	"nmsl/internal/logic"
+	"nmsl/internal/megafleet"
 	"nmsl/internal/mib"
 	"nmsl/internal/netsim"
 	"nmsl/internal/obs"
@@ -600,4 +601,87 @@ func BenchmarkSimulate24h(b *testing.B) {
 		issued = res.Issued
 	}
 	b.ReportMetric(float64(issued), "queries/day")
+}
+
+// ---- E-MEGA: mega-fleet agent throughput ----
+
+// BenchmarkMemAgentRoundTrip times one request/response over the
+// in-memory transport (client marshal → fault injector → agent handle →
+// response marshal → unmarshal): the per-datagram unit cost every
+// mega-fleet number is a multiple of.
+func BenchmarkMemAgentRoundTrip(b *testing.B) {
+	n, err := snmp.NewMemNet("bench-rt", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	store := snmp.NewStore()
+	tree := mib.NewStandard()
+	snmp.PopulateFromMIB(store, tree, "mgmt.mib")
+	agent := snmp.NewAgent(store, &snmp.Config{
+		AdminCommunity: "admin",
+		Communities: map[string]*snmp.CommunityConfig{
+			"public": {Access: mib.AccessReadOnly, View: []snmp.View{{Prefix: tree.Lookup("mgmt.mib").OID()}}},
+		},
+	})
+	if _, err := n.AddHost("h1", agent); err != nil {
+		b.Fatal(err)
+	}
+	c, err := snmp.Dial(n.Addr("h1"), "public")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(time.Second)
+	oid := tree.Lookup("mgmt.mib.system.sysDescr").OID()
+	// Batch 100 round-trips per op: a single ~20µs round-trip is
+	// scheduler-noise-dominated at bench-guard's short sampling, the
+	// batch is not.
+	const batch = 100
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			if _, err := c.Get(oid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N*batch)*1e9, "ns/roundtrip")
+}
+
+// BenchmarkMegaFleetInstall measures fleet install throughput: a full
+// unstaged rollout (dial, prepared install, acknowledgment) over 512
+// in-memory agents with 16 workers, reported as installs per second.
+func BenchmarkMegaFleetInstall(b *testing.B) {
+	params, err := netsim.ScenarioParams(netsim.ScenarioCampus, 512, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := netsim.Model(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fleet, err := megafleet.New(m, fmt.Sprintf("bench-fleet-%d", i), "admin", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		targets = len(fleet.Targets)
+		b.StartTimer()
+		rep, err := cfggen.DistributeContext(context.Background(), m, fleet.Targets,
+			cfggen.WithWorkers(16), cfggen.WithMetrics(obs.Disabled))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Installed != targets {
+			b.Fatalf("incomplete rollout: %s", rep.Summary())
+		}
+		b.StopTimer()
+		fleet.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(b.N*targets)/b.Elapsed().Seconds(), "installs/s")
 }

@@ -10,6 +10,13 @@
 //	nmslsim -table systems          # sweep elements (T-SCALE-2)
 //	nmslsim -domains 1000 -systems 10 -rate 0.01
 //	nmslsim -domains 10000 -workers 8    # parallel sharded check
+//
+// With -scenario it instead hosts a mega-fleet of in-memory agents and
+// drives a staged rollout plus reconciliation against it (E-MEGA),
+// optionally under the chaos matrix:
+//
+//	nmslsim -scenario campus -agents 10000 -chaos -report report.json
+//	nmslsim -scenario iot -agents 1000 -chaos -stages 0.01,0.1,0.5 -seed 7
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"nmsl/internal/consistency"
@@ -41,8 +49,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "generation seed")
 	workers := fs.Int("workers", 0, "check worker pool size (0 = one per CPU)")
 	table := fs.String("table", "", "run a sweep: domains | systems")
+	scenario := fs.String("scenario", "", "mega-fleet scenario: "+strings.Join(netsim.Scenarios(), " | "))
+	agents := fs.Int("agents", 1000, "mega-fleet agent count (with -scenario)")
+	chaos := fs.Bool("chaos", false, "arm the chaos matrix (with -scenario)")
+	stages := fs.String("stages", "0.1,0.5", "canary-wave fractions, comma-separated (with -scenario; empty = unstaged)")
+	report := fs.String("report", "", "write the JSON run report here; - for stdout (with -scenario)")
+	journal := fs.String("journal", "", "rollout write-ahead journal path (with -scenario)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *scenario != "" {
+		return scenarioRun(*scenario, *agents, *seed, *chaos, *stages, *report, *journal, *workers, stdout, stderr)
 	}
 
 	switch *table {

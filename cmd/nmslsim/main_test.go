@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -43,5 +46,70 @@ func TestUnknownTable(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-table", "bogus"}, &out, &errb); code != 2 {
 		t.Errorf("exit %d", code)
+	}
+}
+
+func TestScenarioChaosRunWithReport(t *testing.T) {
+	report := filepath.Join(t.TempDir(), "report.json")
+	var out, errb strings.Builder
+	code := run([]string{
+		"-scenario", "campus", "-agents", "50", "-chaos",
+		"-seed", "3", "-stages", "0.2", "-report", report,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s\n%s", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "wave 0:") || !strings.Contains(out.String(), "converged=true") {
+		t.Fatalf("output missing wave stream or convergence line:\n%s", out.String())
+	}
+	blob, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if m["converged"] != true || m["chaos"] != true {
+		t.Fatalf("report contents: %s", blob)
+	}
+}
+
+func TestScenarioUnknownName(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-scenario", "bogus", "-agents", "5"}, &out, &errb); code != 1 {
+		t.Errorf("exit %d (stderr %q)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "unknown scenario") {
+		t.Errorf("stderr: %q", errb.String())
+	}
+}
+
+func TestScenarioBadStages(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-scenario", "iot", "-agents", "5", "-stages", "x"}, &out, &errb); code != 2 {
+		t.Errorf("exit %d", code)
+	}
+}
+
+// The single -seed flag threads to the fleet: same seed, identical
+// report shape (agents, waves) across runs.
+func TestScenarioSeedThreading(t *testing.T) {
+	get := func() map[string]any {
+		var out, errb strings.Builder
+		code := run([]string{"-scenario", "iot", "-agents", "20", "-seed", "9", "-stages", "", "-report", "-"}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("exit %d: %s", code, errb.String())
+		}
+		idx := strings.Index(out.String(), "{")
+		var m map[string]any
+		if err := json.Unmarshal([]byte(out.String()[idx:]), &m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := get(), get()
+	if a["agents"] != b["agents"] || a["waves"] != b["waves"] || a["seed"] != b["seed"] {
+		t.Fatalf("same seed, different run shape: %v vs %v", a, b)
 	}
 }

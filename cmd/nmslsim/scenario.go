@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"nmsl/internal/configgen"
+	"nmsl/internal/megafleet"
+	"nmsl/internal/netsim"
+	"nmsl/internal/reconcile"
+)
+
+// scenarioRun executes a mega-fleet scenario: build the topology, host
+// the agents in memory, optionally arm the chaos matrix, roll out in
+// waves and reconcile to convergence. Wave progress streams to stdout;
+// -report emits the machine-readable RunReport as JSON ("-" = stdout).
+func scenarioRun(name string, agents int, seed int64, chaos bool, stages, report, journal string, workers int, stdout, stderr io.Writer) int {
+	fractions, err := parseStages(stages)
+	if err != nil {
+		fmt.Fprintf(stderr, "nmslsim: %v\n", err)
+		return 2
+	}
+	rc := megafleet.RunConfig{
+		Scenario: netsim.Scenario(name),
+		Agents:   agents,
+		Seed:     seed,
+		Chaos:    chaos,
+		Matrix:   megafleet.DefaultMatrix(),
+		Stages:   fractions,
+		Workers:  workers,
+		Journal:  journal,
+		OnWave: func(w configgen.WaveResult) {
+			fmt.Fprintf(stdout, "wave %d: %d installed, %d failed, %d rolled-back, %d attempts in %s\n",
+				w.Wave, w.Installed+w.Resumed, w.Failed+w.Skipped+w.Canceled, w.RolledBack,
+				w.Attempts, w.Duration.Round(time.Millisecond))
+		},
+		OnSweep: func(s *reconcile.Sweep) {
+			fmt.Fprintf(stdout, "%s\n", s)
+		},
+	}
+	rep, err := megafleet.Run(context.Background(), rc)
+	if err != nil {
+		fmt.Fprintf(stderr, "nmslsim: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "scenario %s: %d agents, chaos=%v: %d/%d installed in %d waves (%.1f targets/s), converged=%v after %d sweeps in %s, %d duplicate loads, %d faults injected\n",
+		rep.Scenario, rep.Agents, rep.Chaos, rep.RolloutInstalled, rep.Agents, rep.Waves,
+		rep.TargetsPerSec, rep.Converged, rep.Sweeps,
+		(time.Duration(rep.TimeToConverge) * time.Millisecond).Round(time.Millisecond),
+		rep.DuplicateLoads, rep.FaultsInjected)
+	if report != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "nmslsim: %v\n", err)
+			return 1
+		}
+		blob = append(blob, '\n')
+		if report == "-" {
+			if _, err := stdout.Write(blob); err != nil {
+				fmt.Fprintf(stderr, "nmslsim: %v\n", err)
+				return 1
+			}
+		} else if err := os.WriteFile(report, blob, 0o644); err != nil {
+			fmt.Fprintf(stderr, "nmslsim: %v\n", err)
+			return 1
+		}
+	}
+	if !rep.Converged {
+		fmt.Fprintf(stderr, "nmslsim: fleet did not converge (%d agents still drifted)\n", rep.Unconverged)
+		return 1
+	}
+	return 0
+}
+
+// parseStages turns "0.1,0.5" into canary-wave fractions; empty means
+// an unstaged rollout.
+func parseStages(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad stage %q in -stages", part)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -87,8 +87,22 @@ type journalRecord struct {
 // discards everything, so the rollout code never branches on whether
 // journaling is enabled.
 type Journal struct {
-	mu sync.Mutex
-	f  *os.File
+	mu     sync.Mutex
+	f      *os.File
+	nosync bool
+}
+
+// setNoSync turns off the per-record fsync (WithJournalNoSync): records
+// still reach the OS page cache in order, so the journal survives a
+// killed process — only a machine crash can lose the tail. Mega-fleet
+// rollouts (10k targets ≈ 30k records) buy their throughput here.
+func (j *Journal) setNoSync(on bool) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.nosync = on
 }
 
 // CreateJournal starts a fresh journal at path and makes the plan
@@ -143,8 +157,10 @@ func (j *Journal) append(rec journalRecord) error {
 	if _, err := j.f.Write(blob); err != nil {
 		return fmt.Errorf("configgen: journal write: %w", err)
 	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("configgen: journal sync: %w", err)
+	if !j.nosync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("configgen: journal sync: %w", err)
+		}
 	}
 	return nil
 }

@@ -122,10 +122,36 @@ type TargetResult struct {
 	Resumed bool
 }
 
+// WaveResult summarizes one canary wave as it completes — the rollout's
+// partial-progress unit. A mega-fleet operator watching a 10k-target
+// rollout needs to know where it stands wave by wave, not only after
+// the last datagram.
+type WaveResult struct {
+	// Wave is the zero-based wave index; Start/End its half-open span in
+	// the (pre-sort) target order.
+	Wave       int
+	Start, End int
+	// Counts by outcome within the wave, taken after the wave's gate ran
+	// (so a reverted wave shows its RolledBack count, not Installed).
+	Installed, Failed, Skipped, Canceled, RolledBack int
+	// Resumed counts targets satisfied without an install.
+	Resumed int
+	// Attempts is the total install attempts the wave consumed.
+	Attempts int
+	// GateErr is non-nil when the wave failed its health gate.
+	GateErr error
+	// Duration is the wall-clock time of the wave including its gate and
+	// any rollback.
+	Duration time.Duration
+}
+
 // RolloutReport aggregates a rollout.
 type RolloutReport struct {
 	// Results holds every target's outcome, sorted by instance ID.
 	Results []TargetResult
+	// Waves holds per-wave summaries in wave order (one entry even for
+	// an unstaged rollout; waves canceled before starting included).
+	Waves []WaveResult
 	// Installed, Failed, Skipped, Canceled and RolledBack count targets
 	// by status.
 	Installed, Failed, Skipped, Canceled, RolledBack int
@@ -186,6 +212,7 @@ type rolloutOptions struct {
 	perTargetTimeout time.Duration
 	attemptTimeout   time.Duration
 	onResult         func(TargetResult)
+	onWave           func(WaveResult)
 	failFast         bool
 	metrics          *obs.Registry
 	om               rolloutRunMetrics
@@ -196,6 +223,7 @@ type rolloutOptions struct {
 	maxFailureRate float64 // negative = gate disarmed
 	gate           func(context.Context, []TargetResult) error
 	journalPath    string
+	journalNoSync  bool
 	journal        *Journal          // pre-opened on resume/rollback
 	resumed        map[string]string // targetKey -> digest installed per the journal
 
@@ -250,6 +278,14 @@ func WithAttemptTimeout(d time.Duration) RolloutOption {
 // the rollout's context to stop early.
 func WithOnResult(fn func(TargetResult)) RolloutOption {
 	return func(o *rolloutOptions) { o.onResult = fn }
+}
+
+// WithOnWave streams each wave's summary as the wave completes (after
+// its health gate and any rollback; serialized with onResult). Waves
+// canceled before starting are reported too, so the stream always
+// accounts for every target.
+func WithOnWave(fn func(WaveResult)) RolloutOption {
+	return func(o *rolloutOptions) { o.onWave = fn }
 }
 
 // WithFailFast cancels the remaining targets after the first failure
@@ -317,6 +353,16 @@ func WithGate(fn func(ctx context.Context, wave []TargetResult) error) RolloutOp
 // journal is evidence of an unfinished run — resume or remove it).
 func WithJournal(path string) RolloutOption {
 	return func(o *rolloutOptions) { o.journalPath = path }
+}
+
+// WithJournalNoSync drops the journal's per-record fsync. The journal
+// still hits the OS page cache in order, so it survives the process
+// being killed; only a machine crash can lose the tail. A 10k-target
+// rollout writes ~30k journal records — at one fsync each that is the
+// rollout's dominant cost, and mega-fleet runs trade the power-loss
+// window for it deliberately.
+func WithJournalNoSync() RolloutOption {
+	return func(o *rolloutOptions) { o.journalNoSync = true }
 }
 
 // gated reports whether a health gate is armed.
@@ -510,6 +556,9 @@ func rolloutRun(ctx context.Context, configs map[string]*snmp.Config, targets []
 		}
 		opt.journal = j
 	}
+	// The plan record above is always fsync'd (it must survive anything);
+	// per-record syncing of the rest is the caller's trade.
+	opt.journal.setNoSync(opt.journalNoSync)
 	defer opt.journal.Close()
 
 	// Observability: run-scoped registry merged into the shared one at
@@ -560,6 +609,7 @@ func rolloutRun(ctx context.Context, configs map[string]*snmp.Config, targets []
 	waves := splitWaves(len(targets), opt.stages)
 	var gateErr *GateError
 	for wi, w := range waves {
+		waveStart := time.Now()
 		if gateErr != nil || rctx.Err() != nil {
 			// Aborted before this wave: mark its targets canceled without
 			// touching the network.
@@ -570,28 +620,25 @@ func rolloutRun(ctx context.Context, configs map[string]*snmp.Config, targets []
 				}
 				record(i, TargetResult{Target: targets[i], Status: StatusCanceled, Err: err})
 			}
+			finishWave(report, wi, w, waveStart, nil, opt, &mu)
 			continue
 		}
 
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, opt.workers)
-		for i := w.start; i < w.end; i++ {
-			wg.Add(1)
-			go func(i int, tgt Target) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				record(i, installTarget(rctx, configs[tgt.InstanceID], tgt, opt, pre))
-			}(i, targets[i])
-		}
-		wg.Wait()
+		// Fixed worker pool pulling target indices: a 10k-target wave must
+		// not spawn 10k goroutines just to have a semaphore park most of
+		// them.
+		runPool(w, opt.workers, func(i int) {
+			record(i, installTarget(rctx, configs[targets[i].InstanceID], targets[i], opt, pre))
+		})
 
 		if rctx.Err() != nil || !opt.gated() {
+			finishWave(report, wi, w, waveStart, nil, opt, &mu)
 			continue
 		}
 		wave := append([]TargetResult(nil), report.Results[w.start:w.end]...)
 		gerr := evalGate(rctx, wave, opt)
 		if gerr == nil {
+			finishWave(report, wi, w, waveStart, nil, opt, &mu)
 			continue
 		}
 		gateErr = &GateError{Wave: wi, Err: gerr}
@@ -604,6 +651,7 @@ func rolloutRun(ctx context.Context, configs map[string]*snmp.Config, targets []
 		}
 		mu.Unlock()
 		rollbackWave(rctx, w, targets, report, pre, opt, record)
+		finishWave(report, wi, w, waveStart, gerr, opt, &mu)
 	}
 
 	sort.Slice(report.Results, func(i, j int) bool {
@@ -672,6 +720,65 @@ func rolloutRun(ctx context.Context, configs map[string]*snmp.Config, targets []
 	}
 }
 
+// runPool runs fn(i) for every index in the wave span over a fixed pool
+// of at most workers goroutines.
+func runPool(w waveSpan, workers int, fn func(i int)) {
+	n := w.end - w.start
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := w.start; i < w.end; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// finishWave summarizes a completed (or cancel-skipped) wave from its
+// span of results, appends it to the report and streams it to the
+// caller. Must run before the final sort reorders Results.
+func finishWave(report *RolloutReport, wi int, w waveSpan, start time.Time, gateErr error, opt *rolloutOptions, mu *sync.Mutex) {
+	wr := WaveResult{Wave: wi, Start: w.start, End: w.end, GateErr: gateErr, Duration: time.Since(start)}
+	for _, r := range report.Results[w.start:w.end] {
+		wr.Attempts += r.Attempts
+		if r.Resumed {
+			wr.Resumed++
+		}
+		switch r.Status {
+		case StatusInstalled:
+			wr.Installed++
+		case StatusFailed:
+			wr.Failed++
+		case StatusSkipped:
+			wr.Skipped++
+		case StatusCanceled:
+			wr.Canceled++
+		case StatusRolledBack:
+			wr.RolledBack++
+		}
+	}
+	report.Waves = append(report.Waves, wr)
+	if opt.onWave != nil {
+		mu.Lock()
+		opt.onWave(wr)
+		mu.Unlock()
+	}
+}
+
 // evalGate runs the wave's health checks: the failure-rate threshold
 // first, then the caller's gate callback.
 func evalGate(ctx context.Context, wave []TargetResult, opt *rolloutOptions) error {
@@ -695,21 +802,13 @@ func evalGate(ctx context.Context, wave []TargetResult, opt *rolloutOptions) err
 // rollbackWave restores every installed target of the wave to its
 // captured pre-image, rewriting the wave's results in place.
 func rollbackWave(rctx context.Context, w waveSpan, targets []Target, report *RolloutReport, pre *preStore, opt *rolloutOptions, record func(int, TargetResult)) {
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opt.workers)
-	for i := w.start; i < w.end; i++ {
+	runPool(w, opt.workers, func(i int) {
 		if report.Results[i].Status != StatusInstalled {
-			continue
+			return
 		}
-		wg.Add(1)
-		go func(i int, tgt Target) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			record(i, restoreTarget(rctx, tgt, pre.get(targetKey(tgt.InstanceID, tgt.Addr)), opt))
-		}(i, targets[i])
-	}
-	wg.Wait()
+		tgt := targets[i]
+		record(i, restoreTarget(rctx, tgt, pre.get(targetKey(tgt.InstanceID, tgt.Addr)), opt))
+	})
 }
 
 // restoreTarget re-installs a captured pre-image at tgt, reporting
@@ -753,7 +852,27 @@ func restoreTarget(rctx context.Context, tgt Target, prev *snmp.Config, opt *rol
 // attempt is acknowledged, the retry budget runs out, or tctx is done,
 // spacing attempts with jittered exponential backoff. It returns the
 // attempts consumed and the final error (nil on success).
+//
+// The connection is dialed once and the SetRequest prepared once, so
+// every attempt retransmits the SAME request ID. That makes ack loss
+// safe: an attempt whose install landed but whose acknowledgment was
+// eaten is answered from the agent's retransmit cache on the next
+// attempt instead of being applied a second time — the exactly-once
+// property the chaos suite pins as "zero duplicate ConfigLoads".
 func attemptLoop(tctx context.Context, cp *snmp.Config, tgt Target, opt *rolloutOptions) (int, error) {
+	client, err := snmp.Dial(tgt.Addr, tgt.AdminCommunity)
+	if err != nil {
+		return 0, err
+	}
+	defer client.Close()
+	client.SetRetries(0) // retries belong to this loop, which counts them
+	if opt.attemptTimeout > 0 {
+		client.SetTimeout(opt.attemptTimeout)
+	}
+	prep, err := client.PrepareInstall(cp)
+	if err != nil {
+		return 0, err
+	}
 	attempts := 0
 	var lastErr error
 	for attempt := 0; attempt <= opt.retries; attempt++ {
@@ -774,11 +893,11 @@ func attemptLoop(tctx context.Context, cp *snmp.Config, tgt Target, opt *rollout
 			break
 		}
 		attempts++
-		err := InstallLiveContext(tctx, tgt.Addr, tgt.AdminCommunity, cp, opt.attemptTimeout)
-		if err == nil {
+		if err := prep.Send(tctx); err == nil {
 			return attempts, nil
+		} else {
+			lastErr = err
 		}
-		lastErr = err
 	}
 	if lastErr == nil {
 		lastErr = tctx.Err()

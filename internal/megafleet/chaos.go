@@ -1,0 +1,272 @@
+package megafleet
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"nmsl/internal/configgen"
+	"nmsl/internal/snmp"
+)
+
+// Matrix is the chaos configuration applied to a fleet: every axis of
+// misbehavior the rollout and reconciler must survive, each scaled by a
+// fraction of the fleet it afflicts. The zero Matrix injects nothing.
+type Matrix struct {
+	// Loss is a baseline independent drop probability applied to every
+	// host, both directions.
+	Loss float64
+
+	// PartitionFrac of the fleet is fully partitioned per Repartition
+	// roll: nothing in, nothing out. AsymFrac is the crueler variant —
+	// requests deliver but every response is lost, so installs land
+	// while their acknowledgments vanish (the exactly-once gauntlet).
+	PartitionFrac float64
+	AsymFrac      float64
+
+	// FlapFrac of hosts flap on a FlapPeriod cycle, down for FlapDown of
+	// it, with per-host staggered phases (a storm, not a metronome).
+	FlapFrac   float64
+	FlapPeriod time.Duration
+	FlapDown   time.Duration
+
+	// BurstFrac of hosts carry a Gilbert–Elliott burst-loss channel.
+	BurstFrac float64
+	Burst     snmp.BurstLoss
+
+	// RestartEveryResults restarts RestartFrac of the fleet each time
+	// that many install results have landed — agent crashes in the
+	// middle of a wave, retransmit caches lost.
+	RestartEveryResults int
+	RestartFrac         float64
+
+	// SkewFrac of agents run their clocks offset by up to ±SkewMax,
+	// exercising every time-window the agent keeps (rate limits,
+	// retransmit-cache expiry).
+	SkewFrac float64
+	SkewMax  time.Duration
+}
+
+// DefaultMatrix is the standard storm: mild baseline loss, moving
+// partitions (symmetric and asymmetric), a flap storm across 5% of the
+// fleet, bursty links, mid-wave restarts and skewed clocks — every
+// failure class at once, none so severe the fleet cannot converge.
+func DefaultMatrix() Matrix {
+	return Matrix{
+		Loss:                0.01,
+		PartitionFrac:       0.01,
+		AsymFrac:            0.01,
+		FlapFrac:            0.05,
+		FlapPeriod:          400 * time.Millisecond,
+		FlapDown:            120 * time.Millisecond,
+		BurstFrac:           0.05,
+		Burst:               snmp.BurstLoss{PEnterBad: 0.05, PExitBad: 0.3, DropGood: 0, DropBad: 0.9},
+		RestartEveryResults: 500,
+		RestartFrac:         0.002,
+		SkewFrac:            0.1,
+		SkewMax:             2 * time.Hour,
+	}
+}
+
+// EngineStats counts what the engine has done to the fleet.
+type EngineStats struct {
+	Repartitions   int
+	Restarts       int
+	Flapping       int
+	Bursty         int
+	Skewed         int
+	PartitionedNow int
+	AsymNow        int
+}
+
+// Engine applies a Matrix to a Fleet. Static afflictions (flap, burst,
+// skew, baseline loss) are assigned once; partitions are re-rolled on
+// demand — typically at every wave boundary and convergence sweep — so
+// no host is unreachable forever, merely unreachable now. All methods
+// are safe to call while a rollout is running against the fleet: fault
+// swaps go through FaultInjector.SetFaults and restarts through
+// MemNet.Restart, both designed for mid-flight use.
+type Engine struct {
+	fleet *Fleet
+	mx    Matrix
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	hosts  []string
+	static map[string]snmp.Faults // per-host baseline (flap/burst/loss)
+	re     int                    // results seen since the last restart volley
+	stats  EngineStats
+}
+
+// NewEngine builds an engine over the fleet. The seed drives every roll
+// the engine makes (who flaps, who partitions, who restarts), so a
+// chaos run is reproducible from (scenario, agents, seed).
+func NewEngine(f *Fleet, mx Matrix, seed int64) *Engine {
+	hosts := f.Net.Hosts()
+	sort.Strings(hosts)
+	return &Engine{
+		fleet:  f,
+		mx:     mx,
+		rng:    rand.New(rand.NewSource(seed)),
+		hosts:  hosts,
+		static: make(map[string]snmp.Faults, len(hosts)),
+	}
+}
+
+// ApplyStatic assigns the per-host standing afflictions: baseline loss
+// everywhere, flap schedules with staggered phases on FlapFrac of the
+// fleet, burst channels on BurstFrac, clock skew on SkewFrac. Call once
+// before traffic starts; Repartition composes partitions on top.
+func (e *Engine) ApplyStatic() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	flapping := e.pick(e.mx.FlapFrac)
+	bursty := e.pick(e.mx.BurstFrac)
+	skewed := e.pick(e.mx.SkewFrac)
+	for _, host := range e.hosts {
+		f := snmp.Faults{Drop: e.mx.Loss}
+		if flapping[host] && e.mx.FlapPeriod > 0 {
+			f.Flap = &snmp.FlapSchedule{
+				Period: e.mx.FlapPeriod,
+				Down:   e.mx.FlapDown,
+				Phase:  time.Duration(e.rng.Int63n(int64(e.mx.FlapPeriod))),
+			}
+			e.stats.Flapping++
+		}
+		if bursty[host] {
+			b := e.mx.Burst
+			f.Burst = &b
+			e.stats.Bursty++
+		}
+		e.static[host] = f
+		e.fleet.Net.Injector(host).SetFaults(e.inFaults(f, false, false), e.outFaults(f, false, false))
+	}
+	for host := range skewed {
+		offset := time.Duration(e.rng.Int63n(int64(2*e.mx.SkewMax))) - e.mx.SkewMax
+		agent := e.fleet.Agents[host]
+		agent.SetTimeSource(func() time.Time { return time.Now().Add(offset) })
+		e.stats.Skewed++
+	}
+}
+
+// Repartition rolls a fresh partition set: PartitionFrac of hosts fully
+// cut off, AsymFrac answering nothing (requests deliver, responses
+// drop). Hosts partitioned last roll and not this one heal back to
+// their static faults — partitions move rather than accumulate.
+func (e *Engine) Repartition() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	full := e.pick(e.mx.PartitionFrac)
+	asym := e.pick(e.mx.AsymFrac)
+	for _, host := range e.hosts {
+		f := e.static[host]
+		e.fleet.Net.Injector(host).SetFaults(
+			e.inFaults(f, full[host], false),
+			e.outFaults(f, full[host], asym[host]),
+		)
+	}
+	e.stats.Repartitions++
+	e.stats.PartitionedNow = len(full)
+	e.stats.AsymNow = len(asym)
+}
+
+// inFaults composes a host's request-direction faults: a full partition
+// drops everything inbound.
+func (e *Engine) inFaults(static snmp.Faults, full, _ bool) snmp.Faults {
+	if full {
+		static.Drop = 1
+	}
+	return static
+}
+
+// outFaults composes a host's response-direction faults: a full or
+// asymmetric partition drops everything outbound. Flap and burst apply
+// only inbound so a host's two directions do not double-roll the same
+// schedule; loss applies both ways.
+func (e *Engine) outFaults(static snmp.Faults, full, asym bool) snmp.Faults {
+	out := snmp.Faults{Drop: static.Drop}
+	if full || asym {
+		out.Drop = 1
+	}
+	return out
+}
+
+// RestartSome crash-restarts RestartFrac of the fleet right now:
+// volatile state (retransmit caches, rate-limit windows) gone,
+// configuration kept. Returns how many restarted.
+func (e *Engine) RestartSome() int {
+	e.mu.Lock()
+	victims := e.pick(e.mx.RestartFrac)
+	e.stats.Restarts += len(victims)
+	e.mu.Unlock()
+	for host := range victims {
+		e.fleet.Net.Restart(host)
+	}
+	return len(victims)
+}
+
+// OnResult is wired into the rollout's result stream: every
+// RestartEveryResults results, a restart volley fires — agents crash
+// mid-wave, not conveniently between waves.
+func (e *Engine) OnResult(configgen.TargetResult) {
+	e.mu.Lock()
+	e.re++
+	fire := e.mx.RestartEveryResults > 0 && e.re >= e.mx.RestartEveryResults
+	if fire {
+		e.re = 0
+	}
+	e.mu.Unlock()
+	if fire {
+		e.RestartSome()
+	}
+}
+
+// OnWave is wired into the rollout's wave stream: every wave boundary
+// re-rolls the partitions, so each wave faces a different cut of the
+// network.
+func (e *Engine) OnWave(configgen.WaveResult) {
+	if e.mx.PartitionFrac > 0 || e.mx.AsymFrac > 0 {
+		e.Repartition()
+	}
+}
+
+// Heal lifts every affliction: all faults cleared, all hosts up. The
+// fleet keeps its configurations and stats.
+func (e *Engine) Heal() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, host := range e.hosts {
+		e.fleet.Net.Injector(host).SetFaults(snmp.Faults{}, snmp.Faults{})
+		e.fleet.Net.SetDown(host, false)
+	}
+	e.stats.PartitionedNow = 0
+	e.stats.AsymNow = 0
+}
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// pick selects ⌈frac·fleet⌉ distinct hosts (at least one when frac > 0)
+// from the engine's rng. Callers hold e.mu.
+func (e *Engine) pick(frac float64) map[string]bool {
+	out := map[string]bool{}
+	if frac <= 0 || len(e.hosts) == 0 {
+		return out
+	}
+	n := int(frac * float64(len(e.hosts)))
+	if n < 1 {
+		n = 1
+	}
+	if n > len(e.hosts) {
+		n = len(e.hosts)
+	}
+	for _, i := range e.rng.Perm(len(e.hosts))[:n] {
+		out[e.hosts[i]] = true
+	}
+	return out
+}

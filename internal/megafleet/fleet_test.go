@@ -1,0 +1,345 @@
+package megafleet
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"nmsl/internal/configgen"
+	"nmsl/internal/netsim"
+	"nmsl/internal/obs"
+)
+
+// chaosOpts is the rollout option set the in-package tests share:
+// aggressive timeouts sized for the in-memory transport.
+func chaosOpts(journal string, onResult func(configgen.TargetResult)) []configgen.RolloutOption {
+	opts := []configgen.RolloutOption{
+		configgen.WithWorkers(16),
+		configgen.WithRetries(3),
+		configgen.WithBackoff(2*time.Millisecond, 20*time.Millisecond),
+		configgen.WithAttemptTimeout(100 * time.Millisecond),
+		configgen.WithMetrics(obs.Disabled),
+	}
+	if onResult != nil {
+		opts = append(opts, configgen.WithOnResult(onResult))
+	}
+	if journal != "" {
+		opts = append(opts, configgen.WithJournal(journal), configgen.WithJournalNoSync())
+	}
+	return opts
+}
+
+// A clean (no-chaos) run over a small campus must converge in the
+// rollout itself: zero sweeps needed, every agent loaded exactly once.
+func TestRunCleanConverges(t *testing.T) {
+	rep, err := Run(context.Background(), RunConfig{
+		Scenario: netsim.ScenarioCampus,
+		Agents:   40,
+		Seed:     1,
+		NetName:  "t-clean",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatalf("clean run did not converge: %+v", rep)
+	}
+	if rep.Sweeps != 0 {
+		t.Errorf("clean run needed %d reconcile sweeps", rep.Sweeps)
+	}
+	if rep.RolloutInstalled != rep.Agents {
+		t.Errorf("installed %d of %d", rep.RolloutInstalled, rep.Agents)
+	}
+	if rep.DuplicateLoads != 0 {
+		t.Errorf("%d agents loaded config more than once on a clean network", rep.DuplicateLoads)
+	}
+	if rep.Agents < 40 {
+		t.Errorf("scenario under-provisioned: %d agents", rep.Agents)
+	}
+}
+
+// The same seed must yield the same fleet shape and wave structure.
+func TestRunDeterministicFleetFromSeed(t *testing.T) {
+	run := func(netName string) *RunReport {
+		rep, err := Run(context.Background(), RunConfig{
+			Scenario: netsim.ScenarioIoT,
+			Agents:   30,
+			Seed:     99,
+			Stages:   []float64{0.5},
+			NetName:  netName,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run("t-det-a"), run("t-det-b")
+	if a.Agents != b.Agents || a.Waves != b.Waves {
+		t.Fatalf("same seed, different shape: %+v vs %+v", a, b)
+	}
+	for i := range a.WaveDetail {
+		if a.WaveDetail[i].Targets != b.WaveDetail[i].Targets {
+			t.Errorf("wave %d sized %d vs %d", i, a.WaveDetail[i].Targets, b.WaveDetail[i].Targets)
+		}
+	}
+}
+
+// The flagship property: a staged rollout over an actively hostile
+// network — moving partitions, asymmetric ack loss, flap storm, burst
+// loss, mid-wave restarts, skewed clocks — still converges to ground
+// truth, and the report says how hard it had to work.
+func TestRunChaosConverges(t *testing.T) {
+	mx := DefaultMatrix()
+	// Densify chaos for a small fleet so every axis provably fires.
+	mx.PartitionFrac = 0.05
+	mx.AsymFrac = 0.05
+	mx.FlapFrac = 0.1
+	mx.BurstFrac = 0.1
+	mx.RestartEveryResults = 40
+	mx.RestartFrac = 0.02
+	rep, err := Run(context.Background(), RunConfig{
+		Scenario: netsim.ScenarioCampus,
+		Agents:   120,
+		Seed:     7,
+		Chaos:    true,
+		Matrix:   mx,
+		Stages:   []float64{0.1, 0.5},
+		NetName:  "t-chaos",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatalf("chaos run did not converge: %d unconverged after %d sweeps\n%+v", rep.Unconverged, rep.Sweeps, rep)
+	}
+	if rep.Waves != 3 {
+		t.Errorf("expected 3 waves, got %d", rep.Waves)
+	}
+	if rep.FaultsInjected == 0 {
+		t.Error("chaos run injected no faults — matrix not wired")
+	}
+	if rep.Repartitions == 0 {
+		t.Error("partitions never re-rolled")
+	}
+	if rep.RolloutAttempts <= rep.Agents {
+		t.Errorf("chaos cost no retries? %d attempts for %d agents", rep.RolloutAttempts, rep.Agents)
+	}
+}
+
+// Exactly-once across a crash: kill a journaled chaos rollout mid-run,
+// resume it, and require zero duplicate ConfigLoads — the journal plus
+// the prepared-request retransmit cache must make the resume absorb
+// every already-installed target. Restart chaos is off (a restarted
+// agent legitimately re-applies) and partitions stay asymmetric-only,
+// so installs land while acknowledgments vanish — the exact window a
+// naive resume would double-install in.
+func TestRunJournaledResumeZeroDuplicates(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "rollout.journal")
+
+	params, err := netsim.ScenarioParams(netsim.ScenarioCampus, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := netsim.Model(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := New(model, "t-resume", "chaos-admin", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	mx := DefaultMatrix()
+	mx.RestartEveryResults = 0 // restarts void exactly-once by design
+	mx.PartitionFrac = 0       // no black holes: every install eventually lands
+	mx.AsymFrac = 0.05         // but ack loss stays
+	engine := NewEngine(fleet, mx, 5)
+	engine.ApplyStatic()
+	engine.Repartition()
+
+	// Phase 1: journaled rollout, canceled partway through.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	_, err = configgen.DistributeContext(ctx, model, fleet.Targets,
+		chaosOpts(journal, func(configgen.TargetResult) {
+			if seen++; seen == 20 {
+				cancel()
+			}
+		})...)
+	if err != nil && ctx.Err() == nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: resume against the same fleet, chaos still active.
+	engine.Repartition()
+	rep, err := configgen.ResumeRollout(context.Background(), model, journal, chaosOpts("", nil)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := 0
+	for _, r := range rep.Results {
+		if r.Resumed {
+			resumed++
+		}
+	}
+	if resumed == 0 {
+		t.Error("resume re-installed everything — journal not consulted")
+	}
+	// Resumed targets carry Installed status (satisfied without a send).
+	if rep.Installed+rep.Failed != len(fleet.Targets) {
+		t.Errorf("resume accounting off: %d installed (%d resumed) + %d failed != %d targets",
+			rep.Installed, resumed, rep.Failed, len(fleet.Targets))
+	}
+	if d := fleet.DuplicateLoads(); d != 0 {
+		t.Fatalf("%d agents loaded config more than once across crash+resume", d)
+	}
+}
+
+// The engine's partitions move: a host cut off by one roll must be
+// reachable again after enough re-rolls (no permanent black holes).
+func TestEnginePartitionsMove(t *testing.T) {
+	params, err := netsim.ScenarioParams(netsim.ScenarioIoT, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := netsim.Model(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := New(model, "t-moving", "chaos-admin", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	engine := NewEngine(fleet, Matrix{PartitionFrac: 0.25}, 3)
+	engine.ApplyStatic()
+
+	everCut := map[string]bool{}
+	cutNow := func() map[string]bool {
+		out := map[string]bool{}
+		for _, h := range fleet.Net.Hosts() {
+			in, _ := fleet.Net.Injector(h).Snapshot()
+			if in.Drop >= 1 {
+				out[h] = true
+			}
+		}
+		return out
+	}
+	for i := 0; i < 20; i++ {
+		engine.Repartition()
+		now := cutNow()
+		if len(now) != 5 {
+			t.Fatalf("roll %d partitioned %d hosts, want 5", i, len(now))
+		}
+		for h := range now {
+			everCut[h] = true
+		}
+	}
+	if len(everCut) < 15 {
+		t.Errorf("after 20 rolls only %d/20 hosts were ever partitioned — partitions not moving", len(everCut))
+	}
+	engine.Heal()
+	if len(cutNow()) != 0 {
+		t.Error("Heal left partitions standing")
+	}
+}
+
+// The mid-wave restart hook clears agent volatile state while
+// preserving installed configuration.
+func TestEngineRestartKeepsConfig(t *testing.T) {
+	params, err := netsim.ScenarioParams(netsim.ScenarioIoT, 10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := netsim.Model(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := New(model, "t-restart", "chaos-admin", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	rep, err := configgen.DistributeContext(context.Background(), model, fleet.Targets, chaosOpts("", nil)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Installed != len(fleet.Targets) {
+		t.Fatalf("seed rollout incomplete: %s", rep.Summary())
+	}
+	engine := NewEngine(fleet, Matrix{RestartFrac: 1}, 11)
+	if n := engine.RestartSome(); n != len(fleet.Targets) {
+		t.Fatalf("restarted %d of %d", n, len(fleet.Targets))
+	}
+	if !fleet.Converged() {
+		t.Error("restart lost installed configuration")
+	}
+}
+
+// A RunReport round-trips through JSON with stable field names — it is
+// the machine-readable contract nmslsim -report emits.
+func TestRunReportJSONShape(t *testing.T) {
+	rep, err := Run(context.Background(), RunConfig{
+		Scenario: netsim.ScenarioDatacenter,
+		Agents:   24,
+		Seed:     2,
+		NetName:  "t-json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"scenario", "agents", "seed", "chaos", "waves", "time_to_converge_ms", "converged", "duplicate_loads"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("report JSON missing %q", k)
+		}
+	}
+}
+
+// TestMegaSmoke is the nightly 1k-agent chaos smoke (10k locally via
+// NMSL_MEGA_AGENTS). Gated behind NMSL_MEGA so ordinary test runs stay
+// fast; CI's scheduled job exports it and runs this under -race.
+func TestMegaSmoke(t *testing.T) {
+	if os.Getenv("NMSL_MEGA") == "" {
+		t.Skip("set NMSL_MEGA=1 to run the mega-fleet chaos smoke")
+	}
+	agents := 1000
+	if s := os.Getenv("NMSL_MEGA_AGENTS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad NMSL_MEGA_AGENTS %q: %v", s, err)
+		}
+		agents = v
+	}
+	start := time.Now()
+	rep, err := Run(context.Background(), RunConfig{
+		Scenario: netsim.ScenarioCampus,
+		Agents:   agents,
+		Seed:     2026,
+		Chaos:    true,
+		Matrix:   DefaultMatrix(),
+		Stages:   []float64{0.01, 0.1, 0.5},
+		NetName:  "t-mega",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatalf("mega smoke did not converge: %d unconverged after %d sweeps", rep.Unconverged, rep.Sweeps)
+	}
+	blob, _ := json.MarshalIndent(rep, "", "  ")
+	t.Logf("mega smoke (%d agents in %v):\n%s", rep.Agents, time.Since(start).Round(time.Millisecond), blob)
+}

@@ -1,0 +1,244 @@
+package megafleet
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"nmsl/internal/configgen"
+	"nmsl/internal/netsim"
+	"nmsl/internal/obs"
+	"nmsl/internal/reconcile"
+)
+
+// RunConfig parameterizes one mega-fleet run. Zero values select
+// defaults sized for in-memory fleets (many workers, short timeouts).
+type RunConfig struct {
+	Scenario netsim.Scenario
+	Agents   int
+	Seed     int64
+
+	// Chaos arms the Matrix; a false Chaos runs the same fleet on a
+	// clean network (the baseline the chaos numbers are compared to).
+	Chaos  bool
+	Matrix Matrix
+
+	// Rollout shape.
+	Stages         []float64
+	Workers        int
+	Retries        int
+	BackoffBase    time.Duration
+	BackoffMax     time.Duration
+	AttemptTimeout time.Duration
+	Journal        string // optional write-ahead journal path (nosync)
+
+	// Convergence loop: reconciler sweeps (repartitioning between each,
+	// when chaos is on) until ground truth converges or MaxSweeps is
+	// exhausted. Zero means 50.
+	MaxSweeps int
+
+	// NetName must be unique among live MemNets; empty derives one from
+	// scenario and seed.
+	NetName string
+
+	// Progress callbacks (optional; called from the run's goroutines).
+	OnWave  func(configgen.WaveResult)
+	OnSweep func(*reconcile.Sweep)
+}
+
+// WaveSummary is one wave's numbers in the machine-readable report.
+type WaveSummary struct {
+	Wave       int   `json:"wave"`
+	Targets    int   `json:"targets"`
+	Installed  int   `json:"installed"`
+	Failed     int   `json:"failed"`
+	RolledBack int   `json:"rolled_back,omitempty"`
+	Resumed    int   `json:"resumed,omitempty"`
+	Attempts   int   `json:"attempts"`
+	DurationMS int64 `json:"duration_ms"`
+}
+
+// RunReport is the machine-readable outcome of a mega-fleet run: the
+// numbers EXPERIMENTS.md records and CI asserts on.
+type RunReport struct {
+	Scenario string `json:"scenario"`
+	Agents   int    `json:"agents"`
+	Seed     int64  `json:"seed"`
+	Chaos    bool   `json:"chaos"`
+
+	Waves            int           `json:"waves"`
+	WavesPerSec      float64       `json:"waves_per_sec"`
+	TargetsPerSec    float64       `json:"targets_per_sec"`
+	RolloutInstalled int           `json:"rollout_installed"`
+	RolloutFailed    int           `json:"rollout_failed"`
+	RolloutAttempts  int           `json:"rollout_attempts"`
+	RolloutMS        int64         `json:"rollout_ms"`
+	WaveDetail       []WaveSummary `json:"wave_detail,omitempty"`
+
+	Sweeps         int   `json:"sweeps"`
+	TimeToConverge int64 `json:"time_to_converge_ms"`
+	Converged      bool  `json:"converged"`
+	Unconverged    int   `json:"unconverged"`
+
+	DuplicateLoads int   `json:"duplicate_loads"`
+	FaultsInjected int64 `json:"faults_injected"`
+	Restarts       int   `json:"restarts"`
+	Repartitions   int   `json:"repartitions"`
+}
+
+// Run executes one full mega-fleet scenario: build the topology from
+// (scenario, agents, seed), host the fleet in memory, arm the chaos
+// matrix, roll the configuration out in waves, then reconcile until
+// ground truth converges — chaos stays active throughout; only the
+// partitions move. It returns the report even on convergence failure
+// (Converged=false) so callers can see how far the fleet got; the error
+// is reserved for setup problems and context cancellation.
+func Run(ctx context.Context, rc RunConfig) (*RunReport, error) {
+	if rc.Agents <= 0 {
+		rc.Agents = 1000
+	}
+	if rc.Scenario == "" {
+		rc.Scenario = netsim.ScenarioCampus
+	}
+	if rc.Workers <= 0 {
+		rc.Workers = 64
+	}
+	if rc.Retries <= 0 {
+		rc.Retries = 3
+	}
+	if rc.BackoffBase <= 0 {
+		rc.BackoffBase = 5 * time.Millisecond
+	}
+	if rc.BackoffMax <= 0 {
+		rc.BackoffMax = 50 * time.Millisecond
+	}
+	if rc.AttemptTimeout <= 0 {
+		rc.AttemptTimeout = 150 * time.Millisecond
+	}
+	if rc.MaxSweeps <= 0 {
+		rc.MaxSweeps = 50
+	}
+	if rc.NetName == "" {
+		rc.NetName = fmt.Sprintf("%s-%d-%d", rc.Scenario, rc.Agents, rc.Seed)
+	}
+
+	params, err := netsim.ScenarioParams(rc.Scenario, rc.Agents, rc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	model, err := netsim.Model(params)
+	if err != nil {
+		return nil, err
+	}
+	fleet, err := New(model, rc.NetName, "chaos-admin", rc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	defer fleet.Close()
+
+	engine := NewEngine(fleet, rc.Matrix, rc.Seed)
+	if rc.Chaos {
+		engine.ApplyStatic()
+		engine.Repartition()
+	}
+
+	report := &RunReport{
+		Scenario: string(rc.Scenario),
+		Agents:   len(fleet.Targets),
+		Seed:     rc.Seed,
+		Chaos:    rc.Chaos,
+	}
+
+	opts := []configgen.RolloutOption{
+		configgen.WithWorkers(rc.Workers),
+		configgen.WithRetries(rc.Retries),
+		configgen.WithBackoff(rc.BackoffBase, rc.BackoffMax),
+		configgen.WithAttemptTimeout(rc.AttemptTimeout),
+		configgen.WithMetrics(obs.Disabled),
+		configgen.WithOnWave(func(w configgen.WaveResult) {
+			if rc.Chaos {
+				engine.OnWave(w)
+			}
+			if rc.OnWave != nil {
+				rc.OnWave(w)
+			}
+		}),
+	}
+	if rc.Chaos {
+		opts = append(opts, configgen.WithOnResult(engine.OnResult))
+	}
+	if len(rc.Stages) > 0 {
+		opts = append(opts, configgen.WithStages(rc.Stages...))
+	}
+	if rc.Journal != "" {
+		opts = append(opts, configgen.WithJournal(rc.Journal), configgen.WithJournalNoSync())
+	}
+
+	start := time.Now()
+	roll, err := configgen.DistributeContext(ctx, model, fleet.Targets, opts...)
+	if err != nil {
+		return nil, err
+	}
+	report.Waves = len(roll.Waves)
+	report.RolloutInstalled = roll.Installed
+	report.RolloutFailed = roll.Failed + roll.Skipped + roll.Canceled + roll.RolledBack
+	report.RolloutAttempts = roll.Attempts
+	report.RolloutMS = roll.Duration.Milliseconds()
+	if secs := roll.Duration.Seconds(); secs > 0 {
+		report.WavesPerSec = float64(len(roll.Waves)) / secs
+		report.TargetsPerSec = float64(len(roll.Results)) / secs
+	}
+	for _, w := range roll.Waves {
+		report.WaveDetail = append(report.WaveDetail, WaveSummary{
+			Wave:       w.Wave,
+			Targets:    w.End - w.Start,
+			Installed:  w.Installed,
+			Failed:     w.Failed + w.Skipped + w.Canceled,
+			RolledBack: w.RolledBack,
+			Resumed:    w.Resumed,
+			Attempts:   w.Attempts,
+			DurationMS: w.Duration.Milliseconds(),
+		})
+	}
+
+	// Convergence: sweep until every agent's live digest matches desired
+	// (ground truth, read off-network). Chaos stays active; each sweep
+	// re-rolls the partitions so no host is cut off forever.
+	rec, err := reconcile.New(model, fleet.Targets,
+		reconcile.WithRetries(1),
+		reconcile.WithAttemptTimeout(rc.AttemptTimeout),
+		reconcile.WithBreaker(2, 50*time.Millisecond),
+		reconcile.WithSeed(rc.Seed),
+		reconcile.WithMetrics(obs.Disabled),
+	)
+	if err != nil {
+		return nil, err
+	}
+	for report.Sweeps < rc.MaxSweeps && !fleet.Converged() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if rc.Chaos {
+			engine.Repartition()
+		}
+		sweep, err := rec.RunOnce(ctx)
+		if err != nil {
+			return nil, err
+		}
+		report.Sweeps++
+		if rc.OnSweep != nil {
+			rc.OnSweep(sweep)
+		}
+	}
+	report.Converged = fleet.Converged()
+	report.Unconverged = fleet.Unconverged()
+	report.TimeToConverge = time.Since(start).Milliseconds()
+	report.DuplicateLoads = fleet.DuplicateLoads()
+	for _, host := range fleet.Net.Hosts() {
+		report.FaultsInjected += fleet.Net.Injector(host).Stats().Dropped
+	}
+	st := engine.Stats()
+	report.Restarts = st.Restarts
+	report.Repartitions = st.Repartitions
+	return report, nil
+}

@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Scenario is a named topology shape for mega-fleet runs: it maps a
+// requested agent count onto Params with a distribution of domains and
+// systems characteristic of a real deployment class. The paper's scale
+// goals (10,000 administrative domains, ~100,000 elements) are reached
+// by picking a scenario and an agent budget, not by hand-tuning five
+// flags.
+type Scenario string
+
+const (
+	// ScenarioCampus is a university-style network: a modest number of
+	// departmental domains, each dense with systems, one level of
+	// nesting.
+	ScenarioCampus Scenario = "campus"
+	// ScenarioISP is a provider backbone: many customer domains with a
+	// handful of systems each, recursive server-to-server query chains,
+	// two levels of nesting.
+	ScenarioISP Scenario = "isp"
+	// ScenarioDatacenter is a few very dense pods: the smallest domain
+	// count with the highest systems-per-domain density.
+	ScenarioDatacenter Scenario = "datacenter"
+	// ScenarioIoT is a device swarm: one tiny domain per device, the
+	// paper's 10,000-administrative-domains regime taken literally.
+	ScenarioIoT Scenario = "iot"
+)
+
+// Scenarios lists the known scenario names, sorted.
+func Scenarios() []string {
+	names := []string{
+		string(ScenarioCampus),
+		string(ScenarioISP),
+		string(ScenarioDatacenter),
+		string(ScenarioIoT),
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ScenarioParams sizes the named scenario to approximately `agents`
+// total agent instances (Domains × SystemsPerDomain; the product is
+// rounded up, never down, so a rollout sized for N targets has at least
+// N). The same (scenario, agents, seed) triple always yields the same
+// Params — determinism is the whole point of a scenario library.
+func ScenarioParams(name Scenario, agents int, seed int64) (Params, error) {
+	if agents <= 0 {
+		agents = 1
+	}
+	switch name {
+	case ScenarioCampus:
+		// ~sqrt sizing skewed dense: systems per domain ≈ 4×domains.
+		d := int(math.Ceil(math.Sqrt(float64(agents) / 4)))
+		if d < 1 {
+			d = 1
+		}
+		return Params{
+			Domains:          d,
+			SystemsPerDomain: ceilDiv(agents, d),
+			NestingDepth:     1,
+			Seed:             seed,
+		}, nil
+	case ScenarioISP:
+		// Many thin customer domains: domains ≈ 4×systems, recursive
+		// chains between providers.
+		d := int(math.Ceil(math.Sqrt(float64(agents) * 4)))
+		if d < 1 {
+			d = 1
+		}
+		return Params{
+			Domains:          d,
+			SystemsPerDomain: ceilDiv(agents, d),
+			NestingDepth:     2,
+			RecursiveChains:  true,
+			Seed:             seed,
+		}, nil
+	case ScenarioDatacenter:
+		// A handful of pods, each very dense; 8 pods covers everything up
+		// to warehouse scale.
+		d := 8
+		if agents < d {
+			d = agents
+		}
+		return Params{
+			Domains:          d,
+			SystemsPerDomain: ceilDiv(agents, d),
+			Seed:             seed,
+		}, nil
+	case ScenarioIoT:
+		// One domain per device: the administrative-domain count IS the
+		// agent count.
+		return Params{
+			Domains:          agents,
+			SystemsPerDomain: 1,
+			NestingDepth:     1,
+			Seed:             seed,
+		}, nil
+	default:
+		return Params{}, fmt.Errorf("netsim: unknown scenario %q (have %v)", name, Scenarios())
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

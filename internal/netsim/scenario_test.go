@@ -1,0 +1,68 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Every scenario must cover the requested agent budget (product rounds
+// up, never down) at a spread of sizes including the paper's 10k.
+func TestScenarioParamsCoverBudget(t *testing.T) {
+	for _, name := range Scenarios() {
+		for _, agents := range []int{1, 7, 100, 1000, 10000} {
+			p, err := ScenarioParams(Scenario(name), agents, 42)
+			if err != nil {
+				t.Fatalf("ScenarioParams(%s, %d): %v", name, agents, err)
+			}
+			if got := p.Domains * p.SystemsPerDomain; got < agents {
+				t.Errorf("%s/%d: %d domains × %d systems = %d < budget", name, agents, p.Domains, p.SystemsPerDomain, got)
+			}
+			if p.Seed != 42 {
+				t.Errorf("%s/%d: seed not threaded through (got %d)", name, agents, p.Seed)
+			}
+		}
+	}
+}
+
+// The same (scenario, agents, seed) triple always yields the same
+// Params — and the model built from them generates the same instances.
+func TestScenarioParamsDeterministic(t *testing.T) {
+	for _, name := range Scenarios() {
+		a, err := ScenarioParams(Scenario(name), 64, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := ScenarioParams(Scenario(name), 64, 7)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: params differ across calls: %+v vs %+v", name, a, b)
+		}
+	}
+}
+
+func TestScenarioParamsUnknownName(t *testing.T) {
+	if _, err := ScenarioParams("starlink", 10, 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// Scenario shapes are actually distinct: iot is all domains, datacenter
+// is few dense pods, isp has more domains than campus at equal budget.
+func TestScenarioShapesDiffer(t *testing.T) {
+	const agents = 1000
+	iot, _ := ScenarioParams(ScenarioIoT, agents, 1)
+	dc, _ := ScenarioParams(ScenarioDatacenter, agents, 1)
+	campus, _ := ScenarioParams(ScenarioCampus, agents, 1)
+	isp, _ := ScenarioParams(ScenarioISP, agents, 1)
+	if iot.Domains != agents || iot.SystemsPerDomain != 1 {
+		t.Errorf("iot should be one domain per agent, got %d×%d", iot.Domains, iot.SystemsPerDomain)
+	}
+	if dc.Domains != 8 {
+		t.Errorf("datacenter should be 8 pods, got %d", dc.Domains)
+	}
+	if isp.Domains <= campus.Domains {
+		t.Errorf("isp (%d domains) should be broader than campus (%d)", isp.Domains, campus.Domains)
+	}
+	if !isp.RecursiveChains {
+		t.Error("isp should enable recursive chains")
+	}
+}

@@ -38,14 +38,21 @@ type breaker struct {
 	state    BreakerState
 	failures int
 	openedAt time.Time
+	// probeExtra is this open period's jitter: the half-open probe waits
+	// cooldown+probeExtra. Drawn fresh (from the reconciler's seeded rng)
+	// each time the breaker opens, so a flap storm that quarantines a
+	// whole wave of targets at once does not release a thundering herd of
+	// probes at the exact cooldown boundary.
+	probeExtra time.Duration
 }
 
 // allow reports whether the target may be probed this sweep, promoting
-// Open to HalfOpen once the cooldown has elapsed.
+// Open to HalfOpen once the cooldown (plus this open period's probe
+// jitter) has elapsed.
 func (b *breaker) allow(now time.Time, cooldown time.Duration) bool {
 	switch b.state {
 	case BreakerOpen:
-		if now.Sub(b.openedAt) >= cooldown {
+		if now.Sub(b.openedAt) >= cooldown+b.probeExtra {
 			b.state = BreakerHalfOpen
 			return true
 		}

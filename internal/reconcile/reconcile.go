@@ -101,6 +101,7 @@ type options struct {
 	seeded           bool
 	breakerThreshold int
 	breakerCooldown  time.Duration
+	probeJitterFrac  float64
 	retries          int
 	attemptTimeout   time.Duration
 	metrics          *obs.Registry
@@ -148,6 +149,21 @@ func WithBreaker(threshold int, cooldown time.Duration) Option {
 		}
 		if cooldown > 0 {
 			o.breakerCooldown = cooldown
+		}
+	}
+}
+
+// WithProbeJitter sets the fractional jitter added to each breaker's
+// cooldown before its half-open probe: a breaker opened at t probes at
+// t + cooldown + uniform[0, frac·cooldown). Default 0.1. Without it a
+// flap storm that quarantines a wave of targets simultaneously releases
+// every half-open probe at the same sweep — a thundering herd against
+// agents that just recovered. Zero disables (probes at the exact
+// boundary, as deterministic tests may need).
+func WithProbeJitter(frac float64) Option {
+	return func(o *options) {
+		if frac >= 0 && frac < 1 {
+			o.probeJitterFrac = frac
 		}
 	}
 }
@@ -233,6 +249,7 @@ func New(m *consistency.Model, targets []configgen.Target, opts ...Option) (*Rec
 		jitterFrac:       0.1,
 		breakerThreshold: 3,
 		breakerCooldown:  2 * time.Minute,
+		probeJitterFrac:  0.1,
 		retries:          2,
 		attemptTimeout:   500 * time.Millisecond,
 		now:              time.Now,
@@ -281,6 +298,21 @@ func (r *Reconciler) BreakerStates() map[string]BreakerState {
 		out[k] = b.state
 	}
 	return out
+}
+
+// strike records a failure on b, drawing a fresh probe jitter for the
+// open period when the strike opened (or re-opened) the breaker. The
+// jitter comes from the reconciler's seeded rng, so tests with WithSeed
+// get reproducible probe times.
+func (r *Reconciler) strike(b *breaker, now time.Time) bool {
+	opened := b.strike(now, r.opt.breakerThreshold)
+	if opened {
+		b.probeExtra = 0
+		if span := int64(float64(r.opt.breakerCooldown) * r.opt.probeJitterFrac); span > 0 {
+			b.probeExtra = time.Duration(r.rng.Int63n(span))
+		}
+	}
+	return opened
 }
 
 // observe fetches the target's live configuration and decides whether
@@ -354,7 +386,7 @@ func (r *Reconciler) RunOnce(ctx context.Context) (*Sweep, error) {
 				reg.Counter(MetricCheckFailures).Inc()
 			}
 			r.emit(EventCheckFailed, t.tgt, err.Error())
-			if b.strike(r.opt.now(), r.opt.breakerThreshold) {
+			if r.strike(b, r.opt.now()) {
 				r.emit(EventQuarantined, t.tgt, fmt.Sprintf("check failures reached %d", r.opt.breakerThreshold))
 			}
 			continue
@@ -392,7 +424,7 @@ func (r *Reconciler) RunOnce(ctx context.Context) (*Sweep, error) {
 				reg.Counter(MetricHealFailures).Inc()
 			}
 			r.emit(EventHealFailed, t.tgt, err.Error())
-			if b.strike(r.opt.now(), r.opt.breakerThreshold) {
+			if r.strike(b, r.opt.now()) {
 				r.emit(EventQuarantined, t.tgt, "heal failed")
 			}
 			continue
@@ -403,7 +435,7 @@ func (r *Reconciler) RunOnce(ctx context.Context) (*Sweep, error) {
 		}
 		r.emit(EventHealed, t.tgt, detail)
 		if flapping {
-			if b.strike(r.opt.now(), r.opt.breakerThreshold) {
+			if r.strike(b, r.opt.now()) {
 				r.emit(EventQuarantined, t.tgt, "flapping: drifted again immediately after a heal")
 			}
 		} else if b.success() {

@@ -157,6 +157,7 @@ func TestReconcilerQuarantineAndRestore(t *testing.T) {
 		WithRetries(0),
 		WithAttemptTimeout(50*time.Millisecond),
 		WithBreaker(2, time.Minute),
+		WithProbeJitter(0), // exact-boundary probes: this test advances exactly past the cooldown
 		WithClock(clock),
 		WithMetrics(obs.Disabled),
 		WithOnEvent(sink),
@@ -345,5 +346,86 @@ func TestReconcilerRejectsUnknownInstance(t *testing.T) {
 	_, err = New(m, []configgen.Target{{InstanceID: "ghost@nowhere#0", Addr: "127.0.0.1:1", AdminCommunity: "adm"}})
 	if err == nil {
 		t.Fatal("New accepted a target with no generated configuration")
+	}
+}
+
+// TestHalfOpenProbesJitteredAgainstThunderingHerd: a flap storm
+// quarantines a whole wave of targets in the same sweep; without probe
+// jitter every breaker would release its half-open probe at the exact
+// cooldown boundary — a thundering herd against agents that just came
+// back. With jitter the probes spread over [cooldown, 1.5·cooldown).
+// Driven entirely by a deterministic clock and seed: no real sleeping,
+// reproducible probe times.
+func TestHalfOpenProbesJitteredAgainstThunderingHerd(t *testing.T) {
+	m, err := netsim.Model(netsim.Params{Domains: 4, SystemsPerDomain: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked := func(string) *snmp.Config {
+		return &snmp.Config{
+			Communities:    map[string]*snmp.CommunityConfig{},
+			AdminCommunity: "locked",
+		}
+	}
+	targets, _ := startFleet(t, m, locked)
+	if len(targets) != 8 {
+		t.Fatalf("fleet size %d, want 8", len(targets))
+	}
+
+	now := time.Unix(5000, 0)
+	r, err := New(m, targets,
+		WithRetries(0),
+		WithAttemptTimeout(50*time.Millisecond),
+		WithBreaker(1, time.Minute), // one strike quarantines: the storm opens all 8 at once
+		WithProbeJitter(0.5),
+		WithSeed(7),
+		WithClock(func() time.Time { return now }),
+		WithMetrics(obs.Disabled),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// The storm: every target unreachable in the same sweep, every
+	// breaker opened at the same instant.
+	sw, err := r.RunOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.CheckFailures != 8 || sw.Open != 8 {
+		t.Fatalf("storm sweep: %s, want 8 failures and 8 open breakers", sw)
+	}
+
+	// Walk the window [cooldown, 1.5·cooldown] in 5s sweeps, counting
+	// how many half-open probes each sweep releases. (A probed target is
+	// still broken, so it re-opens with a fresh jitter; its next probe
+	// lands beyond the window and cannot double-count.)
+	probesPerSweep := []int{}
+	total, maxPerSweep, busySweeps := 0, 0, 0
+	for offset := 60 * time.Second; offset <= 90*time.Second; offset += 5 * time.Second {
+		now = time.Unix(5000, 0).Add(offset)
+		sw, err := r.RunOnce(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probesPerSweep = append(probesPerSweep, sw.Checked)
+		total += sw.Checked
+		if sw.Checked > maxPerSweep {
+			maxPerSweep = sw.Checked
+		}
+		if sw.Checked > 0 {
+			busySweeps++
+		}
+	}
+	t.Logf("probes per 5s sweep across the jitter window: %v", probesPerSweep)
+	if total != 8 {
+		t.Fatalf("probed %d targets across the window, want all 8", total)
+	}
+	if maxPerSweep == 8 {
+		t.Fatal("all 8 half-open probes fired in one sweep: thundering herd")
+	}
+	if busySweeps < 2 {
+		t.Fatalf("probes concentrated in %d sweep(s), want spread across >= 2", busySweeps)
 	}
 }

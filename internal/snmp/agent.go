@@ -335,8 +335,28 @@ func (a *Agent) Store() *Store { return a.store }
 
 // SetTimeSource replaces the agent's clock. Rate enforcement reads the
 // time through it, which lets simulations (internal/simrun) and tests
-// drive the agent on a virtual clock. Call before serving traffic.
-func (a *Agent) SetTimeSource(now func() time.Time) { a.now = now }
+// drive the agent on a virtual clock — and the chaos matrix skew an
+// agent's clock mid-run, so the replacement is serialized against
+// request handling.
+func (a *Agent) SetTimeSource(now func() time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.now = now
+}
+
+// Reset models an agent process restart that kept its installed
+// configuration (agents persist their config) but lost all volatile
+// state: the retransmit cache and the rate-limit bookkeeping. A client
+// whose acknowledgment was lost across the restart is no longer
+// answered from cache, so its retry re-applies — exactly the window the
+// rollout's digest pre-compare has to close.
+func (a *Agent) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.lastSeen = map[string]time.Time{}
+	a.lastReq = map[string]*Message{}
+	a.lastResp = map[string]*Message{}
+}
 
 // Stats returns a snapshot of the counters.
 func (a *Agent) Stats() Stats {
@@ -420,9 +440,7 @@ func (a *Agent) serve() {
 			if fx.truncate {
 				n = truncateLen(n)
 			}
-			if fx.delay > 0 {
-				time.Sleep(fx.delay)
-			}
+			a.faults.sleep(fx.delay)
 		}
 		req, err := Unmarshal(buf[:n])
 		if err != nil {
@@ -464,7 +482,7 @@ func (a *Agent) send(out []byte, raddr *net.UDPAddr) {
 		a.wg.Add(1)
 		go func() {
 			defer a.wg.Done()
-			time.Sleep(fx.delay)
+			a.faults.sleep(fx.delay)
 			for i := 0; i < writes; i++ {
 				_, _ = a.conn.WriteToUDP(cp, raddr)
 			}

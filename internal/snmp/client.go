@@ -70,7 +70,18 @@ func NewClientOn(conn clientConn, community string) *Client {
 }
 
 // Dial connects a client to an agent address with the given community.
+// Addresses of the form "mem://net/host" are routed over the in-memory
+// network registered under that name (see MemNet); anything else is
+// dialed as UDP. Routing here — at the single dial point — is what lets
+// rollouts, reconciliation and audits run unchanged against ten
+// thousand in-process agents.
 func Dial(addr, community string) (*Client, error) {
+	if conn, isMem, err := dialMem(addr); isMem {
+		if err != nil {
+			return nil, err
+		}
+		return NewClientOn(conn, community), nil
+	}
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, err
@@ -154,7 +165,15 @@ func (c *Client) backoffDelay(k int) time.Duration {
 // retransmitting with exponential backoff until the retry budget or the
 // context runs out.
 func (c *Client) roundTrip(ctx context.Context, pduType byte, bindings []Binding) (*Message, error) {
-	id := c.reqID.Add(1)
+	return c.roundTripID(ctx, c.reqID.Add(1), pduType, bindings)
+}
+
+// roundTripID is roundTrip with a caller-chosen request ID. Reusing an
+// ID across calls makes the retransmit idempotent end to end: if the
+// agent applied the write but the ack was lost, a later resend with the
+// same ID and bindings hits the agent's retransmit cache and is answered
+// without re-applying.
+func (c *Client) roundTripID(ctx context.Context, id int32, pduType byte, bindings []Binding) (*Message, error) {
 	req := &Message{
 		Version:   Version0,
 		Community: c.community,
@@ -171,6 +190,18 @@ func (c *Client) roundTrip(ctx context.Context, pduType byte, bindings []Binding
 		sp = obs.StartSpan("snmp.roundtrip", obs.Label{Key: "type", Value: fmt.Sprintf("0x%02x", pduType)})
 	}
 	defer sp.End()
+	// A canceled context must interrupt a blocked Read immediately: a
+	// read deadline only encodes the context's *deadline*, so without
+	// this a rollout canceling mid-attempt still waited out the full
+	// attempt timeout. Forcing the deadline into the past wakes the
+	// reader; the ctx.Err() checks below turn that wake into the
+	// context's error.
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			_ = c.conn.SetReadDeadline(time.Unix(1, 0))
+		})
+		defer stop()
+	}
 	buf := make([]byte, 64*1024)
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
@@ -194,6 +225,12 @@ func (c *Client) roundTrip(ctx context.Context, pduType byte, bindings []Binding
 		}
 		for {
 			if err := c.conn.SetReadDeadline(deadline); err != nil {
+				return nil, err
+			}
+			// Close the race where the AfterFunc fired between the
+			// SetReadDeadline above and the Read below (which would
+			// re-arm the future deadline and block anyway).
+			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 			n, err := c.conn.Read(buf)
@@ -330,6 +367,39 @@ func (c *Client) InstallConfigContext(ctx context.Context, cfg *Config) error {
 // admin community's reserved config object.
 func (c *Client) InstallConfig(cfg *Config) error {
 	return c.InstallConfigContext(context.Background(), cfg)
+}
+
+// PreparedSet is a SetRequest frozen with a single request ID, so the
+// same logical write can be re-sent across attempt boundaries without
+// minting a new ID each time. A rollout's retry loop needs this: a fresh
+// ID per attempt defeats the agent's retransmit cache, and an attempt
+// whose SetRequest was applied but whose ack was lost would be applied a
+// second time on retry. Send may be called any number of times; the
+// agent treats every send as the same request.
+type PreparedSet struct {
+	c        *Client
+	id       int32
+	bindings []Binding
+}
+
+// PrepareSet freezes a SetRequest for idempotent resending.
+func (c *Client) PrepareSet(bindings ...Binding) *PreparedSet {
+	return &PreparedSet{c: c, id: c.reqID.Add(1), bindings: bindings}
+}
+
+// PrepareInstall freezes a config install for idempotent resending.
+func (c *Client) PrepareInstall(cfg *Config) (*PreparedSet, error) {
+	blob, err := MarshalConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.PrepareSet(Binding{OID: ConfigOID, Value: Opaque(blob)}), nil
+}
+
+// Send transmits the prepared request (again), waiting for its response.
+func (p *PreparedSet) Send(ctx context.Context) error {
+	_, err := p.c.roundTripID(ctx, p.id, TagSetRequest, p.bindings)
+	return err
 }
 
 // FetchConfigContext retrieves the agent's current configuration via the

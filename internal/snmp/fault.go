@@ -1,12 +1,14 @@
 package snmp
 
 import (
+	"context"
 	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"nmsl/internal/obs"
+	"nmsl/internal/vclock"
 )
 
 // Faults describes the misbehavior injected on one traffic direction.
@@ -29,14 +31,65 @@ type Faults struct {
 	// force an exact loss pattern (e.g. "lose exactly the first
 	// response").
 	DropFirst int
+	// Burst, when non-nil, adds correlated (Gilbert–Elliott) loss on top
+	// of the independent Drop probability: the direction carries a
+	// two-state good/bad channel whose per-state loss rates produce the
+	// bursty outages real networks exhibit, which independent drops never
+	// reproduce.
+	Burst *BurstLoss
+	// Flap, when non-nil, drives a deterministic up/down link cycle on
+	// the injector's clock: every datagram seen while the link is in the
+	// down phase of its cycle is dropped. Flap storms are a fleet of
+	// links flapping with staggered phases.
+	Flap *FlapSchedule
 }
 
-// FaultStats counts injected faults.
+// BurstLoss is a Gilbert–Elliott loss channel: per-datagram transitions
+// between a good and a bad state, with a loss probability in each.
+// Typical storms use a small PEnterBad, a moderate PExitBad, DropGood
+// near zero and DropBad near one — long clean stretches punctuated by
+// bursts that swallow whole retry budgets.
+type BurstLoss struct {
+	// PEnterBad is the per-datagram probability of a good→bad
+	// transition; PExitBad of bad→good.
+	PEnterBad, PExitBad float64
+	// DropGood and DropBad are the per-datagram loss probabilities
+	// within each state.
+	DropGood, DropBad float64
+}
+
+// FlapSchedule is a periodic link up/down cycle evaluated against the
+// injector's clock: within each Period, the leading Down duration is
+// spent down. Phase offsets the cycle so a fleet of flapping links does
+// not blink in lockstep.
+type FlapSchedule struct {
+	Period time.Duration
+	Down   time.Duration
+	Phase  time.Duration
+}
+
+// downAt reports whether the link is in the down phase at time t since
+// the injector's epoch.
+func (fs *FlapSchedule) downAt(since time.Duration) bool {
+	if fs == nil || fs.Period <= 0 || fs.Down <= 0 {
+		return false
+	}
+	pos := (since + fs.Phase) % fs.Period
+	if pos < 0 {
+		pos += fs.Period
+	}
+	return pos < fs.Down
+}
+
+// FaultStats counts injected faults. BurstDropped and FlapDropped are
+// also included in Dropped, so Dropped remains the total loss count.
 type FaultStats struct {
-	Dropped    int64
-	Duplicated int64
-	Truncated  int64
-	Delayed    int64
+	Dropped      int64
+	Duplicated   int64
+	Truncated    int64
+	Delayed      int64
+	BurstDropped int64
+	FlapDropped  int64
 }
 
 // FaultInjector decides, from a seeded stream, which fault (if any) each
@@ -49,17 +102,23 @@ type FaultInjector struct {
 	In  Faults
 	Out Faults
 
-	mu    sync.Mutex
-	rng   *rand.Rand
-	seen  map[*Faults]int
-	stats FaultStats
-	om    faultMetrics
+	mu       sync.Mutex
+	rng      *rand.Rand
+	seen     map[*Faults]int
+	burstBad map[*Faults]bool
+	stats    FaultStats
+	om       faultMetrics
+	// clock drives flap schedules and delay sleeps; vclock.Real unless
+	// SetClock installed a virtual one, so chaos tests never sleep for
+	// real. epoch anchors flap phase arithmetic.
+	clock vclock.Clock
+	epoch time.Time
 }
 
 // faultMetrics holds the injector's pre-resolved counters, one per
 // fault kind (the MetricFaults family, split by label).
 type faultMetrics struct {
-	dropped, duplicated, truncated, delayed *obs.Counter
+	dropped, duplicated, truncated, delayed, burst, flap *obs.Counter
 }
 
 func newFaultMetrics(reg *obs.Registry) faultMetrics {
@@ -68,16 +127,50 @@ func newFaultMetrics(reg *obs.Registry) faultMetrics {
 		duplicated: reg.Counter(obs.L(MetricFaults, "kind", "dup")),
 		truncated:  reg.Counter(obs.L(MetricFaults, "kind", "truncate")),
 		delayed:    reg.Counter(obs.L(MetricFaults, "kind", "delay")),
+		burst:      reg.Counter(obs.L(MetricFaults, "kind", "burst")),
+		flap:       reg.Counter(obs.L(MetricFaults, "kind", "flap")),
 	}
 }
 
 // NewFaultInjector returns an injector drawing from the given seed.
 func NewFaultInjector(seed int64) *FaultInjector {
 	return &FaultInjector{
-		rng:  rand.New(rand.NewSource(seed)),
-		seen: map[*Faults]int{},
-		om:   newFaultMetrics(obs.Default),
+		rng:      rand.New(rand.NewSource(seed)),
+		seen:     map[*Faults]int{},
+		burstBad: map[*Faults]bool{},
+		om:       newFaultMetrics(obs.Default),
+		clock:    vclock.Real,
+		epoch:    vclock.Real.Now(),
 	}
+}
+
+// SetClock replaces the injector's time source (default vclock.Real)
+// and re-anchors the flap epoch. Flap schedules are evaluated and delay
+// faults slept on this clock, so a Manual or auto-advancing clock makes
+// chaos runs deterministic with no real sleeping. Call before traffic
+// flows.
+func (f *FaultInjector) SetClock(c vclock.Clock) {
+	if c == nil {
+		c = vclock.Real
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.clock = c
+	f.epoch = c.Now()
+}
+
+// sleep pauses for an injected delay on the injector's clock. The
+// endpoints (FaultyConn, Agent, MemNet) route every delay through here
+// instead of time.Sleep, which is what lets a virtual clock strip the
+// real waiting out of chaos tests.
+func (f *FaultInjector) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	f.mu.Lock()
+	c := f.clock
+	f.mu.Unlock()
+	_ = c.Sleep(context.Background(), d)
 }
 
 // SetMetrics redirects the injector's counters to reg (obs.Default is
@@ -93,6 +186,28 @@ func (f *FaultInjector) Stats() FaultStats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.stats
+}
+
+// SetFaults replaces both directions' fault descriptions under the
+// injector's lock, so a chaos driver can repartition, start a flap
+// storm or clear a burst while traffic is flowing. (Writing the In/Out
+// fields directly is only safe before traffic starts.)
+func (f *FaultInjector) SetFaults(in, out Faults) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.In = in
+	f.Out = out
+	// A replaced direction restarts its burst channel in the good state.
+	delete(f.burstBad, &f.In)
+	delete(f.burstBad, &f.Out)
+}
+
+// Snapshot returns the current fault descriptions under the lock, the
+// read half of SetFaults.
+func (f *FaultInjector) Snapshot() (in, out Faults) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.In, f.Out
 }
 
 // effects is the outcome of one per-datagram decision.
@@ -114,6 +229,37 @@ func (f *FaultInjector) decide(dir *Faults) effects {
 		f.stats.Dropped++
 		f.om.dropped.Inc()
 		return fx
+	}
+	// Flap: a link in the down phase of its cycle loses everything,
+	// before any probabilistic fault is considered.
+	if dir.Flap != nil && dir.Flap.downAt(f.clock.Now().Sub(f.epoch)) {
+		fx.drop = true
+		f.stats.Dropped++
+		f.stats.FlapDropped++
+		f.om.flap.Inc()
+		return fx
+	}
+	// Burst: advance the Gilbert–Elliott channel one step, then roll
+	// against the current state's loss rate.
+	if b := dir.Burst; b != nil {
+		if f.burstBad[dir] {
+			if f.rng.Float64() < b.PExitBad {
+				f.burstBad[dir] = false
+			}
+		} else if f.rng.Float64() < b.PEnterBad {
+			f.burstBad[dir] = true
+		}
+		loss := b.DropGood
+		if f.burstBad[dir] {
+			loss = b.DropBad
+		}
+		if loss > 0 && f.rng.Float64() < loss {
+			fx.drop = true
+			f.stats.Dropped++
+			f.stats.BurstDropped++
+			f.om.burst.Inc()
+			return fx
+		}
 	}
 	if dir.Drop > 0 && f.rng.Float64() < dir.Drop {
 		fx.drop = true
@@ -173,9 +319,7 @@ func (fc *FaultyConn) Write(b []byte) (int, error) {
 	if fx.drop {
 		return len(b), nil
 	}
-	if fx.delay > 0 {
-		time.Sleep(fx.delay)
-	}
+	fc.inj.sleep(fx.delay)
 	out := b
 	if fx.truncate {
 		out = b[:truncateLen(len(b))]
@@ -210,9 +354,7 @@ func (fc *FaultyConn) Read(b []byte) (int, error) {
 		if fx.drop {
 			continue
 		}
-		if fx.delay > 0 {
-			time.Sleep(fx.delay)
-		}
+		fc.inj.sleep(fx.delay)
 		if fx.truncate {
 			n = truncateLen(n)
 		}

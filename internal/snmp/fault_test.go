@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"nmsl/internal/mib"
+	"nmsl/internal/vclock"
 )
 
 // faultAgent starts an agent serving the standard MIB with a single
@@ -299,5 +300,126 @@ func TestRetransmitCacheClearedOnReconfigure(t *testing.T) {
 	agent.ApplyConfig(&Config{Communities: map[string]*CommunityConfig{}})
 	if resp := agent.Handle(req); resp != nil {
 		t.Fatalf("revoked community still answered: %+v", resp)
+	}
+}
+
+// TestFlapScheduleOnVirtualClock: a flapping link drops everything
+// during the down phase of its cycle and nothing outside it, evaluated
+// purely on the injector's virtual clock — no real time passes.
+func TestFlapScheduleOnVirtualClock(t *testing.T) {
+	inj := NewFaultInjector(7)
+	clk := vclock.NewManual(time.Unix(5000, 0))
+	inj.SetClock(clk)
+	inj.In = Faults{Flap: &FlapSchedule{Period: 10 * time.Second, Down: 3 * time.Second}}
+
+	// t=0: inside the leading down window.
+	if fx := inj.decide(&inj.In); !fx.drop {
+		t.Fatal("t=0s: expected drop during down phase")
+	}
+	clk.Advance(3 * time.Second) // t=3s: link back up
+	if fx := inj.decide(&inj.In); fx.drop {
+		t.Fatal("t=3s: dropped while link up")
+	}
+	clk.Advance(7 * time.Second) // t=10s: next cycle's down phase
+	if fx := inj.decide(&inj.In); !fx.drop {
+		t.Fatal("t=10s: expected drop at next cycle")
+	}
+	st := inj.Stats()
+	if st.FlapDropped != 2 || st.Dropped != 2 {
+		t.Fatalf("stats = %+v, want 2 flap drops", st)
+	}
+
+	// A phase offset staggers the cycle: the same instant is up for a
+	// link whose down window has been shifted away.
+	shifted := Faults{Flap: &FlapSchedule{Period: 10 * time.Second, Down: 3 * time.Second, Phase: 5 * time.Second}}
+	if fx := inj.decide(&shifted); fx.drop {
+		t.Fatal("phase-shifted link should be up at t=10s")
+	}
+}
+
+// TestBurstLossIsCorrelated: a Gilbert–Elliott channel with lossless
+// good state and lossy bad state produces drops only in bursts — runs of
+// consecutive losses, not isolated ones.
+func TestBurstLossIsCorrelated(t *testing.T) {
+	inj := NewFaultInjector(11)
+	inj.In = Faults{Burst: &BurstLoss{PEnterBad: 0.02, PExitBad: 0.2, DropGood: 0, DropBad: 1}}
+
+	const n = 5000
+	runs, cur, drops := 0, 0, 0
+	for i := 0; i < n; i++ {
+		if inj.decide(&inj.In).drop {
+			drops++
+			cur++
+		} else if cur > 0 {
+			runs++
+			cur = 0
+		}
+	}
+	if cur > 0 {
+		runs++
+	}
+	st := inj.Stats()
+	if drops == 0 || drops == n {
+		t.Fatalf("burst drops = %d of %d, want some but not all", drops, n)
+	}
+	if st.BurstDropped != int64(drops) || st.Dropped != int64(drops) {
+		t.Fatalf("stats = %+v, want all %d drops attributed to burst", st, drops)
+	}
+	// With PExitBad = 0.2 the expected burst length is 5; demand the
+	// average run clears 2 to prove losses are correlated, which
+	// independent drops at the same overall rate would fail.
+	if avg := float64(drops) / float64(runs); avg < 2 {
+		t.Fatalf("average burst length %.2f over %d runs, want >= 2", avg, runs)
+	}
+}
+
+// TestInjectedDelaysOnAutoClockCostNoWallTime: hours of injected delay
+// slept through an auto-advancing clock finish instantly, proving the
+// delay path never calls time.Sleep.
+func TestInjectedDelaysOnAutoClockCostNoWallTime(t *testing.T) {
+	inj := NewFaultInjector(3)
+	epoch := time.Unix(9000, 0)
+	clk := vclock.NewAuto(epoch)
+	inj.SetClock(clk)
+	inj.In = Faults{Delay: 1, MaxDelay: time.Hour}
+
+	start := time.Now()
+	delays := 0
+	for i := 0; i < 200; i++ {
+		fx := inj.decide(&inj.In)
+		if fx.delay > 0 {
+			delays++
+		}
+		inj.sleep(fx.delay)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("200 injected delays took %v of wall time", elapsed)
+	}
+	if delays == 0 {
+		t.Fatal("no delays injected at probability 1")
+	}
+	if got := inj.Stats().Delayed; got != int64(delays) {
+		t.Fatalf("Delayed = %d, want %d", got, delays)
+	}
+	if !clk.Now().After(epoch) {
+		t.Fatal("virtual clock did not advance through the sleeps")
+	}
+}
+
+// TestSetFaultsMidRun: swapping the fault schedule while traffic flows
+// takes effect immediately and restarts the burst channel clean.
+func TestSetFaultsMidRun(t *testing.T) {
+	inj := NewFaultInjector(5)
+	inj.SetFaults(Faults{Drop: 1}, Faults{})
+	if fx := inj.decide(&inj.In); !fx.drop {
+		t.Fatal("full-loss direction delivered")
+	}
+	inj.SetFaults(Faults{}, Faults{})
+	if fx := inj.decide(&inj.In); fx.drop {
+		t.Fatal("cleared direction still dropping")
+	}
+	in, out := inj.Snapshot()
+	if in.Drop != 0 || out.Drop != 0 {
+		t.Fatalf("snapshot = %+v / %+v after clear", in, out)
 	}
 }

@@ -1,0 +1,383 @@
+package snmp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"nmsl/internal/vclock"
+)
+
+// MemNet is an in-memory network of agents. Ten thousand concurrent
+// agents cannot each own a UDP socket (file-descriptor limits end that
+// ambition around a few hundred), so the mega-fleet scenarios host
+// agents as plain structs behind mem:// addresses: Dial recognizes
+// "mem://<net>/<host>", and the returned client's datagrams travel
+// through Marshal → per-host fault injector → Agent.Handle → Marshal,
+// preserving full wire fidelity (retransmit caches, truncation,
+// duplication) with zero sockets.
+//
+// Every host carries its own FaultInjector link, so a chaos driver can
+// partition, flap or burst-degrade hosts individually while a rollout
+// is running against them.
+type MemNet struct {
+	name string
+	seed int64
+
+	mu    sync.Mutex
+	hosts map[string]*memHost
+	clock vclock.Clock
+}
+
+type memHost struct {
+	agent *Agent
+	inj   *FaultInjector
+	down  bool
+}
+
+// memNets is the process-global registry Dial consults for mem://
+// addresses.
+var memNets sync.Map // name -> *MemNet
+
+// NewMemNet creates and registers an in-memory network. The seed
+// derives each host's fault-injector seed, so a whole network's fault
+// schedule is reproducible from one number. Close unregisters it.
+func NewMemNet(name string, seed int64) (*MemNet, error) {
+	if name == "" || strings.ContainsAny(name, "/ ") {
+		return nil, fmt.Errorf("snmp: invalid memnet name %q", name)
+	}
+	n := &MemNet{name: name, seed: seed, hosts: map[string]*memHost{}, clock: vclock.Real}
+	if _, loaded := memNets.LoadOrStore(name, n); loaded {
+		return nil, fmt.Errorf("snmp: memnet %q already registered", name)
+	}
+	return n, nil
+}
+
+// Close unregisters the network; later Dials to its hosts fail.
+func (n *MemNet) Close() { memNets.Delete(n.name) }
+
+// SetClock installs a virtual clock on every current and future host's
+// fault injector, so injected delays and flap schedules run on
+// simulated time.
+func (n *MemNet) SetClock(c vclock.Clock) {
+	if c == nil {
+		c = vclock.Real
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.clock = c
+	for _, h := range n.hosts {
+		h.inj.SetClock(c)
+	}
+}
+
+// AddHost registers an agent under the given host name and returns the
+// fault injector guarding its link. The injector's seed is derived from
+// the network seed and the host name, so schedules are stable across
+// runs regardless of registration order.
+func (n *MemNet) AddHost(host string, agent *Agent) (*FaultInjector, error) {
+	if host == "" || strings.ContainsAny(host, "/ ") {
+		return nil, fmt.Errorf("snmp: invalid memnet host %q", host)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(host))
+	inj := NewFaultInjector(n.seed ^ int64(h.Sum64()))
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.hosts[host]; dup {
+		return nil, fmt.Errorf("snmp: memnet host %q already registered", host)
+	}
+	inj.SetClock(n.clock)
+	n.hosts[host] = &memHost{agent: agent, inj: inj}
+	return inj, nil
+}
+
+// Addr returns the dialable address of a host on this network.
+func (n *MemNet) Addr(host string) string {
+	return "mem://" + n.name + "/" + host
+}
+
+// Agent returns the agent behind a host name, or nil.
+func (n *MemNet) Agent(host string) *Agent {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h := n.hosts[host]; h != nil {
+		return h.agent
+	}
+	return nil
+}
+
+// Injector returns the fault injector guarding a host's link, or nil.
+func (n *MemNet) Injector(host string) *FaultInjector {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h := n.hosts[host]; h != nil {
+		return h.inj
+	}
+	return nil
+}
+
+// Hosts returns the registered host names (unordered).
+func (n *MemNet) Hosts() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.hosts))
+	for host := range n.hosts {
+		out = append(out, host)
+	}
+	return out
+}
+
+// SetDown marks a host unreachable (down) or reachable again. Datagrams
+// to a down host vanish silently, exactly as UDP to a dead machine.
+func (n *MemNet) SetDown(host string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h := n.hosts[host]; h != nil {
+		h.down = down
+	}
+}
+
+// Restart models an agent crash-and-restart that persisted its
+// configuration: volatile state (retransmit cache, rate-limit windows)
+// is cleared and the host marked reachable.
+func (n *MemNet) Restart(host string) {
+	n.mu.Lock()
+	h := n.hosts[host]
+	n.mu.Unlock()
+	if h == nil {
+		return
+	}
+	h.agent.Reset()
+	n.mu.Lock()
+	h.down = false
+	n.mu.Unlock()
+}
+
+// lookup resolves a host under the network lock.
+func (n *MemNet) lookup(host string) *memHost {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hosts[host]
+}
+
+// dialMem resolves a mem:// address to a connected transport. The bool
+// reports whether addr is a mem:// address at all (false means the
+// caller should treat it as a real network address).
+func dialMem(addr string) (clientConn, bool, error) {
+	rest, ok := strings.CutPrefix(addr, "mem://")
+	if !ok {
+		return nil, false, nil
+	}
+	netName, host, ok := strings.Cut(rest, "/")
+	if !ok || netName == "" || host == "" {
+		return nil, true, fmt.Errorf("snmp: malformed mem address %q (want mem://net/host)", addr)
+	}
+	v, found := memNets.Load(netName)
+	if !found {
+		return nil, true, fmt.Errorf("snmp: memnet %q not registered", netName)
+	}
+	n := v.(*MemNet)
+	if n.lookup(host) == nil {
+		return nil, true, fmt.Errorf("snmp: no host %q on memnet %q", host, netName)
+	}
+	return &memConn{net: n, host: host, q: newDatagramQueue()}, true, nil
+}
+
+// deliver carries one client datagram to a host and its response back,
+// applying the host's fault schedule on both directions. It runs on its
+// own goroutine per datagram (spawned by memConn.Write), so injected
+// delays stall the datagram, not the sender — the same asynchrony a
+// real network gives.
+func (n *MemNet) deliver(host string, req []byte, back *datagramQueue) {
+	h := n.lookup(host)
+	if h == nil {
+		return
+	}
+	n.mu.Lock()
+	down := h.down
+	n.mu.Unlock()
+	if down {
+		return
+	}
+	inj := h.inj
+	fx := inj.decide(&inj.In)
+	if fx.drop {
+		return
+	}
+	inj.sleep(fx.delay)
+	if fx.truncate {
+		req = req[:truncateLen(len(req))]
+	}
+	copies := 1
+	if fx.dup {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		msg, err := Unmarshal(req)
+		if err != nil {
+			return // malformed on the wire: the agent would discard it
+		}
+		resp := h.agent.Handle(msg)
+		if resp == nil {
+			continue // rate-limited or denied: silence, like the real serve loop
+		}
+		out, err := resp.Marshal()
+		if err != nil {
+			continue
+		}
+		ofx := inj.decide(&inj.Out)
+		if ofx.drop {
+			continue
+		}
+		inj.sleep(ofx.delay)
+		if ofx.truncate {
+			out = out[:truncateLen(len(out))]
+		}
+		back.push(out)
+		if ofx.dup {
+			back.push(out)
+		}
+	}
+}
+
+// memConn is the client's end of a mem:// link: Writes fan out as
+// delivery goroutines, Reads drain the response queue under the
+// client's read deadline.
+type memConn struct {
+	net  *MemNet
+	host string
+	q    *datagramQueue
+}
+
+func (mc *memConn) Write(b []byte) (int, error) {
+	if mc.q.isClosed() {
+		return 0, net.ErrClosed
+	}
+	data := append([]byte(nil), b...)
+	go mc.net.deliver(mc.host, data, mc.q)
+	return len(b), nil
+}
+
+func (mc *memConn) Read(b []byte) (int, error)        { return mc.q.read(b) }
+func (mc *memConn) SetReadDeadline(t time.Time) error { return mc.q.setDeadline(t) }
+func (mc *memConn) Close() error                      { mc.q.close(); return nil }
+
+// datagramQueue is a bounded inbox with net.Conn-style read deadlines,
+// shared by memConn and the UDP client mux. The deadline is a swappable
+// closed-channel: SetReadDeadline re-arms it, a past deadline trips it
+// immediately — which is exactly the hook the client's context
+// cancellation uses to interrupt a blocked Read.
+type datagramQueue struct {
+	inbox chan []byte
+
+	mu     sync.Mutex
+	timer  *time.Timer
+	dlCh   chan struct{} // closed when the deadline passes; nil = no deadline
+	rearm  chan struct{} // closed and replaced whenever the deadline changes
+	closed chan struct{}
+	once   sync.Once
+}
+
+// inboxDepth bounds queued responses per connection, standing in for
+// the kernel's socket buffer: overflow is silently dropped.
+const inboxDepth = 64
+
+func newDatagramQueue() *datagramQueue {
+	return &datagramQueue{
+		inbox:  make(chan []byte, inboxDepth),
+		rearm:  make(chan struct{}),
+		closed: make(chan struct{}),
+	}
+}
+
+// push enqueues one datagram, dropping it if the inbox is full or the
+// queue closed.
+func (q *datagramQueue) push(p []byte) {
+	cp := append([]byte(nil), p...)
+	select {
+	case <-q.closed:
+	case q.inbox <- cp:
+	default:
+	}
+}
+
+func (q *datagramQueue) read(b []byte) (int, error) {
+	for {
+		q.mu.Lock()
+		dl, rearm := q.dlCh, q.rearm
+		q.mu.Unlock()
+		// A nil deadline channel blocks forever in the select, which is
+		// the no-deadline behavior. The rearm channel wakes readers that
+		// were already blocked when SetReadDeadline replaced the
+		// deadline — a net.Conn interrupts in-flight reads the same way,
+		// and the client's context-cancel hook depends on it.
+		select {
+		case p := <-q.inbox:
+			return copy(b, p), nil
+		case <-dl:
+			return 0, errReadTimeout
+		case <-rearm:
+			continue
+		case <-q.closed:
+			return 0, net.ErrClosed
+		}
+	}
+}
+
+func (q *datagramQueue) setDeadline(t time.Time) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.timer != nil {
+		q.timer.Stop()
+		q.timer = nil
+	}
+	close(q.rearm)
+	q.rearm = make(chan struct{})
+	if t.IsZero() {
+		q.dlCh = nil
+		return nil
+	}
+	ch := make(chan struct{})
+	q.dlCh = ch
+	if d := time.Until(t); d <= 0 {
+		close(ch)
+	} else {
+		q.timer = time.AfterFunc(d, func() { close(ch) })
+	}
+	return nil
+}
+
+func (q *datagramQueue) close() {
+	q.once.Do(func() {
+		q.mu.Lock()
+		if q.timer != nil {
+			q.timer.Stop()
+			q.timer = nil
+		}
+		q.mu.Unlock()
+		close(q.closed)
+	})
+}
+
+func (q *datagramQueue) isClosed() bool {
+	select {
+	case <-q.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// timeoutError mirrors the net package's deadline error: Timeout()
+// reports true so callers treating timeouts specially keep working.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "snmp: read deadline exceeded" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+var errReadTimeout error = timeoutError{}

@@ -1,0 +1,283 @@
+package snmp
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"nmsl/internal/mib"
+)
+
+// memAgent builds an agent with an admin community and a public
+// read-only community, ready to host on a MemNet.
+func memAgent() *Agent {
+	store := NewStore()
+	tree := mib.NewStandard()
+	PopulateFromMIB(store, tree, "mgmt.mib")
+	return NewAgent(store, &Config{
+		AdminCommunity: "admin",
+		Communities: map[string]*CommunityConfig{
+			"public": {Access: mib.AccessReadOnly, View: []View{{Prefix: tree.Lookup("mgmt.mib").OID()}}},
+		},
+	})
+}
+
+func TestMemNetRoundTrip(t *testing.T) {
+	n, err := NewMemNet("rt", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if _, err := n.AddHost("h1", memAgent()); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Dial(n.Addr("h1"), "public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(100 * time.Millisecond)
+
+	tree := mib.NewStandard()
+	binds, err := c.Get(tree.Lookup("mgmt.mib.system.sysDescr").OID())
+	if err != nil {
+		t.Fatalf("get over mem://: %v", err)
+	}
+	if len(binds) != 1 {
+		t.Fatalf("bindings: %v", binds)
+	}
+
+	// Config install + fetch exercise the Set path and the opaque blob
+	// round trip through the in-memory wire.
+	admin, err := Dial(n.Addr("h1"), "admin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	admin.SetTimeout(100 * time.Millisecond)
+	cfg := &Config{AdminCommunity: "admin", Communities: map[string]*CommunityConfig{
+		"ops": {Access: mib.AccessAny, View: []View{{Prefix: tree.Lookup("mgmt.mib").OID()}}},
+	}}
+	if err := admin.InstallConfig(cfg); err != nil {
+		t.Fatalf("install over mem://: %v", err)
+	}
+	got, err := admin.FetchConfig()
+	if err != nil {
+		t.Fatalf("fetch over mem://: %v", err)
+	}
+	if got.Digest() != cfg.Digest() {
+		t.Fatal("fetched config digest differs from installed")
+	}
+}
+
+func TestMemNetDialErrors(t *testing.T) {
+	if _, err := Dial("mem://nosuch/h", "public"); err == nil {
+		t.Fatal("dial of unregistered memnet succeeded")
+	}
+	n, err := NewMemNet("errs", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if _, err := Dial("mem://errs/ghost", "public"); err == nil {
+		t.Fatal("dial of unknown host succeeded")
+	}
+	if _, err := Dial("mem://errs", "public"); err == nil {
+		t.Fatal("malformed mem address accepted")
+	}
+}
+
+// TestMemNetDownAndRestart: a down host is silence; after Restart the
+// same address answers again and the agent's config survived.
+func TestMemNetDownAndRestart(t *testing.T) {
+	n, err := NewMemNet("dr", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if _, err := n.AddHost("h1", memAgent()); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(n.Addr("h1"), "public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(40 * time.Millisecond)
+	c.SetRetries(0)
+
+	tree := mib.NewStandard()
+	oid := tree.Lookup("mgmt.mib.system.sysDescr").OID()
+
+	n.SetDown("h1", true)
+	if _, err := c.Get(oid); err == nil {
+		t.Fatal("get to a down host succeeded")
+	}
+	n.Restart("h1")
+	if _, err := c.Get(oid); err != nil {
+		t.Fatalf("get after restart: %v", err)
+	}
+}
+
+// TestPreparedInstallIdempotentAcrossAckLoss: the agent applies the
+// config, the ack is lost, and a later re-send of the *prepared*
+// request is absorbed by the retransmit cache — ConfigLoads stays 1.
+// This is the property that keeps staged-rollout retries exactly-once.
+func TestPreparedInstallIdempotentAcrossAckLoss(t *testing.T) {
+	n, err := NewMemNet("prep", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	agent := memAgent()
+	inj, err := n.AddHost("h1", agent)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Dial(n.Addr("h1"), "admin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(40 * time.Millisecond)
+	c.SetRetries(0) // retries happen at the caller, as in a rollout attempt loop
+	c.SetBackoff(0, 0)
+
+	tree := mib.NewStandard()
+	cfg := &Config{AdminCommunity: "admin", Communities: map[string]*CommunityConfig{
+		"ops": {Access: mib.AccessAny, View: []View{{Prefix: tree.Lookup("mgmt.mib").OID()}}},
+	}}
+	prep, err := c.PrepareInstall(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First send: request delivered, response eaten by the network.
+	inj.SetFaults(Faults{}, Faults{DropFirst: 1})
+	if err := prep.Send(context.Background()); err == nil {
+		t.Fatal("send with dropped ack should time out")
+	}
+	if got := agent.Stats().ConfigLoads; got != 1 {
+		t.Fatalf("ConfigLoads after lost ack = %d, want 1 (applied once)", got)
+	}
+
+	// Caller-level retry of the same prepared request: the agent's
+	// retransmit cache answers it without re-applying.
+	if err := prep.Send(context.Background()); err != nil {
+		t.Fatalf("re-send of prepared install: %v", err)
+	}
+	if got := agent.Stats().ConfigLoads; got != 1 {
+		t.Fatalf("ConfigLoads after re-send = %d, want 1 (duplicate apply)", got)
+	}
+	if agent.Stats().Retransmits != 1 {
+		t.Fatalf("agent retransmit cache hits = %d, want 1", agent.Stats().Retransmits)
+	}
+}
+
+// TestMemNetClientCancelInterruptsBlockedRead: canceling the context
+// mid-attempt must unblock the client promptly, not after the full
+// attempt timeout — the regression test for context-prompt cancellation
+// in the retry loop.
+func TestMemNetClientCancelInterruptsBlockedRead(t *testing.T) {
+	n, err := NewMemNet("cancel", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if _, err := n.AddHost("h1", memAgent()); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(n.Addr("h1"), "public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A long per-attempt timeout and a long backoff: only prompt
+	// cancellation can finish this test quickly.
+	c.SetTimeout(30 * time.Second)
+	c.SetRetries(2)
+	c.SetBackoff(10*time.Second, 30*time.Second)
+	n.SetDown("h1", true) // no response will ever come
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var gotErr error
+	start := time.Now()
+	go func() {
+		defer wg.Done()
+		tree := mib.NewStandard()
+		_, gotErr = c.GetContext(ctx, tree.Lookup("mgmt.mib.system.sysDescr").OID())
+	}()
+	time.Sleep(50 * time.Millisecond) // let the read block
+	cancel()
+	wg.Wait()
+	if !errors.Is(gotErr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", gotErr)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancel took %v to unblock the client", elapsed)
+	}
+}
+
+// TestClientMuxSharesOneSocket: several clients over one mux socket
+// against real UDP agents, interleaved, each getting its own responses.
+func TestClientMuxSharesOneSocket(t *testing.T) {
+	tree := mib.NewStandard()
+	mux, err := NewClientMux()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+
+	const agents = 4
+	oid := tree.Lookup("mgmt.mib.system.sysDescr").OID()
+	var clients []*Client
+	for i := 0; i < agents; i++ {
+		a := memAgent()
+		addr, err := a.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { a.Close() })
+		c, err := mux.Dial(addr.String(), "public")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetTimeout(200 * time.Millisecond)
+		clients = append(clients, c)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, agents)
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				if _, err := c.Get(oid); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d over mux: %v", i, err)
+		}
+	}
+
+	// Closing one client detaches only its route.
+	if err := clients[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clients[1].Get(oid); err != nil {
+		t.Fatalf("surviving client after sibling close: %v", err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package vclock abstracts time for the chaos and simulation layers.
+//
+// Fault injection wants to delay datagrams, flap links on a schedule and
+// skew agent clocks; tests and simulations want all of that to run
+// deterministic and fast, with no real sleeping. Clock is the seam: the
+// production paths run on Real (plain wall-clock time), tests and the
+// mega-fleet scenario engine run on a Manual clock they advance
+// explicitly — or an auto-advancing one that makes every sleep return
+// immediately while still moving virtual time forward, the
+// discrete-event trick that turns hours of injected delay into
+// microseconds of wall time.
+package vclock
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock is a source of time and of cancellable sleeps. Implementations
+// must be safe for concurrent use.
+type Clock interface {
+	// Now returns the clock's current time.
+	Now() time.Time
+	// Sleep pauses the caller for d of the clock's time, or until ctx is
+	// done, whichever comes first (returning ctx.Err() in that case).
+	// Non-positive d returns immediately with ctx.Err().
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// Real is the wall-clock implementation: time.Now and timer-based
+// sleeps.
+var Real Clock = realClock{}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Manual is a virtual clock driven by the test or simulation harness.
+// Time only moves when Advance is called — or, in auto mode, when a
+// sleeper would otherwise block, in which case the sleep returns
+// immediately after moving the clock past its own deadline.
+type Manual struct {
+	mu       sync.Mutex
+	now      time.Time
+	auto     bool
+	sleepers map[*sleeper]struct{}
+}
+
+type sleeper struct {
+	deadline time.Time
+	ch       chan struct{}
+}
+
+// NewManual returns a virtual clock starting at start. Sleeps block
+// until Advance moves the clock past their deadline.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start, sleepers: map[*sleeper]struct{}{}}
+}
+
+// NewAuto returns an auto-advancing virtual clock starting at start:
+// every Sleep advances the clock to its own deadline and returns
+// immediately, so injected delays cost no wall time while virtual time
+// still accumulates (and flap schedules still see it move).
+func NewAuto(start time.Time) *Manual {
+	m := NewManual(start)
+	m.auto = true
+	return m
+}
+
+// Now returns the virtual time.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Advance moves the virtual clock forward by d, waking every sleeper
+// whose deadline has passed.
+func (m *Manual) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	m.mu.Lock()
+	m.now = m.now.Add(d)
+	for s := range m.sleepers {
+		if !s.deadline.After(m.now) {
+			close(s.ch)
+			delete(m.sleepers, s)
+		}
+	}
+	m.mu.Unlock()
+}
+
+// Sleepers reports how many goroutines are currently blocked in Sleep,
+// so tests can synchronize with the code under test before advancing.
+func (m *Manual) Sleepers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sleepers)
+}
+
+// Sleep pauses for d of virtual time. In auto mode it advances the
+// clock instead of blocking.
+func (m *Manual) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	m.mu.Lock()
+	if m.auto {
+		// Auto mode: several goroutines may sleep concurrently; each
+		// moves the clock at least to its own deadline, never backward.
+		if deadline := m.now.Add(d); deadline.After(m.now) {
+			m.now = deadline
+		}
+		m.mu.Unlock()
+		return ctx.Err()
+	}
+	s := &sleeper{deadline: m.now.Add(d), ch: make(chan struct{})}
+	m.sleepers[s] = struct{}{}
+	m.mu.Unlock()
+	select {
+	case <-ctx.Done():
+		m.mu.Lock()
+		delete(m.sleepers, s)
+		m.mu.Unlock()
+		return ctx.Err()
+	case <-s.ch:
+		return nil
+	}
+}

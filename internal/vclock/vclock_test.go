@@ -1,0 +1,79 @@
+package vclock
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRealSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := Real.Sleep(ctx, time.Hour); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("canceled sleep took %v", elapsed)
+	}
+}
+
+func TestManualAdvanceWakesSleepers(t *testing.T) {
+	epoch := time.Unix(1000, 0)
+	m := NewManual(epoch)
+	done := make(chan error, 1)
+	go func() { done <- m.Sleep(context.Background(), 10*time.Second) }()
+
+	for m.Sleepers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	m.Advance(5 * time.Second)
+	select {
+	case <-done:
+		t.Fatal("sleeper woke before its deadline")
+	case <-time.After(10 * time.Millisecond):
+	}
+	m.Advance(5 * time.Second)
+	if err := <-done; err != nil {
+		t.Fatalf("sleep returned %v", err)
+	}
+	if got := m.Now(); !got.Equal(epoch.Add(10 * time.Second)) {
+		t.Fatalf("Now() = %v, want epoch+10s", got)
+	}
+}
+
+func TestManualSleepHonorsContext(t *testing.T) {
+	m := NewManual(time.Unix(1000, 0))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- m.Sleep(ctx, time.Hour) }()
+	for m.Sleepers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if m.Sleepers() != 0 {
+		t.Fatal("canceled sleeper still registered")
+	}
+}
+
+func TestAutoSleepNeverBlocks(t *testing.T) {
+	epoch := time.Unix(1000, 0)
+	m := NewAuto(epoch)
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		if err := m.Sleep(context.Background(), time.Hour); err != nil {
+			t.Fatalf("sleep %d: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("100 virtual hours took %v of wall time", elapsed)
+	}
+	// Concurrent auto-sleeps each advance at least past their own
+	// deadline, so 100 sequential one-hour sleeps reach exactly +100h.
+	if got := m.Now(); !got.Equal(epoch.Add(100 * time.Hour)) {
+		t.Fatalf("Now() = %v, want epoch+100h", got)
+	}
+}

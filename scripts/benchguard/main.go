@@ -126,7 +126,7 @@ func main() {
 	current := flag.String("current", "BENCH_guard.json", "fresh run to compare (bench2json format)")
 	tol := flag.Float64("tolerance", 0.20, "allowed fractional ns/op drift before failing")
 	bench := flag.String("bench",
-		"CheckParallel1,CheckParallel8,CheckWarmCache,ChangeContractCheck,CheckDomains10000,CheckParallel10k1,CheckParallel10k8",
+		"CheckParallel1,CheckParallel8,CheckWarmCache,ChangeContractCheck,CheckDomains10000,CheckParallel10k1,CheckParallel10k8,MemAgentRoundTrip,MegaFleetInstall",
 		"comma-separated guarded benchmark names (bench2json names, no Benchmark prefix)")
 	flag.Parse()
 
