@@ -9,7 +9,7 @@ GO ?= go
 # below it.
 COVER_FLOOR ?= 70
 
-.PHONY: all build test vet race ci chaos chaos-matrix mega-smoke bench bench-parallel bench-rollout cover bench-ci bench-guard bench-nightly bench-mutex svc-smoke svc-bench
+.PHONY: all build test vet race ci chaos chaos-matrix mega-smoke scale-smoke bench bench-parallel bench-rollout cover bench-ci bench-guard bench-nightly bench-mutex bench-heap svc-smoke svc-bench
 
 # Scenario matrix for `make chaos`: every topology shape the scenario
 # library knows, each run under the full chaos matrix.
@@ -27,6 +27,13 @@ MEGA_AGENTS ?= 1000
 # 1/8-worker parallel), and the mega-fleet agent path (one in-memory
 # round-trip, and a 512-agent fleet install).
 GUARDED_BENCH = ^(BenchmarkCheckParallel1|BenchmarkCheckParallel8|BenchmarkCheckWarmCache|BenchmarkChangeContractCheck|BenchmarkCheckDomains10000|BenchmarkCheckParallel10k1|BenchmarkCheckParallel10k8|BenchmarkMemAgentRoundTrip|BenchmarkMegaFleetInstall)$$
+
+# The §1-scale tier: the 100k-domain cold check and warm single-change
+# re-check, and the 25k-agent fleet install. Model construction alone
+# takes ~30s and each iteration seconds, so these run at -benchtime=2x
+# -count=2 (still four samples — enough for benchguard, which ignores
+# single-iteration entries) instead of the fast tier's 20x/3.
+GUARDED_SCALE_BENCH = ^(BenchmarkCheckDomains100k|BenchmarkCheckDomains100kWarmDelta|BenchmarkMegaFleetInstall25k)$$
 
 # How many times the chaos crash-resume tests repeat; the nightly CI job
 # raises this to 10.
@@ -71,6 +78,16 @@ chaos-matrix:
 mega-smoke:
 	NMSL_MEGA=1 NMSL_MEGA_AGENTS=$(MEGA_AGENTS) $(GO) test -race -v -run TestMegaSmoke -timeout 20m ./internal/megafleet
 
+# The §1-scale nightly smokes, time-boxed: the 100k-domain cold+warm
+# checking pass (2.2GB heap — the NMSL_SCALE gate keeps it off small
+# runners) and a 25k-agent clean fleet convergence without the race
+# detector (the race-instrumented depth pass stays at $(MEGA_AGENTS);
+# 25k under -race would blow the time box, not the assertion).
+SCALE_AGENTS ?= 25000
+scale-smoke:
+	NMSL_SCALE=1 $(GO) test -v -run TestScaleCheck100kSmoke -timeout 30m .
+	NMSL_MEGA=1 NMSL_MEGA_AGENTS=$(SCALE_AGENTS) $(GO) test -v -run TestMegaSmoke -timeout 30m ./internal/megafleet
+
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
@@ -87,6 +104,16 @@ bench-parallel:
 # reappearing here means the per-worker batching regressed.
 bench-mutex:
 	$(GO) run ./scripts/benchmutex -domains 1000 -workers 8 -iters 10 -out mutex.pb.gz
+
+# Allocation profile (-alloc_space) of the checking hot path: one cold
+# check plus repeated warm delta re-checks of the 1k-domain internet
+# with the heap sampler at fine grain, printing the top allocating call
+# sites and writing heap.pb.gz for `go tool pprof -alloc_space`. Any
+# site inside the per-ref steady-state path appearing here means the
+# arena/scratch reuse regressed (the hard gates are the zero-alloc
+# tests and benchguard's allocs/op comparison; this names the culprit).
+bench-heap:
+	$(GO) run ./scripts/benchheap -domains 1000 -warm 50 -out heap.pb.gz
 
 # Rollout sweep: wall-clock and attempts/target vs worker count and
 # injected packet loss (E-ROLL in EXPERIMENTS.md).
@@ -120,10 +147,12 @@ svc-bench:
 # run sanity pass, not a measurement — plus properly-sampled runs of the
 # guarded benchmarks (bench-guard only trusts multi-iteration entries),
 # archived as BENCH_ci.json.
-bench-ci: bench-mutex
-	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' . | tee BENCH_ci.txt
-	$(GO) test -bench='$(GUARDED_BENCH)' \
+bench-ci: bench-mutex bench-heap
+	$(GO) test -bench=. -benchmem -benchtime=1x -timeout 30m -run='^$$' . | tee BENCH_ci.txt
+	$(GO) test -bench='$(GUARDED_BENCH)' -benchmem \
 		-benchtime=20x -count=3 -run='^$$' . | tee -a BENCH_ci.txt
+	$(GO) test -bench='$(GUARDED_SCALE_BENCH)' -benchmem \
+		-benchtime=2x -count=2 -timeout 30m -run='^$$' . | tee -a BENCH_ci.txt
 	$(GO) run ./scripts/bench2json < BENCH_ci.txt > BENCH_ci.json
 
 # Regression guard over the perf-critical benchmarks: measure the
@@ -132,8 +161,10 @@ bench-ci: bench-mutex
 # with a +-20% tolerance. Skips cleanly when the baseline was recorded
 # on different hardware (the guard compares CPU strings).
 bench-guard:
-	$(GO) test -bench='$(GUARDED_BENCH)' \
+	$(GO) test -bench='$(GUARDED_BENCH)' -benchmem \
 		-benchtime=20x -count=3 -run='^$$' . | tee BENCH_guard.txt
+	$(GO) test -bench='$(GUARDED_SCALE_BENCH)' -benchmem \
+		-benchtime=2x -count=2 -timeout 30m -run='^$$' . | tee -a BENCH_guard.txt
 	$(GO) run ./scripts/bench2json < BENCH_guard.txt > BENCH_guard.json
 	$(GO) run ./scripts/benchguard -baseline BENCH_5.json -current BENCH_guard.json
 
@@ -141,6 +172,8 @@ bench-guard:
 # same sampling as bench-guard, archived rather than compared, so a
 # regression can be bisected to the night it appeared.
 bench-nightly:
-	$(GO) test -bench='$(GUARDED_BENCH)' \
+	$(GO) test -bench='$(GUARDED_BENCH)' -benchmem \
 		-benchtime=20x -count=3 -run='^$$' . | tee BENCH_nightly.txt
+	$(GO) test -bench='$(GUARDED_SCALE_BENCH)' -benchmem \
+		-benchtime=2x -count=2 -timeout 30m -run='^$$' . | tee -a BENCH_nightly.txt
 	$(GO) run ./scripts/bench2json < BENCH_nightly.txt > BENCH_nightly.json

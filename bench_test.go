@@ -126,6 +126,72 @@ func BenchmarkCheckParallel10k2(b *testing.B) { benchCheckParallel10k(b, 2) }
 func BenchmarkCheckParallel10k4(b *testing.B) { benchCheckParallel10k(b, 4) }
 func BenchmarkCheckParallel10k8(b *testing.B) { benchCheckParallel10k(b, 8) }
 
+// ---- T-SCALE-4: the full §1 internet — 100,000 domains, ~200,000
+// managed systems (≈1M spec lines, ≈300k instances, ≈200k references).
+// The model builds once (~25s: spec generation plus compile dominate;
+// Makefile gives this tier its own short -benchtime) and the benchmarks
+// time the steady-state costs a resident manager pays: the cold full
+// check, and the one-edit warm delta re-check that the daemon's check
+// loop actually runs. These two are guarded (BENCH_5.json) at a lighter
+// sampling tier than the fast benchmarks — see GUARDED_SCALE_BENCH. ----
+
+var bench100kModel = struct {
+	once sync.Once
+	m    *consistency.Model
+	err  error
+}{}
+
+func hundredKModel(b *testing.B) *consistency.Model {
+	bench100kModel.once.Do(func() {
+		bench100kModel.m, bench100kModel.err = netsim.Model(netsim.Params{
+			Domains: 100000, SystemsPerDomain: 2, NestingDepth: 1, Seed: 1,
+		})
+	})
+	if bench100kModel.err != nil {
+		b.Fatal(bench100kModel.err)
+	}
+	return bench100kModel.m
+}
+
+// BenchmarkCheckDomains100k: one cold, uncached, serial full check of
+// the 100k-domain internet (acceptance: a handful of seconds — §1's
+// "large internets" checked interactively).
+func BenchmarkCheckDomains100k(b *testing.B) {
+	m := hundredKModel(b)
+	b.ReportMetric(float64(len(m.Refs)), "refs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := consistency.Check(m)
+		if !rep.Consistent() {
+			b.Fatal("unexpected inconsistency")
+		}
+	}
+}
+
+// BenchmarkCheckDomains100kWarmDelta: the resident-manager steady
+// state at full scale — one instance edited out of 100k domains, every
+// untouched reference replayed through the dirty bitset and the
+// violation cursor. The warm pass must stay microseconds-scale and
+// O(refs) only in the replay scan, never in allocation.
+func BenchmarkCheckDomains100kWarmDelta(b *testing.B) {
+	m := hundredKModel(b)
+	chk := consistency.NewChecker(m)
+	chk.Cache = consistency.NewResultCache()
+	prev := chk.Check()
+	if !prev.Consistent() {
+		b.Fatal("unexpected inconsistency")
+	}
+	delta := &consistency.ModelDelta{Instances: []string{m.Refs[0].Source.ID}}
+	b.ReportMetric(float64(len(m.Refs)), "refs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := chk.CheckDelta(prev, delta)
+		if !rep.Consistent() {
+			b.Fatal("unexpected inconsistency")
+		}
+	}
+}
+
 // Observability overhead control (E-OBS): the same 8-worker check with
 // the instrumentation compiled in but switched off. Acceptance: the
 // instrumented default above regresses < 3% against this.
@@ -673,6 +739,51 @@ func BenchmarkMegaFleetInstall(b *testing.B) {
 		b.StartTimer()
 		rep, err := cfggen.DistributeContext(context.Background(), m, fleet.Targets,
 			cfggen.WithWorkers(16), cfggen.WithMetrics(obs.Disabled))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Installed != targets {
+			b.Fatalf("incomplete rollout: %s", rep.Summary())
+		}
+		b.StopTimer()
+		fleet.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(b.N*targets)/b.Elapsed().Seconds(), "installs/s")
+}
+
+// BenchmarkMegaFleetInstall25k is the fleet-side §1-scale benchmark: a
+// full unstaged rollout over 25,000 copy-on-write in-memory agents with
+// 64 workers. Fleet construction (one shared base store, 25k forks) is
+// excluded; the timed region is dial → prepared install → acknowledge
+// across the whole fleet. Guarded at the GUARDED_SCALE_BENCH tier.
+func BenchmarkMegaFleetInstall25k(b *testing.B) {
+	params, err := netsim.ScenarioParams(netsim.ScenarioCampus, 25000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := netsim.Model(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fleet, err := megafleet.New(m, fmt.Sprintf("bench-fleet25k-%d", i), "admin", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		targets = len(fleet.Targets)
+		b.StartTimer()
+		// Generous attempt budget: on a loaded single-core runner a GC
+		// pause over the 2GB rollout can starve an agent past the default
+		// 500ms client timeout; the benchmark measures throughput, and a
+		// handful of retransmits must not fail the run.
+		rep, err := cfggen.DistributeContext(context.Background(), m, fleet.Targets,
+			cfggen.WithWorkers(64), cfggen.WithMetrics(obs.Disabled),
+			cfggen.WithRetries(8), cfggen.WithAttemptTimeout(2*time.Second),
+			cfggen.WithBackoff(5*time.Millisecond, 50*time.Millisecond))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -17,6 +17,12 @@
 //
 //	nmslsim -scenario campus -agents 10000 -chaos -report report.json
 //	nmslsim -scenario iot -agents 1000 -chaos -stages 0.01,0.1,0.5 -seed 7
+//
+// With -mux it hosts a mixed fleet — half mem:// agents, half real UDP
+// agents on loopback — and rolls out to both through one shared client
+// socket (snmp.ClientMux):
+//
+//	nmslsim -mux -domains 50 -systems 2
 package main
 
 import (
@@ -55,8 +61,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stages := fs.String("stages", "0.1,0.5", "canary-wave fractions, comma-separated (with -scenario; empty = unstaged)")
 	report := fs.String("report", "", "write the JSON run report here; - for stdout (with -scenario)")
 	journal := fs.String("journal", "", "rollout write-ahead journal path (with -scenario)")
+	mux := fs.Bool("mux", false, "mixed-transport fleet: half mem:// agents, half UDP loopback agents, one rollout over a shared ClientMux socket")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *mux {
+		return muxRun(*domains, *systems, *seed, *workers, stdout, stderr)
 	}
 
 	if *scenario != "" {

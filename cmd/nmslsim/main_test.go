@@ -75,6 +75,20 @@ func TestScenarioChaosRunWithReport(t *testing.T) {
 	}
 }
 
+// -mux hosts half the fleet in memory and half on UDP loopback and
+// must converge both halves through the one shared client socket.
+func TestMuxMixedFleet(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-mux", "-domains", "10", "-systems", "2", "-seed", "5"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s\n%s", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "10 mem://, 10 udp") ||
+		!strings.Contains(out.String(), "20 installed, 0 failed, 0 drifted") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
 func TestScenarioUnknownName(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-scenario", "bogus", "-agents", "5"}, &out, &errb); code != 1 {

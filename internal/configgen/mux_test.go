@@ -1,0 +1,92 @@
+package configgen
+
+import (
+	"context"
+	"testing"
+
+	"nmsl/internal/consistency"
+	"nmsl/internal/netsim"
+	"nmsl/internal/snmp"
+)
+
+// startMixedFleet hosts half the model's agents on an in-memory network
+// and half on real UDP loopback sockets — the deployment shape the
+// ClientMux exists for (a mostly-simulated fleet with real agents mixed
+// in, and the manager unwilling to open a socket per remote).
+func startMixedFleet(t *testing.T, m *consistency.Model, admin, netName string) ([]Target, map[string]*snmp.Agent) {
+	t.Helper()
+	n, err := snmp.NewMemNet(netName, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	configs := Generate(m)
+	ids := make([]string, 0, len(configs))
+	for id := range configs {
+		ids = append(ids, id)
+	}
+	var targets []Target
+	agents := make(map[string]*snmp.Agent, len(ids))
+	for i, id := range ids {
+		store := snmp.NewStore()
+		snmp.PopulateFromMIB(store, m.Spec.MIB, "mgmt.mib")
+		agent := snmp.NewAgent(store, &snmp.Config{
+			Communities:    map[string]*snmp.CommunityConfig{},
+			AdminCommunity: admin,
+		})
+		var addr string
+		if i%2 == 0 {
+			if _, err := n.AddHost(id, agent); err != nil {
+				t.Fatal(err)
+			}
+			addr = n.Addr(id)
+		} else {
+			ua, err := agent.ListenAndServe("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { agent.Close() })
+			addr = ua.String()
+		}
+		agents[id] = agent
+		targets = append(targets, Target{InstanceID: id, Addr: addr, AdminCommunity: admin})
+	}
+	return targets, agents
+}
+
+// TestRolloutOverClientMux: one rollout converges a fleet that is half
+// mem:// and half UDP, every real-network dial sharing the mux's single
+// socket via WithDialer. Runs twice over the same mux to exercise the
+// route add/drop lifecycle (a closed client must free its route for the
+// next rollout to the same address).
+func TestRolloutOverClientMux(t *testing.T) {
+	m, err := netsim.Model(netsim.Params{Domains: 8, SystemsPerDomain: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, agents := startMixedFleet(t, m, "adm", "muxroll")
+
+	mux, err := snmp.NewClientMux()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+
+	configs := Generate(m)
+	for round := 0; round < 2; round++ {
+		report, err := DistributeContext(context.Background(), m, targets,
+			WithWorkers(4), WithDialer(mux.DialAny))
+		if err != nil || !report.OK() {
+			t.Fatalf("round %d: %v (%s)", round, err, report.Summary())
+		}
+		if report.Installed != len(targets) {
+			t.Fatalf("round %d: %d installed of %d", round, report.Installed, len(targets))
+		}
+		for _, tgt := range targets {
+			want := DesiredConfig(configs[tgt.InstanceID], tgt).Digest()
+			if got := agents[tgt.InstanceID].ConfigSnapshot().Digest(); got != want {
+				t.Errorf("round %d: %s digest %s, want %s", round, tgt.InstanceID, got, want)
+			}
+		}
+	}
+}

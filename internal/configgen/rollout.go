@@ -230,6 +230,9 @@ type rolloutOptions struct {
 	// Jitter source; nil selects the global generator.
 	jitterMu  sync.Mutex
 	jitterRng *rand.Rand
+
+	// Dial function; nil selects snmp.Dial.
+	dial func(addr, community string) (*snmp.Client, error)
 }
 
 // RolloutOption tunes DistributeContext, mirroring the checker's
@@ -363,6 +366,15 @@ func WithJournal(path string) RolloutOption {
 // window for it deliberately.
 func WithJournalNoSync() RolloutOption {
 	return func(o *rolloutOptions) { o.journalNoSync = true }
+}
+
+// WithDialer replaces snmp.Dial as the way attempt loops reach their
+// targets. A mixed fleet passes (*snmp.ClientMux).DialAny here so every
+// real-network target shares one UDP socket while mem:// targets keep
+// the in-memory path; tests pass fault-wrapped dialers. The function
+// must be safe for concurrent use by the rollout's workers.
+func WithDialer(fn func(addr, community string) (*snmp.Client, error)) RolloutOption {
+	return func(o *rolloutOptions) { o.dial = fn }
 }
 
 // gated reports whether a health gate is armed.
@@ -860,7 +872,11 @@ func restoreTarget(rctx context.Context, tgt Target, prev *snmp.Config, opt *rol
 // attempt instead of being applied a second time — the exactly-once
 // property the chaos suite pins as "zero duplicate ConfigLoads".
 func attemptLoop(tctx context.Context, cp *snmp.Config, tgt Target, opt *rolloutOptions) (int, error) {
-	client, err := snmp.Dial(tgt.Addr, tgt.AdminCommunity)
+	dial := opt.dial
+	if dial == nil {
+		dial = snmp.Dial
+	}
+	client, err := dial(tgt.Addr, tgt.AdminCommunity)
 	if err != nil {
 		return 0, err
 	}

@@ -168,6 +168,30 @@ func (rc *ResultCache) lookupBatched(key string, fp [32]byte, b *cacheBatch) ([]
 	return nil, false
 }
 
+// lookupBatchedBytes is lookupBatched over a key still in its scratch
+// byte buffer. The map probe goes through the compiler's zero-copy
+// string(key) lookup form, so a warm hit materializes no key string —
+// this is what keeps the steady-state cached check allocation-free per
+// reference (checkRefCached builds the key with Ref.appendKey and only
+// the cold store path pays for a real string).
+func (rc *ResultCache) lookupBatchedBytes(key []byte, fp [32]byte, b *cacheBatch) ([]cachedViolation, bool) {
+	s := &rc.stripes[rc.stripeIndexBytes(key)]
+	s.mu.RLock()
+	ent := s.entries[string(key)]
+	s.mu.RUnlock()
+	if ent == nil {
+		b.misses++
+		return nil, false
+	}
+	if ent.fp != fp {
+		b.invalidations++
+		return nil, false
+	}
+	ent.used.Store(rc.tick.Add(1))
+	b.hits++
+	return ent.vs, true
+}
+
 // store records the verdict for the key under the fingerprint. When a
 // max-entries cap is set and the cache has outgrown it by 25%, the
 // least-recently-used overflow across all stripes is trimmed (the
@@ -367,6 +391,17 @@ func (rc *ResultCache) stripeIndex(key string) int {
 	return int(h % cacheStripes)
 }
 
+// stripeIndexBytes is stripeIndex for a key that is still a byte slice
+// (same hash, so the two lookup paths always agree on the stripe).
+func (rc *ResultCache) stripeIndexBytes(key []byte) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % cacheStripes)
+}
+
 // checkRefWith dispatches one reference through the cache when one is
 // attached, and plain checkRef otherwise.
 func (c *Checker) checkRefWith(ref *Ref, out *[]Violation, sc *scratch) {
@@ -382,11 +417,13 @@ func (c *Checker) checkRefWith(ref *Ref, out *[]Violation, sc *scratch) {
 // this model's reference; NearMiss is not recoverable from a persisted
 // entry and is left nil on replay (the rendered message already embeds
 // the near-miss description). Counter updates batch into the scratch
-// and reach the cache at the owner's flush.
+// and reach the cache at the owner's flush. The key is built into the
+// scratch's reusable buffer and only becomes a string on the cold store
+// path, so a warm hit allocates nothing.
 func (c *Checker) checkRefCached(ref *Ref, out *[]Violation, sc *scratch) {
-	key := ref.Key()
+	sc.key = ref.appendKey(sc.key[:0])
 	fp := c.fingerprint(ref, sc)
-	if vs, ok := c.Cache.lookupBatched(key, fp, &sc.cache); ok {
+	if vs, ok := c.Cache.lookupBatchedBytes(sc.key, fp, &sc.cache); ok {
 		for _, v := range vs {
 			*out = append(*out, Violation{Kind: v.Kind, Ref: ref, Message: v.Message})
 		}
@@ -402,7 +439,7 @@ func (c *Checker) checkRefCached(ref *Ref, out *[]Violation, sc *scratch) {
 			vs[i] = cachedViolation{Kind: v.Kind, Message: v.Message}
 		}
 	}
-	c.Cache.store(key, fp, vs)
+	c.Cache.store(string(sc.key), fp, vs)
 }
 
 // Cache metric names, recorded into the run registry by CheckContext and

@@ -155,19 +155,29 @@ type Checker struct {
 	// indexes. Workers batch into per-scratch counters and flush once, so
 	// the hot loop stays atomic-free.
 	indexHits atomic.Int64
+	// deltaBits is CheckDelta's reusable dirty-instance bitset, sized to
+	// the model on first use. Only the serial CheckDelta entry point
+	// touches it — concurrent CheckDelta calls on one Checker were never
+	// supported (each allocates its own Checker via NewChecker cheaply).
+	deltaBits []uint64
 }
 
 // IndexHits reports how many candidate-permission lookups were served by
 // the grantor indexes (0 under DisableIndex).
 func (c *Checker) IndexHits() int64 { return c.indexHits.Load() }
 
-// scratch is per-worker reusable state: the candidate-permission buffer,
-// the fingerprint encoding buffer, and the batched index-hit and cache
-// counters. It carries no pointers into the model, and one scratch is
-// owned by exactly one worker (or the serial loop) at a time.
+// scratch is the per-worker arena: the candidate-permission buffer, the
+// fingerprint encoding buffer, the cache-key buffer, and the batched
+// index-hit and cache counters. Every buffer is bump-reused across the
+// worker's references — after the first few references size the slabs,
+// the steady-state per-reference path allocates nothing at any worker
+// count (pinned by TestCheckSteadyStateZeroAlloc). It carries no
+// pointers into the model, and one scratch is owned by exactly one
+// worker (or the serial loop) at a time.
 type scratch struct {
 	perms []int32
 	enc   []byte
+	key   []byte
 	hits  int
 	cache cacheBatch
 }

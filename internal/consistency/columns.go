@@ -1,6 +1,7 @@
 package consistency
 
 import (
+	"slices"
 	"sort"
 
 	"nmsl/internal/mib"
@@ -58,27 +59,71 @@ type columns struct {
 // columns returns the model's columnar tables, building them on first
 // use. The result is immutable and safe to share across workers.
 func (m *Model) columns() *columns {
-	m.colsOnce.Do(func() { m.cols = buildColumns(m) })
+	m.colsOnce.Do(func() { m.cols = buildColumnsFrom(m, nil, nil, nil) })
 	return m.cols
 }
 
-func buildColumns(m *Model) *columns {
+// SeedColumnsFrom pre-builds m's columnar tables on the growth path: a
+// DiffSpecs edit rebuilt the model, and the parts of the old model's
+// tables the delta provably left unchanged are adopted instead of
+// re-interned — the sorted domain-name→id table is shared outright when
+// the domain name set is identical, and per-instance containment runs
+// are copied id-for-id (no map iteration, no sort) for instances whose
+// hosting survives the edit when no domain declaration changed. Must be
+// called before the model's first check (the tables build lazily on
+// first use and are immutable after); a nil old or a delta that forces
+// a full re-check (Full, MIBChanged) seeds nothing and the first check
+// builds fresh. Equivalence with a fresh build is pinned by
+// TestSeedColumnsEquivalence.
+func (m *Model) SeedColumnsFrom(old *Model, delta *ModelDelta) {
+	if old == nil || old == m || delta == nil || delta.Full || delta.MIBChanged {
+		return
+	}
+	m.colsOnce.Do(func() { m.cols = buildColumnsFrom(m, old, old.columns(), delta) })
+}
+
+// buildColumnsFrom builds the tables, adopting from oldCo where the
+// delta proves reuse sound (all three of old/oldCo/delta nil means a
+// cold build — the m.columns path).
+func buildColumnsFrom(m *Model, old *Model, oldCo *columns, delta *ModelDelta) *columns {
 	co := &columns{}
 
 	// Domain ids in sorted-name order (DomainNames is sorted), so id
 	// order and lexicographic name order coincide and every id-ordered
-	// iteration below is deterministic.
+	// iteration below is deterministic. An unchanged name set means the
+	// old table assigns exactly these ids — share it; any difference
+	// shifts ids, so every adopted structure below requires this reuse.
 	names := m.Spec.DomainNames()
-	co.domName = names
-	co.domOf = make(map[string]int32, len(names))
-	for i, n := range names {
-		co.domOf[n] = int32(i)
+	if oldCo != nil && !slices.Equal(names, oldCo.domName) {
+		old, oldCo = nil, nil
+	}
+	if oldCo != nil {
+		co.domName = oldCo.domName
+		co.domOf = oldCo.domOf
+	} else {
+		co.domName = names
+		co.domOf = make(map[string]int32, len(names))
+		for i, n := range names {
+			co.domOf[n] = int32(i)
+		}
 	}
 
 	// Containment ancestry per instance, as ascending domain-id runs.
+	// Containment depends only on the domain declarations (membership
+	// lists and subdomain edges), so when the delta names no domain the
+	// old run for an identically-hosted instance is already correct —
+	// copy the ids straight across instead of iterating and sorting the
+	// party-domain set.
+	adoptRuns := oldCo != nil && len(delta.Domains) == 0
 	co.instDomOff = make([]int32, len(m.Instances)+1)
 	for i, in := range m.Instances {
 		co.instDomOff[i] = int32(len(co.instDomFlat))
+		if adoptRuns {
+			if oldIn := old.byID[in.ID]; oldIn != nil && oldIn.System == in.System && oldIn.Domain == in.Domain {
+				co.instDomFlat = append(co.instDomFlat, oldCo.instDoms(oldIn.idx)...)
+				continue
+			}
+		}
 		start := len(co.instDomFlat)
 		for d := range m.partyDomains[in.ID] {
 			if id, ok := co.domOf[d]; ok {

@@ -87,28 +87,41 @@ func (ds *deltaSets) partyTouched(m *Model, in *Instance) bool {
 	return false
 }
 
-// dirtyInstances materializes the set of touched parties. Deltas are
-// tiny relative to the model, so directly-named instances resolve
+// dirtyBits materializes the set of touched parties as a bitset over
+// the model's dense instance indexes, reusing buf across calls. Deltas
+// are tiny relative to the model, so directly-named instances resolve
 // through the ID index; only name-level changes (processes, systems,
 // domains) require a sweep over the instance table. Per-reference
-// dirtiness then costs two pointer probes instead of repeated
-// string-set membership tests.
-func (ds *deltaSets) dirtyInstances(m *Model) map[*Instance]bool {
-	out := map[*Instance]bool{}
+// dirtiness then costs two bit probes — no map hashing, and no per-call
+// allocation once the buffer is sized (the delta dirty-set leg of the
+// per-worker arena).
+func (ds *deltaSets) dirtyBits(m *Model, buf []uint64) []uint64 {
+	n := (len(m.Instances) + 63) / 64
+	if cap(buf) < n {
+		buf = make([]uint64, n)
+	} else {
+		buf = buf[:n]
+		clear(buf)
+	}
 	for id := range ds.instances {
 		if in := m.byID[id]; in != nil {
-			out[in] = true
+			buf[in.idx>>6] |= 1 << (uint(in.idx) & 63)
 		}
 	}
 	if len(ds.processes) == 0 && len(ds.systems) == 0 && len(ds.domains) == 0 {
-		return out
+		return buf
 	}
 	for _, in := range m.Instances {
-		if !out[in] && ds.partyTouched(m, in) {
-			out[in] = true
+		if buf[in.idx>>6]&(1<<(uint(in.idx)&63)) == 0 && ds.partyTouched(m, in) {
+			buf[in.idx>>6] |= 1 << (uint(in.idx) & 63)
 		}
 	}
-	return out
+	return buf
+}
+
+// dirtyBit probes one instance index.
+func dirtyBit(bits []uint64, idx int32) bool {
+	return bits[idx>>6]&(1<<(uint(idx)&63)) != 0
 }
 
 // DirtyInstances materializes the instances of m the delta touches,
@@ -136,10 +149,12 @@ func (d *ModelDelta) DirtyInstances(m, old *Model) []*Instance {
 	if old != nil && old != m {
 		ds.oldModel = old
 	}
-	set := ds.dirtyInstances(m)
-	out := make([]*Instance, 0, len(set))
-	for in := range set {
-		out = append(out, in)
+	bits := ds.dirtyBits(m, nil)
+	var out []*Instance
+	for _, in := range m.Instances {
+		if dirtyBit(bits, in.idx) {
+			out = append(out, in)
+		}
 	}
 	sortInstancesByID(out)
 	return out
@@ -176,56 +191,60 @@ func (c *Checker) CheckDelta(prev *Report, delta *ModelDelta) *Report {
 		ds.oldModel = prev.Model
 	}
 
-	// Group the previous report's reference-level violations by
-	// reference. Violations are appended per reference in a contiguous
-	// run, so grouping by consecutive Ref pointer reconstructs each
-	// reference's verdict. When the models differ, groups queue up FIFO
-	// per reference key (duplicate references share a key and, by
-	// construction, a verdict).
+	// When the previous report is for another model (a rebuild), group
+	// its reference-level violations by reference key up front; groups
+	// queue up FIFO per key (duplicate references share a key and, by
+	// construction, a verdict). The same-model warm path — the steady
+	// state of a long-lived checker — needs no grouping structure at
+	// all: violations are appended per reference in a contiguous run in
+	// exactly the order the replay loop below scans, so a single cursor
+	// over prev.Violations reconstructs each reference's previous
+	// verdict without hashing anything.
 	sameModel := prev.Model == c.m
-	var prevByRef map[*Ref][]Violation
 	var prevByKey map[string][][]Violation
-	prevKeys := map[string]bool{}
-	if sameModel {
-		prevByRef = map[*Ref][]Violation{}
-	} else {
+	var prevKeys map[string]bool
+	if !sameModel {
 		prevByKey = map[string][][]Violation{}
+		prevKeys = make(map[string]bool, len(prev.Model.Refs))
 		for i := range prev.Model.Refs {
 			prevKeys[prev.Model.Refs[i].Key()] = true
 		}
-	}
-	for i := 0; i < len(prev.Violations); {
-		v := prev.Violations[i]
-		if v.Ref == nil {
-			i++ // proxy/unresolved tail, recomputed below
-			continue
-		}
-		j := i
-		for j < len(prev.Violations) && prev.Violations[j].Ref == v.Ref {
-			j++
-		}
-		group := prev.Violations[i:j]
-		if sameModel {
-			prevByRef[v.Ref] = group
-		} else {
+		for i := 0; i < len(prev.Violations); {
+			v := prev.Violations[i]
+			if v.Ref == nil {
+				i++ // proxy/unresolved tail, recomputed below
+				continue
+			}
+			j := i
+			for j < len(prev.Violations) && prev.Violations[j].Ref == v.Ref {
+				j++
+			}
 			k := v.Ref.Key()
-			prevByKey[k] = append(prevByKey[k], group)
+			prevByKey[k] = append(prevByKey[k], prev.Violations[i:j])
+			i = j
 		}
-		i = j
 	}
 
 	rep := &Report{Model: c.m}
 	var sc scratch
 	var dirty, replayed int64
-	dirtySet := ds.dirtyInstances(c.m)
+	c.deltaBits = ds.dirtyBits(c.m, c.deltaBits)
+	bits := c.deltaBits
+	pv := prev.Violations
+	cur := 0
 	for i := range c.m.Refs {
 		ref := &c.m.Refs[i]
 		var group []Violation
-		clean := !dirtySet[ref.Source] && !dirtySet[ref.Target]
-		if clean {
-			if sameModel {
-				group = prevByRef[ref]
-			} else if key := ref.Key(); prevKeys[key] {
+		if sameModel && cur < len(pv) && pv[cur].Ref == ref {
+			j := cur + 1
+			for j < len(pv) && pv[j].Ref == ref {
+				j++
+			}
+			group, cur = pv[cur:j], j
+		}
+		clean := !dirtyBit(bits, ref.Source.idx) && !dirtyBit(bits, ref.Target.idx)
+		if clean && !sameModel {
+			if key := ref.Key(); prevKeys[key] {
 				if gs := prevByKey[key]; len(gs) > 0 {
 					group = gs[0]
 					prevByKey[key] = gs[1:]

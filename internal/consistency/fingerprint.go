@@ -25,19 +25,36 @@ import (
 // on. Duplicate references (identical queries) share a key — and, by
 // construction, a fingerprint and a verdict — so sharing a cache entry is
 // sound.
-func (r *Ref) Key() string {
+func (r *Ref) Key() string { return string(r.appendKey(nil)) }
+
+// appendKey appends the Key encoding to b and returns the extended
+// slice. The hot cached path builds keys into a per-worker scratch
+// buffer this way and looks them up without materializing a string
+// (cache.go), so a warm steady-state check allocates nothing per
+// reference. The byte encoding is identical to Key's — persisted cache
+// files from either path interoperate.
+func (r *Ref) appendKey(b []byte) []byte {
 	t, strict, infreq := r.guarantee()
-	return r.Source.ID + "\x00" + r.Target.ID + "\x00" + r.Var.Path() + "\x00" +
-		strconv.Itoa(int(r.Access)) + "\x00" +
-		strconv.FormatUint(math.Float64bits(t), 16) + "\x00" +
-		boolByte(strict) + boolByte(infreq) + "\x00" + string(r.Resolution)
+	b = append(b, r.Source.ID...)
+	b = append(b, 0)
+	b = append(b, r.Target.ID...)
+	b = append(b, 0)
+	b = append(b, r.Var.Path()...)
+	b = append(b, 0)
+	b = strconv.AppendInt(b, int64(r.Access), 10)
+	b = append(b, 0)
+	b = strconv.AppendUint(b, math.Float64bits(t), 16)
+	b = append(b, 0)
+	b = append(b, boolByteRaw(strict), boolByteRaw(infreq), 0)
+	b = append(b, r.Resolution...)
+	return b
 }
 
-func boolByte(b bool) string {
-	if b {
-		return "1"
+func boolByteRaw(v bool) byte {
+	if v {
+		return '1'
 	}
-	return "0"
+	return '0'
 }
 
 // encoder appends NUL-separated fields into a reusable scratch buffer.

@@ -295,6 +295,12 @@ func CheckContext(ctx context.Context, m *Model, opts Options) (*Report, error) 
 			if mon {
 				localDur = obs.NewHistogram()
 			}
+			// stage is the worker's violation staging buffer, reused
+			// across its shards (part of the per-worker arena): a clean
+			// shard stages and retains nothing, and a violating shard
+			// pays one exact-size copy instead of append regrowth into a
+			// retained slice.
+			var stage []Violation
 			// Workers drain the channel even after cancellation (each
 			// shard is then skipped immediately), so the feeder below
 			// never blocks on an exited pool.
@@ -305,23 +311,28 @@ func CheckContext(ctx context.Context, m *Model, opts Options) (*Report, error) 
 					t0 = time.Now()
 				}
 				ssp := obs.StartSpan("check.shard")
-				var out []Violation
+				stage = stage[:0]
 				n := 0
 				for i := lo; i < hi; i++ {
 					if (i-lo)%cancelStride == 0 && runCtx.Err() != nil {
 						break
 					}
-					before := len(out)
-					checkRef(&m.Refs[i], &out)
+					before := len(stage)
+					checkRef(&m.Refs[i], &stage)
 					n++
-					if len(out) > before {
-						emit(out[before:])
+					if len(stage) > before {
+						emit(stage[before:])
 						if opts.FailFast {
 							cancel()
 						}
 					}
 				}
-				results[si], checked[si] = out, n
+				if len(stage) > 0 {
+					vs := make([]Violation, len(stage))
+					copy(vs, stage)
+					results[si] = vs
+				}
+				checked[si] = n
 				if mon {
 					d := time.Since(t0)
 					busy += d

@@ -17,12 +17,24 @@ import (
 )
 
 // Fleet is a model's worth of agents hosted on an in-memory network.
+//
+// The fleet is built for §1 scale (100k agents in one process): every
+// agent's store is a copy-on-write fork of one shared MIB database, the
+// pre-rollout configuration is a single shared immutable Config, and the
+// desired digests are computed once at construction instead of
+// regenerating the model's configurations on every convergence probe.
 type Fleet struct {
 	Model   *consistency.Model
 	Net     *snmp.MemNet
 	Admin   string
 	Targets []configgen.Target
 	Agents  map[string]*snmp.Agent
+
+	// desired maps instance ID → the digest of the exact configuration a
+	// rollout installs there (configgen.DesiredConfig under this fleet's
+	// admin community). Computed once in New; Unconverged compares live
+	// digests against it instead of re-running configgen.Generate.
+	desired map[string]string
 }
 
 // New builds one agent per generated configuration and hosts them all
@@ -40,33 +52,55 @@ func New(m *consistency.Model, netName, admin string, seed int64) (*Fleet, error
 		return nil, err
 	}
 	f := &Fleet{
-		Model:  m,
-		Net:    n,
-		Admin:  admin,
-		Agents: make(map[string]*snmp.Agent, len(configs)),
+		Model:   m,
+		Net:     n,
+		Admin:   admin,
+		Agents:  make(map[string]*snmp.Agent, len(configs)),
+		desired: make(map[string]string, len(configs)),
 	}
 	ids := make([]string, 0, len(configs))
 	for id := range configs {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids) // stable target order → stable wave membership
+
+	// One populated MIB database for the whole fleet; each agent gets a
+	// copy-on-write fork whose overlay holds only that agent's own
+	// writes. The base is never mutated after this point (Store.Fork's
+	// contract). Likewise one shared pre-rollout Config: agents treat
+	// their configuration as immutable (ApplyConfig swaps the pointer),
+	// so a single instance serves every agent.
+	base := snmp.NewStore()
+	snmp.PopulateFromMIB(base, m.Spec.MIB, "mgmt.mib")
+	initial := &snmp.Config{
+		Communities:    map[string]*snmp.CommunityConfig{},
+		AdminCommunity: admin,
+	}
+	// Structurally identical generated configurations (every agent of the
+	// same process shape) intern to one payload, so the digest pass below
+	// hashes each distinct configuration once and caches by pointer.
+	pool := configgen.InternPool{}
+	digests := map[*snmp.Config]string{}
 	for _, id := range ids {
-		store := snmp.NewStore()
-		snmp.PopulateFromMIB(store, m.Spec.MIB, "mgmt.mib")
-		agent := snmp.NewAgent(store, &snmp.Config{
-			Communities:    map[string]*snmp.CommunityConfig{},
-			AdminCommunity: admin,
-		})
+		agent := snmp.NewAgent(base.Fork(), initial)
 		if _, err := n.AddHost(id, agent); err != nil {
 			n.Close()
 			return nil, err
 		}
 		f.Agents[id] = agent
-		f.Targets = append(f.Targets, configgen.Target{
+		tgt := configgen.Target{
 			InstanceID:     id,
 			Addr:           n.Addr(id),
 			AdminCommunity: admin,
-		})
+		}
+		f.Targets = append(f.Targets, tgt)
+		cfg := pool.Intern(configs[id])
+		d, ok := digests[cfg]
+		if !ok {
+			d = configgen.DesiredConfig(cfg, tgt).Digest()
+			digests[cfg] = d
+		}
+		f.desired[id] = d
 	}
 	return f, nil
 }
@@ -83,12 +117,13 @@ func (f *Fleet) Converged() bool {
 }
 
 // Unconverged counts agents whose live digest differs from desired.
+// The desired digests were computed once at construction — a
+// convergence probe costs one live digest per agent, not a full
+// configuration regeneration.
 func (f *Fleet) Unconverged() int {
-	configs := configgen.Generate(f.Model)
 	n := 0
 	for _, tgt := range f.Targets {
-		want := configgen.DesiredConfig(configs[tgt.InstanceID], tgt).Digest()
-		if f.Agents[tgt.InstanceID].ConfigSnapshot().Digest() != want {
+		if f.Agents[tgt.InstanceID].ConfigSnapshot().Digest() != f.desired[tgt.InstanceID] {
 			n++
 		}
 	}

@@ -37,6 +37,12 @@ type RunConfig struct {
 	// exhausted. Zero means 50.
 	MaxSweeps int
 
+	// SweepWorkers shards each reconciler sweep across this many
+	// parallel workers (reconcile.WithSweepWorkers). Zero means 8 — at
+	// mega-fleet scale a serial sweep serializes every partitioned
+	// host's attempt timeout and becomes the convergence bottleneck.
+	SweepWorkers int
+
 	// NetName must be unique among live MemNets; empty derives one from
 	// scenario and seed.
 	NetName string
@@ -117,6 +123,9 @@ func Run(ctx context.Context, rc RunConfig) (*RunReport, error) {
 	}
 	if rc.MaxSweeps <= 0 {
 		rc.MaxSweeps = 50
+	}
+	if rc.SweepWorkers <= 0 {
+		rc.SweepWorkers = 8
 	}
 	if rc.NetName == "" {
 		rc.NetName = fmt.Sprintf("%s-%d-%d", rc.Scenario, rc.Agents, rc.Seed)
@@ -209,6 +218,7 @@ func Run(ctx context.Context, rc RunConfig) (*RunReport, error) {
 		reconcile.WithAttemptTimeout(rc.AttemptTimeout),
 		reconcile.WithBreaker(2, 50*time.Millisecond),
 		reconcile.WithSeed(rc.Seed),
+		reconcile.WithSweepWorkers(rc.SweepWorkers),
 		reconcile.WithMetrics(obs.Disabled),
 	)
 	if err != nil {

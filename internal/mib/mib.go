@@ -192,6 +192,11 @@ type Node struct {
 
 	parent   *Node
 	children map[string]*Node
+	// path is the dotted name from the root, materialized at
+	// registration (a node's parent never changes after creation). The
+	// consistency checker's warm path hashes paths per reference, so
+	// Path must not rebuild the string per call.
+	path string
 	// rootOID, when set on a root node, replaces the single-arc OID so a
 	// subtree can live at its real registration-tree position (e.g. mgmt
 	// at iso.org.dod.internet.mgmt = 1.3.6.1.2) without dragging the full
@@ -199,8 +204,13 @@ type Node struct {
 	rootOID OID
 }
 
-// Path returns the dotted name from the root, e.g. "mgmt.mib.ip".
+// Path returns the dotted name from the root, e.g. "mgmt.mib.ip". The
+// recursive reconstruction only runs for Node literals built outside
+// Register (tests); registered nodes return the memoized path.
 func (n *Node) Path() string {
+	if n.path != "" {
+		return n.path
+	}
 	if n.parent == nil {
 		return n.Name
 	}
@@ -280,7 +290,7 @@ func (t *Tree) RegisterRoot(name string, oid OID) (*Node, error) {
 		}
 		return existing, nil
 	}
-	root := &Node{Name: name, Arc: oid[len(oid)-1], rootOID: oid.Clone(), children: map[string]*Node{}}
+	root := &Node{Name: name, path: name, Arc: oid[len(oid)-1], rootOID: oid.Clone(), children: map[string]*Node{}}
 	t.roots[name] = root
 	t.byOID[root.OID().String()] = root
 	return root, nil
@@ -297,7 +307,7 @@ func (t *Tree) Register(path string) (*Node, error) {
 	parts := strings.Split(path, ".")
 	root, ok := t.roots[parts[0]]
 	if !ok {
-		root = &Node{Name: parts[0], Arc: 1 + len(t.roots), children: map[string]*Node{}}
+		root = &Node{Name: parts[0], path: parts[0], Arc: 1 + len(t.roots), children: map[string]*Node{}}
 		t.roots[parts[0]] = root
 		t.byOID[root.OID().String()] = root
 	}
@@ -311,7 +321,7 @@ func (t *Tree) Register(path string) (*Node, error) {
 					arc = sib.Arc + 1
 				}
 			}
-			next = &Node{Name: part, Arc: arc, parent: cur, children: map[string]*Node{}}
+			next = &Node{Name: part, path: cur.Path() + "." + part, Arc: arc, parent: cur, children: map[string]*Node{}}
 			cur.children[part] = next
 			t.byOID[next.OID().String()] = next
 		}

@@ -29,6 +29,13 @@ const (
 	// ScenarioIoT is a device swarm: one tiny domain per device, the
 	// paper's 10,000-administrative-domains regime taken literally.
 	ScenarioIoT Scenario = "iot"
+	// ScenarioInternet is the paper's §1 internet taken at full size:
+	// "100,000 networks (and gateways), 100,000 to a million hosts" —
+	// one administrative domain per network of ~50 managed elements,
+	// nested two deep. A 100,000-agent budget yields 2,000 domains × 50
+	// systems; the million-host regime is the same shape at
+	// `-domains 20000 -systems 50` (see cmd/nmslsim).
+	ScenarioInternet Scenario = "internet"
 )
 
 // Scenarios lists the known scenario names, sorted.
@@ -38,6 +45,7 @@ func Scenarios() []string {
 		string(ScenarioISP),
 		string(ScenarioDatacenter),
 		string(ScenarioIoT),
+		string(ScenarioInternet),
 	}
 	sort.Strings(names)
 	return names
@@ -89,6 +97,25 @@ func ScenarioParams(name Scenario, agents int, seed int64) (Params, error) {
 		return Params{
 			Domains:          d,
 			SystemsPerDomain: ceilDiv(agents, d),
+			Seed:             seed,
+		}, nil
+	case ScenarioInternet:
+		// Fixed 50-element networks: the domain count scales with the
+		// budget, which is what makes this the §1 preset — at 100k agents
+		// the fleet spans 2,000 administrative domains, and the checking
+		// side of the same shape is reached directly with
+		// `nmslsim -domains 100000 -systems 50` (5M elements, checked
+		// without hosting agents).
+		const perNetwork = 50
+		d := ceilDiv(agents, perNetwork)
+		s := perNetwork
+		if agents < perNetwork {
+			d, s = 1, agents
+		}
+		return Params{
+			Domains:          d,
+			SystemsPerDomain: s,
+			NestingDepth:     2,
 			Seed:             seed,
 		}, nil
 	case ScenarioIoT:

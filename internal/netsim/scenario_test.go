@@ -39,6 +39,60 @@ func TestScenarioParamsDeterministic(t *testing.T) {
 	}
 }
 
+// The presets must stay sane at the full §1 budget: 100k agents, the
+// scale the mega-fleet actually hosts. Covering the budget is not
+// enough — a preset that rounds 100k up to 180k would silently double
+// the fleet's memory bill, so oversizing is bounded too.
+func TestScenarioParamsHundredKBudget(t *testing.T) {
+	const agents = 100000
+	for _, name := range Scenarios() {
+		a, err := ScenarioParams(Scenario(name), agents, 9)
+		if err != nil {
+			t.Fatalf("ScenarioParams(%s, %d): %v", name, agents, err)
+		}
+		b, _ := ScenarioParams(Scenario(name), agents, 9)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: params differ across calls at 100k: %+v vs %+v", name, a, b)
+		}
+		got := a.Domains * a.SystemsPerDomain
+		if got < agents {
+			t.Errorf("%s: %d×%d = %d < 100k budget", name, a.Domains, a.SystemsPerDomain, got)
+		}
+		// Rounding slack: at most one extra row or column of systems.
+		if slack := got - agents; slack > a.Domains+a.SystemsPerDomain {
+			t.Errorf("%s: oversized by %d agents (%d×%d for a 100k budget)", name, slack, a.Domains, a.SystemsPerDomain)
+		}
+	}
+}
+
+// The internet preset is §1 verbatim: 50-element networks, so a 100k
+// budget spans 2,000 administrative domains — and the generated source
+// for the same triple is byte-identical across calls (spot-checked at a
+// size small enough for a unit test; the shape is scale-free).
+func TestScenarioInternetShape(t *testing.T) {
+	p, err := ScenarioParams(ScenarioInternet, 100000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Domains != 2000 || p.SystemsPerDomain != 50 || p.NestingDepth != 2 {
+		t.Fatalf("internet at 100k = %d×%d depth %d, want 2000×50 depth 2", p.Domains, p.SystemsPerDomain, p.NestingDepth)
+	}
+	small, err := ScenarioParams(ScenarioInternet, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Source(small) != Source(small) {
+		t.Error("internet source generation not deterministic")
+	}
+	m, err := Model(small)
+	if err != nil {
+		t.Fatalf("internet model: %v", err)
+	}
+	if len(m.Instances) < 500 {
+		t.Errorf("internet/500 built %d instances, want >= 500", len(m.Instances))
+	}
+}
+
 func TestScenarioParamsUnknownName(t *testing.T) {
 	if _, err := ScenarioParams("starlink", 10, 1); err == nil {
 		t.Fatal("unknown scenario accepted")

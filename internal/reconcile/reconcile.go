@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"nmsl/internal/audit"
@@ -104,6 +105,7 @@ type options struct {
 	probeJitterFrac  float64
 	retries          int
 	attemptTimeout   time.Duration
+	sweepWorkers     int
 	metrics          *obs.Registry
 	onEvent          func(Event)
 	auditOn          bool
@@ -209,6 +211,24 @@ func WithAuditProbes(opts audit.Options) Option {
 	return func(o *options) { o.auditOn, o.auditOpts = true, opts }
 }
 
+// WithSweepWorkers runs each sweep as n parallel workers over n
+// contiguous target shards (default 1: the serial sweep). Each shard
+// owns its targets' breakers, drift history and probe-jitter rng, so
+// workers share nothing but the atomic metric counters and the
+// serialized event sink — and a shard's outcomes stay deterministic
+// under WithSeed regardless of how the workers interleave. At 100k
+// targets the serial sweep is the convergence-phase bottleneck (every
+// probe waits out its attempt timeout on a partitioned host before the
+// next target is even looked at); sharding bounds a sweep by the
+// slowest shard instead of the sum.
+func WithSweepWorkers(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.sweepWorkers = n
+		}
+	}
+}
+
 // WithClock injects the time source the breaker cooldown reads,
 // for tests (default time.Now).
 func WithClock(now func() time.Time) Option {
@@ -226,19 +246,34 @@ type target struct {
 	digest  string
 }
 
-// Reconciler drives the drift-detection and self-healing loop. It is
-// not safe for concurrent use; run one loop per Reconciler.
-type Reconciler struct {
-	m        *consistency.Model
+// shard is one worker's slice of the fleet with its private mutable
+// state. Breakers, drift history and the probe-jitter rng are owned by
+// exactly one shard (targets are split contiguously and never move), so
+// a parallel sweep's workers share no mutable state and each shard's
+// strike/probe sequence is as deterministic as the serial sweep's.
+type shard struct {
 	targets  []target
-	opt      options
 	breakers map[string]*breaker
 	// lastDrift marks targets that drifted on the previous observation:
 	// a target that drifts again immediately after a heal is flapping —
 	// something else keeps rewriting it — and collects a strike.
 	lastDrift map[string]bool
 	rng       *rand.Rand
-	sweeps    int
+}
+
+// Reconciler drives the drift-detection and self-healing loop. It is
+// not safe for concurrent use; run one loop per Reconciler (RunOnce
+// itself fans out over shards when WithSweepWorkers is set).
+type Reconciler struct {
+	m      *consistency.Model
+	shards []*shard
+	opt    options
+	// rng drives the inter-sweep interval jitter, and doubles as shard
+	// 0's probe-jitter source so the single-shard reconciler draws the
+	// exact sequence the pre-sharding implementation did.
+	rng    *rand.Rand
+	emitMu sync.Mutex
+	sweeps int
 }
 
 // New builds a reconciler for the fleet. Every target must name an
@@ -252,64 +287,97 @@ func New(m *consistency.Model, targets []configgen.Target, opts ...Option) (*Rec
 		probeJitterFrac:  0.1,
 		retries:          2,
 		attemptTimeout:   500 * time.Millisecond,
+		sweepWorkers:     1,
 		now:              time.Now,
 	}
 	for _, fn := range opts {
 		fn(&opt)
 	}
 	configs := configgen.Generate(m)
-	r := &Reconciler{
-		m:         m,
-		opt:       opt,
-		breakers:  make(map[string]*breaker, len(targets)),
-		lastDrift: make(map[string]bool, len(targets)),
+	r := &Reconciler{m: m, opt: opt}
+	if opt.seeded {
+		r.rng = rand.New(rand.NewSource(opt.seed))
+	} else {
+		opt.seed = rand.Int63()
+		r.rng = rand.New(rand.NewSource(opt.seed))
 	}
+
+	// Identical desired configurations intern to one payload: at §1
+	// scale most of a fleet's 100k targets share a handful of process
+	// shapes, and holding one Config per shape instead of one per target
+	// is much of what lets the reconciler's table fit in memory.
+	pool := configgen.InternPool{}
+	all := make([]target, 0, len(targets))
 	for _, tgt := range targets {
 		cfg := configs[tgt.InstanceID]
 		if cfg == nil {
 			return nil, fmt.Errorf("reconcile: no configuration generated for instance %q", tgt.InstanceID)
 		}
-		desired := configgen.DesiredConfig(cfg, tgt)
-		r.targets = append(r.targets, target{tgt: tgt, desired: desired, digest: desired.Digest()})
-		r.breakers[key(tgt)] = &breaker{}
+		desired := pool.Intern(configgen.DesiredConfig(cfg, tgt))
+		all = append(all, target{tgt: tgt, desired: desired, digest: desired.Digest()})
 	}
-	if opt.seeded {
-		r.rng = rand.New(rand.NewSource(opt.seed))
-	} else {
-		r.rng = rand.New(rand.NewSource(rand.Int63()))
+
+	nshards := opt.sweepWorkers
+	if nshards > len(all) {
+		nshards = len(all)
+	}
+	if nshards < 1 {
+		nshards = 1
+	}
+	for si := 0; si < nshards; si++ {
+		lo := si * len(all) / nshards
+		hi := (si + 1) * len(all) / nshards
+		sd := &shard{
+			targets:   all[lo:hi],
+			breakers:  make(map[string]*breaker, hi-lo),
+			lastDrift: make(map[string]bool, hi-lo),
+			rng:       r.rng, // shard 0: the legacy serial stream
+		}
+		if si > 0 {
+			sd.rng = rand.New(rand.NewSource(opt.seed + int64(si)))
+		}
+		for _, t := range sd.targets {
+			sd.breakers[key(t.tgt)] = &breaker{}
+		}
+		r.shards = append(r.shards, sd)
 	}
 	return r, nil
 }
 
 func key(tgt configgen.Target) string { return tgt.InstanceID + "|" + tgt.Addr }
 
-// emit streams an event to the configured sink.
+// emit streams an event to the configured sink, serialized across the
+// sweep workers.
 func (r *Reconciler) emit(kind EventKind, tgt configgen.Target, detail string) {
 	if r.opt.onEvent != nil {
+		r.emitMu.Lock()
 		r.opt.onEvent(Event{Kind: kind, Instance: tgt.InstanceID, Addr: tgt.Addr, Detail: detail})
+		r.emitMu.Unlock()
 	}
 }
 
 // BreakerStates reports every target's current breaker position, keyed
-// by "instanceID|addr".
+// by "instanceID|addr". Not safe to call while a sweep is running.
 func (r *Reconciler) BreakerStates() map[string]BreakerState {
-	out := make(map[string]BreakerState, len(r.breakers))
-	for k, b := range r.breakers {
-		out[k] = b.state
+	out := map[string]BreakerState{}
+	for _, sd := range r.shards {
+		for k, b := range sd.breakers {
+			out[k] = b.state
+		}
 	}
 	return out
 }
 
 // strike records a failure on b, drawing a fresh probe jitter for the
 // open period when the strike opened (or re-opened) the breaker. The
-// jitter comes from the reconciler's seeded rng, so tests with WithSeed
-// get reproducible probe times.
-func (r *Reconciler) strike(b *breaker, now time.Time) bool {
+// jitter comes from the shard's seeded rng, so tests with WithSeed get
+// reproducible probe times.
+func (r *Reconciler) strike(sd *shard, b *breaker, now time.Time) bool {
 	opened := b.strike(now, r.opt.breakerThreshold)
 	if opened {
 		b.probeExtra = 0
 		if span := int64(float64(r.opt.breakerCooldown) * r.opt.probeJitterFrac); span > 0 {
-			b.probeExtra = time.Duration(r.rng.Int63n(span))
+			b.probeExtra = time.Duration(sd.rng.Int63n(span))
 		}
 	}
 	return opened
@@ -351,8 +419,9 @@ func (r *Reconciler) heal(ctx context.Context, t target) error {
 }
 
 // RunOnce performs a single reconciliation sweep over the fleet and
-// returns its summary. The context cancels the sweep mid-fleet; the
-// partial summary is returned with the context's error.
+// returns its summary. With WithSweepWorkers(n>1) the shards sweep
+// concurrently and their summaries merge. The context cancels the sweep
+// mid-fleet; the partial summary is returned with the context's error.
 func (r *Reconciler) RunOnce(ctx context.Context) (*Sweep, error) {
 	reg := r.opt.metrics
 	if reg == nil {
@@ -364,12 +433,66 @@ func (r *Reconciler) RunOnce(ctx context.Context) (*Sweep, error) {
 	sp := obs.StartSpan("reconcile.sweep")
 	defer sp.End()
 
-	for _, t := range r.targets {
+	var err error
+	if len(r.shards) == 1 {
+		err = r.sweepShard(ctx, r.shards[0], sw, reg, mon)
+	} else {
+		sws := make([]*Sweep, len(r.shards))
+		errs := make([]error, len(r.shards))
+		var wg sync.WaitGroup
+		for si, sd := range r.shards {
+			wg.Add(1)
+			go func(si int, sd *shard) {
+				defer wg.Done()
+				sws[si] = &Sweep{}
+				errs[si] = r.sweepShard(ctx, sd, sws[si], reg, mon)
+			}(si, sd)
+		}
+		wg.Wait()
+		for si, s := range sws {
+			sw.Checked += s.Checked
+			sw.InSync += s.InSync
+			sw.Drifted += s.Drifted
+			sw.Healed += s.Healed
+			sw.HealFailures += s.HealFailures
+			sw.CheckFailures += s.CheckFailures
+			sw.Skipped += s.Skipped
+			if errs[si] != nil && err == nil {
+				err = errs[si]
+			}
+		}
+	}
+	if err != nil {
+		return sw, err
+	}
+
+	for _, sd := range r.shards {
+		for _, b := range sd.breakers {
+			if b.state != BreakerClosed {
+				sw.Open++
+			}
+		}
+	}
+	if mon {
+		reg.Counter(MetricSweeps).Inc()
+		reg.Gauge(MetricBreakerOpen).Set(int64(sw.Open))
+	}
+	if sp.Active() {
+		sp.Label("checked", fmt.Sprint(sw.Checked))
+		sp.Label("drifted", fmt.Sprint(sw.Drifted))
+	}
+	return sw, nil
+}
+
+// sweepShard reconciles one shard's targets into sw, touching only the
+// shard's own breakers, drift history and rng.
+func (r *Reconciler) sweepShard(ctx context.Context, sd *shard, sw *Sweep, reg *obs.Registry, mon bool) error {
+	for _, t := range sd.targets {
 		if err := ctx.Err(); err != nil {
-			return sw, err
+			return err
 		}
 		k := key(t.tgt)
-		b := r.breakers[k]
+		b := sd.breakers[k]
 		if !b.allow(r.opt.now(), r.opt.breakerCooldown) {
 			sw.Skipped++
 			continue
@@ -379,14 +502,14 @@ func (r *Reconciler) RunOnce(ctx context.Context) (*Sweep, error) {
 		drifted, detail, err := r.observe(ctx, t)
 		if err != nil {
 			if ctx.Err() != nil {
-				return sw, ctx.Err()
+				return ctx.Err()
 			}
 			sw.CheckFailures++
 			if mon {
 				reg.Counter(MetricCheckFailures).Inc()
 			}
 			r.emit(EventCheckFailed, t.tgt, err.Error())
-			if r.strike(b, r.opt.now()) {
+			if r.strike(sd, b, r.opt.now()) {
 				r.emit(EventQuarantined, t.tgt, fmt.Sprintf("check failures reached %d", r.opt.breakerThreshold))
 			}
 			continue
@@ -394,7 +517,7 @@ func (r *Reconciler) RunOnce(ctx context.Context) (*Sweep, error) {
 
 		if !drifted {
 			sw.InSync++
-			r.lastDrift[k] = false
+			sd.lastDrift[k] = false
 			if b.success() {
 				r.emit(EventRestored, t.tgt, "in sync after quarantine")
 			}
@@ -412,19 +535,19 @@ func (r *Reconciler) RunOnce(ctx context.Context) (*Sweep, error) {
 		// strike even though each individual heal succeeds. Only closed
 		// breakers take flap strikes: in half-open the single probe's own
 		// outcome decides.
-		flapping := r.lastDrift[k] && b.state == BreakerClosed
-		r.lastDrift[k] = true
+		flapping := sd.lastDrift[k] && b.state == BreakerClosed
+		sd.lastDrift[k] = true
 
 		if err := r.heal(ctx, t); err != nil {
 			if ctx.Err() != nil {
-				return sw, ctx.Err()
+				return ctx.Err()
 			}
 			sw.HealFailures++
 			if mon {
 				reg.Counter(MetricHealFailures).Inc()
 			}
 			r.emit(EventHealFailed, t.tgt, err.Error())
-			if r.strike(b, r.opt.now()) {
+			if r.strike(sd, b, r.opt.now()) {
 				r.emit(EventQuarantined, t.tgt, "heal failed")
 			}
 			continue
@@ -435,28 +558,14 @@ func (r *Reconciler) RunOnce(ctx context.Context) (*Sweep, error) {
 		}
 		r.emit(EventHealed, t.tgt, detail)
 		if flapping {
-			if r.strike(b, r.opt.now()) {
+			if r.strike(sd, b, r.opt.now()) {
 				r.emit(EventQuarantined, t.tgt, "flapping: drifted again immediately after a heal")
 			}
 		} else if b.success() {
 			r.emit(EventRestored, t.tgt, "healed after quarantine")
 		}
 	}
-
-	for _, b := range r.breakers {
-		if b.state != BreakerClosed {
-			sw.Open++
-		}
-	}
-	if mon {
-		reg.Counter(MetricSweeps).Inc()
-		reg.Gauge(MetricBreakerOpen).Set(int64(sw.Open))
-	}
-	if sp.Active() {
-		sp.Label("checked", fmt.Sprint(sw.Checked))
-		sp.Label("drifted", fmt.Sprint(sw.Drifted))
-	}
-	return sw, nil
+	return nil
 }
 
 // Run sweeps the fleet until ctx is done, pausing interval ± jitter

@@ -169,14 +169,35 @@ func UnmarshalConfig(data []byte) (*Config, error) {
 }
 
 // Store is the agent's management database: OID-ordered variables.
+//
+// A store may be a copy-on-write overlay over a shared base (Fork): reads
+// fall through to the base, writes land in the overlay. That is what lets
+// a 100k-agent fleet share one populated MIB database — each agent's
+// store holds only the variables that agent has actually written.
 type Store struct {
 	mu   sync.RWMutex
 	vals map[string]Value
-	oids []mib.OID // sorted
+	oids []mib.OID // sorted overlay keys
+	// base is the shared parent of a forked store (nil for a root store).
+	// It is read-only by convention: once forked from, the base must not
+	// be mutated, or forks would observe the change. Forks never write to
+	// the base, so a fork chain only ever locks child-then-parent and
+	// cannot deadlock.
+	base *Store
+	// fresh counts overlay keys absent from the base, so Len stays O(1).
+	fresh int
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store { return &Store{vals: map[string]Value{}} }
+
+// Fork returns a copy-on-write overlay of s: reads see s's current
+// variables, writes stay private to the fork. The receiver must not be
+// mutated after forking (the fleet populates a base store once, freezes
+// it, and forks it per agent).
+func (s *Store) Fork() *Store {
+	return &Store{vals: map[string]Value{}, base: s}
+}
 
 // Set inserts or replaces a variable.
 func (s *Store) Set(oid mib.OID, v Value) {
@@ -188,6 +209,11 @@ func (s *Store) Set(oid mib.OID, v Value) {
 		s.oids = append(s.oids, nil)
 		copy(s.oids[i+1:], s.oids[i:])
 		s.oids[i] = oid.Clone()
+		if s.base == nil {
+			s.fresh++
+		} else if _, shadowed := s.base.Get(oid); !shadowed {
+			s.fresh++
+		}
 	}
 	s.vals[key] = v
 }
@@ -195,29 +221,62 @@ func (s *Store) Set(oid mib.OID, v Value) {
 // Get returns the variable's value.
 func (s *Store) Get(oid mib.OID) (Value, bool) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	v, ok := s.vals[oid.String()]
-	return v, ok
+	base := s.base
+	s.mu.RUnlock()
+	if ok || base == nil {
+		return v, ok
+	}
+	return base.Get(oid)
 }
 
 // Next returns the first variable strictly after oid in lexicographic
-// order (the GetNext traversal).
+// order (the GetNext traversal). For a forked store this merges the
+// overlay walk with the base walk; an overlay entry shadows a base entry
+// at the same OID (stores have no deletes, so shadowing is the only
+// conflict).
 func (s *Store) Next(oid mib.OID) (mib.OID, Value, bool) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	i := sort.Search(len(s.oids), func(i int) bool { return s.oids[i].Compare(oid) > 0 })
-	if i >= len(s.oids) {
-		return nil, Value{}, false
+	var ooid mib.OID
+	var oval Value
+	ook := i < len(s.oids)
+	if ook {
+		ooid = s.oids[i]
+		oval = s.vals[ooid.String()]
 	}
-	found := s.oids[i]
-	return found.Clone(), s.vals[found.String()], true
+	base := s.base
+	s.mu.RUnlock()
+	if base == nil {
+		if !ook {
+			return nil, Value{}, false
+		}
+		return ooid.Clone(), oval, true
+	}
+	boid, bval, bok := base.Next(oid)
+	switch {
+	case !ook && !bok:
+		return nil, Value{}, false
+	case !ook:
+		return boid, bval, true
+	case !bok:
+		return ooid.Clone(), oval, true
+	}
+	if ooid.Compare(boid) <= 0 { // ties: the overlay shadows the base
+		return ooid.Clone(), oval, true
+	}
+	return boid, bval, true
 }
 
 // Len returns the number of variables.
 func (s *Store) Len() int {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.oids)
+	fresh, base := s.fresh, s.base
+	s.mu.RUnlock()
+	if base == nil {
+		return fresh
+	}
+	return base.Len() + fresh
 }
 
 // Agent is a UDP management agent.

@@ -1,0 +1,97 @@
+package snmp
+
+import (
+	"testing"
+
+	"nmsl/internal/mib"
+)
+
+// TestStoreForkCOW pins the copy-on-write contract mega-fleets depend
+// on: a fork reads the base's variables, its writes stay private, and
+// the GetNext walk over a fork enumerates the merged OID space with
+// overlay values shadowing the base at equal OIDs.
+func TestStoreForkCOW(t *testing.T) {
+	base := NewStore()
+	base.Set(mib.OID{1, 1}, Int64(11))
+	base.Set(mib.OID{1, 3}, Int64(13))
+	base.Set(mib.OID{1, 5}, Int64(15))
+
+	fork := base.Fork()
+
+	// Reads fall through to the base.
+	if v, ok := fork.Get(mib.OID{1, 3}); !ok || v.Int != 13 {
+		t.Fatalf("fork.Get(1.3) = %v, %v; want 13 from base", v, ok)
+	}
+	if got := fork.Len(); got != 3 {
+		t.Fatalf("fresh fork Len = %d, want 3", got)
+	}
+
+	// A shadowing write and a fresh write stay private to the fork.
+	fork.Set(mib.OID{1, 3}, Int64(330)) // shadows base
+	fork.Set(mib.OID{1, 4}, Int64(14))  // fresh key
+	if v, _ := base.Get(mib.OID{1, 3}); v.Int != 13 {
+		t.Fatalf("fork write leaked into base: base 1.3 = %v", v)
+	}
+	if _, ok := base.Get(mib.OID{1, 4}); ok {
+		t.Fatal("fresh fork key leaked into base")
+	}
+	if v, _ := fork.Get(mib.OID{1, 3}); v.Int != 330 {
+		t.Fatalf("fork does not see its own shadow: %v", v)
+	}
+	if got, want := fork.Len(), 4; got != want {
+		t.Fatalf("fork Len = %d, want %d (3 base + 1 fresh, shadow not double-counted)", got, want)
+	}
+	if got := base.Len(); got != 3 {
+		t.Fatalf("base Len = %d, want 3", got)
+	}
+
+	// The GetNext walk merges the two OID spaces in order, overlay
+	// values winning at equal OIDs.
+	var walked []int64
+	oid := mib.OID{0}
+	for {
+		next, v, ok := fork.Next(oid)
+		if !ok {
+			break
+		}
+		walked = append(walked, v.Int)
+		oid = next
+	}
+	want := []int64{11, 330, 14, 15}
+	if len(walked) != len(want) {
+		t.Fatalf("fork walk saw %v, want %v", walked, want)
+	}
+	for i := range want {
+		if walked[i] != want[i] {
+			t.Fatalf("fork walk saw %v, want %v", walked, want)
+		}
+	}
+
+	// Forks of forks chain.
+	grand := fork.Fork()
+	if v, _ := grand.Get(mib.OID{1, 3}); v.Int != 330 {
+		t.Fatalf("grandchild does not see fork's shadow: %v", v)
+	}
+	if got := grand.Len(); got != 4 {
+		t.Fatalf("grandchild Len = %d, want 4", got)
+	}
+}
+
+// TestStoreForkIndependence: sibling forks of one base never observe
+// each other's writes — the fleet-wide sharing invariant.
+func TestStoreForkIndependence(t *testing.T) {
+	base := NewStore()
+	base.Set(mib.OID{2, 1}, Int64(1))
+	a, b := base.Fork(), base.Fork()
+	a.Set(mib.OID{2, 1}, Int64(100))
+	a.Set(mib.OID{2, 9}, Int64(900))
+	if v, _ := b.Get(mib.OID{2, 1}); v.Int != 1 {
+		t.Fatalf("sibling fork observed a's shadow: %v", v)
+	}
+	if _, ok := b.Get(mib.OID{2, 9}); ok {
+		t.Fatal("sibling fork observed a's fresh key")
+	}
+	if b.Len() != 1 || a.Len() != 2 {
+		t.Fatalf("sibling Lens = %d, %d; want 1, 2", b.Len(), a.Len())
+	}
+}

@@ -2,7 +2,6 @@ package snmp
 
 import (
 	"context"
-	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -103,7 +102,7 @@ type FaultInjector struct {
 	Out Faults
 
 	mu       sync.Mutex
-	rng      *rand.Rand
+	rng      smallRand
 	seen     map[*Faults]int
 	burstBad map[*Faults]bool
 	stats    FaultStats
@@ -135,7 +134,7 @@ func newFaultMetrics(reg *obs.Registry) faultMetrics {
 // NewFaultInjector returns an injector drawing from the given seed.
 func NewFaultInjector(seed int64) *FaultInjector {
 	return &FaultInjector{
-		rng:      rand.New(rand.NewSource(seed)),
+		rng:      seedSmallRand(seed),
 		seen:     map[*Faults]int{},
 		burstBad: map[*Faults]bool{},
 		om:       newFaultMetrics(obs.Default),

@@ -54,6 +54,22 @@ func (m *ClientMux) Dial(addr, community string) (*Client, error) {
 	return NewClientOn(mc, community), nil
 }
 
+// DialAny routes like the package-level Dial — mem:// addresses go
+// over the in-memory network, anything else over UDP — except that the
+// UDP leg shares the mux's one socket. It is the dial function a mixed
+// fleet hands to the rollout: ten thousand in-memory agents and a rack
+// of real ones converge through the same code path without the manager
+// opening a socket per remote agent.
+func (m *ClientMux) DialAny(addr, community string) (*Client, error) {
+	if conn, isMem, err := dialMem(addr); isMem {
+		if err != nil {
+			return nil, err
+		}
+		return NewClientOn(conn, community), nil
+	}
+	return m.Dial(addr, community)
+}
+
 // Close shuts the shared socket and every client on it.
 func (m *ClientMux) Close() error {
 	m.mu.Lock()

@@ -1,0 +1,46 @@
+package snmp
+
+// smallRand is a 8-byte xorshift64* generator with a splitmix64-mixed
+// seed. Fault injectors exist one per fleet host, and math/rand's Go1
+// source carries ~4.9KB of state — at 100k in-memory agents that alone
+// is half a gigabyte. Fault decisions only need cheap, well-mixed,
+// per-seed-independent streams, which xorshift64* provides in a single
+// word.
+type smallRand struct{ s uint64 }
+
+// seedSmallRand mixes the seed through splitmix64 so consecutive seeds
+// (memnet derives per-host seeds by hashing) yield uncorrelated
+// streams, and maps the forbidden all-zero state away.
+func seedSmallRand(seed int64) smallRand {
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9e3779b97f4a7c15
+	}
+	return smallRand{s: z}
+}
+
+func (r *smallRand) next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Float64 returns a uniform number in [0, 1).
+func (r *smallRand) Float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// Int63n returns a uniform number in [0, n). The modulo bias is
+// negligible for the injector's delay spans (n ≪ 2^62).
+func (r *smallRand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("smallRand: Int63n with non-positive n")
+	}
+	return int64(r.next()>>1) % n
+}

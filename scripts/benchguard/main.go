@@ -1,9 +1,16 @@
 // benchguard compares a fresh benchmark run against the committed
 // baseline (BENCH_5.json and successors) and fails when a guarded
-// benchmark regresses beyond the tolerance. It reads the JSON documents
-// produced by scripts/bench2json; with -count > 1 the same benchmark
-// appears several times and the minimum ns/op is used on both sides,
+// benchmark regresses beyond the tolerance — in time (ns/op) or in
+// allocation (allocs/op, B/op). It reads the JSON documents produced by
+// scripts/bench2json; with -count > 1 the same benchmark appears
+// several times and the minimum of each metric is used on both sides,
 // which discounts scheduler noise without hiding real regressions.
+//
+// Allocation counts are near-deterministic, so they are compared with
+// the same fractional tolerance plus half an allocation of slack: a
+// zero-alloc baseline stays an exact zero-alloc requirement, while
+// counting baselines absorb ±0 jitter from map growth. Entries without
+// -benchmem fields (both sides zero) skip the allocation comparison.
 //
 // Benchmark timings only compare within one machine class, so when the
 // baseline and current documents report different CPU strings the guard
@@ -25,9 +32,11 @@ import (
 // Benchmark and Document mirror the fields of scripts/bench2json that
 // the guard consumes.
 type Benchmark struct {
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op,omitempty"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
 type Document struct {
@@ -35,29 +44,61 @@ type Document struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
+// sample is the per-side minimum of each guarded metric.
+type sample struct {
+	ns     float64
+	bytes  float64
+	allocs float64
+	// memOK reports whether any entry carried -benchmem fields; without
+	// them bytes/allocs are parser zeros, not measurements.
+	memOK bool
+	ok    bool
+}
+
 // result is one guarded benchmark's verdict.
 type result struct {
 	name      string
-	base, cur float64 // min ns/op on each side
-	delta     float64 // (cur-base)/base
-	status    string  // "ok", "regression", "improvement", "no-baseline"
+	base, cur sample
+	delta     float64 // (cur-base)/base over ns/op
+	status    string  // "ok", "regression", "improvement", "no-baseline", ...
+	memNote   string  // non-empty when an allocation metric regressed
 }
 
-// minNs returns the minimum ns/op over every multi-iteration entry
-// named name. Single-iteration entries come from the -benchtime=1x
-// smoke sweep, where warmup effects dominate the timing; mixing them
+// minSample returns the per-metric minimum over every multi-iteration
+// entry named name. Single-iteration entries come from the
+// -benchtime=1x smoke sweep, where warmup effects dominate; mixing them
 // into a min would bias the comparison, so they are skipped.
-func minNs(d *Document, name string) (float64, bool) {
-	best, ok := 0.0, false
+func minSample(d *Document, name string) sample {
+	var s sample
 	for _, b := range d.Benchmarks {
 		if b.Name != name || b.NsPerOp <= 0 || b.Iterations < 2 {
 			continue
 		}
-		if !ok || b.NsPerOp < best {
-			best, ok = b.NsPerOp, true
+		if !s.ok {
+			s = sample{ns: b.NsPerOp, bytes: b.BytesPerOp, allocs: b.AllocsPerOp, ok: true}
+		} else {
+			if b.NsPerOp < s.ns {
+				s.ns = b.NsPerOp
+			}
+			if b.BytesPerOp < s.bytes {
+				s.bytes = b.BytesPerOp
+			}
+			if b.AllocsPerOp < s.allocs {
+				s.allocs = b.AllocsPerOp
+			}
+		}
+		if b.AllocsPerOp > 0 || b.BytesPerOp > 0 {
+			s.memOK = true
 		}
 	}
-	return best, ok
+	return s
+}
+
+// memRegressed reports whether cur exceeds base by more than the
+// fractional tolerance plus half a unit (so a 0 baseline demands an
+// exact 0, and integer counting metrics absorb rounding).
+func memRegressed(base, cur, tol float64) bool {
+	return cur > base*(1+tol)+0.5
 }
 
 // compare evaluates the guarded benchmarks. A non-empty skip string
@@ -69,18 +110,18 @@ func compare(base, cur *Document, names []string, tol float64) (results []result
 		return nil, false, fmt.Sprintf("baseline CPU %q != current CPU %q; cross-machine timings do not compare", base.CPU, cur.CPU)
 	}
 	for _, name := range names {
-		c, okC := minNs(cur, name)
-		if !okC {
+		c := minSample(cur, name)
+		if !c.ok {
 			results = append(results, result{name: name, status: "missing from current run"})
 			failed = true
 			continue
 		}
-		b, okB := minNs(base, name)
-		if !okB {
+		b := minSample(base, name)
+		if !b.ok {
 			results = append(results, result{name: name, cur: c, status: "no-baseline"})
 			continue
 		}
-		r := result{name: name, base: b, cur: c, delta: (c - b) / b}
+		r := result{name: name, base: b, cur: c, delta: (c.ns - b.ns) / b.ns}
 		switch {
 		case r.delta > tol:
 			r.status = "regression"
@@ -90,6 +131,20 @@ func compare(base, cur *Document, names []string, tol float64) (results []result
 		default:
 			r.status = "ok"
 		}
+		// Allocation guard: only when both sides actually measured memory
+		// (-benchmem on both runs). Timings drift with load; allocation
+		// counts should not.
+		if b.memOK && c.memOK {
+			if memRegressed(b.allocs, c.allocs, tol) {
+				r.memNote = fmt.Sprintf("allocs/op %.1f -> %.1f", b.allocs, c.allocs)
+				r.status = "regression"
+				failed = true
+			} else if memRegressed(b.bytes, c.bytes, tol) {
+				r.memNote = fmt.Sprintf("B/op %.0f -> %.0f", b.bytes, c.bytes)
+				r.status = "regression"
+				failed = true
+			}
+		}
 		results = append(results, r)
 	}
 	return results, failed, ""
@@ -97,15 +152,20 @@ func compare(base, cur *Document, names []string, tol float64) (results []result
 
 func render(results []result, tol float64) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-24s %14s %14s %8s  %s\n", "benchmark", "baseline ns/op", "current ns/op", "delta", "verdict")
+	fmt.Fprintf(&sb, "%-32s %14s %14s %8s %12s  %s\n", "benchmark", "baseline ns/op", "current ns/op", "delta", "allocs/op", "verdict")
 	for _, r := range results {
-		if r.base == 0 {
-			fmt.Fprintf(&sb, "%-24s %14s %14.0f %8s  %s\n", r.name, "-", r.cur, "-", r.status)
+		if !r.base.ok {
+			fmt.Fprintf(&sb, "%-32s %14s %14.0f %8s %12s  %s\n", r.name, "-", r.cur.ns, "-", "-", r.status)
 			continue
 		}
-		fmt.Fprintf(&sb, "%-24s %14.0f %14.0f %+7.1f%%  %s\n", r.name, r.base, r.cur, 100*r.delta, r.status)
+		allocs := fmt.Sprintf("%.0f->%.0f", r.base.allocs, r.cur.allocs)
+		verdict := r.status
+		if r.memNote != "" {
+			verdict += " (" + r.memNote + ")"
+		}
+		fmt.Fprintf(&sb, "%-32s %14.0f %14.0f %+7.1f%% %12s  %s\n", r.name, r.base.ns, r.cur.ns, 100*r.delta, allocs, verdict)
 	}
-	fmt.Fprintf(&sb, "tolerance: +-%.0f%%\n", 100*tol)
+	fmt.Fprintf(&sb, "tolerance: +-%.0f%% (ns/op, allocs/op, B/op)\n", 100*tol)
 	return sb.String()
 }
 
@@ -124,9 +184,9 @@ func load(path string) (*Document, error) {
 func main() {
 	baseline := flag.String("baseline", "BENCH_5.json", "committed baseline document (bench2json format)")
 	current := flag.String("current", "BENCH_guard.json", "fresh run to compare (bench2json format)")
-	tol := flag.Float64("tolerance", 0.20, "allowed fractional ns/op drift before failing")
+	tol := flag.Float64("tolerance", 0.20, "allowed fractional drift before failing")
 	bench := flag.String("bench",
-		"CheckParallel1,CheckParallel8,CheckWarmCache,ChangeContractCheck,CheckDomains10000,CheckParallel10k1,CheckParallel10k8,MemAgentRoundTrip,MegaFleetInstall",
+		"CheckParallel1,CheckParallel8,CheckWarmCache,ChangeContractCheck,CheckDomains10000,CheckParallel10k1,CheckParallel10k8,MemAgentRoundTrip,MegaFleetInstall,CheckDomains100k,CheckDomains100kWarmDelta,MegaFleetInstall25k",
 		"comma-separated guarded benchmark names (bench2json names, no Benchmark prefix)")
 	flag.Parse()
 

@@ -62,7 +62,7 @@ func TestCompareUsesMinOverCounts(t *testing.T) {
 	if failed {
 		t.Fatalf("results = %+v, want pass (min 1100 vs min 1000)", results)
 	}
-	if results[0].base != 1000 || results[0].cur != 1100 {
+	if results[0].base.ns != 1000 || results[0].cur.ns != 1100 {
 		t.Errorf("min selection wrong: %+v", results[0])
 	}
 }
@@ -75,7 +75,7 @@ func TestCompareIgnoresSmokeEntries(t *testing.T) {
 		Benchmark{Name: "CheckParallel8", Iterations: 20, NsPerOp: 1000})
 	cur := doc("xeon", Benchmark{Name: "CheckParallel8", NsPerOp: 1100})
 	results, failed, _ := compare(base, cur, []string{"CheckParallel8"}, 0.20)
-	if failed || results[0].base != 1000 {
+	if failed || results[0].base.ns != 1000 {
 		t.Fatalf("results = %+v failed=%v, want smoke entry ignored", results, failed)
 	}
 	smokeOnly := doc("xeon", Benchmark{Name: "CheckParallel8", Iterations: 1, NsPerOp: 100})
@@ -100,6 +100,57 @@ func TestCompareMissingBenchmarkFails(t *testing.T) {
 	results, failed, _ := compare(base, cur, []string{"CheckParallel8"}, 0.20)
 	if !failed {
 		t.Fatalf("results = %+v, want failure when guarded benchmark vanishes", results)
+	}
+}
+
+func TestCompareAllocRegressionFails(t *testing.T) {
+	// Same speed, 2x the allocations: a perf guard that only watches
+	// ns/op misses exactly the regressions the arena work prevents.
+	base := doc("xeon", Benchmark{Name: "CheckWarmCache", NsPerOp: 1000, AllocsPerOp: 10, BytesPerOp: 640})
+	cur := doc("xeon", Benchmark{Name: "CheckWarmCache", NsPerOp: 1000, AllocsPerOp: 20, BytesPerOp: 640})
+	results, failed, _ := compare(base, cur, []string{"CheckWarmCache"}, 0.20)
+	if !failed || results[0].status != "regression" || results[0].memNote == "" {
+		t.Fatalf("results = %+v failed=%v, want allocation regression", results, failed)
+	}
+	out := render(results, 0.20)
+	if !strings.Contains(out, "allocs/op 10.0 -> 20.0") {
+		t.Errorf("render does not name the allocation regression:\n%s", out)
+	}
+}
+
+func TestCompareZeroAllocBaselineIsExact(t *testing.T) {
+	// A zero-alloc baseline admits no new allocations at all (the +0.5
+	// slack covers integer jitter on counting baselines, not zero ones).
+	base := doc("xeon", Benchmark{Name: "CheckWarmCache", NsPerOp: 1000, AllocsPerOp: 0, BytesPerOp: 512})
+	cur := doc("xeon", Benchmark{Name: "CheckWarmCache", NsPerOp: 1000, AllocsPerOp: 1, BytesPerOp: 512})
+	_, failed, _ := compare(base, cur, []string{"CheckWarmCache"}, 0.20)
+	if !failed {
+		t.Fatal("one allocation over a zero-alloc baseline must fail")
+	}
+	same := doc("xeon", Benchmark{Name: "CheckWarmCache", NsPerOp: 1000, AllocsPerOp: 0, BytesPerOp: 512})
+	_, failed, _ = compare(base, same, []string{"CheckWarmCache"}, 0.20)
+	if failed {
+		t.Fatal("identical zero-alloc runs must pass")
+	}
+}
+
+func TestCompareBytesRegressionFails(t *testing.T) {
+	base := doc("xeon", Benchmark{Name: "MemAgentRoundTrip", NsPerOp: 1000, AllocsPerOp: 4, BytesPerOp: 1000})
+	cur := doc("xeon", Benchmark{Name: "MemAgentRoundTrip", NsPerOp: 1000, AllocsPerOp: 4, BytesPerOp: 1500})
+	results, failed, _ := compare(base, cur, []string{"MemAgentRoundTrip"}, 0.20)
+	if !failed || results[0].memNote == "" {
+		t.Fatalf("results = %+v failed=%v, want B/op regression", results, failed)
+	}
+}
+
+func TestCompareWithoutBenchmemSkipsAllocs(t *testing.T) {
+	// Legacy documents recorded without -benchmem carry parser zeros for
+	// the memory fields; they must not masquerade as zero-alloc gates.
+	base := doc("xeon", Benchmark{Name: "CheckParallel8", NsPerOp: 1000})
+	cur := doc("xeon", Benchmark{Name: "CheckParallel8", NsPerOp: 1000, AllocsPerOp: 50, BytesPerOp: 4096})
+	_, failed, _ := compare(base, cur, []string{"CheckParallel8"}, 0.20)
+	if failed {
+		t.Fatal("allocation guard fired against a baseline with no -benchmem data")
 	}
 }
 

@@ -1,0 +1,179 @@
+// benchheap profiles allocation volume (-alloc_space) on the checking
+// hot paths. It runs a cold full check, a cache-warming pass and a loop
+// of warm delta re-checks over a netsim-generated internet with the
+// heap profiler's sampling rate raised, prints the top allocating call
+// sites, and writes the full profile in pprof format for offline
+// inspection (`go tool pprof -alloc_space heap.pb.gz`).
+//
+// This is the measurement harness behind the per-worker arena work
+// (DESIGN.md, "Memory at §1 scale"): the steady-state per-reference
+// path — candidate-permission scratch, violation staging, delta dirty
+// sets, cache keys — must allocate nothing, so every site this tool
+// reports inside checkRef/checkRefCached/CheckDelta is a regression.
+// Model construction and the first cold check legitimately allocate;
+// the warm-loop phase is the one to read.
+//
+// Usage:
+//
+//	go run ./scripts/benchheap -domains 1000 -warm 50 -out heap.pb.gz
+//
+// The tool always exits 0; it measures, it does not gate (the exact
+// zero-alloc gates are TestCheckSteadyStateZeroAlloc and benchguard's
+// allocs/op comparison). Wire the output file into CI artifacts so any
+// PR can be diffed against the previous run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+
+	"nmsl/internal/consistency"
+	"nmsl/internal/netsim"
+)
+
+// site is one allocating call site aggregated from the heap records.
+type site struct {
+	frames []string
+	objects int64 // sampled allocated objects (alloc_objects)
+	bytes   int64 // sampled allocated bytes (alloc_space)
+}
+
+// summarize folds raw heap-profile records by their innermost
+// non-runtime frame and returns the sites sorted by allocated bytes.
+func summarize(records []runtime.MemProfileRecord, top int) []site {
+	bySite := map[string]*site{}
+	for i := range records {
+		r := &records[i]
+		frames := symbolize(r.Stack())
+		key := "unknown"
+		if len(frames) > 0 {
+			key = frames[0]
+		}
+		s, ok := bySite[key]
+		if !ok {
+			s = &site{frames: frames}
+			bySite[key] = s
+		}
+		s.objects += r.AllocObjects
+		s.bytes += r.AllocBytes
+	}
+	out := make([]site, 0, len(bySite))
+	for _, s := range bySite {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].bytes > out[j].bytes })
+	if top > 0 && len(out) > top {
+		out = out[:top]
+	}
+	return out
+}
+
+// symbolize resolves a profile stack to function names, skipping the
+// allocator's own plumbing so the first frame names the caller that
+// actually allocated.
+func symbolize(stack []uintptr) []string {
+	var frames []string
+	cf := runtime.CallersFrames(stack)
+	for {
+		f, more := cf.Next()
+		if f.Function != "" && !isAllocInternal(f.Function) {
+			frames = append(frames, f.Function)
+		}
+		if !more {
+			break
+		}
+	}
+	return frames
+}
+
+func isAllocInternal(fn string) bool {
+	switch fn {
+	case "runtime.mallocgc", "runtime.makeslice", "runtime.newobject",
+		"runtime.growslice", "runtime.makemap", "runtime.mapassign":
+		return true
+	}
+	return false
+}
+
+func main() {
+	domains := flag.Int("domains", 1000, "netsim internet size in domains")
+	warm := flag.Int("warm", 50, "warm delta re-checks to run after the cold check")
+	rate := flag.Int("rate", 4096, "heap profile sampling rate in bytes (lower = finer)")
+	out := flag.String("out", "heap.pb.gz", "pprof heap profile output path (empty to skip)")
+	top := flag.Int("top", 12, "allocating sites to print")
+	flag.Parse()
+
+	runtime.MemProfileRate = *rate
+
+	m, err := netsim.Model(netsim.Params{
+		Domains: *domains, SystemsPerDomain: 2, NestingDepth: 1, Seed: 1,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchheap: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Cold check + cache fill: the legitimate allocation phase.
+	chk := consistency.NewChecker(m)
+	chk.Cache = consistency.NewResultCache()
+	prev := chk.Check()
+	if !prev.Consistent() {
+		fmt.Fprintln(os.Stderr, "benchheap: model unexpectedly inconsistent")
+		os.Exit(1)
+	}
+
+	// Warm loop: the phase whose sites must be near-silent.
+	delta := &consistency.ModelDelta{Instances: []string{m.Refs[0].Source.ID}}
+	for i := 0; i < *warm; i++ {
+		if rep := chk.CheckDelta(prev, delta); !rep.Consistent() {
+			fmt.Fprintln(os.Stderr, "benchheap: warm delta unexpectedly inconsistent")
+			os.Exit(1)
+		}
+	}
+
+	// Snapshot the records before the reporting machinery below
+	// allocates on its own behalf.
+	var records []runtime.MemProfileRecord
+	for {
+		n, ok := runtime.MemProfile(records, true)
+		if ok {
+			records = records[:n]
+			break
+		}
+		records = make([]runtime.MemProfileRecord, n+50)
+	}
+
+	fmt.Printf("benchheap: %d domains, 1 cold check + %d warm deltas, %d allocating sites sampled (rate %dB)\n",
+		*domains, *warm, len(records), *rate)
+	for i, s := range summarize(records, *top) {
+		fmt.Printf("#%d  %d objects, %d bytes\n", i+1, s.objects, s.bytes)
+		for j, f := range s.frames {
+			if j >= 4 {
+				break
+			}
+			fmt.Printf("      %s\n", f)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchheap: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // flush the most recent allocations into the profile
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "benchheap: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchheap: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("profile written to %s (inspect with `go tool pprof -alloc_space %s`)\n", *out, *out)
+	}
+}
